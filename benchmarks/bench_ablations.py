@@ -1,0 +1,63 @@
+"""Ablations: what each design in the framework contributes.
+
+Not a single paper figure, but the design-choice decomposition DESIGN.md
+calls for: starting from the full solution, disable one design at a time
+(scheduling quality, backfilling, fine-grained blocking, compressed data
+buffer, shared Huffman tree, I/O balancing) and measure the overhead it
+gives back.  Expected shape: every ablation is >= the full solution
+(within noise); in this contended regime the I/O balancing and Johnson
+ordering matter most, followed by fine-grained blocking, the shared
+Huffman tree, and the compressed data buffer.
+"""
+
+from __future__ import annotations
+
+from repro.framework import format_table, ours_config
+from repro.io import IoThroughputModel
+
+from .common import FixedSpreadNyx, emit, mean_overhead
+
+#: Contended-filesystem regime (as in the Figure 8 simulation): design
+#: choices only show up when compression and I/O actually pressure the
+#: idle windows.
+_SIM_IO = IoThroughputModel(node_bandwidth_bytes_per_s=0.2e9)
+
+_ABLATIONS = [
+    ("full solution", {}),
+    ("generation order (no Johnson)", {"scheduler": "GenerationListSchedule+BF"}),
+    ("no backfilling", {"scheduler": "ExtJohnson"}),
+    ("whole-field blocks (64 MB)", {"block_bytes": 64 * 2**20}),
+    ("no compressed data buffer", {"buffer_bytes": 0}),
+    ("no shared Huffman tree", {"use_shared_tree": False}),
+    ("no I/O balancing", {"use_balancing": False}),
+]
+
+
+def test_ablations(benchmark):
+    def build() -> str:
+        app = FixedSpreadNyx(20.0, seed=12)
+        rows = []
+        values = {}
+        for name, overrides in _ABLATIONS:
+            value = mean_overhead(
+                app,
+                ours_config(io_model=_SIM_IO, **overrides),
+                nodes=2,
+                ppn=4,
+                iterations=5,
+                seed=12,
+            )
+            values[name] = value
+            rows.append((name, f"{value * 100:.1f}%"))
+        full = values["full solution"]
+        for name, value in values.items():
+            rows_delta = value - full
+            assert rows_delta >= -0.02, (name, value, full)
+        # At least some designs must matter measurably.
+        assert max(values.values()) > full + 0.01
+        return format_table(
+            rows, headers=("configuration", "I/O overhead (rel.)")
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablations", text)

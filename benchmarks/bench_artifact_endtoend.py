@@ -1,0 +1,80 @@
+"""Artifact Appendix B.5: end-to-end Nyx and WarpX runs, artifact-style.
+
+Reproduces the artifact's evaluation workflow (steps 4-8): a 10-iteration
+run per solution per application, reporting each solution's total time
+and overhead relative to computation-only, and the headline improvement
+factor of ours over the previous (async-I/O) solution — the artifact
+measures 4.53x for Nyx and 3.29x for WarpX on Chameleon Cloud.
+"""
+
+from __future__ import annotations
+
+from repro.apps import NyxModel, WarpXModel
+from repro.framework import (
+    async_io_config,
+    baseline_config,
+    ours_config,
+)
+
+from .common import emit, run_campaign
+
+_ITERATIONS = 11  # iteration 0 warms the predictor; 10 dumps follow
+
+
+def _artifact_block(app_label: str, app, seed: int) -> tuple[str, float]:
+    lines = [f"Sample from {_ITERATIONS - 1} iterations."]
+    results = {}
+    for name, config in (
+        ("Baseline", baseline_config()),
+        ("Previous", async_io_config()),
+        ("Ours", ours_config()),
+    ):
+        result = run_campaign(
+            app,
+            config,
+            nodes=4,
+            ppn=4,
+            iterations=_ITERATIONS,
+            seed=seed,
+            solution=name,
+        )
+        results[name] = result
+        lines.append(f"-------------------- {name} --------------------")
+        lines.append(
+            f"{app_label} simulation with {name} solution time: "
+            f"{result.total_time:.2f} s"
+        )
+        lines.append(
+            f"{name} overhead compared to computation only: "
+            f"{result.mean_relative_overhead * 100:.1f} %"
+        )
+    improvement = (
+        results["Previous"].mean_relative_overhead
+        / results["Ours"].mean_relative_overhead
+    )
+    lines.append("------------------- Improvement ------------------")
+    lines.append(
+        f"Our improvement compared to previous: {improvement:.2f} times"
+    )
+    lines.append("----------------------- End ----------------------")
+    return "\n".join(lines), improvement
+
+
+def test_artifact_nyx(benchmark):
+    def build():
+        return _artifact_block("Nyx", NyxModel(seed=42), seed=42)
+
+    text, improvement = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("artifact_nyx", text)
+    # Artifact reports 4.53x on its platform; any clear win (>1.5x)
+    # preserves the claim's shape.
+    assert improvement > 1.5
+
+
+def test_artifact_warpx(benchmark):
+    def build():
+        return _artifact_block("WarpX", WarpXModel(seed=42), seed=42)
+
+    text, improvement = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("artifact_warpx", text)
+    assert improvement > 1.5

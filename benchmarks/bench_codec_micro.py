@@ -1,0 +1,110 @@
+"""Codec micro-benchmarks: real throughput of the compression substrate.
+
+Not a paper figure — these measure this machine's actual throughput for
+each stage of the pipeline (the numbers the throughput models abstract):
+integer Lorenzo, Huffman encode/decode, full SZ-style compress/decompress
+(native and shared tree), and the ZFP-style codec.  pytest-benchmark's
+timing table is the output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import NyxModel
+from repro.compression import (
+    SZCompressor,
+    ZFPCompressor,
+    build_codebook,
+    decode,
+    encode,
+    lorenzo_forward,
+    prequantize,
+)
+
+_SHAPE = (48, 48, 48)  # ~0.9 MB float64
+
+
+@pytest.fixture(scope="module")
+def field():
+    app = NyxModel(seed=61, partition_shape=_SHAPE)
+    return app.generate_field("temperature", 0, 5)
+
+
+@pytest.fixture(scope="module")
+def error_bound():
+    return NyxModel(seed=61).field("temperature").error_bound
+
+
+def test_micro_lorenzo_forward(benchmark, field, error_bound):
+    grid = prequantize(field, error_bound)
+    result = benchmark(lorenzo_forward, grid)
+    assert result.shape == field.shape
+
+
+def test_micro_prequantize(benchmark, field, error_bound):
+    result = benchmark(prequantize, field, error_bound)
+    assert result.dtype == np.int64
+
+
+def test_micro_huffman_encode(benchmark, field, error_bound):
+    compressor = SZCompressor()
+    quantized = compressor.quantize(field, error_bound)
+    codes = quantized.codes.reshape(-1)
+    hist = np.bincount(codes, minlength=2 * compressor.radius + 1)
+    book = build_codebook(hist, force_symbols=(compressor.sentinel,))
+    data, nbits = benchmark(encode, codes, book)
+    assert nbits > 0
+
+
+def test_micro_huffman_decode(benchmark, field, error_bound):
+    compressor = SZCompressor()
+    quantized = compressor.quantize(field, error_bound)
+    codes = quantized.codes.reshape(-1)
+    hist = np.bincount(codes, minlength=2 * compressor.radius + 1)
+    book = build_codebook(hist, force_symbols=(compressor.sentinel,))
+    data, nbits = encode(codes, book)
+    result = benchmark.pedantic(
+        decode, args=(data, nbits, codes.size, book), rounds=2, iterations=1
+    )
+    assert np.array_equal(result, codes)
+
+
+def test_micro_sz_compress_native_tree(benchmark, field, error_bound):
+    compressor = SZCompressor()
+    block = benchmark(compressor.compress, field, error_bound)
+    assert block.compression_ratio > 1.0
+    benchmark.extra_info["ratio"] = block.compression_ratio
+
+
+def test_micro_sz_compress_shared_tree(benchmark, field, error_bound):
+    compressor = SZCompressor()
+    hist = compressor.histogram(field, error_bound)
+    shared = build_codebook(hist, force_symbols=(compressor.sentinel,))
+    block = benchmark(
+        compressor.compress, field, error_bound, shared
+    )
+    assert block.used_shared_tree
+
+
+def test_micro_sz_decompress(benchmark, field, error_bound):
+    compressor = SZCompressor()
+    block = compressor.compress(field, error_bound)
+    result = benchmark.pedantic(
+        compressor.decompress, args=(block,), rounds=2, iterations=1
+    )
+    assert result.shape == field.shape
+
+
+def test_micro_zfp_compress(benchmark, field):
+    codec = ZFPCompressor(8)
+    stream = benchmark(codec.compress, field)
+    assert stream.compression_ratio > 6.0
+
+
+def test_micro_zfp_decompress(benchmark, field):
+    codec = ZFPCompressor(8)
+    stream = codec.compress(field)
+    result = benchmark(codec.decompress, stream)
+    assert result.shape == field.shape

@@ -1,0 +1,99 @@
+"""Compression configuration check (Section 5.1's setup table).
+
+The paper compresses the six Nyx grid fields with absolute error bounds
+(0.2, 0.4, 1e3, 2e5, 2e5, 2e5), reporting an average PSNR of 78.6 dB and
+a ~16x ratio, and WarpX fields at 273.9x.  This bench runs the *real*
+compressor on the synthetic fields at exactly those bounds and reports
+per-field ratio and PSNR — verifying the generators and compressor land
+in the regime the evaluation assumes (ratios within a factor of a few of
+the targets, PSNR in the tens of dB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import NyxModel, WarpXModel
+from repro.compression import SZCompressor, psnr
+from repro.framework import format_table
+
+from .common import emit
+
+_SHAPE_NYX = (32, 32, 32)
+_SHAPE_WARPX = (16, 16, 128)
+
+
+def test_compression_configuration(benchmark):
+    def build() -> str:
+        compressor = SZCompressor()
+        rows = []
+        nyx = NyxModel(seed=19, partition_shape=_SHAPE_NYX)
+        nyx_ratios = []
+        nyx_psnrs = []
+        for spec in nyx.fields[:6]:  # the six grid fields of Section 5.1
+            field = nyx.generate_field(spec.name, 0, 10)
+            block = compressor.compress(field, spec.error_bound)
+            recon = compressor.decompress(block)
+            quality = psnr(field, recon)
+            nyx_ratios.append(block.compression_ratio)
+            nyx_psnrs.append(quality)
+            rows.append(
+                (
+                    "nyx",
+                    spec.name,
+                    f"{spec.error_bound:g}",
+                    f"{block.compression_ratio:.1f}x",
+                    f"{quality:.1f} dB",
+                )
+            )
+        warpx = WarpXModel(seed=19, partition_shape=_SHAPE_WARPX)
+        warpx_ratios = []
+        for spec in warpx.fields[:4]:
+            field = warpx.generate_field(spec.name, 0, 10)
+            block = compressor.compress(field, spec.error_bound)
+            recon = compressor.decompress(block)
+            warpx_ratios.append(block.compression_ratio)
+            rows.append(
+                (
+                    "warpx",
+                    spec.name,
+                    f"{spec.error_bound:g}",
+                    f"{block.compression_ratio:.1f}x",
+                    f"{psnr(field, recon):.1f} dB",
+                )
+            )
+        rows.append(
+            (
+                "nyx",
+                "(average)",
+                "-",
+                f"{float(np.mean(nyx_ratios)):.1f}x (paper ~16x)",
+                f"{float(np.mean(nyx_psnrs)):.1f} dB (paper 78.6 dB)",
+            )
+        )
+        rows.append(
+            (
+                "warpx",
+                "(average)",
+                "-",
+                f"{float(np.mean(warpx_ratios)):.1f}x (paper 273.9x)",
+                "-",
+            )
+        )
+        # Regime checks: error-bounded mode must land within a factor of
+        # a few of the paper's ratios on same-bound synthetic data, and
+        # WarpX must compress substantially harder than Nyx (the paper's
+        # 273.9x needs the real application's near-vacuum domains; the
+        # synthetic stand-in preserves the ordering and the gap).
+        assert 4.0 < float(np.mean(nyx_ratios)) < 80.0
+        assert float(np.mean(warpx_ratios)) > 2 * float(
+            np.mean(nyx_ratios)
+        )
+        assert all(q > 30.0 for q in nyx_psnrs)
+        return format_table(
+            rows,
+            headers=("app", "field", "error bound", "ratio", "PSNR"),
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("compression_config", text)

@@ -1,0 +1,94 @@
+"""Figure 10: overheads at the beginning / middle / end of a run.
+
+Paper setup: Nyx and WarpX sampled at three run stages; three solutions.
+Expected shape: ours consistently outperforms the previous solution (and
+the baseline) at *every* stage, even as the data's compressibility
+distribution degrades toward the end of the run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import NyxModel, WarpXModel
+from repro.framework import (
+    async_io_config,
+    baseline_config,
+    format_table,
+    ours_config,
+)
+
+from .common import run_campaign, emit
+
+_TOTAL_ITERATIONS = 24
+_WINDOWS = {
+    "beginning": range(1, 8),
+    "middle": range(9, 16),
+    "end": range(17, 24),
+}
+
+
+def _stage_overheads(app, config, seed) -> dict[str, float]:
+    result = run_campaign(
+        app,
+        config,
+        nodes=2,
+        ppn=4,
+        iterations=_TOTAL_ITERATIONS,
+        seed=seed,
+    )
+    by_iteration = {
+        r.iteration: r.relative_overhead for r in result.dump_records()
+    }
+    return {
+        window: float(
+            np.mean(
+                [by_iteration[i] for i in iters if i in by_iteration]
+            )
+        )
+        for window, iters in _WINDOWS.items()
+    }
+
+
+def test_fig10_timesteps(benchmark):
+    def build() -> str:
+        rows = []
+        shape: dict[tuple[str, str, str], float] = {}
+        for app_name, app in (
+            ("nyx", NyxModel(seed=10, total_iterations=_TOTAL_ITERATIONS)),
+            (
+                "warpx",
+                WarpXModel(seed=10, total_iterations=_TOTAL_ITERATIONS),
+            ),
+        ):
+            per_solution = {}
+            for sol_name, config in (
+                ("baseline", baseline_config()),
+                ("async-I/O", async_io_config()),
+                ("ours", ours_config()),
+            ):
+                per_solution[sol_name] = _stage_overheads(app, config, 10)
+            for window in _WINDOWS:
+                for sol_name in per_solution:
+                    value = per_solution[sol_name][window]
+                    shape[(app_name, window, sol_name)] = value
+                    rows.append(
+                        (
+                            app_name,
+                            window,
+                            sol_name,
+                            f"{value * 100:.1f}%",
+                        )
+                    )
+        # Shape: ours best at every stage for both applications.
+        for app_name in ("nyx", "warpx"):
+            for window in _WINDOWS:
+                ours = shape[(app_name, window, "ours")]
+                assert ours < shape[(app_name, window, "async-I/O")]
+                assert ours < shape[(app_name, window, "baseline")]
+        return format_table(
+            rows, headers=("app", "stage", "solution", "overhead")
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("fig10_timesteps", text)

@@ -1,0 +1,110 @@
+"""Figure 3: relative improvement from intra-node I/O workload balancing.
+
+Paper setup: processes within one node whose compression ratios follow a
+normal distribution scaled to a given max compression-ratio difference
+(x-axis, up to ~20 for Nyx); y-axis is the execution-time improvement of
+balanced over unbalanced I/O.  Expected shape: improvement grows with the
+ratio difference, and is (near) zero — never negative — when the data is
+evenly distributed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import IoTaskRef, balance_io_workloads
+from repro.framework import format_table, line_chart
+
+from .common import emit
+
+_BLOCKS = 32
+_BLOCK_BYTES = 8.39e6
+_IO_BPS = 175e6
+_SPREADS = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0]
+
+
+def _node_workloads(
+    spread: float, processes: int, rng: np.random.Generator
+) -> list[list[IoTaskRef]]:
+    """Per-process I/O task lists under a given ratio spread."""
+    log_span = 0.5 * np.log(max(spread, 1.0))
+    z = np.clip(rng.normal(0, 1, processes), -2, 2)
+    ratios = 16.0 * np.exp(z / 2 * log_span)
+    workloads = []
+    for rank in range(processes):
+        ratio = float(ratios[rank])
+        block_noise = rng.normal(1.0, 0.05, _BLOCKS)
+        tasks = [
+            IoTaskRef(
+                owner=rank,
+                job_index=j,
+                duration=0.0015
+                + (_BLOCK_BYTES / (ratio * max(block_noise[j], 0.5)))
+                / _IO_BPS,
+            )
+            for j in range(_BLOCKS)
+        ]
+        workloads.append(tasks)
+    return workloads
+
+
+def _improvement(spread: float, processes: int, trials: int = 20) -> float:
+    """Mean improvement of the I/O completion time (max over processes)."""
+    gains = []
+    for trial in range(trials):
+        rng = np.random.default_rng((int(spread * 10), processes, trial))
+        workloads = _node_workloads(spread, processes, rng)
+        before = max(
+            sum(t.duration for t in tasks) for tasks in workloads
+        )
+        result = balance_io_workloads(workloads)
+        after = max(result.workloads_after)
+        gains.append((before - after) / before)
+    return float(np.mean(gains))
+
+
+def test_fig3_balancing_improvement(benchmark):
+    def build() -> str:
+        rows = []
+        series = {}
+        for processes in (4, 8):
+            for spread in _SPREADS:
+                gain = _improvement(spread, processes)
+                series[(processes, spread)] = gain
+                rows.append(
+                    (
+                        f"{processes}",
+                        f"{spread:.0f}x",
+                        f"{gain * 100:.1f}%",
+                    )
+                )
+        # Shape: improvement is monotone-ish in the spread and never
+        # meaningfully negative (the paper: "no additional overhead").
+        for processes in (4, 8):
+            assert series[(processes, 1.0)] >= -1e-9
+            assert (
+                series[(processes, 20.0)] > series[(processes, 2.0)]
+            )
+            assert series[(processes, 20.0)] > 0.08
+        table = format_table(
+            rows,
+            headers=(
+                "processes/node",
+                "max CR difference",
+                "improvement",
+            ),
+        )
+        chart = line_chart(
+            {
+                f"{p} processes": [
+                    (spread, series[(p, spread)]) for spread in _SPREADS
+                ]
+                for p in (4, 8)
+            },
+            x_label="max CR difference",
+            y_label="improvement (fraction)",
+        )
+        return table + "\n\n" + chart
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("fig3_balancing", text)

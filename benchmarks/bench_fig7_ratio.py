@@ -1,0 +1,80 @@
+"""Figure 7: time overhead vs average compression ratio (simulation).
+
+Paper setup: simulated evaluation with Nyx computation intervals and the
+Section 5.4.1 noise models; x-axis sweeps the achievable average
+compression ratio; bars compare the baseline (no compression, synchronous
+I/O) and our solution.  Expected shape: ours is far below the baseline at
+every ratio and improves slightly as the ratio grows (smaller compressed
+data means shorter, easier-to-hide I/O); the baseline is flat (it never
+compresses).
+"""
+
+from __future__ import annotations
+
+from repro.framework import baseline_config, format_table, line_chart, ours_config
+from repro.io import IoThroughputModel
+
+from .common import emit, mean_overhead, scaled_ratio_nyx
+
+_RATIOS = [2, 4, 8, 16, 32, 64, 128]
+#: The simulated runs model a more contended filesystem share than the
+#: in situ defaults so low compression ratios visibly pressure the
+#: background thread (the regime Figures 7-8 explore).
+_SIM_IO = IoThroughputModel(node_bandwidth_bytes_per_s=0.35e9)
+
+
+def test_fig7_ratio_sweep(benchmark):
+    def build() -> str:
+        rows = []
+        ours = {}
+        baseline = {}
+        for ratio in _RATIOS:
+            app = scaled_ratio_nyx(float(ratio), seed=7)
+            baseline[ratio] = mean_overhead(
+                app, baseline_config(io_model=_SIM_IO), nodes=2, ppn=4, iterations=5, seed=7
+            )
+            ours[ratio] = mean_overhead(
+                app, ours_config(io_model=_SIM_IO), nodes=2, ppn=4, iterations=5, seed=7
+            )
+            rows.append(
+                (
+                    f"{ratio}x",
+                    f"{baseline[ratio] * 100:.1f}%",
+                    f"{ours[ratio] * 100:.1f}%",
+                )
+            )
+        # Shape checks: always better than the baseline, and decisively
+        # (>2x) once compression achieves a useful ratio (>= 4x).  At 2x
+        # the compressed volume still pressures the background thread —
+        # the regime where the paper's gains genuinely shrink.
+        for ratio in _RATIOS:
+            assert ours[ratio] < baseline[ratio]
+            if ratio >= 4:
+                assert ours[ratio] < baseline[ratio] / 2
+        assert ours[_RATIOS[-1]] <= ours[_RATIOS[0]] + 1e-9
+        spread = max(baseline.values()) - min(baseline.values())
+        assert spread < 0.25 * max(baseline.values())  # baseline ~flat
+        table = format_table(
+            rows,
+            headers=(
+                "avg compression ratio",
+                "baseline overhead",
+                "ours overhead",
+            ),
+        )
+        import math
+
+        chart = line_chart(
+            {
+                "baseline": [
+                    (math.log2(r), baseline[r]) for r in _RATIOS
+                ],
+                "ours": [(math.log2(r), ours[r]) for r in _RATIOS],
+            },
+            x_label="log2(average compression ratio)",
+            y_label="relative overhead",
+        )
+        return table + "\n\n" + chart
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("fig7_ratio", text)

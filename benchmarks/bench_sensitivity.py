@@ -1,0 +1,81 @@
+"""Prediction-noise sensitivity (the Section 3.1 robustness claim).
+
+The scheduler plans with imperfect inputs: "slight variations in the
+required task lengths and dates between neighboring iterations may result
+in some performance degradation ... these variations do not significantly
+impact the effectiveness of the proposed solution."  This bench sweeps
+the Section 5.4.1 noise sigmas from zero to 4x their paper values and
+measures our solution's overhead: it must degrade gracefully (small,
+monotone-ish growth) and keep beating the baseline by a wide margin even
+at 4x noise.
+"""
+
+from __future__ import annotations
+
+from repro.apps import NyxModel
+from repro.framework import baseline_config, format_table, ours_config
+from repro.simulator import NoiseModel
+
+from .common import emit, run_campaign
+
+#: Multiples of the paper's sigmas (interval 1 %, ratio 10 %, times 5 %).
+_NOISE_SCALES = [0.0, 0.5, 1.0, 2.0, 4.0]
+
+
+def _noise(scale: float) -> NoiseModel:
+    return NoiseModel(
+        seed=17,
+        interval_sigma_frac=0.01 * scale,
+        ratio_sigma_frac=0.10 * scale,
+        compression_sigma_frac=0.05 * scale,
+        io_sigma_frac=0.05 * scale,
+    )
+
+
+def test_noise_sensitivity(benchmark):
+    def build() -> str:
+        app = NyxModel(seed=17)
+        baseline = run_campaign(
+            app,
+            baseline_config(),
+            nodes=2,
+            ppn=4,
+            iterations=6,
+            seed=17,
+        ).mean_relative_overhead
+        rows = []
+        ours = {}
+        for scale in _NOISE_SCALES:
+            result = run_campaign(
+                app,
+                ours_config(),
+                nodes=2,
+                ppn=4,
+                iterations=6,
+                seed=17,
+                noise=_noise(scale),
+            )
+            ours[scale] = result.mean_relative_overhead
+            rows.append(
+                (
+                    f"{scale:.1f}x paper sigmas",
+                    f"{ours[scale] * 100:.1f}%",
+                    f"{baseline / ours[scale]:.2f}x",
+                )
+            )
+        # Shape: graceful degradation; still >2x better than baseline at
+        # 4x the paper's measured uncertainty.
+        assert ours[4.0] >= ours[0.0] - 1e-9
+        assert ours[4.0] <= ours[0.0] * 1.5
+        assert baseline / ours[4.0] > 2.0
+        return format_table(
+            rows,
+            headers=(
+                "prediction noise",
+                "ours overhead",
+                "improvement vs baseline",
+            ),
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("sensitivity_noise", text)

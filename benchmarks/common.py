@@ -1,0 +1,102 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+and both prints the reproduced rows/series and saves them under
+``benchmarks/results/`` so the numbers survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps import NyxModel, Stage
+from repro.apps.base import FieldSpec
+from repro.framework import CampaignRunner, FrameworkConfig
+from repro.simulator import ClusterSpec, NoiseModel
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_campaign(
+    app,
+    config: FrameworkConfig,
+    nodes: int = 1,
+    ppn: int = 4,
+    iterations: int = 6,
+    seed: int = 1,
+    solution: str = "run",
+    noise: NoiseModel | None = None,
+):
+    cluster = ClusterSpec(num_nodes=nodes, processes_per_node=ppn)
+    runner = CampaignRunner(
+        app, cluster, config, solution=solution, seed=seed, noise=noise
+    )
+    return runner.run(iterations)
+
+
+def mean_overhead(
+    app, config: FrameworkConfig, **kwargs
+) -> float:
+    """Mean relative I/O overhead over a campaign's dump iterations."""
+    return run_campaign(app, config, **kwargs).mean_relative_overhead
+
+
+class FixedStageNyx(NyxModel):
+    """Nyx variant pinned to one run stage (for per-stage sweeps)."""
+
+    def __init__(self, stage: Stage, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._fixed_stage = stage
+
+    def stage_of(self, iteration, total_iterations=None):
+        return self._fixed_stage
+
+
+class FixedSpreadNyx(NyxModel):
+    """Nyx variant with a pinned intra-node max compression-ratio
+    difference (the Figure 3/8 x-axis).
+
+    Multipliers are spread evenly in log space across the node's ranks so
+    the *realized* max/min ratio equals the requested spread — the
+    figure's x-axis is the assumed spread, not a lucky draw.
+    """
+
+    def __init__(self, spread: float, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._spread = spread
+
+    def max_ratio_difference(self, stage):
+        return self._spread
+
+    def rank_multipliers(self, node_size, stage, iteration):
+        log_span = 0.5 * np.log(max(self._spread, 1.0))
+        z = (
+            np.linspace(-2.0, 2.0, node_size)
+            if node_size > 1
+            else np.zeros(1)
+        )
+        multipliers = np.exp(z / 2.0 * log_span)
+        drift = self._rng(2000, iteration).normal(1.0, 0.0145, node_size)
+        return multipliers * np.clip(drift, 0.9, 1.1)
+
+
+def scaled_ratio_nyx(average_ratio: float, **kwargs) -> NyxModel:
+    """Nyx variant whose fields average ``average_ratio`` (Figure 7)."""
+    app = NyxModel(**kwargs)
+    base_mean = float(np.mean([f.base_ratio for f in app.fields]))
+    factor = average_ratio / base_mean
+    app.fields = tuple(
+        FieldSpec(f.name, f.error_bound, f.base_ratio * factor)
+        for f in app.fields
+    )
+    return app

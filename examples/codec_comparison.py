@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Rate-distortion comparison: SZ-style vs ZFP-style codecs.
+
+Section 2.2 introduces both compressor families; this example runs both
+on the same synthetic Nyx temperature field and prints their
+rate-distortion behaviour — SZ (error-bounded) swept over error bounds,
+ZFP (fixed-rate) swept over rates — as a table and an ASCII chart of
+PSNR vs bits/value.
+
+Run:  python examples/codec_comparison.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.apps import NyxModel
+from repro.compression import (
+    SZCompressor,
+    ZFPCompressor,
+    bit_rate,
+    psnr,
+)
+from repro.framework import format_table, line_chart
+
+
+def main() -> None:
+    app = NyxModel(seed=41, partition_shape=(40, 40, 40))
+    field = app.generate_field("temperature", 0, 8)
+    value_range = float(np.ptp(field))
+    print(
+        f"field: temperature {field.shape} float64, "
+        f"range {value_range:.3g}\n"
+    )
+
+    rows = []
+    sz_points = []
+    compressor = SZCompressor()
+    for rel_bound in (1e-1, 1e-2, 1e-3, 1e-4, 1e-5):
+        block = compressor.compress(field, rel_bound, mode="rel")
+        recon = compressor.decompress(block)
+        bits = bit_rate(field.size, block.compressed_nbytes)
+        quality = psnr(field, recon)
+        sz_points.append((bits, quality))
+        rows.append(
+            (
+                "SZ (error-bounded)",
+                f"rel {rel_bound:g}",
+                f"{block.compression_ratio:.1f}x",
+                f"{bits:.2f}",
+                f"{quality:.1f} dB",
+            )
+        )
+    zfp_points = []
+    for rate in (2, 4, 8, 12, 16, 24):
+        codec = ZFPCompressor(rate)
+        stream = codec.compress(field)
+        recon = codec.decompress(stream)
+        bits = bit_rate(field.size, stream.compressed_nbytes)
+        quality = psnr(field, recon)
+        if math.isfinite(quality):
+            zfp_points.append((bits, quality))
+        rows.append(
+            (
+                "ZFP (fixed-rate)",
+                f"{rate} bits/value",
+                f"{stream.compression_ratio:.1f}x",
+                f"{bits:.2f}",
+                f"{quality:.1f} dB",
+            )
+        )
+    print(
+        format_table(
+            rows,
+            headers=("codec", "setting", "ratio", "bits/value", "PSNR"),
+        )
+    )
+    print("\nrate-distortion (higher-left is better):")
+    print(
+        line_chart(
+            {"SZ": sz_points, "ZFP": zfp_points},
+            x_label="bits per value",
+            y_label="PSNR (dB)",
+        )
+    )
+    print(
+        "\nSZ's prediction stage exploits the field's smoothness, so it "
+        "dominates at low rates; ZFP's fixed rate buys guaranteed size "
+        "and random access."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Porting the framework to *your* platform, end to end.
+
+The campaign simulator ships with Summit-like constants; deploying the
+methodology elsewhere means re-fitting them.  This example walks the full
+porting recipe on the current machine:
+
+1. **measure** — time real compressions (this Python pipeline, here) and
+   synthesize write timings for a hypothetical filesystem;
+2. **fit** — recover `CompressionThroughputModel` / `IoThroughputModel`
+   constants with `repro.framework.calibration`;
+3. **profile block sizes** — run the Section 4.1 offline analysis with
+   the fitted I/O model to pick the fine-grained block size;
+4. **plug in a measured iteration trace** — load an obstacle layout from
+   JSON (here: exported from the Nyx generator, but this is where your
+   application's real trace goes);
+5. **run the campaign** with the fitted configuration and compare the
+   three solutions on *your* numbers.
+
+Run:  python examples/port_to_platform.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.apps import NyxModel, profile_from_json, profile_to_json
+from repro.compression import (
+    SZCompressor,
+    build_codebook,
+    profile_block_sizes,
+)
+from repro.framework import (
+    CampaignRunner,
+    async_io_config,
+    baseline_config,
+    fit_compression_model,
+    fit_io_model,
+    format_table,
+    ours_config,
+)
+from repro.simulator import ClusterSpec
+
+
+def measure_compression(compressor, shared, rng):
+    """Step 1a: real timings of the local compressor."""
+    field = np.cumsum(rng.normal(size=2**19))  # 4 MiB float64
+    samples_shared, samples_native = [], []
+    for count in (2**15, 2**17, 2**19):
+        block = field[:count]
+        t0 = time.perf_counter()
+        compressor.compress(block, 0.01, shared_codebook=shared)
+        samples_shared.append((block.nbytes, time.perf_counter() - t0))
+        t0 = time.perf_counter()
+        compressor.compress(block, 0.01)
+        samples_native.append((block.nbytes, time.perf_counter() - t0))
+    return samples_shared, samples_native
+
+
+def synth_io_samples():
+    """Step 1b: write timings for the target filesystem (stub).
+
+    On a real port these come from timed writes on the target system;
+    here we synthesize a 0.5 GB/s-node, 3 ms-latency filesystem (a
+    mid-range parallel FS share).
+    """
+    return [
+        (size, 0.003 + size / (0.5e9 / 4))
+        for size in (2**18, 2**20, 2**22, 2**24, 2**26)
+    ]
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    compressor = SZCompressor()
+    train = np.cumsum(rng.normal(size=2**17))
+    shared = build_codebook(
+        compressor.histogram(train, 0.01),
+        force_symbols=(compressor.sentinel,),
+    )
+
+    # --- 1 + 2: measure and fit --------------------------------------
+    shared_samples, native_samples = measure_compression(
+        compressor, shared, rng
+    )
+    comp_model, comp_fit = fit_compression_model(
+        shared_samples, native_samples
+    )
+    io_model, io_fit = fit_io_model(synth_io_samples(), processes_per_node=4)
+    print("fitted models:")
+    print(
+        f"  compression: {comp_model.throughput_bytes_per_s / 1e6:.0f} MB/s"
+        f" + {comp_model.setup_s * 1e3:.2f} ms setup"
+        f" + {comp_model.tree_build_s * 1e3:.2f} ms tree build"
+        f"  (R^2 = {comp_fit.r_squared:.4f})"
+    )
+    print(
+        f"  I/O: {io_model.per_process_bandwidth / 1e6:.0f} MB/s/process"
+        f" + {io_model.write_latency_s * 1e3:.1f} ms latency"
+        f"  (R^2 = {io_fit.r_squared:.4f})"
+    )
+
+    # --- 3: offline block-size profiling ------------------------------
+    sample_field = np.cumsum(rng.normal(size=2**17))
+    profile = profile_block_sizes(
+        sample_field,
+        0.01,
+        candidate_bytes=(16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024),
+        compressor=compressor,
+        shared_codebook=shared,
+        io_model=io_model,
+        repeats=1,
+    )
+    print(
+        f"\nblock-size profiling recommends "
+        f"{profile.recommended_block_bytes // 1024} KiB blocks "
+        f"(of {[p.block_bytes // 1024 for p in profile.profiles]} KiB tried)"
+    )
+
+    # --- 4: a measured iteration trace --------------------------------
+    exported = profile_to_json(NyxModel(seed=99).iteration_profile(0))
+    trace = profile_from_json(exported)  # <- your app's trace goes here
+    print(
+        f"\niteration trace: T_n = {trace.length:.2f}s, "
+        f"main thread {trace.busy_fraction_main() * 100:.0f}% busy, "
+        f"background {trace.busy_fraction_background() * 100:.0f}% busy"
+    )
+
+    # --- 5: campaign with the fitted configuration --------------------
+    # The timings above measured *this repo's pure-Python compressor* —
+    # instructive, but nobody deploys that: SZ3/cuSZ run 1-2 orders of
+    # magnitude faster.  Scale the fitted model by the native-vs-Python
+    # factor for the deployment the campaign represents (on a real port
+    # you would have measured the native compressor directly).
+    import dataclasses as _dc
+
+    native_factor = 250e6 / comp_model.throughput_bytes_per_s
+    deployed_comp = _dc.replace(
+        comp_model,
+        throughput_bytes_per_s=comp_model.throughput_bytes_per_s
+        * native_factor,
+        tree_build_s=comp_model.tree_build_s / native_factor,
+    )
+    print(
+        f"\nscaling compression by the native/Python factor "
+        f"({native_factor:.0f}x) for the deployed configuration"
+    )
+
+    app = NyxModel(seed=99)
+    cluster = ClusterSpec(num_nodes=4, processes_per_node=4)
+    rows = []
+    for name, config in (
+        ("baseline", baseline_config()),
+        ("previous", async_io_config()),
+        ("ours", ours_config()),
+    ):
+        import dataclasses
+
+        tuned = dataclasses.replace(
+            config, io_model=io_model, compression_model=deployed_comp
+        )
+        result = CampaignRunner(
+            app, cluster, tuned, solution=name, seed=99
+        ).run(5)
+        rows.append(
+            (name, f"{result.mean_relative_overhead * 100:.1f}%")
+        )
+    print("\ncampaign with fitted models (4 nodes x 4 GPUs):")
+    print(format_table(rows, headers=("solution", "I/O overhead")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""WarpX weak-scaling campaign (the Figure 11b experiment).
+
+Each process keeps a fixed 128 x 128 x 512 partition while the GPU count
+grows 8 -> 64; the baseline and async-only solutions pay growing
+shared-file contention while the compressed solution stays nearly flat.
+
+Run:  python examples/warpx_campaign.py
+"""
+
+from repro.apps import WarpXModel
+from repro.framework import (
+    CampaignRunner,
+    async_io_config,
+    baseline_config,
+    format_table,
+    ours_config,
+)
+from repro.simulator import ClusterSpec
+
+
+def main() -> None:
+    app = WarpXModel(seed=13)
+    print(
+        f"WarpX {app.partition_shape} per rank (weak scaling), "
+        f"compression ratio ~{app.fields[0].base_ratio:.0f}x\n"
+    )
+    scales = [(2, 4), (4, 4), (8, 4), (16, 4)]  # (nodes, GPUs/node)
+    rows = []
+    for nodes, ppn in scales:
+        cluster = ClusterSpec(num_nodes=nodes, processes_per_node=ppn)
+        cells = []
+        for name, config in (
+            ("baseline", baseline_config()),
+            ("async-I/O", async_io_config()),
+            ("ours", ours_config()),
+        ):
+            runner = CampaignRunner(
+                app, cluster, config, solution=name, seed=13
+            )
+            result = runner.run(6)
+            cells.append(f"{result.mean_relative_overhead * 100:.1f}%")
+        rows.append((f"{nodes * ppn} GPUs", *cells))
+    print(
+        format_table(
+            rows, headers=("scale", "baseline", "async-I/O", "ours")
+        )
+    )
+    print(
+        "\nExpected shape: baseline/async-I/O overheads grow with scale "
+        "(shared-file contention); ours stays nearly flat because it "
+        "writes ~274x less data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,340 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands expose the library without writing code:
+
+* ``schedule``  — run the six heuristics (and optionally the ILP) on the
+  paper's Figure 1 instance or a random one; prints a Gantt chart.
+* ``campaign``  — run a Nyx/WarpX campaign for one or all solutions and
+  print the overhead comparison.
+* ``compress``  — generate a synthetic field, compress it with the SZ or
+  ZFP codec, and report ratio/error.
+* ``snapshot``  — write a real compressed snapshot of synthetic fields to
+  a shared file (or subfiled directory) and verify it on read-back.
+* ``experiments`` — list every reproduced table/figure and its bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = [
+    ("Figure 1", "the worked scheduling example", "benchmarks/bench_fig1_example.py"),
+    ("Table 1", "scheduler comparison", "benchmarks/bench_table1_schedulers.py"),
+    ("Figure 3", "I/O workload balancing", "benchmarks/bench_fig3_balancing.py"),
+    ("Figure 4", "fine-grained block size", "benchmarks/bench_fig4_blocksize.py"),
+    ("Figure 5", "compressed data buffer", "benchmarks/bench_fig5_buffer.py"),
+    ("Figure 6", "shared Huffman tree", "benchmarks/bench_fig6_shared_tree.py"),
+    ("Figure 7", "overhead vs compression ratio", "benchmarks/bench_fig7_ratio.py"),
+    ("Figure 8", "overhead vs data distribution", "benchmarks/bench_fig8_distribution.py"),
+    ("Figure 9", "Nyx 16 nodes / 64 GPUs", "benchmarks/bench_fig9_nyx64.py"),
+    ("Figure 10", "run-stage comparison", "benchmarks/bench_fig10_timesteps.py"),
+    ("Figure 11", "weak scaling", "benchmarks/bench_fig11_scaling.py"),
+    ("Artifact B.5", "end-to-end runs", "benchmarks/bench_artifact_endtoend.py"),
+    ("Ablations", "design-choice decomposition", "benchmarks/bench_ablations.py"),
+    ("Sensitivity", "prediction-noise robustness (Section 3.1)", "benchmarks/bench_sensitivity.py"),
+    ("Compression config", "Section 5.1 per-field ratio/PSNR", "benchmarks/bench_compression_config.py"),
+    ("Codec micro", "real codec throughput on this machine", "benchmarks/bench_codec_micro.py"),
+    ("Prediction vs oracle", "Section 5.2 predicted-vs-actual inputs", "benchmarks/bench_prediction_oracle.py"),
+    ("Ext: HACC", "third application at low ratios", "benchmarks/bench_extension_hacc.py"),
+    ("Ext: subfiling", "multi-file dumps at scale", "benchmarks/bench_extension_subfiling.py"),
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Concealing Compression-accelerated I/O "
+            "for HPC Applications through In Situ Task Scheduling' "
+            "(EuroSys '24)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="run the scheduling heuristics")
+    p.add_argument(
+        "--instance",
+        choices=["figure1", "random"],
+        default="figure1",
+        help="which instance to schedule",
+    )
+    p.add_argument("--jobs", type=int, default=6, help="random-instance job count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--ilp",
+        action="store_true",
+        help="also solve the Appendix A ILP (small instances only)",
+    )
+
+    p = sub.add_parser("campaign", help="run an application campaign")
+    p.add_argument("--app", choices=["nyx", "warpx", "hacc"], default="nyx")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--ppn", type=int, default=4, help="processes per node")
+    p.add_argument("--iterations", type=int, default=6)
+    p.add_argument(
+        "--solution",
+        choices=["baseline", "previous", "ours", "all"],
+        default="all",
+    )
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("compress", help="compress a synthetic field")
+    p.add_argument("--codec", choices=["sz", "zfp"], default="sz")
+    p.add_argument("--field", default="temperature")
+    p.add_argument("--size", type=int, default=48, help="cubic field edge")
+    p.add_argument(
+        "--error-bound",
+        type=float,
+        default=None,
+        help="absolute bound (sz; default: the field's Nyx bound)",
+    )
+    p.add_argument("--rate", type=int, default=8, help="bits/value (zfp)")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "snapshot", help="write + verify a real compressed snapshot"
+    )
+    p.add_argument("output", help="output file (or directory for subfiled)")
+    p.add_argument("--app", choices=["nyx", "warpx", "hacc"], default="nyx")
+    p.add_argument("--size", type=int, default=32, help="cubic field edge")
+    p.add_argument("--fields", type=int, default=3, help="fields to dump")
+    p.add_argument(
+        "--layout", choices=["shared", "subfiled"], default="shared"
+    )
+    p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("experiments", help="list the reproduced experiments")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "schedule": _cmd_schedule,
+        "campaign": _cmd_campaign,
+        "compress": _cmd_compress,
+        "snapshot": _cmd_snapshot,
+        "experiments": _cmd_experiments,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+def _cmd_schedule(args) -> int:
+    from repro.core import ALGORITHMS, ilp_schedule, lower_bound
+    from repro.simulator import render_gantt, schedule_to_trace
+
+    instance = _make_instance(args)
+    print(
+        f"instance: {instance.num_jobs} jobs, "
+        f"{len(instance.main_obstacles)} main / "
+        f"{len(instance.background_obstacles)} background obstacles, "
+        f"T_n = {instance.length:.2f}"
+    )
+    print(f"lower bound on I/O makespan: {lower_bound(instance):.3f}\n")
+    best_name, best = None, None
+    for name, algorithm in ALGORITHMS.items():
+        schedule = algorithm(instance)
+        schedule.validate()
+        print(f"  {name:28s} io makespan = {schedule.io_makespan:7.3f}")
+        if best is None or schedule.io_makespan < best.io_makespan:
+            best_name, best = name, schedule
+    if args.ilp:
+        result = ilp_schedule(instance, time_limit=30.0)
+        value = "-" if result.objective is None else f"{result.objective:7.3f}"
+        print(f"  {'ILP (' + result.status + ')':28s} io makespan = {value}")
+    print(f"\nbest heuristic: {best_name}")
+    print(render_gantt(schedule_to_trace(best)))
+    return 0
+
+
+def _make_instance(args):
+    from repro.core import Interval, Job, ProblemInstance
+
+    if args.instance == "figure1":
+        return ProblemInstance(
+            begin=0.0,
+            end=12.0,
+            jobs=(
+                Job(0, 1.0, 2.0),
+                Job(1, 2.0, 1.0),
+                Job(2, 2.0, 2.0),
+                Job(3, 3.0, 2.0),
+            ),
+            main_obstacles=(Interval(3.0, 4.0), Interval(6.0, 7.0)),
+            background_obstacles=(Interval(4.0, 5.0),),
+        )
+    rng = np.random.default_rng(args.seed)
+    from repro.core import Interval, Job, ProblemInstance
+
+    length = 20.0
+
+    def obstacles(count):
+        points = np.sort(rng.uniform(0, length, 2 * count))
+        return tuple(
+            Interval(float(points[2 * i]), float(points[2 * i + 1]))
+            for i in range(count)
+        )
+
+    jobs = tuple(
+        Job(i, float(rng.uniform(0.2, 2.0)), float(rng.uniform(0.2, 2.0)))
+        for i in range(args.jobs)
+    )
+    return ProblemInstance(
+        begin=0.0,
+        end=length,
+        jobs=jobs,
+        main_obstacles=obstacles(2),
+        background_obstacles=obstacles(2),
+    )
+
+
+def _cmd_campaign(args) -> int:
+    from repro.apps import HaccModel, NyxModel, WarpXModel
+    from repro.framework import (
+        CampaignRunner,
+        async_io_config,
+        baseline_config,
+        format_table,
+        ours_config,
+    )
+    from repro.simulator import ClusterSpec
+
+    app_class = {"nyx": NyxModel, "warpx": WarpXModel, "hacc": HaccModel}[
+        args.app
+    ]
+    app = app_class(seed=args.seed)
+    cluster = ClusterSpec(
+        num_nodes=args.nodes, processes_per_node=args.ppn
+    )
+    configs = {
+        "baseline": baseline_config(),
+        "previous": async_io_config(),
+        "ours": ours_config(),
+    }
+    wanted = configs if args.solution == "all" else {
+        args.solution: configs[args.solution]
+    }
+    rows = []
+    for name, config in wanted.items():
+        runner = CampaignRunner(
+            app, cluster, config, solution=name, seed=args.seed
+        )
+        result = runner.run(args.iterations)
+        rows.append(
+            (
+                name,
+                f"{result.mean_relative_overhead * 100:.1f}%",
+                f"{result.total_time:.1f}s",
+            )
+        )
+    print(
+        format_table(
+            rows, headers=("solution", "I/O overhead", "total time")
+        )
+    )
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.apps import NyxModel
+    from repro.compression import (
+        SZCompressor,
+        ZFPCompressor,
+        max_abs_error,
+        psnr,
+    )
+
+    app = NyxModel(seed=args.seed, partition_shape=(args.size,) * 3)
+    field = app.generate_field(args.field, rank=0, iteration=5)
+    print(f"field: {args.field} {field.shape} {field.dtype}")
+    if args.codec == "sz":
+        bound = (
+            args.error_bound
+            if args.error_bound is not None
+            else app.field(args.field).error_bound
+        )
+        compressor = SZCompressor()
+        block = compressor.compress(field, bound)
+        recon = compressor.decompress(block)
+        print(f"codec: SZ-style, absolute error bound {bound:g}")
+        print(f"compression ratio: {block.compression_ratio:.1f}x")
+    else:
+        codec = ZFPCompressor(args.rate)
+        stream = codec.compress(field)
+        recon = codec.decompress(stream)
+        print(f"codec: ZFP-style, fixed rate {args.rate} bits/value")
+        print(f"compression ratio: {stream.compression_ratio:.1f}x")
+    print(f"max abs error: {max_abs_error(field, recon):.4g}")
+    print(f"PSNR: {psnr(field, recon):.1f} dB")
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    import numpy as np
+
+    from repro.apps import HaccModel, NyxModel, WarpXModel
+    from repro.compression import max_abs_error
+    from repro.framework import load_snapshot, save_snapshot
+
+    app_class = {"nyx": NyxModel, "warpx": WarpXModel, "hacc": HaccModel}[
+        args.app
+    ]
+    shape = (
+        (args.size**3,) if args.app == "hacc" else (args.size,) * 3
+    )
+    kwargs = (
+        {"particles_per_rank": shape[0]}
+        if args.app == "hacc"
+        else {"partition_shape": shape}
+    )
+    app = app_class(seed=args.seed, **kwargs)
+    specs = list(app.fields[: args.fields])
+    fields = {
+        spec.name: app.generate_field(spec.name, 0, 5) for spec in specs
+    }
+    bounds = {spec.name: spec.error_bound for spec in specs}
+    stats = save_snapshot(
+        args.output,
+        fields,
+        error_bounds=bounds,
+        block_bytes=max(32 * 1024, fields[specs[0].name].nbytes // 8),
+        layout=args.layout,
+    )
+    print(
+        f"wrote {stats.num_blocks} blocks, "
+        f"{stats.compressed_bytes / 2**20:.2f} MiB "
+        f"(ratio {stats.compression_ratio:.1f}x, "
+        f"{stats.overflow_blocks} overflow) to {args.output}"
+    )
+    restored = load_snapshot(args.output)
+    for name, original in fields.items():
+        error = max_abs_error(original, restored[name])
+        bound = bounds[name]
+        status = "ok" if error <= bound * (1 + 1e-9) else "VIOLATED"
+        print(f"  {name:22s} max error {error:.4g} (bound {bound:g}) {status}")
+        if status != "ok":
+            return 1
+    print("snapshot verified")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.framework import format_table
+
+    print(
+        format_table(
+            _EXPERIMENTS, headers=("experiment", "what", "bench")
+        )
+    )
+    print("\nRun all with: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

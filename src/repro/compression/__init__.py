@@ -1,0 +1,80 @@
+"""Error-bounded lossy compression substrate (SZ-style) with the paper's
+three runtime designs: fine-grained blocking, the compressed data buffer,
+and the shared Huffman tree."""
+
+from .autotuner import BlockSizeProfile, profile_block_sizes
+from .blocking import BlockSpec, plan_blocks, reassemble_field, slice_field
+from .buffer import BufferedBlock, CompressedDataBuffer, WriteUnit
+from .huffman import (
+    Codebook,
+    build_codebook,
+    codebook_from_bytes,
+    codebook_to_bytes,
+    decode,
+    encode,
+    estimate_encoded_bits,
+)
+from .lossless import lossless_compress, lossless_decompress
+from .metrics import bit_rate, compression_ratio, max_abs_error, nrmse, psnr
+from .predictors import lorenzo_forward, lorenzo_inverse
+from .quantizer import (
+    DEFAULT_RADIUS,
+    QuantizedDeltas,
+    decode_codes,
+    dequantize,
+    encode_codes,
+    prequantize,
+)
+from .ratio_model import (
+    OUTLIER_BITS,
+    CompressionThroughputModel,
+    RatioEstimate,
+    RatioModel,
+)
+from .shared_tree import SharedTreeManager, degradation_ratio
+from .sz import CompressedBlock, SZCompressor
+from .zfp import ZFPBlockStream, ZFPCompressor
+
+__all__ = [
+    "BlockSpec",
+    "BlockSizeProfile",
+    "profile_block_sizes",
+    "plan_blocks",
+    "slice_field",
+    "reassemble_field",
+    "BufferedBlock",
+    "CompressedDataBuffer",
+    "WriteUnit",
+    "Codebook",
+    "build_codebook",
+    "codebook_to_bytes",
+    "codebook_from_bytes",
+    "encode",
+    "decode",
+    "estimate_encoded_bits",
+    "lossless_compress",
+    "lossless_decompress",
+    "compression_ratio",
+    "bit_rate",
+    "psnr",
+    "max_abs_error",
+    "nrmse",
+    "lorenzo_forward",
+    "lorenzo_inverse",
+    "DEFAULT_RADIUS",
+    "QuantizedDeltas",
+    "prequantize",
+    "dequantize",
+    "encode_codes",
+    "decode_codes",
+    "SharedTreeManager",
+    "degradation_ratio",
+    "CompressedBlock",
+    "SZCompressor",
+    "ZFPCompressor",
+    "ZFPBlockStream",
+    "RatioModel",
+    "RatioEstimate",
+    "CompressionThroughputModel",
+    "OUTLIER_BITS",
+]

@@ -1,0 +1,144 @@
+"""Offline block-size profiling (Section 4.1's methodology).
+
+The paper: "In practice, we use offline profiling to evaluate compression
+and I/O performance on a given system to identify the point at which
+compression and I/O throughput start to deteriorate with small data block
+sizes.  This analysis informs our choice to select the smallest available
+block size (>= 8 MB)."
+
+:func:`profile_block_sizes` reproduces that procedure: it measures *this
+machine's* real compression throughput per candidate block size on a
+sample field (amortizing per-block constant costs) and combines it with
+the I/O model's small-write efficiency, then picks the smallest block
+size whose combined efficiency is within ``tolerance`` of the best —
+smallest because more blocks give the scheduler more packing freedom.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..io.throughput import IoThroughputModel
+from .huffman import Codebook
+from .sz import SZCompressor
+
+__all__ = ["BlockSizeProfile", "profile_block_sizes"]
+
+
+@dataclass(frozen=True)
+class BlockSizeProfile:
+    """Measured efficiency of one candidate block size."""
+
+    block_bytes: int
+    compression_throughput: float  # bytes/s, measured on this machine
+    io_efficiency: float  # achieved fraction of streaming bandwidth
+    combined_efficiency: float  # product, normalized to the best
+
+
+@dataclass(frozen=True)
+class _ProfileResult:
+    profiles: tuple[BlockSizeProfile, ...]
+    recommended_block_bytes: int
+
+
+def profile_block_sizes(
+    sample_field: np.ndarray,
+    error_bound: float,
+    candidate_bytes: tuple[int, ...] = (
+        64 * 1024,
+        256 * 1024,
+        1024 * 1024,
+        4 * 1024 * 1024,
+    ),
+    compressor: SZCompressor | None = None,
+    shared_codebook: Codebook | None = None,
+    io_model: IoThroughputModel | None = None,
+    predicted_ratio: float = 16.0,
+    tolerance: float = 0.10,
+    repeats: int = 2,
+) -> _ProfileResult:
+    """Profile candidate block sizes and recommend one.
+
+    Args:
+        sample_field: representative data (a slab of one field).
+        error_bound: the bound the application will use.
+        candidate_bytes: block sizes to try; each must not exceed the
+            sample's size.
+        compressor: the SZ-style compressor being deployed.
+        shared_codebook: profile with the shared tree when the deployment
+            uses one (per-block tree builds dominate small blocks
+            otherwise, which is part of what this measures).
+        io_model: write-time model used for the I/O efficiency term.
+        predicted_ratio: expected compression ratio (determines the
+            compressed write size per block).
+        tolerance: pick the smallest size within this fraction of the
+            best combined efficiency.
+        repeats: timing repetitions per candidate (min is kept).
+
+    Returns:
+        An object with per-candidate profiles and the recommendation.
+    """
+    if sample_field.size == 0:
+        raise ValueError("sample field is empty")
+    compressor = compressor or SZCompressor()
+    io_model = io_model or IoThroughputModel()
+    flat = np.ascontiguousarray(sample_field).reshape(-1)
+    itemsize = flat.itemsize
+
+    profiles: list[BlockSizeProfile] = []
+    for block_bytes in sorted(candidate_bytes):
+        values_per_block = max(1, block_bytes // itemsize)
+        if values_per_block > flat.size:
+            raise ValueError(
+                f"candidate {block_bytes} exceeds the sample size"
+            )
+        block = flat[:values_per_block]
+        best_elapsed = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            compressor.compress(
+                block, error_bound, shared_codebook=shared_codebook
+            )
+            best_elapsed = min(
+                best_elapsed, time.perf_counter() - t0
+            )
+        throughput = block.nbytes / max(best_elapsed, 1e-9)
+        compressed = max(1, int(block_bytes / predicted_ratio))
+        io_eff = io_model.effective_throughput(compressed) / (
+            io_model.per_process_bandwidth
+        )
+        profiles.append(
+            BlockSizeProfile(
+                block_bytes=block_bytes,
+                compression_throughput=throughput,
+                io_efficiency=io_eff,
+                combined_efficiency=0.0,  # filled after normalization
+            )
+        )
+
+    raw = [
+        p.compression_throughput * p.io_efficiency for p in profiles
+    ]
+    best = max(raw)
+    profiles = [
+        BlockSizeProfile(
+            block_bytes=p.block_bytes,
+            compression_throughput=p.compression_throughput,
+            io_efficiency=p.io_efficiency,
+            combined_efficiency=score / best,
+        )
+        for p, score in zip(profiles, raw)
+    ]
+    acceptable = [
+        p
+        for p in profiles
+        if p.combined_efficiency >= 1.0 - tolerance
+    ]
+    recommended = min(acceptable, key=lambda p: p.block_bytes)
+    return _ProfileResult(
+        profiles=tuple(profiles),
+        recommended_block_bytes=recommended.block_bytes,
+    )

@@ -1,0 +1,380 @@
+"""Canonical Huffman coding over the quantization-code alphabet.
+
+Encoding is fully vectorized with numpy (per-symbol code/length gather,
+bit expansion, ``np.packbits``).  Decoding walks the bit stream with a
+canonical first-code table, reading bits through a small integer buffer —
+adequate for the block sizes the experiments use.
+
+Codebooks are canonical, so they serialize as just the per-symbol code
+*lengths*; this is also what makes the shared-tree comparison in Figure 6
+meaningful: two iterations with similar quantization-code histograms yield
+nearly identical length vectors, hence nearly identical bit costs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Codebook",
+    "build_codebook",
+    "encode",
+    "decode",
+    "codebook_to_bytes",
+    "codebook_from_bytes",
+    "estimate_encoded_bits",
+]
+
+
+@dataclass(frozen=True)
+class Codebook:
+    """A canonical Huffman codebook for symbols ``0..num_symbols-1``.
+
+    ``lengths[s] == 0`` means symbol ``s`` has no code (it never occurred
+    in the training histogram); encoders must reroute such symbols (the SZ
+    layer converts them to outliers before encoding).
+    """
+
+    lengths: np.ndarray  # uint8, per-symbol code length (0 = uncoded)
+    codes: np.ndarray  # uint64, canonical code values (MSB-first)
+
+    @property
+    def num_symbols(self) -> int:
+        return int(self.lengths.size)
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max(initial=0))
+
+    def can_encode(self, symbols: np.ndarray) -> np.ndarray:
+        """Boolean mask of symbols this codebook has codes for."""
+        return self.lengths[symbols] > 0
+
+
+def build_codebook(
+    frequencies: np.ndarray,
+    force_symbols: tuple[int, ...] = (),
+    max_length: int | None = None,
+) -> Codebook:
+    """Build a canonical codebook from a symbol histogram.
+
+    Args:
+        frequencies: occurrence counts per symbol (any integer dtype).
+        force_symbols: symbols guaranteed a code even with zero observed
+            frequency — the SZ layer forces the outlier sentinel so a
+            shared tree can always escape unseen values.
+        max_length: optional bound on code length.  When the natural
+            Huffman tree is deeper (pathological skew), lengths are
+            recomputed with the package-merge algorithm, which yields the
+            optimal code under the constraint.  Bounds the decoder's
+            table depth at a (usually negligible) ratio cost.
+    """
+    freqs = np.asarray(frequencies, dtype=np.int64).copy()
+    if freqs.ndim != 1:
+        raise ValueError("frequencies must be one-dimensional")
+    for symbol in force_symbols:
+        if freqs[symbol] == 0:
+            freqs[symbol] = 1
+
+    present = np.flatnonzero(freqs > 0)
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if present.size == 1:
+        lengths[present[0]] = 1
+    elif present.size > 1:
+        natural = _code_lengths(freqs[present])
+        if max_length is not None and int(natural.max()) > max_length:
+            if 2**max_length < present.size:
+                raise ValueError(
+                    f"max_length {max_length} cannot encode "
+                    f"{present.size} symbols"
+                )
+            natural = _package_merge(freqs[present], max_length)
+        lengths[present] = natural
+    codes = _canonical_codes(lengths)
+    return Codebook(lengths=lengths, codes=codes)
+
+
+def _package_merge(freqs: np.ndarray, max_length: int) -> np.ndarray:
+    """Optimal length-limited code lengths (package-merge, Larmore-
+    Hirschberg 1990).
+
+    Works on the ``n`` present symbols; returns one length per symbol,
+    each in ``1..max_length``, satisfying Kraft equality.
+    """
+    n = freqs.size
+    order = np.argsort(freqs, kind="stable")
+    sorted_freqs = freqs[order].astype(np.int64)
+
+    # Items are (weight, coverage): coverage[i] counts how many times
+    # sorted symbol i participates.  Each of the max_length packaging
+    # rounds merges the previous round's packages with fresh leaves and
+    # pairs them up; a symbol's final code length equals how many of the
+    # cheapest 2(n-1) items of the last round's merged list cover it.
+    level: list[tuple[int, np.ndarray]] = []
+    merged: list[tuple[int, np.ndarray]] = []
+    for _ in range(max_length):
+        leaves = [
+            (int(sorted_freqs[i]), _unit(n, i)) for i in range(n)
+        ]
+        merged = sorted(level + leaves, key=lambda item: item[0])
+        level = [
+            (
+                merged[2 * i][0] + merged[2 * i + 1][0],
+                merged[2 * i][1] + merged[2 * i + 1][1],
+            )
+            for i in range(len(merged) // 2)
+        ]
+    chosen = np.zeros(n, dtype=np.int64)
+    for _, coverage in merged[: 2 * (n - 1)]:
+        chosen += coverage
+
+    lengths = np.zeros(n, dtype=np.uint8)
+    lengths[order] = chosen.astype(np.uint8)
+    return lengths
+
+
+def _unit(n: int, index: int) -> np.ndarray:
+    unit = np.zeros(n, dtype=np.int64)
+    unit[index] = 1
+    return unit
+
+
+def _code_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Huffman code lengths for strictly positive frequencies."""
+    # Heap items: (frequency, tiebreak, node_id).  Internal nodes are
+    # appended after the leaves; parent[] lets us read depths afterwards.
+    n = freqs.size
+    parent = [-1] * (2 * n - 1)
+    heap = [(int(freqs[i]), i, i) for i in range(n)]
+    heapq.heapify(heap)
+    next_id = n
+    while len(heap) > 1:
+        fa, _, a = heapq.heappop(heap)
+        fb, _, b = heapq.heappop(heap)
+        parent[a] = next_id
+        parent[b] = next_id
+        heapq.heappush(heap, (fa + fb, next_id, next_id))
+        next_id += 1
+    depths = np.zeros(n, dtype=np.uint8)
+    for leaf in range(n):
+        d = 0
+        node = leaf
+        while parent[node] != -1:
+            node = parent[node]
+            d += 1
+        depths[leaf] = d
+    return depths
+
+
+def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    order = sorted(
+        (int(s) for s in np.flatnonzero(lengths > 0)),
+        key=lambda s: (int(lengths[s]), s),
+    )
+    code = 0
+    prev_len = 0
+    for symbol in order:
+        length = int(lengths[symbol])
+        code <<= length - prev_len
+        codes[symbol] = code
+        code += 1
+        prev_len = length
+    return codes
+
+
+def encode(symbols: np.ndarray, codebook: Codebook) -> tuple[bytes, int]:
+    """Encode a symbol array; returns (packed bytes, exact bit count).
+
+    Every symbol must have a code (see :meth:`Codebook.can_encode`).
+    """
+    flat = symbols.reshape(-1)
+    if flat.size == 0:
+        return b"", 0
+    lens = codebook.lengths[flat].astype(np.int64)
+    if not np.all(lens > 0):
+        bad = flat[lens == 0][0]
+        raise ValueError(f"symbol {int(bad)} has no code in this codebook")
+    codes = codebook.codes[flat]
+    max_len = int(lens.max())
+    # Expand each code to its bits, MSB first, then mask to actual length.
+    shifts = (lens[:, None] - 1 - np.arange(max_len)[None, :])
+    valid = shifts >= 0
+    shifts = np.where(valid, shifts, 0).astype(np.uint64)
+    bits = ((codes[:, None] >> shifts) & 1).astype(np.uint8)
+    stream = bits[valid]
+    nbits = int(lens.sum())
+    return np.packbits(stream).tobytes(), nbits
+
+
+#: Codes at or below this depth decode through a dense lookup table
+#: (2^depth entries) instead of the canonical walk — one array access per
+#: symbol instead of one per candidate length.
+_TABLE_DECODE_MAX_LEN = 12
+
+
+def decode(
+    data: bytes, nbits: int, count: int, codebook: Codebook
+) -> np.ndarray:
+    """Decode ``count`` symbols from a packed bit stream.
+
+    Shallow codebooks (max length <= 12, the common case for quantization
+    codes — and guaranteed under ``build_codebook(max_length=...)``) use
+    a dense prefix table; deeper books fall back to the canonical walk.
+    """
+    if count == 0:
+        return np.zeros(0, dtype=np.uint16)
+    if 0 < codebook.max_length <= _TABLE_DECODE_MAX_LEN:
+        return _decode_table(data, nbits, count, codebook)
+    first_code, order = _canonical_decode_tables(codebook)
+    max_len = codebook.max_length
+    out = np.empty(count, dtype=np.uint16)
+    # Integer bit buffer: consume bytes on demand, peel one code at a time.
+    buffer = 0
+    buffered = 0
+    pos = 0  # next byte
+    consumed_bits = 0
+    for i in range(count):
+        # Ensure enough bits for the longest possible code.
+        while buffered < max_len and pos < len(data):
+            buffer = (buffer << 8) | data[pos]
+            pos += 1
+            buffered += 8
+        length = 1
+        # Canonical walk: find the shortest length whose range contains
+        # the leading bits.
+        while True:
+            prefix = (buffer >> (buffered - length)) & ((1 << length) - 1)
+            fc = first_code[length]
+            if fc is not None and prefix < fc[1]:
+                symbol = order[fc[0] + (prefix - fc[2])]
+                break
+            length += 1
+            if length > max_len:
+                raise ValueError("corrupt Huffman stream")
+        buffered -= length
+        buffer &= (1 << buffered) - 1
+        consumed_bits += length
+        out[i] = symbol
+    if consumed_bits != nbits:
+        raise ValueError(
+            f"decoded {consumed_bits} bits but stream declared {nbits}"
+        )
+    return out
+
+
+def _decode_table(
+    data: bytes, nbits: int, count: int, codebook: Codebook
+) -> np.ndarray:
+    """Dense-table decoder for shallow codebooks."""
+    depth = codebook.max_length
+    size = 1 << depth
+    symbols_table = np.zeros(size, dtype=np.uint16)
+    lengths_table = np.zeros(size, dtype=np.uint8)
+    for symbol in np.flatnonzero(codebook.lengths > 0):
+        length = int(codebook.lengths[symbol])
+        code = int(codebook.codes[symbol])
+        base = code << (depth - length)
+        span = 1 << (depth - length)
+        symbols_table[base : base + span] = symbol
+        lengths_table[base : base + span] = length
+    sym_list = symbols_table.tolist()
+    len_list = lengths_table.tolist()
+
+    out = np.empty(count, dtype=np.uint16)
+    buffer = 0
+    buffered = 0
+    pos = 0
+    consumed = 0
+    mask = size - 1
+    n = len(data)
+    for i in range(count):
+        while buffered < depth and pos < n:
+            buffer = (buffer << 8) | data[pos]
+            pos += 1
+            buffered += 8
+        if buffered >= depth:
+            prefix = (buffer >> (buffered - depth)) & mask
+        else:
+            prefix = (buffer << (depth - buffered)) & mask
+        length = len_list[prefix]
+        if length == 0 or length > buffered:
+            raise ValueError("corrupt Huffman stream")
+        out[i] = sym_list[prefix]
+        buffered -= length
+        buffer &= (1 << buffered) - 1
+        consumed += length
+    if consumed != nbits:
+        raise ValueError(
+            f"decoded {consumed} bits but stream declared {nbits}"
+        )
+    return out
+
+
+def _canonical_decode_tables(codebook: Codebook):
+    """Per-length (start_index, limit_code, first_code) decode tables.
+
+    ``first_code[L]`` is ``None`` when no code of length ``L`` exists;
+    otherwise ``(start_index, limit, first)`` where codes ``first..limit-1``
+    of length ``L`` map to ``order[start_index + (code - first)]``.
+    """
+    lengths = codebook.lengths
+    order = sorted(
+        (int(s) for s in np.flatnonzero(lengths > 0)),
+        key=lambda s: (int(lengths[s]), s),
+    )
+    order_arr = np.array(order, dtype=np.uint16) if order else np.zeros(
+        0, dtype=np.uint16
+    )
+    max_len = codebook.max_length
+    first_code: list[tuple[int, int, int] | None] = [None] * (max_len + 1)
+    idx = 0
+    code = 0
+    prev_len = 0
+    while idx < len(order):
+        length = int(lengths[order[idx]])
+        code <<= length - prev_len
+        start_idx = idx
+        first = code
+        while idx < len(order) and int(lengths[order[idx]]) == length:
+            idx += 1
+            code += 1
+        first_code[length] = (start_idx, code, first)
+        prev_len = length
+    return first_code, order_arr
+
+
+def codebook_to_bytes(codebook: Codebook) -> bytes:
+    """Serialize a canonical codebook (just the length vector)."""
+    header = np.uint32(codebook.num_symbols).tobytes()
+    return header + codebook.lengths.tobytes()
+
+
+def codebook_from_bytes(blob: bytes) -> Codebook:
+    """Deserialize a codebook produced by :func:`codebook_to_bytes`."""
+    num = int(np.frombuffer(blob[:4], dtype=np.uint32)[0])
+    lengths = np.frombuffer(blob[4 : 4 + num], dtype=np.uint8).copy()
+    return Codebook(lengths=lengths, codes=_canonical_codes(lengths))
+
+
+def estimate_encoded_bits(
+    histogram: np.ndarray, codebook: Codebook
+) -> tuple[int, int]:
+    """Bit cost of coding ``histogram`` with ``codebook``.
+
+    Returns ``(bits, escapes)`` where ``escapes`` counts occurrences of
+    symbols the codebook cannot encode (these become outliers at the SZ
+    layer and pay the outlier cost instead).  Used by the ratio model and
+    the shared-tree degradation analysis (Figure 6).
+    """
+    hist = np.asarray(histogram, dtype=np.int64)
+    coded = codebook.lengths.astype(np.int64)
+    n = min(hist.size, coded.size)
+    bits = int(np.sum(hist[:n] * coded[:n]))
+    escapes = int(np.sum(hist[:n][coded[:n] == 0]))
+    if hist.size > n:
+        escapes += int(hist[n:].sum())
+    return bits, escapes

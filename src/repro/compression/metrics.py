@@ -1,0 +1,62 @@
+"""Quality and size metrics for lossy compression (Section 2.2).
+
+The two metric families the paper uses: compression ratio / bit-rate, and
+distortion (PSNR over the value range, as is standard for scientific data).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["compression_ratio", "bit_rate", "psnr", "max_abs_error", "nrmse"]
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """Original size over compressed size; ``inf`` for empty output."""
+    if original_bytes < 0 or compressed_bytes < 0:
+        raise ValueError("sizes must be non-negative")
+    if compressed_bytes == 0:
+        return math.inf if original_bytes > 0 else 1.0
+    return original_bytes / compressed_bytes
+
+
+def bit_rate(original_count: int, compressed_bytes: int) -> float:
+    """Average bits stored per original value."""
+    if original_count == 0:
+        return 0.0
+    return 8.0 * compressed_bytes / original_count
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Point-wise maximum absolute error (the bound SZ guarantees)."""
+    if original.size == 0:
+        return 0.0
+    return float(
+        np.max(np.abs(original.astype(np.float64) - reconstructed))
+    )
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio over the data's value range, in dB."""
+    orig = original.astype(np.float64)
+    value_range = float(orig.max() - orig.min()) if orig.size else 0.0
+    mse = float(np.mean((orig - reconstructed) ** 2)) if orig.size else 0.0
+    if mse == 0.0:
+        return math.inf
+    if value_range == 0.0:
+        return -math.inf
+    return 20.0 * math.log10(value_range) - 10.0 * math.log10(mse)
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error normalised by the value range."""
+    orig = original.astype(np.float64)
+    if orig.size == 0:
+        return 0.0
+    value_range = float(orig.max() - orig.min())
+    rmse = math.sqrt(float(np.mean((orig - reconstructed) ** 2)))
+    if value_range == 0.0:
+        return 0.0 if rmse == 0.0 else math.inf
+    return rmse / value_range

@@ -1,0 +1,98 @@
+"""Error-bounded prequantization and quantization-code mapping.
+
+Two responsibilities, mirroring the predictor/quantizer split of SZ:
+
+1. **Prequantization** maps floats onto the absolute-error-bound grid:
+   ``q = round(x / (2 * eb))`` so that ``|x - 2 * eb * q| <= eb``.
+2. **Code mapping** clips Lorenzo deltas into a fixed alphabet of
+   ``2 * radius`` quantization codes centred on zero; deltas outside the
+   radius become *outliers* stored verbatim (Section 4.3 relies on this
+   outlier channel to make a shared Huffman tree safe: any value the
+   shared tree cannot code is simply routed to the outlier list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantizedDeltas", "prequantize", "dequantize", "encode_codes", "decode_codes"]
+
+#: Default half-width of the quantization-code alphabet.  256 symbols keep
+#: Huffman code words short and decode tables small.
+DEFAULT_RADIUS = 128
+
+
+@dataclass
+class QuantizedDeltas:
+    """Lorenzo deltas split into in-range codes and outliers.
+
+    Attributes:
+        codes: uint16 array, same shape as the input; in-range deltas are
+            stored as ``delta + radius``; outlier positions hold the
+            sentinel code ``2 * radius``.
+        radius: alphabet half-width used for the mapping.
+        outlier_positions: flat indices of out-of-range deltas.
+        outlier_values: their original int64 delta values.
+    """
+
+    codes: np.ndarray
+    radius: int
+    outlier_positions: np.ndarray
+    outlier_values: np.ndarray
+
+    @property
+    def num_symbols(self) -> int:
+        """Alphabet size including the outlier sentinel."""
+        return 2 * self.radius + 1
+
+    @property
+    def outlier_fraction(self) -> float:
+        if self.codes.size == 0:
+            return 0.0
+        return self.outlier_positions.size / self.codes.size
+
+
+def prequantize(values: np.ndarray, error_bound: float) -> np.ndarray:
+    """Snap ``values`` to the ``2 * error_bound`` grid, returning int64.
+
+    Guarantees ``|values - dequantize(result)| <= error_bound`` (up to
+    float rounding of the reconstruction itself).
+    """
+    if error_bound <= 0:
+        raise ValueError("error_bound must be positive")
+    return np.rint(values / (2.0 * error_bound)).astype(np.int64)
+
+
+def dequantize(quantized: np.ndarray, error_bound: float) -> np.ndarray:
+    """Reconstruct floats from grid indices."""
+    return quantized.astype(np.float64) * (2.0 * error_bound)
+
+
+def encode_codes(
+    deltas: np.ndarray, radius: int = DEFAULT_RADIUS
+) -> QuantizedDeltas:
+    """Map integer deltas to the bounded code alphabet, extracting outliers."""
+    if radius < 1:
+        raise ValueError("radius must be at least 1")
+    flat = deltas.reshape(-1)
+    in_range = np.abs(flat) < radius
+    codes = np.empty(flat.shape, dtype=np.uint16)
+    codes[in_range] = (flat[in_range] + radius).astype(np.uint16)
+    codes[~in_range] = 2 * radius  # outlier sentinel
+    positions = np.flatnonzero(~in_range)
+    return QuantizedDeltas(
+        codes=codes.reshape(deltas.shape),
+        radius=radius,
+        outlier_positions=positions,
+        outlier_values=flat[positions].copy(),
+    )
+
+
+def decode_codes(quantized: QuantizedDeltas) -> np.ndarray:
+    """Invert :func:`encode_codes`, reinserting outliers."""
+    codes = quantized.codes.reshape(-1)
+    deltas = codes.astype(np.int64) - quantized.radius
+    deltas[quantized.outlier_positions] = quantized.outlier_values
+    return deltas.reshape(quantized.codes.shape)

@@ -1,0 +1,291 @@
+"""SZ-style prediction-based error-bounded lossy compressor (facade).
+
+Pipeline (Section 2.2, in the vectorizable cuSZ formulation):
+
+1. prequantize values onto the ``2 * eb`` grid (absolute error bound);
+2. first-order Lorenzo transform on the grid integers;
+3. map deltas to a bounded quantization-code alphabet, overflow and
+   shared-tree-unseen symbols routed to the outlier channel;
+4. canonical Huffman coding — with a per-block ("native") tree or a
+   caller-supplied shared tree (Section 4.3);
+5. zlib lossless pass over the Huffman stream and outlier arrays.
+
+Blocks round-trip exactly within the error bound; :class:`CompressedBlock`
+serializes to bytes for the shared-file container.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import huffman
+from .lossless import lossless_compress, lossless_decompress
+from .predictors import lorenzo_forward, lorenzo_inverse
+from .quantizer import (
+    DEFAULT_RADIUS,
+    QuantizedDeltas,
+    decode_codes,
+    dequantize,
+    encode_codes,
+    prequantize,
+)
+
+__all__ = ["CompressedBlock", "SZCompressor", "DEFAULT_RADIUS"]
+
+_MAGIC = b"RSZ1"
+_DTYPES = {0: np.float32, 1: np.float64}
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+
+
+@dataclass
+class CompressedBlock:
+    """One compressed data block plus everything needed to restore it."""
+
+    payload: bytes  # zlib(huffman bytes + outlier arrays)
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    error_bound: float
+    radius: int
+    nbits: int
+    num_outliers: int
+    codebook_blob: bytes  # empty when a shared tree was used
+    used_shared_tree: bool
+
+    @property
+    def original_nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+
+    @property
+    def compressed_nbytes(self) -> int:
+        return len(self.to_bytes())
+
+    @property
+    def compression_ratio(self) -> float:
+        compressed = self.compressed_nbytes
+        return self.original_nbytes / compressed if compressed else 1.0
+
+    def to_bytes(self) -> bytes:
+        """Serialize for storage in the shared-file container."""
+        dtype_code = _DTYPE_CODES[self.dtype]
+        header = struct.pack(
+            "<4sBBBdIQQQI",
+            _MAGIC,
+            1,  # version
+            dtype_code,
+            len(self.shape),
+            self.error_bound,
+            self.radius,
+            self.nbits,
+            self.num_outliers,
+            len(self.payload),
+            len(self.codebook_blob),
+        )
+        dims = struct.pack(f"<{len(self.shape)}Q", *self.shape)
+        flags = struct.pack("<B", 1 if self.used_shared_tree else 0)
+        return header + dims + flags + self.codebook_blob + self.payload
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "CompressedBlock":
+        head_size = struct.calcsize("<4sBBBdIQQQI")
+        (
+            magic,
+            version,
+            dtype_code,
+            ndim,
+            error_bound,
+            radius,
+            nbits,
+            num_outliers,
+            payload_len,
+            codebook_len,
+        ) = struct.unpack("<4sBBBdIQQQI", blob[:head_size])
+        if magic != _MAGIC or version != 1:
+            raise ValueError("not a compressed block")
+        offset = head_size
+        shape = struct.unpack_from(f"<{ndim}Q", blob, offset)
+        offset += 8 * ndim
+        (shared_flag,) = struct.unpack_from("<B", blob, offset)
+        offset += 1
+        codebook_blob = blob[offset : offset + codebook_len]
+        offset += codebook_len
+        payload = blob[offset : offset + payload_len]
+        return cls(
+            payload=payload,
+            shape=tuple(int(d) for d in shape),
+            dtype=np.dtype(_DTYPES[dtype_code]),
+            error_bound=error_bound,
+            radius=radius,
+            nbits=nbits,
+            num_outliers=num_outliers,
+            codebook_blob=codebook_blob,
+            used_shared_tree=bool(shared_flag),
+        )
+
+
+class SZCompressor:
+    """Error-bounded lossy compressor with optional shared Huffman tree."""
+
+    def __init__(self, radius: int = DEFAULT_RADIUS) -> None:
+        if radius < 1:
+            raise ValueError("radius must be at least 1")
+        self.radius = radius
+
+    @property
+    def sentinel(self) -> int:
+        """The outlier-escape symbol; always present in any codebook."""
+        return 2 * self.radius
+
+    def quantize(
+        self, values: np.ndarray, error_bound: float
+    ) -> QuantizedDeltas:
+        """Stages 1-3: grid quantization, Lorenzo, code mapping."""
+        grid = prequantize(values, error_bound)
+        deltas = lorenzo_forward(grid)
+        return encode_codes(deltas, self.radius)
+
+    def histogram(
+        self, values: np.ndarray, error_bound: float
+    ) -> np.ndarray:
+        """Quantization-code histogram (the shared-tree training input)."""
+        quantized = self.quantize(values, error_bound)
+        return np.bincount(
+            quantized.codes.reshape(-1), minlength=2 * self.radius + 1
+        )
+
+    def resolve_bound(
+        self, values: np.ndarray, error_bound: float, mode: str = "abs"
+    ) -> float:
+        """Turn a bound specification into an absolute bound.
+
+        ``"abs"`` uses ``error_bound`` directly; ``"rel"`` (SZ's
+        value-range-relative mode) multiplies it by the block's value
+        range, so ``1e-3`` means "0.1 % of the range".
+        """
+        if mode == "abs":
+            return error_bound
+        if mode == "rel":
+            value_range = (
+                float(np.ptp(values)) if values.size else 0.0
+            )
+            # Constant (zero-range) data needs a floor that keeps the
+            # grid indices within int64: a few ulps of the magnitude.
+            magnitude = float(np.abs(values).max()) if values.size else 1.0
+            floor = max(magnitude, 1.0) * np.finfo(np.float64).eps
+            return max(error_bound * value_range, floor)
+        raise ValueError(f"unknown error-bound mode {mode!r}")
+
+    def compress(
+        self,
+        values: np.ndarray,
+        error_bound: float,
+        shared_codebook: huffman.Codebook | None = None,
+        mode: str = "abs",
+    ) -> CompressedBlock:
+        """Compress one block within ``error_bound``.
+
+        ``mode="abs"`` (default) treats the bound as absolute;
+        ``mode="rel"`` as a fraction of the block's value range.
+        """
+        if values.dtype not in (np.float32, np.float64):
+            raise TypeError(
+                f"unsupported dtype {values.dtype}; use float32/float64"
+            )
+        error_bound = self.resolve_bound(values, error_bound, mode)
+        quantized = self.quantize(values, error_bound)
+        codes = quantized.codes.reshape(-1)
+        outlier_positions = quantized.outlier_positions
+        outlier_values = quantized.outlier_values
+
+        if shared_codebook is None:
+            hist = np.bincount(codes, minlength=2 * self.radius + 1)
+            # Length-limited codes keep the decoder on its dense-table
+            # fast path at a negligible (<0.1 %) ratio cost.
+            codebook = huffman.build_codebook(
+                hist,
+                force_symbols=(self.sentinel,),
+                max_length=huffman._TABLE_DECODE_MAX_LEN,
+            )
+            codebook_blob = huffman.codebook_to_bytes(codebook)
+            used_shared = False
+        else:
+            codebook = shared_codebook
+            codebook_blob = b""
+            used_shared = True
+            # Symbols the shared tree has no code for become outliers
+            # (Section 4.3: "outliers ... allow us to include values that
+            # defy coding by this shared Huffman tree").
+            uncodable = ~codebook.can_encode(codes)
+            uncodable[outlier_positions] = False  # already sentinel-coded
+            if np.any(uncodable):
+                extra = np.flatnonzero(uncodable)
+                extra_values = codes[extra].astype(np.int64) - self.radius
+                codes = codes.copy()
+                codes[extra] = self.sentinel
+                outlier_positions = np.concatenate(
+                    [outlier_positions, extra]
+                )
+                outlier_values = np.concatenate(
+                    [outlier_values, extra_values]
+                )
+                order = np.argsort(outlier_positions)
+                outlier_positions = outlier_positions[order]
+                outlier_values = outlier_values[order]
+
+        encoded, nbits = huffman.encode(codes, codebook)
+        body = (
+            encoded
+            + outlier_positions.astype(np.int64).tobytes()
+            + outlier_values.astype(np.int64).tobytes()
+        )
+        return CompressedBlock(
+            payload=lossless_compress(body),
+            shape=values.shape,
+            dtype=values.dtype,
+            error_bound=error_bound,
+            radius=self.radius,
+            nbits=nbits,
+            num_outliers=int(outlier_positions.size),
+            codebook_blob=codebook_blob,
+            used_shared_tree=used_shared,
+        )
+
+    def decompress(
+        self,
+        block: CompressedBlock,
+        shared_codebook: huffman.Codebook | None = None,
+    ) -> np.ndarray:
+        """Restore a block; needs the shared codebook if one was used."""
+        if block.used_shared_tree:
+            if shared_codebook is None:
+                raise ValueError(
+                    "block was compressed with a shared tree; pass it"
+                )
+            codebook = shared_codebook
+        else:
+            codebook = huffman.codebook_from_bytes(block.codebook_blob)
+
+        body = lossless_decompress(block.payload)
+        count = int(np.prod(block.shape, dtype=np.int64))
+        encoded_len = (block.nbits + 7) // 8
+        encoded = body[:encoded_len]
+        rest = body[encoded_len:]
+        outlier_positions = np.frombuffer(
+            rest[: 8 * block.num_outliers], dtype=np.int64
+        )
+        outlier_values = np.frombuffer(
+            rest[8 * block.num_outliers : 16 * block.num_outliers],
+            dtype=np.int64,
+        )
+        codes = huffman.decode(encoded, block.nbits, count, codebook)
+        quantized = QuantizedDeltas(
+            codes=codes.reshape(block.shape),
+            radius=block.radius,
+            outlier_positions=outlier_positions,
+            outlier_values=outlier_values,
+        )
+        deltas = decode_codes(quantized)
+        grid = lorenzo_inverse(deltas)
+        return dequantize(grid, block.error_bound).astype(block.dtype)

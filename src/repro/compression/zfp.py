@@ -1,0 +1,286 @@
+"""ZFP-style fixed-rate transform codec (the paper's other compressor).
+
+Section 2.2 positions ZFP (Lindstrom 2014) alongside SZ as the other
+major error-controlled compressor family for scientific floating-point
+data: instead of prediction + quantization it uses *transform coding* —
+independent 4^d blocks, block-floating-point fixed-point conversion, an
+integer decorrelating transform, and embedded bit-plane coding truncated
+to a fixed rate.  This module implements that pipeline (not bit-exactly
+zfp's stream format, but the same algorithmic structure):
+
+1. pad the array to whole 4^d blocks;
+2. per block: common exponent, scale to 27-bit fixed point;
+3. exactly invertible integer lifting transform (two Haar-lifting levels
+   per axis) to concentrate energy in low-sequency coefficients;
+4. negabinary mapping (sign-free, MSB-first significance);
+5. keep exactly ``rate_bits`` bits per value, taken bit-plane by
+   bit-plane from the most significant plane down.
+
+Fixed rate means guaranteed compressed size (what makes zfp attractive
+for random access) and an error that shrinks exponentially with the
+rate; the round trip is exact once the rate covers every occupied plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ZFPBlockStream", "ZFPCompressor"]
+
+_BLOCK = 4
+_PRECISION = 27  # fixed-point bits; lifting grows magnitudes <= 8x, so
+#                  coefficients stay within the 32-bit negabinary range
+_PLANES = 32  # transported planes (int32 negabinary)
+_NEGABINARY_MASK = np.uint32(0xAAAAAAAA)
+
+
+_ZFP_MAGIC = b"RZF1"
+_ZFP_DTYPES = {0: np.float32, 1: np.float64}
+_ZFP_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
+
+
+@dataclass
+class ZFPBlockStream:
+    """A fixed-rate compressed array."""
+
+    payload: bytes
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    rate_bits: int
+    exponents: bytes  # one int8 per block
+
+    @property
+    def compressed_nbytes(self) -> int:
+        return len(self.payload) + len(self.exponents)
+
+    @property
+    def compression_ratio(self) -> float:
+        original = int(np.prod(self.shape)) * self.dtype.itemsize
+        return original / max(1, self.compressed_nbytes)
+
+    def to_bytes(self) -> bytes:
+        """Serialize for storage (same role as CompressedBlock.to_bytes)."""
+        import struct
+
+        header = struct.pack(
+            "<4sBBBQQ",
+            _ZFP_MAGIC,
+            _ZFP_DTYPE_CODES[self.dtype],
+            len(self.shape),
+            self.rate_bits,
+            len(self.exponents),
+            len(self.payload),
+        )
+        dims = struct.pack(f"<{len(self.shape)}Q", *self.shape)
+        return header + dims + self.exponents + self.payload
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ZFPBlockStream":
+        import struct
+
+        head = struct.calcsize("<4sBBBQQ")
+        magic, dtype_code, ndim, rate, n_exp, n_payload = struct.unpack(
+            "<4sBBBQQ", blob[:head]
+        )
+        if magic != _ZFP_MAGIC:
+            raise ValueError("not a ZFP stream")
+        offset = head
+        shape = struct.unpack_from(f"<{ndim}Q", blob, offset)
+        offset += 8 * ndim
+        exponents = blob[offset : offset + n_exp]
+        offset += n_exp
+        payload = blob[offset : offset + n_payload]
+        return cls(
+            payload=payload,
+            shape=tuple(int(d) for d in shape),
+            dtype=np.dtype(_ZFP_DTYPES[dtype_code]),
+            rate_bits=rate,
+            exponents=exponents,
+        )
+
+
+class ZFPCompressor:
+    """Fixed-rate compressor for 1-3D float arrays.
+
+    Args:
+        rate_bits: bits stored per value (1..32).  8 bits on smooth data
+            typically gives relative errors around 1e-4; 32 bits makes
+            the fixed-point stage the only loss.
+    """
+
+    def __init__(self, rate_bits: int = 8) -> None:
+        if not 1 <= rate_bits <= _PLANES:
+            raise ValueError(f"rate_bits must be in 1..{_PLANES}")
+        self.rate_bits = rate_bits
+
+    # ------------------------------------------------------------------
+    def compress(self, values: np.ndarray) -> ZFPBlockStream:
+        if values.ndim not in (1, 2, 3):
+            raise ValueError("ZFP codec supports 1-3D arrays")
+        if values.dtype not in (np.float32, np.float64):
+            raise TypeError("ZFP codec supports float32/float64")
+        blocks = _blockify(values.astype(np.float64))
+        n_blocks, block_size = blocks.shape
+
+        # Block-floating-point: common exponent per block.
+        max_abs = np.abs(blocks).max(axis=1)
+        exponents = np.zeros(n_blocks, dtype=np.int8)
+        nonzero = max_abs > 0
+        exponents[nonzero] = np.ceil(
+            np.log2(max_abs[nonzero])
+        ).astype(np.int8)
+        scale = np.exp2(_PRECISION - exponents.astype(np.float64))
+        fixed = np.rint(blocks * scale[:, None]).astype(np.int64)
+        fixed = np.clip(fixed, -(2**31) + 1, 2**31 - 1).astype(np.int32)
+
+        transformed = _lift_forward(fixed, values.ndim)
+        nega = _to_negabinary(transformed)
+
+        # Embedded coding: MSB plane first, truncated at rate_bits.
+        planes = np.empty(
+            (self.rate_bits, n_blocks, block_size), dtype=np.uint8
+        )
+        for p in range(self.rate_bits):
+            shift = np.uint32(_PLANES - 1 - p)
+            planes[p] = ((nega >> shift) & np.uint32(1)).astype(np.uint8)
+        payload = np.packbits(planes.reshape(-1)).tobytes()
+        return ZFPBlockStream(
+            payload=payload,
+            shape=values.shape,
+            dtype=values.dtype,
+            rate_bits=self.rate_bits,
+            exponents=exponents.tobytes(),
+        )
+
+    # ------------------------------------------------------------------
+    def decompress(self, stream: ZFPBlockStream) -> np.ndarray:
+        ndim = len(stream.shape)
+        padded_shape = tuple(
+            -(-s // _BLOCK) * _BLOCK for s in stream.shape
+        )
+        block_size = _BLOCK**ndim
+        n_blocks = int(np.prod(padded_shape)) // block_size
+
+        bits = np.unpackbits(
+            np.frombuffer(stream.payload, dtype=np.uint8),
+            count=stream.rate_bits * n_blocks * block_size,
+        )
+        planes = bits.reshape(stream.rate_bits, n_blocks, block_size)
+        nega = np.zeros((n_blocks, block_size), dtype=np.uint32)
+        for p in range(stream.rate_bits):
+            shift = np.uint32(_PLANES - 1 - p)
+            nega |= planes[p].astype(np.uint32) << shift
+
+        transformed = _from_negabinary(nega)
+        fixed = _lift_inverse(transformed, ndim)
+        exponents = np.frombuffer(stream.exponents, dtype=np.int8)
+        scale = np.exp2(exponents.astype(np.float64) - _PRECISION)
+        blocks = fixed.astype(np.float64) * scale[:, None]
+        return _unblockify(blocks, stream.shape).astype(stream.dtype)
+
+
+# ----------------------------------------------------------------------
+# blocking
+# ----------------------------------------------------------------------
+def _blockify(values: np.ndarray) -> np.ndarray:
+    """Pad to whole 4^d blocks and reshape to (n_blocks, 4^d)."""
+    ndim = values.ndim
+    pad = [
+        (0, (-values.shape[d]) % _BLOCK) for d in range(ndim)
+    ]
+    padded = np.pad(values, pad, mode="edge")
+    counts = [s // _BLOCK for s in padded.shape]
+    # Split each axis into (block index, within-block index).
+    new_shape = []
+    for c in counts:
+        new_shape += [c, _BLOCK]
+    arr = padded.reshape(new_shape)
+    # Move all block indices first, all within-block indices last.
+    order = list(range(0, 2 * ndim, 2)) + list(range(1, 2 * ndim, 2))
+    arr = arr.transpose(order)
+    return arr.reshape(int(np.prod(counts)), _BLOCK**ndim)
+
+
+def _unblockify(
+    blocks: np.ndarray, shape: tuple[int, ...]
+) -> np.ndarray:
+    ndim = len(shape)
+    padded_shape = tuple(-(-s // _BLOCK) * _BLOCK for s in shape)
+    counts = [s // _BLOCK for s in padded_shape]
+    arr = blocks.reshape(counts + [_BLOCK] * ndim)
+    order = []
+    for d in range(ndim):
+        order += [d, ndim + d]
+    arr = arr.transpose(order).reshape(padded_shape)
+    return arr[tuple(slice(0, s) for s in shape)]
+
+
+# ----------------------------------------------------------------------
+# integer lifting transform (exactly invertible)
+# ----------------------------------------------------------------------
+def _lift_forward(blocks: np.ndarray, ndim: int) -> np.ndarray:
+    """Two Haar-lifting levels along each axis of every 4^d block."""
+    n = blocks.shape[0]
+    arr = blocks.reshape((n,) + (_BLOCK,) * ndim).astype(np.int64)
+    for axis in range(1, ndim + 1):
+        arr = np.moveaxis(arr, axis, -1)
+        a0, a1, a2, a3 = (
+            arr[..., 0].copy(),
+            arr[..., 1].copy(),
+            arr[..., 2].copy(),
+            arr[..., 3].copy(),
+        )
+        # Level 1 on pairs (a0,a1) and (a2,a3): s = a + (d >> 1), d = b-a.
+        d0 = a1 - a0
+        s0 = a0 + (d0 >> 1)
+        d1 = a3 - a2
+        s1 = a2 + (d1 >> 1)
+        # Level 2 on the two smooth coefficients.
+        d2 = s1 - s0
+        s2 = s0 + (d2 >> 1)
+        arr[..., 0] = s2
+        arr[..., 1] = d2
+        arr[..., 2] = d0
+        arr[..., 3] = d1
+        arr = np.moveaxis(arr, -1, axis)
+    return arr.reshape(n, _BLOCK**ndim)
+
+
+def _lift_inverse(blocks: np.ndarray, ndim: int) -> np.ndarray:
+    n = blocks.shape[0]
+    arr = blocks.reshape((n,) + (_BLOCK,) * ndim).astype(np.int64)
+    for axis in range(ndim, 0, -1):
+        arr = np.moveaxis(arr, axis, -1)
+        s2 = arr[..., 0].copy()
+        d2 = arr[..., 1].copy()
+        d0 = arr[..., 2].copy()
+        d1 = arr[..., 3].copy()
+        s0 = s2 - (d2 >> 1)
+        s1 = d2 + s0
+        a0 = s0 - (d0 >> 1)
+        a1 = d0 + a0
+        a2 = s1 - (d1 >> 1)
+        a3 = d1 + a2
+        arr[..., 0] = a0
+        arr[..., 1] = a1
+        arr[..., 2] = a2
+        arr[..., 3] = a3
+        arr = np.moveaxis(arr, -1, axis)
+    return arr.reshape(n, _BLOCK**ndim)
+
+
+# ----------------------------------------------------------------------
+# negabinary mapping (sign-free embedded significance)
+# ----------------------------------------------------------------------
+def _to_negabinary(values: np.ndarray) -> np.ndarray:
+    u = values.astype(np.int64).astype(np.uint64) & np.uint64(0xFFFFFFFF)
+    mask = np.uint64(0xAAAAAAAA)
+    return ((u + mask) ^ mask).astype(np.uint32)
+
+
+def _from_negabinary(nega: np.ndarray) -> np.ndarray:
+    mask = np.uint64(0xAAAAAAAA)
+    u = (nega.astype(np.uint64) ^ mask) - mask
+    return u.astype(np.uint32).astype(np.int32).astype(np.int64)

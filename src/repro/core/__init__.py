@@ -1,0 +1,90 @@
+"""Task scheduling for concealing compression and I/O inside computation.
+
+This package is the paper's primary contribution (Section 3): a
+two-machine flow-shop scheduler with deterministic unavailability
+intervals and non-resumable jobs, six heuristics, the exact ILP, and the
+intra-node I/O workload balancer.
+"""
+
+from .analysis import ScheduleStats, lower_bound, schedule_stats
+from .balancing import BalanceResult, IoTaskRef, balance_io_workloads
+from .bruteforce import exhaustive_schedule
+from .executor import schedule_orders
+from .greedy import one_list_greedy, two_lists_greedy
+from .ilp import IlpResult, ilp_schedule
+from .johnson import ext_johnson, ext_johnson_backfill, johnson_order
+from .list_scheduling import (
+    generation_list_schedule,
+    generation_list_schedule_backfill,
+)
+from .local_search import local_search_schedule
+from .model import (
+    EPSILON,
+    Interval,
+    Job,
+    ProblemInstance,
+    Schedule,
+    ScheduledTask,
+    ScheduleError,
+)
+from .predictor import IterationHistory, IterationRecord
+from .resumable import (
+    ResumableSchedule,
+    preemption_cost,
+    resumable_schedule,
+)
+from .registry import (
+    ALGORITHMS,
+    DEFAULT_ALGORITHM,
+    get_algorithm,
+    list_algorithms,
+)
+from .serialization import (
+    instance_from_json,
+    instance_to_json,
+    schedule_from_json,
+    schedule_to_json,
+)
+from .timeline import MachineTimeline
+
+__all__ = [
+    "EPSILON",
+    "Interval",
+    "Job",
+    "ProblemInstance",
+    "Schedule",
+    "ScheduledTask",
+    "ScheduleError",
+    "MachineTimeline",
+    "ScheduleStats",
+    "lower_bound",
+    "schedule_stats",
+    "schedule_orders",
+    "exhaustive_schedule",
+    "johnson_order",
+    "ext_johnson",
+    "ext_johnson_backfill",
+    "generation_list_schedule",
+    "generation_list_schedule_backfill",
+    "one_list_greedy",
+    "two_lists_greedy",
+    "local_search_schedule",
+    "ResumableSchedule",
+    "resumable_schedule",
+    "preemption_cost",
+    "instance_to_json",
+    "instance_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+    "ilp_schedule",
+    "IlpResult",
+    "balance_io_workloads",
+    "BalanceResult",
+    "IoTaskRef",
+    "IterationHistory",
+    "IterationRecord",
+    "ALGORITHMS",
+    "DEFAULT_ALGORITHM",
+    "get_algorithm",
+    "list_algorithms",
+]

@@ -1,0 +1,125 @@
+"""Intra-node I/O workload balancing (Section 3.4).
+
+Compressed sizes — and therefore I/O times — vary across the processes of
+a node because data compressibility varies across partitions, while raw
+sizes (and compression times) do not.  The paper balances only the I/O
+side, and only within a node (inter-node moves would pay communication
+costs), using the previous iteration's per-process I/O totals as the guide:
+
+    while the largest workload exceeds twice the smallest, reassign the
+    *first* I/O task of the most-loaded process to run as the *last* I/O
+    task of the least-loaded process.
+
+This module implements that loop with two safeguards the paper leaves
+implicit: a donor keeps at least one task, and a move that does not shrink
+the max-min spread stops the loop (otherwise a single huge task could
+bounce between two processes forever).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["IoTaskRef", "BalanceResult", "balance_io_workloads"]
+
+
+@dataclass(frozen=True)
+class IoTaskRef:
+    """One I/O task eligible for reassignment.
+
+    Attributes:
+        owner: rank of the process whose data this task writes.
+        job_index: the job index within the owner's instance.
+        duration: predicted I/O time (from the previous iteration's
+            compressed size and the I/O throughput model).
+    """
+
+    owner: int
+    job_index: int
+    duration: float
+
+
+@dataclass
+class BalanceResult:
+    """Assignment produced by :func:`balance_io_workloads`."""
+
+    assignments: list[list[IoTaskRef]]
+    workloads_before: list[float]
+    workloads_after: list[float]
+    moves: int = 0
+
+    @property
+    def imbalance_before(self) -> float:
+        return _imbalance(self.workloads_before)
+
+    @property
+    def imbalance_after(self) -> float:
+        return _imbalance(self.workloads_after)
+
+
+def _imbalance(workloads: list[float]) -> float:
+    """Max/min workload ratio (inf when some process has zero work)."""
+    lo = min(workloads)
+    hi = max(workloads)
+    if lo <= 0.0:
+        return float("inf") if hi > 0.0 else 1.0
+    return hi / lo
+
+
+def balance_io_workloads(
+    tasks_per_process: list[list[IoTaskRef]],
+    threshold: float = 2.0,
+) -> BalanceResult:
+    """Redistribute I/O tasks within a node.
+
+    Args:
+        tasks_per_process: for each process of the node, its I/O tasks in
+            execution order (typically from the previous iteration).
+        threshold: the loop runs while ``max > threshold * min`` (the paper
+            uses 2).
+
+    Returns:
+        The new per-process task lists.  Moved tasks keep their ``owner``
+        field so the runtime knows whose buffer to write from.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1.0")
+
+    queues = [deque(tasks) for tasks in tasks_per_process]
+    before = [sum(t.duration for t in tasks) for tasks in tasks_per_process]
+    workloads = list(before)
+    moves = 0
+
+    # Upper bound on useful moves: each task moves at most once per spread
+    # reduction; total tasks squared is a safe, cheap cap.
+    total_tasks = sum(len(q) for q in queues)
+    max_moves = max(1, total_tasks * total_tasks)
+
+    while moves < max_moves and len(queues) > 1:
+        hi = max(range(len(queues)), key=lambda p: workloads[p])
+        lo = min(range(len(queues)), key=lambda p: workloads[p])
+        if workloads[lo] > 0 and workloads[hi] <= threshold * workloads[lo]:
+            break
+        if len(queues[hi]) <= 1:
+            break
+        task = queues[hi][0]
+        spread = workloads[hi] - workloads[lo]
+        new_spread_hi = workloads[hi] - task.duration
+        new_spread_lo = workloads[lo] + task.duration
+        if max(new_spread_hi, new_spread_lo) - min(
+            new_spread_hi, new_spread_lo
+        ) >= spread:
+            break
+        queues[hi].popleft()
+        queues[lo].append(task)
+        workloads[hi] = new_spread_hi
+        workloads[lo] = new_spread_lo
+        moves += 1
+
+    return BalanceResult(
+        assignments=[list(q) for q in queues],
+        workloads_before=before,
+        workloads_after=workloads,
+        moves=moves,
+    )

@@ -1,0 +1,103 @@
+"""Turn ordered task lists into concrete schedules.
+
+Every algorithm in Section 3.3 ultimately produces *ordered lists* — one
+order for compression tasks and one for I/O tasks (the two may coincide) —
+plus a *rule of the game*: place each task as early as possible either
+after all previously placed tasks (no backfilling) or in the earliest idle
+gap (backfilling).  This module implements that common execution step so
+the algorithms themselves stay small.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .model import Interval, ProblemInstance, Schedule
+from .timeline import MachineTimeline
+
+__all__ = ["schedule_orders"]
+
+
+def schedule_orders(
+    instance: ProblemInstance,
+    compression_order: Sequence[int],
+    io_order: Sequence[int],
+    backfill: bool,
+    algorithm: str = "",
+    require_complete: bool = True,
+) -> Schedule:
+    """Build a schedule from explicit task orders.
+
+    Args:
+        instance: the iteration's scheduling instance.
+        compression_order: job indices in the order their compression tasks
+            are considered for placement on the main thread.
+        io_order: job indices in the order their I/O tasks are considered
+            for placement on the background thread.
+        backfill: when True, a task may slide into an earlier idle gap as
+            long as it fits (this can never delay an already-placed task);
+            when False, each task starts no earlier than the completion of
+            every previously placed task on its machine.
+        algorithm: name recorded on the returned schedule.
+        require_complete: when True (the default) the orders must each be a
+            permutation of all job indices.  The insertion greedies pass
+            False to evaluate partial orders while they are being built.
+
+    The R -> B dependency is enforced by giving each I/O task a ready time
+    equal to its compression task's completion.
+    """
+    _check_orders(instance, compression_order, io_order, require_complete)
+
+    main = MachineTimeline(instance.begin, instance.main_obstacles)
+    background = MachineTimeline(
+        instance.begin, instance.background_obstacles
+    )
+    jobs = instance.jobs
+
+    compression: dict[int, Interval] = {}
+    for job_index in compression_order:
+        compression[job_index] = main.place_earliest(
+            jobs[job_index].compression_time, instance.begin, backfill
+        )
+
+    io: dict[int, Interval] = {}
+    for job_index in io_order:
+        ready = max(
+            compression[job_index].end,
+            instance.begin + jobs[job_index].io_release,
+        )
+        io[job_index] = background.place_earliest(
+            jobs[job_index].io_time, ready, backfill
+        )
+
+    return Schedule(
+        instance=instance,
+        compression=compression,
+        io=io,
+        algorithm=algorithm,
+    )
+
+
+def _check_orders(
+    instance: ProblemInstance,
+    compression_order: Sequence[int],
+    io_order: Sequence[int],
+    require_complete: bool,
+) -> None:
+    comp = list(compression_order)
+    io = list(io_order)
+    if require_complete:
+        expected = list(range(instance.num_jobs))
+        if sorted(comp) != expected or sorted(io) != expected:
+            raise ValueError(
+                "orders must each be a permutation of "
+                f"0..{instance.num_jobs - 1}"
+            )
+        return
+    for what, order in (("compression", comp), ("io", io)):
+        if len(set(order)) != len(order):
+            raise ValueError(f"{what} order contains duplicates")
+        if any(i < 0 or i >= instance.num_jobs for i in order):
+            raise ValueError(f"{what} order contains invalid job indices")
+    if set(io) != set(comp):
+        raise ValueError("partial orders must cover the same job set")

@@ -1,0 +1,100 @@
+"""Insertion-based greedy algorithms (Section 3.3.3).
+
+Both algorithms build the task order incrementally.  Jobs are considered in
+generation order; when job ``r+1`` arrives it is *tried at every position*
+of the partial order, each attempt is evaluated by greedily re-scheduling
+the whole partial instance, and the best attempt (smallest I/O makespan,
+ties broken by last compression completion) is kept.  Unlike backfilling,
+an insertion may delay previously ordered tasks — the evaluation re-derives
+all start times from scratch.
+
+* :func:`one_list_greedy` keeps a single order shared by compression and
+  I/O tasks: ``O(K^2)`` attempts overall.
+* :func:`two_lists_greedy` maintains independent orders for the two task
+  types and tries all ``(r+1)^2`` position pairs: ``O(K^3)`` overall.
+"""
+
+from __future__ import annotations
+
+from .executor import schedule_orders
+from .model import ProblemInstance, Schedule
+
+__all__ = ["one_list_greedy", "two_lists_greedy"]
+
+
+def _attempt_cost(schedule: Schedule) -> tuple[float, float]:
+    """Rank attempts: primary I/O makespan, then last compression end.
+
+    The secondary key keeps the main thread as free as possible for later
+    insertions, which matters while the order is still partial.
+    """
+    last_compression = (
+        max(iv.end for iv in schedule.compression.values())
+        - schedule.instance.begin
+        if schedule.compression
+        else 0.0
+    )
+    return (schedule.io_makespan, last_compression)
+
+
+def one_list_greedy(instance: ProblemInstance) -> Schedule:
+    """Insertion greedy with one shared order for both task types."""
+    order: list[int] = []
+    for job_index in range(instance.num_jobs):
+        best_order: list[int] | None = None
+        best_cost: tuple[float, float] | None = None
+        for position in range(len(order) + 1):
+            candidate = order[:position] + [job_index] + order[position:]
+            schedule = schedule_orders(
+                instance,
+                candidate,
+                candidate,
+                backfill=False,
+                require_complete=False,
+            )
+            cost = _attempt_cost(schedule)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_order = candidate
+        assert best_order is not None
+        order = best_order
+    return schedule_orders(
+        instance, order, order, backfill=False, algorithm="OneListGreedy"
+    )
+
+
+def two_lists_greedy(instance: ProblemInstance) -> Schedule:
+    """Insertion greedy with independent compression and I/O orders."""
+    comp_order: list[int] = []
+    io_order: list[int] = []
+    for job_index in range(instance.num_jobs):
+        best: tuple[list[int], list[int]] | None = None
+        best_cost: tuple[float, float] | None = None
+        for cpos in range(len(comp_order) + 1):
+            comp_candidate = (
+                comp_order[:cpos] + [job_index] + comp_order[cpos:]
+            )
+            for ipos in range(len(io_order) + 1):
+                io_candidate = (
+                    io_order[:ipos] + [job_index] + io_order[ipos:]
+                )
+                schedule = schedule_orders(
+                    instance,
+                    comp_candidate,
+                    io_candidate,
+                    backfill=False,
+                    require_complete=False,
+                )
+                cost = _attempt_cost(schedule)
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best = (comp_candidate, io_candidate)
+        assert best is not None
+        comp_order, io_order = best
+    return schedule_orders(
+        instance,
+        comp_order,
+        io_order,
+        backfill=False,
+        algorithm="TwoListsGreedy",
+    )

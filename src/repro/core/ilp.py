@@ -1,0 +1,229 @@
+"""Exact Integer Linear Program from Appendix A of the paper.
+
+The ILP minimises the iteration completion time ``T_overall`` subject to:
+
+* (1) ``T_overall >= t_end(B_i)`` for every I/O task;
+* (2) an I/O task starts after its compression task completes;
+* (5)/(6) disjunctive big-Z ordering constraints between every pair of
+  tasks on the same machine, driven by binary ``first`` variables;
+* (7)-(10) each task fits entirely inside one availability gap of its
+  machine, selected by binary ``delta`` variables;
+* (11)/(12) every task picks exactly one gap.
+
+The paper reports that the ILP "was unable to find a solution for any of
+the experiments we conducted" at realistic sizes; we reproduce that by
+solving with HiGHS (``scipy.optimize.milp``) under a time limit — small
+instances solve to optimality, Table-1-sized instances time out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from .list_scheduling import generation_list_schedule
+from .model import Interval, ProblemInstance, Schedule
+
+__all__ = ["IlpResult", "ilp_schedule"]
+
+
+@dataclass
+class IlpResult:
+    """Outcome of an ILP solve attempt."""
+
+    schedule: Schedule | None
+    status: str  # "optimal", "timeout", or "infeasible"
+    objective: float | None
+    num_variables: int
+    num_constraints: int
+
+
+def _gaps(
+    begin: float, obstacles: tuple[Interval, ...], horizon: float
+) -> list[tuple[float, float]]:
+    """Availability gaps ``[(start, end), ...]`` between obstacles."""
+    gaps = []
+    cursor = begin
+    for obs in obstacles:
+        if obs.start > cursor:
+            gaps.append((cursor, obs.start))
+        cursor = max(cursor, obs.end)
+    gaps.append((cursor, horizon))
+    return gaps
+
+
+def ilp_schedule(
+    instance: ProblemInstance, time_limit: float = 60.0
+) -> IlpResult:
+    """Solve the Appendix A ILP with HiGHS under ``time_limit`` seconds."""
+    m = instance.num_jobs
+    if m == 0:
+        return IlpResult(
+            schedule=Schedule(instance=instance, algorithm="ILP"),
+            status="optimal",
+            objective=0.0,
+            num_variables=0,
+            num_constraints=0,
+        )
+
+    # Big-Z: the makespan of a naive schedule strictly dominates the
+    # optimum, so it is a valid disjunctive constant (Appendix A).
+    naive = generation_list_schedule(instance)
+    big_z = naive.io_makespan + instance.length + 1.0
+    horizon = instance.begin + big_z
+
+    comp_gaps = _gaps(instance.begin, instance.main_obstacles, horizon)
+    io_gaps = _gaps(instance.begin, instance.background_obstacles, horizon)
+
+    pairs = [(i, j) for i in range(m) for j in range(i + 1, m)]
+
+    # Variable layout.
+    n_t_overall = 1
+    n_start = 2 * m  # t_start(R_i) then t_start(B_i)
+    n_first = 2 * len(pairs)  # first^R then first^B
+    n_delta = m * len(comp_gaps) + m * len(io_gaps)
+    num_vars = n_t_overall + n_start + n_first + n_delta
+
+    idx_overall = 0
+
+    def idx_r(i: int) -> int:
+        return 1 + i
+
+    def idx_b(i: int) -> int:
+        return 1 + m + i
+
+    first_base = 1 + 2 * m
+    pair_pos = {pair: p for p, pair in enumerate(pairs)}
+
+    def idx_first(machine: str, i: int, j: int) -> int:
+        offset = 0 if machine == "R" else len(pairs)
+        return first_base + offset + pair_pos[(i, j)]
+
+    delta_base = first_base + 2 * len(pairs)
+
+    def idx_delta(machine: str, i: int, h: int) -> int:
+        if machine == "R":
+            return delta_base + i * len(comp_gaps) + h
+        return delta_base + m * len(comp_gaps) + i * len(io_gaps) + h
+
+    durations = {
+        "R": [j.compression_time for j in instance.jobs],
+        "B": [j.io_time for j in instance.jobs],
+    }
+    start_index = {"R": idx_r, "B": idx_b}
+    gaps_of = {"R": comp_gaps, "B": io_gaps}
+
+    rows: list[np.ndarray] = []
+    lbs: list[float] = []
+    ubs: list[float] = []
+
+    def add_row(coeffs: dict[int, float], lb: float, ub: float) -> None:
+        row = np.zeros(num_vars)
+        for k, v in coeffs.items():
+            row[k] = v
+        rows.append(row)
+        lbs.append(lb)
+        ubs.append(ub)
+
+    inf = np.inf
+    for i in range(m):
+        # (1) T_overall - t_start(B_i) >= c'_i
+        add_row({idx_overall: 1.0, idx_b(i): -1.0}, durations["B"][i], inf)
+        # (2) t_start(B_i) - t_start(R_i) >= c_i
+        add_row({idx_b(i): 1.0, idx_r(i): -1.0}, durations["R"][i], inf)
+        # io_release extension: t_start(B_i) >= begin + release.
+        release = instance.jobs[i].io_release
+        if release > 0:
+            add_row({idx_b(i): 1.0}, instance.begin + release, inf)
+
+    for machine in ("R", "B"):
+        dur = durations[machine]
+        sidx = start_index[machine]
+        for i, j in pairs:
+            f = idx_first(machine, i, j)
+            # (5) t_start(X_j) >= t_end(X_i) - (1 - first) * Z
+            #  => t_start(X_j) - t_start(X_i) + Z*(-first) >= c_i - Z
+            add_row(
+                {sidx(j): 1.0, sidx(i): -1.0, f: -big_z},
+                dur[i] - big_z,
+                inf,
+            )
+            # (6) t_start(X_i) >= t_end(X_j) - first * Z
+            add_row(
+                {sidx(i): 1.0, sidx(j): -1.0, f: big_z},
+                dur[j],
+                inf,
+            )
+        gaps = gaps_of[machine]
+        for i in range(m):
+            # (7)/(8) start after the chosen gap opens:
+            #   t_start - sum_h delta_h * gap_start_h >= 0
+            coeffs = {sidx(i): 1.0}
+            for h, (gs, _) in enumerate(gaps):
+                coeffs[idx_delta(machine, i, h)] = -gs
+            add_row(coeffs, 0.0, inf)
+            # (9)/(10) end before the chosen gap closes:
+            #   sum_h delta_h * gap_end_h - t_start >= c_i
+            coeffs = {sidx(i): -1.0}
+            for h, (_, ge) in enumerate(gaps):
+                coeffs[idx_delta(machine, i, h)] = ge
+            add_row(coeffs, dur[i], inf)
+            # (11)/(12) exactly one gap.
+            coeffs = {
+                idx_delta(machine, i, h): 1.0 for h in range(len(gaps))
+            }
+            add_row(coeffs, 1.0, 1.0)
+
+    objective = np.zeros(num_vars)
+    objective[idx_overall] = 1.0
+
+    lower = np.zeros(num_vars)
+    upper = np.full(num_vars, horizon)
+    lower[0] = 0.0
+    lower[1 : 1 + 2 * m] = instance.begin
+    upper[first_base:] = 1.0
+    lower[first_base:] = 0.0
+    upper[idx_overall] = big_z
+
+    integrality = np.zeros(num_vars)
+    integrality[first_base:] = 1.0
+
+    result = milp(
+        c=objective,
+        constraints=[LinearConstraint(np.vstack(rows), lbs, ubs)],
+        integrality=integrality,
+        bounds=Bounds(lower, upper),
+        options={"time_limit": time_limit, "presolve": True},
+    )
+
+    if result.x is None:
+        status = "timeout" if result.status == 1 else "infeasible"
+        return IlpResult(
+            schedule=None,
+            status=status,
+            objective=None,
+            num_variables=num_vars,
+            num_constraints=len(rows),
+        )
+
+    x = result.x
+    compression = {
+        i: Interval(x[idx_r(i)], x[idx_r(i)] + durations["R"][i])
+        for i in range(m)
+    }
+    io = {
+        i: Interval(x[idx_b(i)], x[idx_b(i)] + durations["B"][i])
+        for i in range(m)
+    }
+    schedule = Schedule(
+        instance=instance, compression=compression, io=io, algorithm="ILP"
+    )
+    return IlpResult(
+        schedule=schedule,
+        status="optimal" if result.status == 0 else "timeout",
+        objective=float(result.fun),
+        num_variables=num_vars,
+        num_constraints=len(rows),
+    )

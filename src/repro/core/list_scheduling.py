@@ -1,0 +1,43 @@
+"""List scheduling in block-generation order (Section 3.3.2).
+
+``GenerationListSchedule`` keeps the jobs in the order the fine-grained
+compression produced them (field by field, block by block) and places each
+task as early as possible after the already-scheduled tasks.  The ``+BF``
+variant allows a task to slot into an earlier idle gap when that does not
+delay any already-placed task.
+
+These two algorithms are the cheapest of the six; they serve as the
+baseline orderings against which the Johnson-based and greedy orders are
+compared in Table 1.
+"""
+
+from __future__ import annotations
+
+from .executor import schedule_orders
+from .model import ProblemInstance, Schedule
+
+__all__ = ["generation_list_schedule", "generation_list_schedule_backfill"]
+
+
+def generation_list_schedule(instance: ProblemInstance) -> Schedule:
+    """Generation order, no backfilling."""
+    order = list(range(instance.num_jobs))
+    return schedule_orders(
+        instance,
+        order,
+        order,
+        backfill=False,
+        algorithm="GenerationListSchedule",
+    )
+
+
+def generation_list_schedule_backfill(instance: ProblemInstance) -> Schedule:
+    """Generation order with backfilling."""
+    order = list(range(instance.num_jobs))
+    return schedule_orders(
+        instance,
+        order,
+        order,
+        backfill=True,
+        algorithm="GenerationListSchedule+BF",
+    )

@@ -1,0 +1,314 @@
+"""Problem model for the two-machine flow-shop scheduling problem.
+
+This module defines the data model from Section 3.1 of the paper:
+
+* An iteration occupies the window ``[begin, end]``.
+* The *main thread* (machine 1) runs the application's computing tasks
+  ``Y_{n,1..k}``; these are immovable **obstacles** for compression tasks.
+* The *background thread* (machine 2) runs the application's core tasks
+  ``G_{n,1..o}`` (communication or application I/O); these are immovable
+  obstacles for the compressed-data I/O tasks.
+* A **job** ``j`` is the pair of a compression task ``R_j`` (duration
+  ``c_j``, runs on the main thread) and an I/O task ``B_j`` (duration
+  ``c'_j``, runs on the background thread).  ``B_j`` may not start before
+  ``R_j`` completes.  Neither task may be preempted or overlap an obstacle.
+
+A :class:`Schedule` assigns a start time to every task.  The paper's
+objective is to minimise the completion time of the last I/O task relative
+to the iteration start (``io_makespan``); the iteration's overall length is
+``max(T_n, io_makespan)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "EPSILON",
+    "Interval",
+    "Job",
+    "ProblemInstance",
+    "ScheduledTask",
+    "Schedule",
+    "ScheduleError",
+]
+
+#: Numerical tolerance for interval comparisons (seconds).
+EPSILON = 1e-9
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates a constraint from Section 3.1."""
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open time interval ``[start, end)``.
+
+    Obstacles and scheduled tasks are both represented as intervals.  The
+    half-open convention means an interval ending at ``t`` does not overlap
+    one starting at ``t``, matching back-to-back task execution.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not (self.end >= self.start):
+            raise ValueError(
+                f"interval end {self.end!r} precedes start {self.start!r}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share more than a boundary point."""
+        return (
+            self.start < other.end - EPSILON
+            and other.start < self.end - EPSILON
+        )
+
+    def contains_point(self, t: float) -> bool:
+        return self.start - EPSILON <= t <= self.end + EPSILON
+
+    def shifted(self, delta: float) -> "Interval":
+        return Interval(self.start + delta, self.end + delta)
+
+
+@dataclass(frozen=True)
+class Job:
+    """A compression task paired with the I/O task writing its output.
+
+    Attributes:
+        index: position of the job in generation order (the order the
+            fine-grained compression produced the blocks).
+        compression_time: duration ``c_j`` of the compression task ``R_j``.
+        io_time: duration ``c'_j`` of the I/O task ``B_j``.
+        label: optional human-readable name (e.g. ``"temperature[3]"``).
+        io_release: extra earliest-start constraint on the I/O task,
+            relative to the iteration begin.  Zero for ordinary jobs; the
+            I/O balancer (Section 3.4) uses it for moved-in tasks whose
+            data is compressed by *another* process, so the local zero-
+            length compression stub must not make the write eligible
+            before the donor's predicted compression completes.
+    """
+
+    index: int
+    compression_time: float
+    io_time: float
+    label: str = ""
+    io_release: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compression_time < 0 or self.io_time < 0:
+            raise ValueError("task durations must be non-negative")
+        if self.io_release < 0:
+            raise ValueError("io_release must be non-negative")
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """One iteration's scheduling instance.
+
+    Attributes:
+        begin: iteration start time ``beg_n``.
+        end: iteration end time ``end_n`` (the window the paper tries to
+            hide compression and I/O inside; tasks may spill past it, which
+            is counted as overhead).
+        jobs: the ``m`` jobs to schedule.
+        main_obstacles: unavailability intervals on the main thread (the
+            computing tasks ``Y``), within ``[begin, end]``.
+        background_obstacles: unavailability intervals on the background
+            thread (the core tasks ``G``), within ``[begin, end]``.
+    """
+
+    begin: float
+    end: float
+    jobs: tuple[Job, ...]
+    main_obstacles: tuple[Interval, ...] = ()
+    background_obstacles: tuple[Interval, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end < self.begin:
+            raise ValueError("iteration end precedes begin")
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        object.__setattr__(
+            self, "main_obstacles", _normalized(self.main_obstacles)
+        )
+        object.__setattr__(
+            self,
+            "background_obstacles",
+            _normalized(self.background_obstacles),
+        )
+        for name, obstacles in (
+            ("main", self.main_obstacles),
+            ("background", self.background_obstacles),
+        ):
+            for a, b in zip(obstacles, obstacles[1:]):
+                if a.overlaps(b):
+                    raise ValueError(f"{name} obstacles overlap: {a} and {b}")
+        for i, job in enumerate(self.jobs):
+            if job.index != i:
+                raise ValueError(
+                    f"job at position {i} has index {job.index}; "
+                    "indices must match generation order"
+                )
+
+    @property
+    def length(self) -> float:
+        """The iteration length ``T_n``."""
+        return self.end - self.begin
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    def total_compression_time(self) -> float:
+        return sum(j.compression_time for j in self.jobs)
+
+    def total_io_time(self) -> float:
+        return sum(j.io_time for j in self.jobs)
+
+    def with_jobs(self, jobs: tuple[Job, ...]) -> "ProblemInstance":
+        """A copy of this instance with a different job set."""
+        return replace(self, jobs=tuple(jobs))
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """A task placed on a machine: which job, which half, and when."""
+
+    job_index: int
+    kind: str  # "compression" or "io"
+    interval: Interval
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("compression", "io"):
+            raise ValueError(f"unknown task kind {self.kind!r}")
+
+
+@dataclass
+class Schedule:
+    """A complete assignment of start times to all tasks of an instance.
+
+    ``compression`` and ``io`` map job index to the task's interval.  The
+    schedule records which algorithm produced it for reporting.
+    """
+
+    instance: ProblemInstance
+    compression: dict[int, Interval] = field(default_factory=dict)
+    io: dict[int, Interval] = field(default_factory=dict)
+    algorithm: str = ""
+
+    @property
+    def io_makespan(self) -> float:
+        """Completion time of the last I/O task, relative to ``begin``.
+
+        This is the quantity every algorithm in Section 3.3 minimises.
+        Returns 0.0 for an instance with no jobs.
+        """
+        if not self.io:
+            return 0.0
+        return max(iv.end for iv in self.io.values()) - self.instance.begin
+
+    @property
+    def overall_time(self) -> float:
+        """Iteration length including any spill of I/O past ``end``."""
+        return max(self.instance.length, self.io_makespan)
+
+    @property
+    def overhead(self) -> float:
+        """Time added to the iteration by compression + I/O (>= 0)."""
+        return self.overall_time - self.instance.length
+
+    def tasks(self) -> list[ScheduledTask]:
+        """All tasks, sorted by start time."""
+        out = [
+            ScheduledTask(j, "compression", iv)
+            for j, iv in self.compression.items()
+        ]
+        out += [ScheduledTask(j, "io", iv) for j, iv in self.io.items()]
+        out.sort(key=lambda t: (t.interval.start, t.kind, t.job_index))
+        return out
+
+    def validate(self) -> None:
+        """Check every constraint from Section 3.1; raise on violation.
+
+        Checks: completeness, duration fidelity, no start before ``begin``,
+        no overlap among tasks on the same machine, no overlap with that
+        machine's obstacles, and the R -> B dependency per job.
+        """
+        inst = self.instance
+        expected = {job.index for job in inst.jobs}
+        if set(self.compression) != expected or set(self.io) != expected:
+            raise ScheduleError("schedule does not cover every job exactly once")
+
+        for job in inst.jobs:
+            r = self.compression[job.index]
+            b = self.io[job.index]
+            if not math.isclose(
+                r.duration, job.compression_time, abs_tol=1e-6
+            ):
+                raise ScheduleError(
+                    f"job {job.index}: compression interval {r} does not "
+                    f"match duration {job.compression_time}"
+                )
+            if not math.isclose(b.duration, job.io_time, abs_tol=1e-6):
+                raise ScheduleError(
+                    f"job {job.index}: io interval {b} does not match "
+                    f"duration {job.io_time}"
+                )
+            if r.start < inst.begin - EPSILON:
+                raise ScheduleError(
+                    f"job {job.index}: compression starts before iteration"
+                )
+            if b.start < r.end - EPSILON:
+                raise ScheduleError(
+                    f"job {job.index}: io starts at {b.start} before "
+                    f"compression ends at {r.end}"
+                )
+            if b.start < inst.begin + job.io_release - EPSILON:
+                raise ScheduleError(
+                    f"job {job.index}: io starts at {b.start} before its "
+                    f"release at {inst.begin + job.io_release}"
+                )
+
+        _check_machine(
+            "main", list(self.compression.values()), inst.main_obstacles
+        )
+        _check_machine(
+            "background", list(self.io.values()), inst.background_obstacles
+        )
+
+    def is_valid(self) -> bool:
+        try:
+            self.validate()
+        except ScheduleError:
+            return False
+        return True
+
+
+def _normalized(intervals) -> tuple[Interval, ...]:
+    return tuple(sorted(intervals, key=lambda iv: (iv.start, iv.end)))
+
+
+def _check_machine(
+    name: str, tasks: list[Interval], obstacles: tuple[Interval, ...]
+) -> None:
+    nonzero = [iv for iv in tasks if iv.duration > EPSILON]
+    nonzero.sort(key=lambda iv: iv.start)
+    for a, b in zip(nonzero, nonzero[1:]):
+        if a.overlaps(b):
+            raise ScheduleError(f"{name}: tasks overlap: {a} and {b}")
+    # Sub-epsilon obstacles occupy no schedulable time; the placement
+    # machinery ignores them, so the validator must too.
+    real_obstacles = [o for o in obstacles if o.duration > EPSILON]
+    for task in nonzero:
+        for obs in real_obstacles:
+            if task.overlaps(obs):
+                raise ScheduleError(
+                    f"{name}: task {task} overlaps obstacle {obs}"
+                )

@@ -1,0 +1,92 @@
+"""History-based prediction of the next iteration's scheduling inputs.
+
+Section 3.1: "for scheduling the n-th iteration we will use the recorded
+characteristics of the (n-1)-th iteration" — obstacle intervals and the
+iteration length are assumed equal to the previous iteration's, while
+compression durations are predicted from the data itself (ratio/throughput
+models live in :mod:`repro.compression.ratio_model`).
+
+All interval times recorded here are *relative to the iteration begin*, so
+a prediction can be re-anchored at any future start time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import Interval, Job, ProblemInstance
+
+__all__ = ["IterationRecord", "IterationHistory"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Observed characteristics of one completed iteration.
+
+    Intervals are relative to the iteration's begin time.
+    """
+
+    length: float
+    main_obstacles: tuple[Interval, ...]
+    background_obstacles: tuple[Interval, ...]
+    io_durations: tuple[float, ...] = ()
+    compression_ratios: tuple[float, ...] = ()
+
+
+@dataclass
+class IterationHistory:
+    """Rolling record of recent iterations for one process.
+
+    Only the most recent ``window`` records are kept; prediction uses the
+    last record directly (the paper's neighbouring-iteration similarity
+    assumption), while :meth:`average_ratio` smooths compression-ratio
+    estimates over the window for offset reservation.
+    """
+
+    window: int = 4
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def observe(self, record: IterationRecord) -> None:
+        self.records.append(record)
+        if len(self.records) > self.window:
+            del self.records[0]
+
+    @property
+    def last(self) -> IterationRecord | None:
+        return self.records[-1] if self.records else None
+
+    def predict_instance(
+        self, begin: float, jobs: tuple[Job, ...]
+    ) -> ProblemInstance:
+        """Predicted instance for the iteration starting at ``begin``.
+
+        Obstacle intervals and length come from the previous iteration;
+        ``jobs`` carry the (independently predicted) compression and I/O
+        durations.  Raises when no history exists yet — the framework runs
+        the first dumping iteration unscheduled to gather it.
+        """
+        last = self.last
+        if last is None:
+            raise LookupError("no iteration history recorded yet")
+        return ProblemInstance(
+            begin=begin,
+            end=begin + last.length,
+            jobs=jobs,
+            main_obstacles=tuple(
+                iv.shifted(begin) for iv in last.main_obstacles
+            ),
+            background_obstacles=tuple(
+                iv.shifted(begin) for iv in last.background_obstacles
+            ),
+        )
+
+    def predicted_ratio(self, job_index: int, default: float) -> float:
+        """Previous iteration's compression ratio for a block, if known."""
+        last = self.last
+        if last is None or job_index >= len(last.compression_ratios):
+            return default
+        return last.compression_ratios[job_index]
+
+    def predicted_io_durations(self) -> tuple[float, ...]:
+        last = self.last
+        return last.io_durations if last is not None else ()

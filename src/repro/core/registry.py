@@ -1,0 +1,50 @@
+"""Registry of the six scheduling heuristics from Section 3.3.
+
+The registry maps the paper's algorithm names to callables with the common
+signature ``(ProblemInstance) -> Schedule`` so evaluation harnesses can
+sweep all of them uniformly (as Table 1 does).  The exact ILP is exposed
+separately through :mod:`repro.core.ilp` because it needs a time limit and
+can fail.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .greedy import one_list_greedy, two_lists_greedy
+from .johnson import ext_johnson, ext_johnson_backfill
+from .list_scheduling import (
+    generation_list_schedule,
+    generation_list_schedule_backfill,
+)
+from .model import ProblemInstance, Schedule
+
+__all__ = ["ALGORITHMS", "DEFAULT_ALGORITHM", "get_algorithm", "list_algorithms"]
+
+Scheduler = Callable[[ProblemInstance], Schedule]
+
+ALGORITHMS: dict[str, Scheduler] = {
+    "ExtJohnson": ext_johnson,
+    "ExtJohnson+BF": ext_johnson_backfill,
+    "GenerationListSchedule": generation_list_schedule,
+    "GenerationListSchedule+BF": generation_list_schedule_backfill,
+    "OneListGreedy": one_list_greedy,
+    "TwoListsGreedy": two_lists_greedy,
+}
+
+#: The algorithm the paper adopts after Table 1.
+DEFAULT_ALGORITHM = "ExtJohnson+BF"
+
+
+def get_algorithm(name: str) -> Scheduler:
+    """Look up a scheduler by its paper name; raises ``KeyError``."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+
+
+def list_algorithms() -> list[str]:
+    """All registered algorithm names, in the paper's presentation order."""
+    return list(ALGORITHMS)

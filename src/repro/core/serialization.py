@@ -1,0 +1,100 @@
+"""JSON serialization for instances and schedules.
+
+Lets schedules be exported for external timeline viewers, archived next
+to experiment results, or shipped between a planner process and an
+executor — a small but real interoperability surface, with exact
+round-tripping (floats pass through ``json`` unmodified).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .model import Interval, Job, ProblemInstance, Schedule
+
+__all__ = [
+    "instance_to_json",
+    "instance_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+]
+
+
+def _interval(iv: Interval) -> list[float]:
+    return [iv.start, iv.end]
+
+
+def instance_to_json(instance: ProblemInstance) -> str:
+    """Serialize a scheduling instance to a JSON string."""
+    return json.dumps(
+        {
+            "begin": instance.begin,
+            "end": instance.end,
+            "jobs": [
+                {
+                    "index": j.index,
+                    "compression_time": j.compression_time,
+                    "io_time": j.io_time,
+                    "label": j.label,
+                    "io_release": j.io_release,
+                }
+                for j in instance.jobs
+            ],
+            "main_obstacles": [
+                _interval(o) for o in instance.main_obstacles
+            ],
+            "background_obstacles": [
+                _interval(o) for o in instance.background_obstacles
+            ],
+        }
+    )
+
+
+def instance_from_json(text: str) -> ProblemInstance:
+    """Inverse of :func:`instance_to_json`."""
+    raw = json.loads(text)
+    return ProblemInstance(
+        begin=raw["begin"],
+        end=raw["end"],
+        jobs=tuple(Job(**j) for j in raw["jobs"]),
+        main_obstacles=tuple(
+            Interval(a, b) for a, b in raw["main_obstacles"]
+        ),
+        background_obstacles=tuple(
+            Interval(a, b) for a, b in raw["background_obstacles"]
+        ),
+    )
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize a schedule (with its instance) to a JSON string."""
+    return json.dumps(
+        {
+            "instance": json.loads(instance_to_json(schedule.instance)),
+            "algorithm": schedule.algorithm,
+            "compression": {
+                str(j): _interval(iv)
+                for j, iv in schedule.compression.items()
+            },
+            "io": {
+                str(j): _interval(iv) for j, iv in schedule.io.items()
+            },
+        }
+    )
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Inverse of :func:`schedule_to_json`; the result re-validates."""
+    raw = json.loads(text)
+    instance = instance_from_json(json.dumps(raw["instance"]))
+    return Schedule(
+        instance=instance,
+        compression={
+            int(j): Interval(a, b)
+            for j, (a, b) in raw["compression"].items()
+        },
+        io={
+            int(j): Interval(a, b) for j, (a, b) in raw["io"].items()
+        },
+        algorithm=raw["algorithm"],
+    )

@@ -1,0 +1,47 @@
+"""End-to-end framework: per-process runtime, multi-node campaigns, and
+the three evaluated solutions (baseline / async-I/O-only / ours)."""
+
+from .baselines import async_io_config, baseline_config, ours_config
+from .calibration import FitQuality, fit_compression_model, fit_io_model
+from .config import FrameworkConfig
+from .orchestrator import CampaignResult, CampaignRunner, IterationRecord
+from .report import (
+    Comparison,
+    campaign_summary_table,
+    compare,
+    format_table,
+    iteration_table,
+)
+from .runtime import BlockPlan, DumpOutcome, DumpPlan, ProcessRuntime
+from .snapshot import SnapshotStats, load_snapshot, save_snapshot
+from .sweep import SweepPoint, SweepResult, sweep_campaigns
+from .textplot import line_chart
+
+__all__ = [
+    "FrameworkConfig",
+    "ProcessRuntime",
+    "BlockPlan",
+    "DumpPlan",
+    "DumpOutcome",
+    "CampaignRunner",
+    "CampaignResult",
+    "IterationRecord",
+    "baseline_config",
+    "async_io_config",
+    "ours_config",
+    "Comparison",
+    "compare",
+    "format_table",
+    "campaign_summary_table",
+    "iteration_table",
+    "save_snapshot",
+    "load_snapshot",
+    "SnapshotStats",
+    "line_chart",
+    "fit_io_model",
+    "fit_compression_model",
+    "FitQuality",
+    "sweep_campaigns",
+    "SweepResult",
+    "SweepPoint",
+]

@@ -1,0 +1,51 @@
+"""Configurations for the three solutions the evaluation compares.
+
+* **baseline** — no compression, fully synchronous writes: the dump blocks
+  both threads and every byte is written after the computation finishes.
+* **previous** (async-I/O-only, e.g. the HDF5 async VOL line of work) —
+  no compression, writes on the background thread overlapped with
+  computation, but whole-field writes in generation order with no task
+  scheduling, no fine-grained blocking, no balancing.
+* **ours** — the full proposed framework (paper defaults).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .config import FrameworkConfig
+
+__all__ = ["baseline_config", "async_io_config", "ours_config"]
+
+
+def baseline_config(**overrides) -> FrameworkConfig:
+    """No compression, no asynchronous write (the paper's baseline)."""
+    base = FrameworkConfig(
+        scheduler="GenerationListSchedule",
+        use_compression=False,
+        overlap_with_computation=False,
+        async_background=False,
+        use_balancing=False,
+        use_shared_tree=False,
+        buffer_bytes=0,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+def async_io_config(**overrides) -> FrameworkConfig:
+    """Asynchronous I/O without compression (the 'previous' solution)."""
+    base = FrameworkConfig(
+        scheduler="GenerationListSchedule",
+        use_compression=False,
+        overlap_with_computation=True,
+        async_background=True,
+        use_balancing=False,
+        use_shared_tree=False,
+        buffer_bytes=0,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+def ours_config(**overrides) -> FrameworkConfig:
+    """The full proposed solution (paper defaults)."""
+    return dataclasses.replace(FrameworkConfig(), **overrides)

@@ -1,0 +1,107 @@
+"""Fit the duration models to a new platform from measured samples.
+
+The campaign simulator's fidelity rests on two calibrated models —
+``CompressionThroughputModel`` (throughput + per-block setup + tree
+build) and ``IoThroughputModel`` (latency + bandwidth).  Porting the
+reproduction to a different machine class means re-fitting those
+constants; this module does it from ``(size, seconds)`` samples with
+ordinary least squares, the same shape of offline profiling Section 4.1
+prescribes.
+
+Both model forms are affine in the sample size
+(``t = intercept + size / bandwidth``), so the fit is exact linear
+regression; the compression fit additionally separates the shared-tree
+and native-tree intercepts when given both sample sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compression.ratio_model import CompressionThroughputModel
+from ..io.throughput import IoThroughputModel
+
+__all__ = [
+    "FitQuality",
+    "fit_io_model",
+    "fit_compression_model",
+]
+
+
+@dataclass(frozen=True)
+class FitQuality:
+    """Residual summary of a least-squares model fit."""
+
+    r_squared: float
+    max_relative_error: float
+
+
+def _affine_fit(samples: list[tuple[int, float]]) -> tuple[float, float, FitQuality]:
+    """Least-squares ``t = a + b * size``; returns (a, b, quality)."""
+    if len(samples) < 2:
+        raise ValueError("need at least two samples to fit")
+    sizes = np.array([s for s, _ in samples], dtype=np.float64)
+    times = np.array([t for _, t in samples], dtype=np.float64)
+    if np.any(times <= 0):
+        raise ValueError("sample durations must be positive")
+    design = np.column_stack([np.ones_like(sizes), sizes])
+    (a, b), *_ = np.linalg.lstsq(design, times, rcond=None)
+    predicted = a + b * sizes
+    ss_res = float(np.sum((times - predicted) ** 2))
+    ss_tot = float(np.sum((times - times.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    max_rel = float(np.max(np.abs(predicted - times) / times))
+    return float(a), float(b), FitQuality(r_squared, max_rel)
+
+
+def fit_io_model(
+    samples: list[tuple[int, float]],
+    processes_per_node: int = 4,
+) -> tuple[IoThroughputModel, FitQuality]:
+    """Fit latency and bandwidth from per-process write samples.
+
+    Args:
+        samples: ``(nbytes, seconds)`` measurements of single writes by
+            one process while its node peers are also writing (so the
+            per-process share is what gets fitted).
+        processes_per_node: node occupancy during measurement; the node
+            bandwidth is back-computed so campaign runners can re-share
+            it for other occupancies.
+    """
+    latency, per_byte, quality = _affine_fit(samples)
+    if per_byte <= 0:
+        raise ValueError("samples imply non-positive bandwidth")
+    per_process_bw = 1.0 / per_byte
+    model = IoThroughputModel(
+        node_bandwidth_bytes_per_s=per_process_bw * processes_per_node,
+        processes_per_node=processes_per_node,
+        write_latency_s=max(latency, 0.0),
+    )
+    return model, quality
+
+
+def fit_compression_model(
+    shared_tree_samples: list[tuple[int, float]],
+    native_tree_samples: list[tuple[int, float]] | None = None,
+) -> tuple[CompressionThroughputModel, FitQuality]:
+    """Fit throughput, setup cost, and tree-build cost.
+
+    ``shared_tree_samples`` are compressions using a shared Huffman tree
+    (no per-block build); ``native_tree_samples``, when given, pin down
+    the constant tree-build premium as the difference of intercepts.
+    """
+    setup, per_byte, quality = _affine_fit(shared_tree_samples)
+    if per_byte <= 0:
+        raise ValueError("samples imply non-positive throughput")
+    tree_build = CompressionThroughputModel().tree_build_s
+    if native_tree_samples is not None:
+        native_setup, _, _ = _affine_fit(native_tree_samples)
+        tree_build = max(native_setup - setup, 0.0)
+    model = CompressionThroughputModel(
+        throughput_bytes_per_s=1.0 / per_byte,
+        setup_s=max(setup, 0.0),
+        tree_build_s=tree_build,
+    )
+    return model, quality

@@ -1,0 +1,227 @@
+"""Campaign orchestration: many processes, many nodes, many iterations.
+
+Drives one simulated application run end to end: every iteration all
+ranks observe the actual obstacle layout; on dumping iterations each rank
+plans its blocks, nodes run the intra-node I/O balancer over the predicted
+I/O tasks (Section 3.4), every rank schedules and replays its dump, and
+the iteration's cost is the *slowest rank's* cost (independent writes make
+the stragglers decisive, Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..apps.base import ApplicationModel
+from ..core.balancing import IoTaskRef, balance_io_workloads
+from ..io.filesystem import SimulatedFileSystem
+from ..simulator.engine import Simulation
+from ..simulator.node import ClusterSpec
+from ..simulator.noise import NoiseModel
+from .config import FrameworkConfig
+from .runtime import DumpOutcome, DumpPlan, ProcessRuntime
+
+__all__ = ["IterationRecord", "CampaignResult", "CampaignRunner"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One iteration's aggregate outcome across all ranks."""
+
+    iteration: int
+    dumped: bool
+    computation_s: float
+    overall_s: float
+    per_rank_overhead: tuple[float, ...] = ()
+
+    @property
+    def overhead_s(self) -> float:
+        return max(0.0, self.overall_s - self.computation_s)
+
+    @property
+    def relative_overhead(self) -> float:
+        if self.computation_s <= 0:
+            return 0.0
+        return self.overhead_s / self.computation_s
+
+
+@dataclass
+class CampaignResult:
+    """A full run's per-iteration records plus summary statistics."""
+
+    solution: str
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def dump_records(self) -> list[IterationRecord]:
+        return [r for r in self.records if r.dumped]
+
+    @property
+    def mean_relative_overhead(self) -> float:
+        dumps = self.dump_records()
+        if not dumps:
+            return 0.0
+        return float(np.mean([r.relative_overhead for r in dumps]))
+
+    @property
+    def total_time(self) -> float:
+        return sum(r.overall_s for r in self.records)
+
+    @property
+    def total_computation(self) -> float:
+        return sum(r.computation_s for r in self.records)
+
+    @property
+    def total_overhead(self) -> float:
+        return sum(r.overhead_s for r in self.records)
+
+
+class CampaignRunner:
+    """Run one (application, cluster, solution) campaign."""
+
+    def __init__(
+        self,
+        app: ApplicationModel,
+        cluster: ClusterSpec,
+        config: FrameworkConfig,
+        solution: str = "ours",
+        seed: int = 0,
+        noise: NoiseModel | None = None,
+    ) -> None:
+        self.app = app
+        self.cluster = cluster
+        self.config = config
+        self.solution = solution
+        io_model = (
+            config.io_model.with_processes(cluster.processes_per_node)
+            .with_nodes(cluster.num_nodes)
+            .with_subfiles(config.num_subfiles)
+        )
+        import dataclasses
+
+        self.config = dataclasses.replace(config, io_model=io_model)
+        self.runtimes = [
+            ProcessRuntime(
+                rank,
+                app,
+                self.config,
+                node_size=cluster.processes_per_node,
+                noise=(
+                    noise
+                    if noise is not None
+                    else NoiseModel(seed=seed * 100_003 + rank)
+                ),
+            )
+            for rank in range(cluster.total_processes)
+        ]
+        self.simulation = Simulation()
+        self.filesystem = SimulatedFileSystem(self.config.io_model)
+        self.last_outcomes: list[DumpOutcome] | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, num_iterations: int) -> CampaignResult:
+        """Simulate ``num_iterations``; dumps start at iteration 1 so the
+        first iteration seeds the history predictor."""
+        result = CampaignResult(solution=self.solution)
+        for iteration in range(num_iterations):
+            record = self._run_iteration(iteration)
+            result.records.append(record)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_iteration(self, iteration: int) -> IterationRecord:
+        profile = self.app.iteration_profile(iteration)
+        is_dump = iteration >= 1 and (
+            (iteration - 1) % self.config.dump_period == 0
+        )
+        if not is_dump:
+            for rt in self.runtimes:
+                rt.observe_iteration(profile)
+            finish = self.simulation.now + profile.length
+            self.simulation.at(finish, lambda: None)
+            self.simulation.run(until=finish)
+            return IterationRecord(
+                iteration=iteration,
+                dumped=False,
+                computation_s=profile.length,
+                overall_s=profile.length,
+            )
+
+        plans = [rt.plan_dump(iteration) for rt in self.runtimes]
+        if self.config.use_balancing:
+            self._balance_node_io(plans)
+        outcomes: list[DumpOutcome] = []
+        for rt, plan in zip(self.runtimes, plans):
+            rt.build_jobs(plan)
+            moved_actual = self._moved_in_actuals(plan, iteration, plans)
+            outcomes.append(
+                rt.execute_dump(plan, iteration, moved_actual)
+            )
+        self.last_outcomes = outcomes
+        for rank, outcome in enumerate(outcomes):
+            for block, size in zip(
+                outcome.plan.blocks, outcome.actual_sizes
+            ):
+                if block.job_index not in outcome.plan.moved_out:
+                    self.filesystem.write(rank, size)
+
+        computation = max(o.execution.computation_length for o in outcomes)
+        overall = max(o.execution.overall_time for o in outcomes)
+        finish = self.simulation.now + overall
+        self.simulation.at(finish, lambda: None)
+        self.simulation.run(until=finish)
+        return IterationRecord(
+            iteration=iteration,
+            dumped=True,
+            computation_s=computation,
+            overall_s=overall,
+            per_rank_overhead=tuple(
+                o.execution.relative_overhead for o in outcomes
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _balance_node_io(self, plans: list[DumpPlan]) -> None:
+        """Run the Section 3.4 balancer node by node."""
+        for node in range(self.cluster.num_nodes):
+            ranks = self.cluster.ranks_of_node(node)
+            refs = [plans[r].io_task_refs(r) for r in ranks]
+            balanced = balance_io_workloads(
+                refs, threshold=self.config.balancing_threshold
+            )
+            for local, rank in enumerate(ranks):
+                assigned = balanced.assignments[local]
+                kept = [t for t in assigned if t.owner == rank]
+                moved_in = [t for t in assigned if t.owner != rank]
+                self.runtimes[rank].apply_balancing(
+                    plans[rank], kept, moved_in
+                )
+
+    def _moved_in_actuals(
+        self,
+        plan: DumpPlan,
+        iteration: int,
+        plans: list[DumpPlan],
+    ) -> list[float] | None:
+        """Actual I/O durations of moved-in tasks, from donor data."""
+        if not plan.moved_in:
+            return None
+        actuals: list[float] = []
+        for ref in plan.moved_in:
+            donor_rt = self.runtimes[ref.owner]
+            donor_plan = plans[ref.owner]
+            block = donor_plan.blocks[ref.job_index]
+            ratios = self.app.block_ratios(
+                ref.owner,
+                iteration,
+                donor_rt.blocks_per_field(),
+                self.cluster.processes_per_node,
+            )
+            ratio = float(ratios[block.field_name][block.block_index])
+            size = max(1, int(block.raw_bytes / ratio))
+            mean_pred = float(
+                np.mean([b.predicted_bytes for b in donor_plan.blocks])
+            )
+            actuals.append(donor_rt._io_task_time(size, mean_pred))
+        return actuals

@@ -1,0 +1,110 @@
+"""Result aggregation and text reports for solution comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .orchestrator import CampaignResult
+
+__all__ = [
+    "Comparison",
+    "compare",
+    "format_table",
+    "campaign_summary_table",
+    "iteration_table",
+]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Ours vs. the two reference solutions, paper-style."""
+
+    baseline: CampaignResult
+    previous: CampaignResult
+    ours: CampaignResult
+
+    @property
+    def improvement_over_baseline(self) -> float:
+        """I/O-overhead reduction factor vs the synchronous baseline."""
+        return _factor(
+            self.baseline.mean_relative_overhead,
+            self.ours.mean_relative_overhead,
+        )
+
+    @property
+    def improvement_over_previous(self) -> float:
+        """I/O-overhead reduction factor vs async-I/O-only."""
+        return _factor(
+            self.previous.mean_relative_overhead,
+            self.ours.mean_relative_overhead,
+        )
+
+
+def _factor(reference: float, ours: float) -> float:
+    if ours <= 0:
+        return float("inf") if reference > 0 else 1.0
+    return reference / ours
+
+
+def compare(
+    baseline: CampaignResult,
+    previous: CampaignResult,
+    ours: CampaignResult,
+) -> Comparison:
+    """Bundle three campaigns into the paper's standard comparison."""
+    return Comparison(baseline=baseline, previous=previous, ours=ours)
+
+
+def campaign_summary_table(results: dict[str, CampaignResult]) -> str:
+    """One row per solution: overhead, totals — the Figure 9 style table."""
+    rows = [
+        (
+            name,
+            f"{r.mean_relative_overhead * 100:.1f}%",
+            f"{r.total_overhead:.2f}s",
+            f"{r.total_time:.2f}s",
+        )
+        for name, r in results.items()
+    ]
+    return format_table(
+        rows,
+        headers=("solution", "I/O overhead", "total overhead", "total time"),
+    )
+
+
+def iteration_table(result: CampaignResult) -> str:
+    """One row per iteration of a campaign (dump iterations flagged)."""
+    rows = [
+        (
+            str(r.iteration),
+            "dump" if r.dumped else "-",
+            f"{r.computation_s:.3f}s",
+            f"{r.overall_s:.3f}s",
+            f"{r.relative_overhead * 100:.1f}%",
+        )
+        for r in result.records
+    ]
+    return format_table(
+        rows,
+        headers=("iter", "kind", "compute", "overall", "overhead"),
+    )
+
+
+def format_table(
+    rows: list[tuple[str, ...]], headers: tuple[str, ...]
+) -> str:
+    """Render rows as a plain text table (benchmark harness output)."""
+    table = [headers, *rows]
+    widths = [
+        max(len(str(row[col])) for row in table)
+        for col in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(table):
+        line = "  ".join(
+            str(cell).ljust(width) for cell, width in zip(row, widths)
+        )
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

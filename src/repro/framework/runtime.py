@@ -1,0 +1,408 @@
+"""Per-process runtime: plan, schedule, and execute one dump.
+
+This is the modelled-execution pipeline of the proposed framework
+(Section 4.4): for each dumping iteration a process
+
+1. slices its fields into fine-grained blocks and predicts, per block,
+   the compressed size (previous iteration's ratio, Section 3.4), the
+   compression time (throughput model + shared-tree flag), and the I/O
+   time (write model with buffer amortization);
+2. builds the scheduling instance from the *previous* iteration's
+   recorded obstacle layout (Section 3.1's similarity assumption);
+3. runs the configured scheduling algorithm;
+4. replays the plan against the iteration's *actual* obstacle layout,
+   ratios and durations (Section 5.4.1's sequential-conflict rule) and
+   records history for the next iteration.
+
+Durations come from calibrated models rather than from really moving
+bytes, which keeps campaign simulation fast and machine-independent; the
+compression pipeline itself is exercised for real by the Figures 4-6
+experiments and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..apps.base import ApplicationModel, IterationProfile
+from ..core.balancing import IoTaskRef
+from ..core.model import Interval, Job, ProblemInstance, Schedule
+from ..core.registry import get_algorithm
+from ..simulator.noise import ActualDurations, NoiseModel
+from ..simulator.replay import ExecutionResult, execute_schedule
+from .config import FrameworkConfig
+
+__all__ = ["BlockPlan", "DumpPlan", "DumpOutcome", "ProcessRuntime"]
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """One fine-grained block's planning data."""
+
+    job_index: int
+    field_name: str
+    block_index: int
+    raw_bytes: int
+    predicted_ratio: float
+    predicted_bytes: int
+    predicted_compression_s: float
+    predicted_io_s: float
+
+
+@dataclass
+class DumpPlan:
+    """Everything a process plans before a dump executes."""
+
+    iteration: int
+    blocks: list[BlockPlan]
+    jobs: list[Job] = field(default_factory=list)
+    moved_in: list[IoTaskRef] = field(default_factory=list)
+    moved_out: set[int] = field(default_factory=set)
+
+    @property
+    def total_predicted_io(self) -> float:
+        return sum(b.predicted_io_s for b in self.blocks)
+
+    def io_task_refs(self, rank: int) -> list[IoTaskRef]:
+        """This rank's I/O tasks as balancer inputs."""
+        return [
+            IoTaskRef(
+                owner=rank,
+                job_index=b.job_index,
+                duration=b.predicted_io_s,
+            )
+            for b in self.blocks
+        ]
+
+
+@dataclass
+class DumpOutcome:
+    """The result of executing one dump on one process."""
+
+    plan: DumpPlan
+    schedule: Schedule
+    execution: ExecutionResult
+    actual_ratios: dict[str, np.ndarray]
+    actual_sizes: list[int]
+    overflow_bytes: int = 0
+
+    @property
+    def relative_overhead(self) -> float:
+        return self.execution.relative_overhead
+
+
+class ProcessRuntime:
+    """State and pipeline of one process (one rank, one GPU)."""
+
+    def __init__(
+        self,
+        rank: int,
+        app: ApplicationModel,
+        config: FrameworkConfig,
+        node_size: int,
+        noise: NoiseModel | None = None,
+    ) -> None:
+        self.rank = rank
+        self.app = app
+        self.config = config
+        self.node_size = node_size
+        self.noise = noise if noise is not None else NoiseModel(seed=rank)
+        self._previous_profile: IterationProfile | None = None
+        self._previous_ratios: dict[str, np.ndarray] | None = None
+        self._scheduler = get_algorithm(config.scheduler)
+
+    # ------------------------------------------------------------------
+    # observation (every iteration, dump or not)
+    # ------------------------------------------------------------------
+    def observe_iteration(self, profile: IterationProfile) -> None:
+        """Record an iteration's actual obstacle layout for prediction."""
+        self._previous_profile = profile
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def blocks_per_field(self) -> int:
+        """Fine-grained block count; whole fields when not compressing
+        (blocking is part of the compression design, Section 4.1)."""
+        if not self.config.use_compression:
+            return 1
+        field_bytes = self.app.partition_nbytes()
+        return max(1, round(field_bytes / self.config.block_bytes))
+
+    def _io_task_time(self, nbytes: int, mean_block_bytes: float) -> float:
+        """Write-model time for one block, with buffer amortization.
+
+        With the compressed data buffer, ~``buffer/mean_block`` blocks
+        share one write operation, so each block pays that fraction of
+        the per-write latency (Section 4.2's consolidation effect).
+        """
+        model = self.config.io_model
+        if nbytes <= 0:
+            return 0.0
+        if self.config.buffer_bytes > 0:
+            per_unit = max(
+                1.0, self.config.buffer_bytes / max(mean_block_bytes, 1.0)
+            )
+            latency = model.write_latency_s / per_unit
+        else:
+            latency = model.write_latency_s
+        return latency + nbytes / model.per_process_bandwidth
+
+    def plan_dump(self, iteration: int) -> DumpPlan:
+        """Plan every block of this dump with predicted values."""
+        nb = self.blocks_per_field()
+        field_bytes = self.app.partition_nbytes()
+        raw_block = field_bytes // nb
+        use_compression = self.config.use_compression
+
+        oracle_ratios = (
+            self.app.block_ratios(
+                self.rank, iteration, nb, self.node_size
+            )
+            if (self.config.oracle_scheduling and use_compression)
+            else None
+        )
+        predicted_sizes: list[tuple[str, int, int, float]] = []
+        for spec in self.app.fields:
+            for b in range(nb):
+                if use_compression:
+                    if oracle_ratios is not None:
+                        ratio = float(oracle_ratios[spec.name][b])
+                    else:
+                        ratio = self._predicted_ratio(
+                            spec.name, b, spec.base_ratio
+                        )
+                    size = max(1, int(raw_block / ratio))
+                else:
+                    ratio = 1.0
+                    size = raw_block
+                predicted_sizes.append((spec.name, b, size, ratio))
+
+        mean_size = float(np.mean([s for _, _, s, _ in predicted_sizes]))
+        blocks: list[BlockPlan] = []
+        for job_index, (fname, b, size, ratio) in enumerate(predicted_sizes):
+            if use_compression:
+                comp_s = self.config.compression_model.compression_time(
+                    raw_block, shared_tree=self.config.use_shared_tree
+                )
+            else:
+                comp_s = 0.0
+            blocks.append(
+                BlockPlan(
+                    job_index=job_index,
+                    field_name=fname,
+                    block_index=b,
+                    raw_bytes=raw_block,
+                    predicted_ratio=ratio,
+                    predicted_bytes=size,
+                    predicted_compression_s=comp_s,
+                    predicted_io_s=self._io_task_time(size, mean_size),
+                )
+            )
+        return DumpPlan(iteration=iteration, blocks=blocks)
+
+    def _predicted_ratio(
+        self, field_name: str, block: int, default: float
+    ) -> float:
+        if self._previous_ratios is None:
+            return default
+        ratios = self._previous_ratios.get(field_name)
+        if ratios is None or block >= len(ratios):
+            return default
+        return float(ratios[block])
+
+    # ------------------------------------------------------------------
+    # balancing hooks (called by the node orchestrator)
+    # ------------------------------------------------------------------
+    def apply_balancing(
+        self,
+        plan: DumpPlan,
+        kept: list[IoTaskRef],
+        moved_in: list[IoTaskRef],
+    ) -> None:
+        """Record the balancer's verdict on this plan."""
+        kept_ids = {ref.job_index for ref in kept if ref.owner == self.rank}
+        plan.moved_out = {
+            b.job_index for b in plan.blocks if b.job_index not in kept_ids
+        }
+        plan.moved_in = list(moved_in)
+
+    # ------------------------------------------------------------------
+    # scheduling + execution
+    # ------------------------------------------------------------------
+    def build_jobs(self, plan: DumpPlan) -> list[Job]:
+        """Assemble the flow-shop jobs for this plan.
+
+        Own blocks keep their compression task; a moved-out block's I/O
+        time becomes zero (another process writes it).  Moved-in tasks
+        become zero-compression pseudo-jobs whose ``io_release`` is the
+        donor's predicted compression completion (prefix-sum estimate).
+        """
+        jobs: list[Job] = []
+        comp_prefix = 0.0
+        prefix_by_index: dict[int, float] = {}
+        for b in plan.blocks:
+            comp_prefix += b.predicted_compression_s
+            prefix_by_index[b.job_index] = comp_prefix
+            io_s = 0.0 if b.job_index in plan.moved_out else b.predicted_io_s
+            jobs.append(
+                Job(
+                    index=b.job_index,
+                    compression_time=b.predicted_compression_s,
+                    io_time=io_s,
+                    label=f"{b.field_name}[{b.block_index}]",
+                )
+            )
+        next_index = len(jobs)
+        for ref in plan.moved_in:
+            # The donor compresses in its own generation order; its
+            # prefix sum of compression times lower-bounds readiness.
+            release = prefix_by_index.get(ref.job_index, 0.0)
+            jobs.append(
+                Job(
+                    index=next_index,
+                    compression_time=0.0,
+                    io_time=ref.duration,
+                    label=f"moved-in:{ref.owner}:{ref.job_index}",
+                    io_release=release,
+                )
+            )
+            next_index += 1
+        plan.jobs = jobs
+        return jobs
+
+    def make_instance(self, plan: DumpPlan) -> ProblemInstance:
+        """The scheduling instance, predicted from the previous iteration."""
+        if self._previous_profile is None:
+            raise LookupError(
+                "no previous iteration observed; run one iteration first"
+            )
+        profile = self._previous_profile
+        jobs = plan.jobs or self.build_jobs(plan)
+        main, background = self._obstacles(
+            profile.length,
+            profile.main_obstacles,
+            profile.background_obstacles,
+        )
+        return ProblemInstance(
+            begin=0.0,
+            end=profile.length,
+            jobs=tuple(jobs),
+            main_obstacles=main,
+            background_obstacles=background,
+        )
+
+    def _obstacles(
+        self,
+        length: float,
+        main: tuple[Interval, ...],
+        background: tuple[Interval, ...],
+    ) -> tuple[tuple[Interval, ...], tuple[Interval, ...]]:
+        """Obstacle layouts for the configured solution style.
+
+        Prior-style solutions do not overlap with computation: the main
+        thread is one solid obstacle.  The fully synchronous baseline
+        additionally blocks the background thread, pushing every write
+        after the iteration.
+        """
+        if not self.config.overlap_with_computation:
+            main = (Interval(0.0, length),)
+        if not self.config.async_background:
+            background = (Interval(0.0, length),)
+        return main, background
+
+    def execute_dump(
+        self,
+        plan: DumpPlan,
+        iteration: int,
+        moved_in_actual_s: list[float] | None = None,
+    ) -> DumpOutcome:
+        """Schedule the plan and replay it against actual conditions."""
+        if self.config.oracle_scheduling:
+            # Section 5.2 mode: the scheduler sees the iteration's actual
+            # obstacle layout rather than the previous iteration's.
+            self._previous_profile = self.app.iteration_profile(iteration)
+        instance = self.make_instance(plan)
+        schedule = self._scheduler(instance)
+
+        actual_profile = self.app.iteration_profile(iteration)
+        nb = self.blocks_per_field()
+        if self.config.use_compression:
+            actual_ratios = self.app.block_ratios(
+                self.rank, iteration, nb, self.node_size
+            )
+        else:
+            actual_ratios = {
+                spec.name: np.ones(nb) for spec in self.app.fields
+            }
+
+        mean_pred = float(
+            np.mean([b.predicted_bytes for b in plan.blocks])
+        )
+        actual_sizes: list[int] = []
+        compression_times: list[float] = []
+        io_times: list[float] = []
+        for b in plan.blocks:
+            ratio = float(actual_ratios[b.field_name][b.block_index])
+            size = max(1, int(b.raw_bytes / ratio))
+            actual_sizes.append(size)
+            compression_times.append(
+                self.noise.perturb_compression_time(
+                    b.predicted_compression_s
+                )
+            )
+            if b.job_index in plan.moved_out:
+                io_times.append(0.0)
+            else:
+                io_times.append(
+                    self.noise.perturb_io_time(
+                        self._io_task_time(size, mean_pred)
+                    )
+                )
+        if moved_in_actual_s is None:
+            moved_in_actual_s = [ref.duration for ref in plan.moved_in]
+        for actual in moved_in_actual_s:
+            compression_times.append(0.0)
+            io_times.append(self.noise.perturb_io_time(actual))
+
+        actual_main, actual_bg = self._obstacles(
+            actual_profile.length,
+            actual_profile.main_obstacles,
+            actual_profile.background_obstacles,
+        )
+        actuals = ActualDurations(
+            length=actual_profile.length,
+            main_obstacles=actual_main,
+            background_obstacles=actual_bg,
+            compression_times=tuple(compression_times),
+            io_times=tuple(io_times),
+        )
+        execution = execute_schedule(schedule, actuals)
+
+        # Section 4.4 overflow: blocks that compressed worse than their
+        # reservation spill into the shared file's tail through one extra,
+        # unschedulable write queued after the last planned I/O task.
+        overflow_bytes = sum(
+            max(0, size - b.predicted_bytes)
+            for b, size in zip(plan.blocks, actual_sizes)
+            if b.job_index not in plan.moved_out
+        )
+        if overflow_bytes > 0 and self.config.use_compression:
+            duration = self.config.io_model.write_time(overflow_bytes)
+            tail_ends = [iv.end for iv in execution.io.values()]
+            tail_ends += [o.end for o in execution.background_obstacles]
+            start = max(tail_ends, default=0.0)
+            execution.extra_io = (Interval(start, start + duration),)
+
+        self._previous_profile = actual_profile
+        self._previous_ratios = actual_ratios
+        return DumpOutcome(
+            plan=plan,
+            schedule=schedule,
+            execution=execution,
+            actual_ratios=actual_ratios,
+            actual_sizes=actual_sizes,
+            overflow_bytes=overflow_bytes,
+        )

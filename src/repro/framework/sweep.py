@@ -1,0 +1,133 @@
+"""Parameter sweeps over campaigns — the evaluation harness's workhorse.
+
+Every figure of the evaluation is a sweep: one knob varied, three
+solutions compared, overheads collected.  :func:`sweep_campaigns` runs
+the cross product of (variants x solutions) and returns a
+:class:`SweepResult` that renders as a table or as per-solution chart
+series, so custom experiments don't have to re-write the loop the
+benchmarks use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..apps.base import ApplicationModel
+from ..simulator.node import ClusterSpec
+from .config import FrameworkConfig
+from .orchestrator import CampaignRunner
+from .report import format_table
+from .textplot import line_chart
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_campaigns"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (variant, solution) cell of a sweep."""
+
+    variant: str
+    solution: str
+    mean_relative_overhead: float
+    total_time: float
+
+
+@dataclass
+class SweepResult:
+    """All cells of a sweep, with table/chart renderers."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def overhead(self, variant: str, solution: str) -> float:
+        for point in self.points:
+            if point.variant == variant and point.solution == solution:
+                return point.mean_relative_overhead
+        raise KeyError((variant, solution))
+
+    def variants(self) -> list[str]:
+        seen: list[str] = []
+        for point in self.points:
+            if point.variant not in seen:
+                seen.append(point.variant)
+        return seen
+
+    def solutions(self) -> list[str]:
+        seen: list[str] = []
+        for point in self.points:
+            if point.solution not in seen:
+                seen.append(point.solution)
+        return seen
+
+    def to_table(self) -> str:
+        solutions = self.solutions()
+        rows = []
+        for variant in self.variants():
+            rows.append(
+                (
+                    variant,
+                    *(
+                        f"{self.overhead(variant, s) * 100:.1f}%"
+                        for s in solutions
+                    ),
+                )
+            )
+        return format_table(rows, headers=("variant", *solutions))
+
+    def to_chart(self, x_of: Callable[[str], float] | None = None) -> str:
+        """Chart overhead vs variant, one series per solution.
+
+        ``x_of`` maps variant labels to x values (default: enumeration
+        order).
+        """
+        variants = self.variants()
+        if x_of is None:
+            positions = {v: float(i) for i, v in enumerate(variants)}
+            x_of = positions.__getitem__
+        series = {
+            solution: [
+                (x_of(v), self.overhead(v, solution)) for v in variants
+            ]
+            for solution in self.solutions()
+        }
+        return line_chart(
+            series, x_label="variant", y_label="relative overhead"
+        )
+
+
+def sweep_campaigns(
+    variants: dict[str, ApplicationModel],
+    solutions: dict[str, FrameworkConfig],
+    cluster: ClusterSpec,
+    iterations: int = 5,
+    seed: int = 1,
+) -> SweepResult:
+    """Run every (variant, solution) campaign and collect overheads.
+
+    Args:
+        variants: label -> application model (e.g. different spreads,
+            ratios, or scales baked into the model).
+        solutions: label -> framework configuration.
+        cluster: the cluster every campaign runs on.
+        iterations: iterations per campaign.
+        seed: base RNG seed (per-rank noise derives from it).
+    """
+    result = SweepResult()
+    for variant_label, app in variants.items():
+        for solution_label, config in solutions.items():
+            campaign = CampaignRunner(
+                app,
+                cluster,
+                config,
+                solution=solution_label,
+                seed=seed,
+            ).run(iterations)
+            result.points.append(
+                SweepPoint(
+                    variant=variant_label,
+                    solution=solution_label,
+                    mean_relative_overhead=campaign.mean_relative_overhead,
+                    total_time=campaign.total_time,
+                )
+            )
+    return result

@@ -1,0 +1,23 @@
+"""Parallel I/O substrate: bandwidth model, simulated filesystem, the
+shared-file container with overflow handling, and background-thread
+asynchronous writes."""
+
+from .async_io import AsyncWriter, WriteJob
+from .filesystem import SimulatedFileSystem, WriteRecord
+from .hdf5like import DatasetEntry, SharedFileReader, SharedFileWriter
+from .subfiling import SubfileReader, SubfileWriter
+from .throughput import SUMMIT_LIKE_IO, IoThroughputModel
+
+__all__ = [
+    "IoThroughputModel",
+    "SUMMIT_LIKE_IO",
+    "SimulatedFileSystem",
+    "WriteRecord",
+    "SharedFileWriter",
+    "SharedFileReader",
+    "DatasetEntry",
+    "AsyncWriter",
+    "WriteJob",
+    "SubfileWriter",
+    "SubfileReader",
+]

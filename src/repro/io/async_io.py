@@ -1,0 +1,98 @@
+"""Background-thread asynchronous I/O (the HDF5 async-VOL stand-in).
+
+The paper launches compressed-data writes on a background thread per
+process so they overlap the main thread's computation (Section 2.1, the
+async VOL connector).  This module provides that runtime for the real-file
+examples: a single worker thread drains a FIFO of write jobs against a
+:class:`~repro.io.hdf5like.SharedFileWriter`, and callers get a future-like
+handle per job.
+
+Ordering is FIFO — matching the scheduler's premise that I/O tasks on the
+background thread execute sequentially in the submitted order.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from .hdf5like import SharedFileWriter
+
+__all__ = ["WriteJob", "AsyncWriter"]
+
+
+@dataclass
+class WriteJob:
+    """A pending asynchronous write; ``wait()`` blocks until durable."""
+
+    name: str
+    payload: bytes
+    _done: threading.Event = field(default_factory=threading.Event)
+    fit_reservation: bool | None = None
+    error: BaseException | None = None
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the write completed; re-raises worker errors."""
+        finished = self._done.wait(timeout)
+        if finished and self.error is not None:
+            raise self.error
+        return finished
+
+
+class AsyncWriter:
+    """One background thread writing jobs to a shared container in FIFO."""
+
+    def __init__(self, writer: SharedFileWriter) -> None:
+        self._writer = writer
+        self._queue: queue.SimpleQueue[WriteJob | None] = queue.SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-async-io", daemon=True
+        )
+        self._closed = False
+        self._thread.start()
+
+    def submit(self, name: str, payload: bytes) -> WriteJob:
+        """Queue one write; returns immediately."""
+        if self._closed:
+            raise ValueError("writer is closed")
+        job = WriteJob(name=name, payload=payload)
+        self._queue.put(job)
+        return job
+
+    def drain(self) -> None:
+        """Block until every queued job has completed."""
+        barrier = WriteJob(name="", payload=b"")
+        self._queue.put(barrier)
+        barrier.wait()
+
+    def close(self) -> None:
+        """Finish outstanding work and stop the worker thread."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join()
+
+    def __enter__(self) -> "AsyncWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _drain(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if job.name == "" and not job.payload:
+                job._done.set()  # drain barrier
+                continue
+            try:
+                job.fit_reservation = self._writer.write(
+                    job.name, job.payload
+                )
+            except BaseException as exc:  # surfaced at wait()
+                job.error = exc
+            finally:
+                job._done.set()

@@ -1,0 +1,57 @@
+"""Simulated parallel filesystem: per-node accounting over the time model.
+
+The campaign simulator does not move real bytes; it asks this object how
+long each write takes (delegating to :class:`IoThroughputModel`) and keeps
+aggregate statistics so experiments can report achieved bandwidth and
+write-size distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .throughput import IoThroughputModel
+
+__all__ = ["WriteRecord", "SimulatedFileSystem"]
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One simulated write operation."""
+
+    rank: int
+    nbytes: int
+    duration: float
+
+
+@dataclass
+class SimulatedFileSystem:
+    """Bandwidth-modelled shared filesystem with write accounting."""
+
+    model: IoThroughputModel
+    writes: list[WriteRecord] = field(default_factory=list)
+
+    def write(self, rank: int, nbytes: int) -> float:
+        """Simulate one write; returns its duration."""
+        duration = self.model.write_time(nbytes)
+        self.writes.append(WriteRecord(rank, nbytes, duration))
+        return duration
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(w.nbytes for w in self.writes)
+
+    @property
+    def total_time(self) -> float:
+        return sum(w.duration for w in self.writes)
+
+    @property
+    def mean_write_bytes(self) -> float:
+        return self.total_bytes / len(self.writes) if self.writes else 0.0
+
+    def achieved_bandwidth(self) -> float:
+        """Aggregate bytes per second across all recorded writes."""
+        return self.total_bytes / self.total_time if self.total_time else 0.0
+
+    def reset(self) -> None:
+        self.writes.clear()

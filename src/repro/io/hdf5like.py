@@ -1,0 +1,243 @@
+"""A shared-file container with offset reservation and an overflow region.
+
+This is the repo's stand-in for parallel HDF5 writing to one shared file
+(Section 2.1 motivates the single-shared-file pattern).  It reproduces the
+mechanics the paper's implementation relies on (Section 4.4):
+
+* **Offset reservation.**  Before compression, every block's offset in
+  the shared file is computed from its *predicted* compressed size, so
+  processes can write independently without coordination.
+* **Overflow region.**  When a block compresses worse than predicted, the
+  reserved slot cannot hold it; the excess block is appended to a shared
+  overflow region at the end of the file, as an extra (unscheduled) I/O
+  task queued after the last planned one.
+* **Self-describing footer.**  A JSON footer records every dataset's
+  actual location so readers need no external metadata.
+
+Writes go through :func:`os.pwrite`-style positioned I/O so multiple
+threads (the async-I/O layer) can write concurrently to one descriptor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["DatasetEntry", "SharedFileWriter", "SharedFileReader"]
+
+_MAGIC = b"RPIO0001"
+_FOOTER_STRUCT = "<Q8s"  # footer length + magic, at the very end
+
+
+@dataclass
+class DatasetEntry:
+    """Location of one stored dataset (block) in the shared file.
+
+    ``crc32`` is the zlib CRC of the payload, or None when the data was
+    written externally (the parallel-dump path) and never passed through
+    this writer.
+    """
+
+    name: str
+    offset: int
+    nbytes: int
+    reserved: int
+    overflowed: bool
+    crc32: int | None = None
+
+
+class SharedFileWriter:
+    """Writer for the shared container; thread-safe positioned writes."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+        self._fd = os.open(
+            self._path, os.O_CREAT | os.O_RDWR | os.O_TRUNC, 0o644
+        )
+        os.write(self._fd, _MAGIC)
+        self._cursor = len(_MAGIC)  # next free reservation offset
+        self._entries: dict[str, DatasetEntry] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def reserve(self, name: str, predicted_nbytes: int) -> int:
+        """Reserve ``predicted_nbytes`` for ``name``; returns its offset."""
+        if predicted_nbytes < 0:
+            raise ValueError("predicted size must be non-negative")
+        with self._lock:
+            self._check_open()
+            if name in self._entries:
+                raise ValueError(f"dataset {name!r} already reserved")
+            offset = self._cursor
+            self._cursor += predicted_nbytes
+            self._entries[name] = DatasetEntry(
+                name=name,
+                offset=offset,
+                nbytes=0,
+                reserved=predicted_nbytes,
+                overflowed=False,
+            )
+            return offset
+
+    def write(self, name: str, payload: bytes) -> bool:
+        """Write a dataset into its reservation, or overflow if too big.
+
+        Returns True when the payload fit its reservation, False when it
+        was appended to the overflow region instead (the caller then
+        queues the write as the paper's extra trailing I/O task — timing
+        is the caller's concern; the data lands correctly either way).
+        """
+        with self._lock:
+            self._check_open()
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(f"dataset {name!r} was never reserved")
+            if entry.nbytes:
+                raise ValueError(f"dataset {name!r} already written")
+            if len(payload) <= entry.reserved:
+                offset = entry.offset
+                overflowed = False
+            else:
+                offset = self._cursor
+                self._cursor += len(payload)
+                overflowed = True
+            entry.offset = offset
+            entry.nbytes = len(payload)
+            entry.overflowed = overflowed
+            entry.crc32 = zlib.crc32(payload)
+        os.pwrite(self._fd, payload, offset)
+        return not overflowed
+
+    def commit_external(self, name: str, nbytes: int) -> None:
+        """Record that ``nbytes`` were written into ``name``'s reservation
+        by someone else (another process pwriting the same file — the
+        parallel-dump path).  The payload must fit the reservation; the
+        overflow path needs the writer's own cursor and stays in-process.
+        """
+        with self._lock:
+            self._check_open()
+            entry = self._entries.get(name)
+            if entry is None:
+                raise KeyError(f"dataset {name!r} was never reserved")
+            if entry.nbytes:
+                raise ValueError(f"dataset {name!r} already written")
+            if nbytes > entry.reserved:
+                raise ValueError(
+                    f"external write of {nbytes} exceeds reservation "
+                    f"{entry.reserved} for {name!r}"
+                )
+            entry.nbytes = nbytes
+
+    def write_unreserved(self, name: str, payload: bytes) -> None:
+        """Append a dataset that never had a reservation."""
+        with self._lock:
+            self._check_open()
+            if name in self._entries:
+                raise ValueError(f"dataset {name!r} already exists")
+            offset = self._cursor
+            self._cursor += len(payload)
+            self._entries[name] = DatasetEntry(
+                name=name,
+                offset=offset,
+                nbytes=len(payload),
+                reserved=0,
+                overflowed=False,
+                crc32=zlib.crc32(payload),
+            )
+        os.pwrite(self._fd, payload, offset)
+
+    @property
+    def overflow_bytes(self) -> int:
+        with self._lock:
+            return sum(
+                e.nbytes for e in self._entries.values() if e.overflowed
+            )
+
+    def close(self) -> None:
+        """Write the footer index and close the descriptor."""
+        with self._lock:
+            if self._closed:
+                return
+            index = {
+                name: {
+                    "offset": e.offset,
+                    "nbytes": e.nbytes,
+                    "reserved": e.reserved,
+                    "overflowed": e.overflowed,
+                    "crc32": e.crc32,
+                }
+                for name, e in self._entries.items()
+            }
+            footer = json.dumps(index).encode()
+            os.pwrite(self._fd, footer, self._cursor)
+            tail = struct.pack(_FOOTER_STRUCT, len(footer), _MAGIC)
+            os.pwrite(self._fd, tail, self._cursor + len(footer))
+            os.close(self._fd)
+            self._closed = True
+
+    def __enter__(self) -> "SharedFileWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("writer is closed")
+
+
+class SharedFileReader:
+    """Reader for containers produced by :class:`SharedFileWriter`."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+        self._fd = os.open(self._path, os.O_RDONLY)
+        size = os.fstat(self._fd).st_size
+        tail_size = struct.calcsize(_FOOTER_STRUCT)
+        if size < len(_MAGIC) + tail_size:
+            os.close(self._fd)
+            raise ValueError("file too small to be a shared container")
+        head = os.pread(self._fd, len(_MAGIC), 0)
+        tail = os.pread(self._fd, tail_size, size - tail_size)
+        footer_len, magic = struct.unpack(_FOOTER_STRUCT, tail)
+        if head != _MAGIC or magic != _MAGIC:
+            os.close(self._fd)
+            raise ValueError("not a shared container file")
+        footer = os.pread(
+            self._fd, footer_len, size - tail_size - footer_len
+        )
+        raw = json.loads(footer.decode())
+        self.entries = {
+            name: DatasetEntry(name=name, **info)
+            for name, info in raw.items()
+        }
+
+    def names(self) -> list[str]:
+        return sorted(self.entries)
+
+    def read(self, name: str, verify: bool = True) -> bytes:
+        """Read one dataset; with ``verify`` (default) the stored CRC32,
+        when present, is checked and corruption raises ``ValueError``."""
+        entry = self.entries[name]
+        payload = os.pread(self._fd, entry.nbytes, entry.offset)
+        if verify and entry.crc32 is not None:
+            actual = zlib.crc32(payload)
+            if actual != entry.crc32:
+                raise ValueError(
+                    f"dataset {name!r} failed its checksum "
+                    f"(stored {entry.crc32:#x}, read {actual:#x})"
+                )
+        return payload
+
+    def close(self) -> None:
+        os.close(self._fd)
+
+    def __enter__(self) -> "SharedFileReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,5 @@
+"""Real multi-process parallel execution (the MPI-rank stand-in)."""
+
+from .shared_dump import ParallelDumpStats, parallel_dump, parallel_verify
+
+__all__ = ["ParallelDumpStats", "parallel_dump", "parallel_verify"]

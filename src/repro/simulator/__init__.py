@@ -1,0 +1,31 @@
+"""Discrete-event substrate: virtual clock, noise models (Section 5.4.1),
+schedule replay under actual durations, cluster topology, and traces."""
+
+from .engine import Simulation
+from .node import ClusterSpec
+from .noise import ZERO_NOISE, ActualDurations, NoiseModel
+from .replay import ExecutionResult, execute_schedule
+from .trace import (
+    TraceEvent,
+    execution_to_trace,
+    render_gantt,
+    schedule_to_trace,
+    trace_to_csv,
+    trace_to_json,
+)
+
+__all__ = [
+    "Simulation",
+    "ClusterSpec",
+    "NoiseModel",
+    "ActualDurations",
+    "ZERO_NOISE",
+    "ExecutionResult",
+    "execute_schedule",
+    "TraceEvent",
+    "schedule_to_trace",
+    "execution_to_trace",
+    "render_gantt",
+    "trace_to_csv",
+    "trace_to_json",
+]

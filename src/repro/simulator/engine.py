@@ -1,0 +1,100 @@
+"""A minimal discrete-event simulation kernel (virtual clock + heap).
+
+The replay of a single process is a closed-form sequential computation
+(:mod:`repro.simulator.replay`), but campaign-level simulation — many
+processes per node advancing through iterations, with node-level events
+such as dump triggers and balancing exchanges — is naturally event-driven.
+This kernel provides just what the orchestrator needs: schedule a callback
+at an absolute virtual time, run until the queue drains, read the clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """Heap-based event loop over a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()  # FIFO tie-break at equal times
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}; clock already at {self._now}"
+            )
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.at(self._now + delay, callback)
+
+    def run(self, until: float | None = None) -> float:
+        """Process events in time order; returns the final clock value.
+
+        With ``until`` set, stops (without executing) at the first event
+        past that time and advances the clock to ``until``.
+        """
+        if self._running:
+            raise RuntimeError("simulation is already running")
+        self._running = True
+        try:
+            while self._queue:
+                time, _, callback = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._queue)
+                self._now = time
+                callback()
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        until: float | None = None,
+        start: float | None = None,
+    ) -> None:
+        """Schedule ``callback`` periodically from ``start`` (default:
+        one interval from now) until ``until`` (inclusive).
+
+        The recurrence self-schedules, so it composes with other events
+        and stops cleanly at the horizon.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        first = self._now + interval if start is None else start
+
+        def fire() -> None:
+            callback()
+            next_time = self._now + interval
+            if until is None or next_time <= until:
+                self.at(next_time, fire)
+
+        if until is None or first <= until:
+            self.at(first, fire)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,55 @@
+"""Cluster topology: nodes, processes, and their rank mapping.
+
+Mirrors the paper's Summit setup: each node hosts several processes, one
+GPU per process plus a share of the CPU cores; intra-node groups matter
+because I/O balancing (Section 3.4) and filesystem bandwidth sharing are
+node-local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of nodes.
+
+    Attributes:
+        num_nodes: node count.
+        processes_per_node: MPI ranks (== GPUs) per node; Summit runs use
+            4 or 6 in the paper's experiments.
+    """
+
+    num_nodes: int
+    processes_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1 or self.processes_per_node < 1:
+            raise ValueError("cluster dimensions must be positive")
+
+    @property
+    def total_processes(self) -> int:
+        return self.num_nodes * self.processes_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Which node hosts a global rank."""
+        self._check_rank(rank)
+        return rank // self.processes_per_node
+
+    def local_rank(self, rank: int) -> int:
+        """Rank's index within its node."""
+        self._check_rank(rank)
+        return rank % self.processes_per_node
+
+    def ranks_of_node(self, node: int) -> list[int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        base = node * self.processes_per_node
+        return list(range(base, base + self.processes_per_node))
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.total_processes:
+            raise ValueError(f"rank {rank} out of range")

@@ -1,0 +1,124 @@
+"""Uncertainty models from Section 5.4.1.
+
+The simulation-based evaluation perturbs every predicted quantity with
+normally distributed noise:
+
+* computing/core interval start and end times: ``sigma = 0.01 * T_n``;
+* compression ratio:       ``sigma = 0.10 * R``;
+* compression throughput:  ``sigma = 0.05 * T_c``;
+* I/O time:                ``sigma = 0.05 * T_io``.
+
+:class:`NoiseModel` draws the *actual* values the execution replay uses,
+given the *predicted* values the scheduler used.  A zero-sigma model
+makes execution exactly match the plan (useful in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import Interval, ProblemInstance
+
+__all__ = ["NoiseModel", "ActualDurations", "ZERO_NOISE"]
+
+
+@dataclass(frozen=True)
+class ActualDurations:
+    """Actual task durations and obstacle intervals for one iteration."""
+
+    length: float
+    main_obstacles: tuple[Interval, ...]
+    background_obstacles: tuple[Interval, ...]
+    compression_times: tuple[float, ...]
+    io_times: tuple[float, ...]
+
+
+@dataclass
+class NoiseModel:
+    """Gaussian perturbation of predicted values (Section 5.4.1)."""
+
+    interval_sigma_frac: float = 0.01
+    ratio_sigma_frac: float = 0.10
+    compression_sigma_frac: float = 0.05
+    io_sigma_frac: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def _positive_normal(self, mean: float, sigma: float) -> float:
+        if sigma <= 0.0:
+            return mean
+        draw = float(self._rng.normal(mean, sigma))
+        return max(draw, mean * 0.1, 1e-12)
+
+    def perturb_ratio(self, ratio: float) -> float:
+        """Actual compression ratio given the predicted one."""
+        return self._positive_normal(ratio, self.ratio_sigma_frac * ratio)
+
+    def perturb_compression_time(self, duration: float) -> float:
+        return self._positive_normal(
+            duration, self.compression_sigma_frac * duration
+        )
+
+    def perturb_io_time(self, duration: float) -> float:
+        return self._positive_normal(duration, self.io_sigma_frac * duration)
+
+    def _perturb_obstacles(
+        self,
+        obstacles: tuple[Interval, ...],
+        begin: float,
+        sigma: float,
+    ) -> tuple[Interval, ...]:
+        """Jitter interval endpoints, preserving order and disjointness."""
+        if sigma <= 0.0 or not obstacles:
+            return obstacles
+        out: list[Interval] = []
+        cursor = begin
+        for obs in obstacles:
+            start = max(cursor, obs.start + float(self._rng.normal(0, sigma)))
+            min_duration = obs.duration * 0.1
+            end = max(
+                start + min_duration,
+                obs.end + float(self._rng.normal(0, sigma)),
+            )
+            out.append(Interval(start, end))
+            cursor = end
+        return tuple(out)
+
+    def actual_durations(
+        self,
+        instance: ProblemInstance,
+        predicted_compression: tuple[float, ...],
+        predicted_io: tuple[float, ...],
+    ) -> ActualDurations:
+        """Draw one iteration's actual values from the predictions."""
+        sigma = self.interval_sigma_frac * instance.length
+        length = self._positive_normal(instance.length, sigma)
+        return ActualDurations(
+            length=length,
+            main_obstacles=self._perturb_obstacles(
+                instance.main_obstacles, instance.begin, sigma
+            ),
+            background_obstacles=self._perturb_obstacles(
+                instance.background_obstacles, instance.begin, sigma
+            ),
+            compression_times=tuple(
+                self.perturb_compression_time(d)
+                for d in predicted_compression
+            ),
+            io_times=tuple(
+                self.perturb_io_time(d) for d in predicted_io
+            ),
+        )
+
+
+#: Convenience model with every sigma zero (actuals == predictions).
+ZERO_NOISE = NoiseModel(
+    interval_sigma_frac=0.0,
+    ratio_sigma_frac=0.0,
+    compression_sigma_frac=0.0,
+    io_sigma_frac=0.0,
+)

@@ -1,0 +1,153 @@
+"""Execution replay: run a planned schedule against actual durations.
+
+The scheduler plans with *predicted* interval positions and task times.
+At run time the application's own tasks land where they land, and
+compression/I/O tasks take as long as they take.  Section 5.4.1 states the
+conflict rule: each thread executes its tasks **sequentially in the
+planned order** — a late-running task delays everything queued behind it
+on the same thread; an I/O task additionally waits for its compression
+task's actual completion.
+
+This deterministic replay is the simulator's core: given a
+:class:`~repro.core.model.Schedule` and an
+:class:`~repro.simulator.noise.ActualDurations`, it derives every actual
+start/end and the resulting iteration overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.model import Interval, Schedule
+from .noise import ActualDurations
+
+__all__ = ["ExecutionResult", "execute_schedule"]
+
+
+@dataclass
+class ExecutionResult:
+    """Actual timings of one iteration's replayed execution.
+
+    ``extra_io`` holds unscheduled trailing writes — the Section 4.4
+    overflow path, where blocks that compressed worse than predicted are
+    appended after the last planned I/O task.
+    """
+
+    begin: float
+    computation_length: float  # actual T_n (application tasks only)
+    compression: dict[int, Interval]
+    io: dict[int, Interval]
+    main_obstacles: tuple[Interval, ...]
+    background_obstacles: tuple[Interval, ...]
+    extra_io: tuple[Interval, ...] = ()
+
+    @property
+    def io_makespan(self) -> float:
+        ends = [iv.end for iv in self.io.values()]
+        ends += [iv.end for iv in self.extra_io]
+        if not ends:
+            return 0.0
+        return max(ends) - self.begin
+
+    @property
+    def overall_time(self) -> float:
+        """Iteration length including compression/I/O spill."""
+        tails = [self.computation_length, self.io_makespan]
+        if self.compression:
+            tails.append(
+                max(iv.end for iv in self.compression.values()) - self.begin
+            )
+        if self.main_obstacles:
+            tails.append(self.main_obstacles[-1].end - self.begin)
+        if self.background_obstacles:
+            tails.append(self.background_obstacles[-1].end - self.begin)
+        return max(tails)
+
+    @property
+    def overhead(self) -> float:
+        """Time the dump added on top of pure computation (>= 0)."""
+        return max(0.0, self.overall_time - self.computation_length)
+
+    @property
+    def relative_overhead(self) -> float:
+        """Overhead as a fraction of computation time (the figures' y-axis)."""
+        if self.computation_length <= 0:
+            return 0.0
+        return self.overhead / self.computation_length
+
+
+def execute_schedule(
+    schedule: Schedule, actuals: ActualDurations
+) -> ExecutionResult:
+    """Replay ``schedule`` with ``actuals``; returns actual timings.
+
+    Per-thread semantics: items run in planned-start order.  An
+    application task (obstacle) is *released* at its actual (noisy)
+    position; a compression task is released immediately; an I/O task is
+    released when its compression task actually completes.  Each item
+    starts at ``max(thread cursor, release)`` and runs for its actual
+    duration without preemption.
+    """
+    inst = schedule.instance
+    begin = inst.begin
+
+    # --- main thread: obstacles + compression tasks, planned order ----
+    main_items: list[tuple[float, str, int]] = []
+    for i, obs in enumerate(inst.main_obstacles):
+        main_items.append((obs.start, "obstacle", i))
+    for job_index, iv in schedule.compression.items():
+        main_items.append((iv.start, "compression", job_index))
+    main_items.sort(key=lambda item: (item[0], item[1] != "obstacle"))
+
+    cursor = begin
+    actual_compression: dict[int, Interval] = {}
+    actual_main_obs: list[Interval] = []
+    for _, kind, idx in main_items:
+        if kind == "obstacle":
+            planned = actuals.main_obstacles[idx]
+            start = max(cursor, planned.start)
+            end = start + planned.duration
+            actual_main_obs.append(Interval(start, end))
+        else:
+            duration = actuals.compression_times[idx]
+            start = cursor  # released immediately
+            end = start + duration
+            actual_compression[idx] = Interval(start, end)
+        cursor = end
+
+    # --- background thread: obstacles + I/O tasks, planned order ------
+    bg_items: list[tuple[float, str, int]] = []
+    for i, obs in enumerate(inst.background_obstacles):
+        bg_items.append((obs.start, "obstacle", i))
+    for job_index, iv in schedule.io.items():
+        bg_items.append((iv.start, "io", job_index))
+    bg_items.sort(key=lambda item: (item[0], item[1] != "obstacle"))
+
+    cursor = begin
+    actual_io: dict[int, Interval] = {}
+    actual_bg_obs: list[Interval] = []
+    for _, kind, idx in bg_items:
+        if kind == "obstacle":
+            planned = actuals.background_obstacles[idx]
+            start = max(cursor, planned.start)
+            end = start + planned.duration
+            actual_bg_obs.append(Interval(start, end))
+        else:
+            ready = max(
+                actual_compression[idx].end,
+                begin + inst.jobs[idx].io_release,
+            )
+            duration = actuals.io_times[idx]
+            start = max(cursor, ready)
+            end = start + duration
+            actual_io[idx] = Interval(start, end)
+        cursor = end
+
+    return ExecutionResult(
+        begin=begin,
+        computation_length=actuals.length,
+        compression=actual_compression,
+        io=actual_io,
+        main_obstacles=tuple(actual_main_obs),
+        background_obstacles=tuple(actual_bg_obs),
+    )

@@ -1,0 +1,128 @@
+"""Tests for interval-pattern generation and jitter."""
+
+import numpy as np
+import pytest
+
+from repro.apps import generate_profile, jitter_profile
+
+
+@pytest.fixture
+def profile(rng):
+    return generate_profile(
+        length=10.0,
+        num_main_tasks=5,
+        main_busy_fraction=0.5,
+        num_background_tasks=3,
+        background_busy_fraction=0.3,
+        rng=rng,
+    )
+
+
+class TestGenerateProfile:
+    def test_busy_fractions_hit_targets(self, profile):
+        assert profile.busy_fraction_main() == pytest.approx(0.5, abs=0.01)
+        assert profile.busy_fraction_background() == pytest.approx(
+            0.3, abs=0.01
+        )
+
+    def test_task_counts(self, profile):
+        assert len(profile.main_obstacles) == 5
+        assert len(profile.background_obstacles) == 3
+
+    def test_obstacles_sorted_disjoint_within_window(self, profile):
+        for obstacles in (
+            profile.main_obstacles,
+            profile.background_obstacles,
+        ):
+            cursor = 0.0
+            for obs in obstacles:
+                assert obs.start >= cursor - 1e-9
+                assert obs.end <= profile.length + 1e-9
+                cursor = obs.end
+
+    def test_lead_in_gap_present(self, profile):
+        assert profile.main_obstacles[0].start > 0.0
+
+    def test_zero_tasks(self, rng):
+        profile = generate_profile(10.0, 0, 0.0, 0, 0.0, rng)
+        assert profile.main_obstacles == ()
+        assert profile.background_obstacles == ()
+
+    def test_invalid_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_profile(10.0, 2, 1.0, 0, 0.0, rng)
+        with pytest.raises(ValueError):
+            generate_profile(10.0, 2, 0.5, 2, -0.1, rng)
+
+    def test_deterministic_given_rng_state(self):
+        a = generate_profile(
+            5.0, 3, 0.4, 2, 0.2, np.random.default_rng(7)
+        )
+        b = generate_profile(
+            5.0, 3, 0.4, 2, 0.2, np.random.default_rng(7)
+        )
+        assert a == b
+
+
+class TestJitterProfile:
+    def test_zero_sigma_identity_shape(self, profile, rng):
+        jittered = jitter_profile(profile, rng, sigma_fraction=0.0)
+        assert jittered.length == profile.length
+        # Endpoints may clamp but with zero sigma must be identical.
+        assert jittered.main_obstacles == profile.main_obstacles
+
+    def test_jitter_preserves_structure(self, profile, rng):
+        jittered = jitter_profile(profile, rng, sigma_fraction=0.02)
+        assert len(jittered.main_obstacles) == len(profile.main_obstacles)
+        cursor = 0.0
+        for obs in jittered.main_obstacles:
+            assert obs.start >= cursor - 1e-9
+            cursor = obs.end
+
+    def test_jitter_small_relative_displacement(self, profile, rng):
+        jittered = jitter_profile(profile, rng, sigma_fraction=0.01)
+        for a, b in zip(profile.main_obstacles, jittered.main_obstacles):
+            assert abs(a.start - b.start) < profile.length * 0.1
+
+    def test_heavy_jitter_still_valid(self, profile, rng):
+        for _ in range(20):
+            jittered = jitter_profile(profile, rng, sigma_fraction=0.2)
+            cursor = 0.0
+            for obs in (
+                jittered.main_obstacles + jittered.background_obstacles
+            ):
+                assert obs.duration >= 0.0
+            for obs in jittered.main_obstacles:
+                assert obs.start >= cursor - 1e-9
+                cursor = obs.end
+            assert jittered.length > 0
+
+
+class TestProfileSerialization:
+    def test_round_trip(self, profile):
+        from repro.apps import profile_from_json, profile_to_json
+
+        restored = profile_from_json(profile_to_json(profile))
+        assert restored == profile
+
+    def test_loaded_profile_drives_scheduling(self, profile):
+        from repro.apps import profile_from_json, profile_to_json
+        from repro.core import Job, ProblemInstance, ext_johnson_backfill
+
+        restored = profile_from_json(profile_to_json(profile))
+        instance = ProblemInstance(
+            begin=0.0,
+            end=restored.length,
+            jobs=(Job(0, 0.5, 0.5),),
+            main_obstacles=restored.main_obstacles,
+            background_obstacles=restored.background_obstacles,
+        )
+        ext_johnson_backfill(instance).validate()
+
+    def test_garbage_rejected(self):
+        import pytest as _pytest
+
+        from repro.apps import profile_from_json
+
+        with _pytest.raises(Exception):
+            profile_from_json("{not json")

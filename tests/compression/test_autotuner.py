@@ -1,0 +1,91 @@
+"""Tests for the Section 4.1 offline block-size profiler."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    SZCompressor,
+    build_codebook,
+    profile_block_sizes,
+)
+from repro.io import IoThroughputModel
+
+
+@pytest.fixture
+def sample(rng):
+    return np.cumsum(rng.normal(size=2**16), axis=0)  # 512 KiB float64
+
+
+_CANDIDATES = (8 * 1024, 32 * 1024, 128 * 1024)
+
+
+class TestProfiler:
+    def test_profiles_every_candidate(self, sample):
+        result = profile_block_sizes(
+            sample, 0.05, candidate_bytes=_CANDIDATES, repeats=1
+        )
+        assert len(result.profiles) == len(_CANDIDATES)
+        assert {p.block_bytes for p in result.profiles} == set(_CANDIDATES)
+
+    def test_recommendation_among_candidates(self, sample):
+        result = profile_block_sizes(
+            sample, 0.05, candidate_bytes=_CANDIDATES, repeats=1
+        )
+        assert result.recommended_block_bytes in _CANDIDATES
+
+    def test_efficiency_normalized(self, sample):
+        result = profile_block_sizes(
+            sample, 0.05, candidate_bytes=_CANDIDATES, repeats=1
+        )
+        effs = [p.combined_efficiency for p in result.profiles]
+        assert max(effs) == pytest.approx(1.0)
+        assert all(0.0 < e <= 1.0 for e in effs)
+
+    def test_io_efficiency_grows_with_block_size(self, sample):
+        result = profile_block_sizes(
+            sample,
+            0.05,
+            candidate_bytes=_CANDIDATES,
+            repeats=1,
+            io_model=IoThroughputModel(),
+        )
+        by_size = sorted(result.profiles, key=lambda p: p.block_bytes)
+        io_effs = [p.io_efficiency for p in by_size]
+        assert io_effs == sorted(io_effs)
+
+    def test_tight_tolerance_prefers_larger_blocks(self, sample):
+        loose = profile_block_sizes(
+            sample, 0.05, candidate_bytes=_CANDIDATES, repeats=1,
+            tolerance=0.9,
+        )
+        tight = profile_block_sizes(
+            sample, 0.05, candidate_bytes=_CANDIDATES, repeats=1,
+            tolerance=0.0,
+        )
+        assert loose.recommended_block_bytes <= tight.recommended_block_bytes
+
+    def test_shared_codebook_path(self, sample):
+        compressor = SZCompressor()
+        hist = compressor.histogram(sample, 0.05)
+        shared = build_codebook(
+            hist, force_symbols=(compressor.sentinel,)
+        )
+        result = profile_block_sizes(
+            sample,
+            0.05,
+            candidate_bytes=_CANDIDATES,
+            repeats=1,
+            compressor=compressor,
+            shared_codebook=shared,
+        )
+        assert result.recommended_block_bytes in _CANDIDATES
+
+    def test_oversized_candidate_rejected(self, sample):
+        with pytest.raises(ValueError, match="exceeds the sample"):
+            profile_block_sizes(
+                sample, 0.05, candidate_bytes=(2**30,), repeats=1
+            )
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            profile_block_sizes(np.zeros(0), 0.05)

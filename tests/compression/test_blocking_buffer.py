@@ -1,0 +1,149 @@
+"""Tests for fine-grained blocking and the compressed data buffer."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CompressedDataBuffer,
+    plan_blocks,
+    reassemble_field,
+    slice_field,
+)
+
+
+class TestPlanBlocks:
+    def test_64mb_field_into_8mb_blocks(self):
+        # 256^3 float32 = 64 MiB -> 8 blocks of 8 MiB (paper's example).
+        specs = plan_blocks("density", (256, 256, 256), 4, 8 * 2**20)
+        assert len(specs) == 8
+        assert all(s.shape == (32, 256, 256) for s in specs)
+
+    def test_small_field_stays_whole(self):
+        specs = plan_blocks("f", (16, 16), 8, 8 * 2**20)
+        assert len(specs) == 1
+        assert specs[0].shape == (16, 16)
+
+    def test_even_division_enforced(self):
+        # 10 rows cannot split into 3; nearest divisor wins.
+        specs = plan_blocks("f", (10, 100, 100), 8, 270_000)
+        rows = [s.end_row - s.start_row for s in specs]
+        assert len(set(rows)) == 1
+        assert sum(rows) == 10
+
+    def test_blocks_cover_field_without_overlap(self):
+        specs = plan_blocks("f", (128, 64, 64), 4, 2**20)
+        covered = np.zeros(128, dtype=int)
+        for s in specs:
+            covered[s.start_row : s.end_row] += 1
+        assert np.all(covered == 1)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            plan_blocks("f", (8, 8), 4, 0)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            plan_blocks("f", (), 4, 100)
+
+    def test_block_indices_sequential(self):
+        specs = plan_blocks("f", (64, 32, 32), 8, 2**18)
+        assert [s.block_index for s in specs] == list(range(len(specs)))
+
+    def test_num_values(self):
+        specs = plan_blocks("f", (64, 8), 8, 1024)
+        assert sum(s.num_values() for s in specs) == 64 * 8
+
+
+class TestSliceReassemble:
+    def test_round_trip(self, rng):
+        field = rng.normal(size=(32, 16, 16))
+        specs = plan_blocks("f", field.shape, field.itemsize, 8 * 16 * 16 * 4)
+        blocks = [(s, slice_field(field, s).copy()) for s in specs]
+        assert np.array_equal(reassemble_field(blocks), field)
+
+    def test_shuffled_blocks_reassemble(self, rng):
+        field = rng.normal(size=(24, 8))
+        specs = plan_blocks("f", field.shape, field.itemsize, 8 * 8 * 4)
+        blocks = [(s, slice_field(field, s).copy()) for s in specs]
+        blocks.reverse()
+        assert np.array_equal(reassemble_field(blocks), field)
+
+    def test_wrong_field_shape_rejected(self, rng):
+        field = rng.normal(size=(32, 16))
+        specs = plan_blocks("f", (64, 16), 8, 1024)
+        with pytest.raises(ValueError):
+            slice_field(field, specs[0])
+
+    def test_incomplete_coverage_rejected(self, rng):
+        field = rng.normal(size=(32, 8))
+        specs = plan_blocks("f", field.shape, 8, 512)
+        blocks = [(s, slice_field(field, s).copy()) for s in specs[:-1]]
+        with pytest.raises(ValueError, match="cover"):
+            reassemble_field(blocks)
+
+    def test_empty_reassemble_rejected(self):
+        with pytest.raises(ValueError):
+            reassemble_field([])
+
+
+class TestCompressedDataBuffer:
+    def test_accumulates_until_full(self):
+        buf = CompressedDataBuffer(max_bytes=10)
+        assert buf.append(0, 4) == []
+        assert buf.append(1, 4) == []
+        units = buf.append(2, 4)  # 12 > 10 -> flush first two
+        assert len(units) == 1
+        assert units[0].block_ids == (0, 1)
+        assert units[0].nbytes == 8
+
+    def test_flush_drains_pending(self):
+        buf = CompressedDataBuffer(max_bytes=100)
+        buf.append(0, 10)
+        buf.append(1, 20)
+        units = buf.flush()
+        assert len(units) == 1
+        assert units[0].block_ids == (0, 1)
+        assert buf.pending_bytes == 0
+
+    def test_flush_empty_is_noop(self):
+        assert CompressedDataBuffer(max_bytes=10).flush() == []
+
+    def test_oversized_block_emitted_alone(self):
+        buf = CompressedDataBuffer(max_bytes=10)
+        buf.append(0, 3)
+        units = buf.append(1, 50)
+        assert [u.block_ids for u in units] == [(0,), (1,)]
+
+    def test_disabled_buffer_passthrough(self):
+        buf = CompressedDataBuffer(max_bytes=0)
+        units = buf.append(0, 5)
+        assert len(units) == 1
+        assert buf.flush() == []
+
+    def test_exact_fit_kept_until_overflow(self):
+        buf = CompressedDataBuffer(max_bytes=10)
+        assert buf.append(0, 10) != []  # equal to max -> alone
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            CompressedDataBuffer(max_bytes=10).append(0, -1)
+
+    def test_all_blocks_accounted_for(self, rng):
+        buf = CompressedDataBuffer(max_bytes=64)
+        sizes = rng.integers(1, 40, size=50)
+        emitted = []
+        for i, size in enumerate(sizes):
+            emitted.extend(buf.append(i, int(size)))
+        emitted.extend(buf.flush())
+        ids = [b for u in emitted for b in u.block_ids]
+        assert sorted(ids) == list(range(50))
+        assert sum(u.nbytes for u in emitted) == int(sizes.sum())
+
+    def test_units_respect_capacity(self, rng):
+        buf = CompressedDataBuffer(max_bytes=64)
+        emitted = []
+        for i in range(100):
+            emitted.extend(buf.append(i, int(rng.integers(1, 30))))
+        emitted.extend(buf.flush())
+        for unit in emitted:
+            assert unit.nbytes <= 64 or len(unit.blocks) == 1

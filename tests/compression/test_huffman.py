@@ -1,0 +1,171 @@
+"""Tests for the canonical Huffman codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    build_codebook,
+    codebook_from_bytes,
+    codebook_to_bytes,
+    decode,
+    encode,
+    estimate_encoded_bits,
+)
+
+
+def _round_trip(symbols: np.ndarray, num_symbols: int) -> np.ndarray:
+    hist = np.bincount(symbols, minlength=num_symbols)
+    book = build_codebook(hist)
+    data, nbits = encode(symbols, book)
+    return decode(data, nbits, symbols.size, book)
+
+
+class TestCodebookConstruction:
+    def test_two_symbols_get_one_bit(self):
+        book = build_codebook(np.array([5, 5]))
+        assert list(book.lengths) == [1, 1]
+        assert sorted(book.codes[:2]) == [0, 1]
+
+    def test_single_symbol_gets_one_bit(self):
+        book = build_codebook(np.array([0, 7, 0]))
+        assert book.lengths[1] == 1
+        assert book.lengths[0] == 0
+
+    def test_empty_histogram(self):
+        book = build_codebook(np.zeros(4, dtype=np.int64))
+        assert book.max_length == 0
+
+    def test_skewed_distribution_shorter_codes_for_frequent(self):
+        hist = np.array([1000, 100, 10, 1])
+        book = build_codebook(hist)
+        assert book.lengths[0] <= book.lengths[1] <= book.lengths[3]
+
+    def test_kraft_inequality(self, rng):
+        hist = rng.integers(0, 1000, size=257)
+        book = build_codebook(hist)
+        lengths = book.lengths[book.lengths > 0].astype(np.float64)
+        assert np.sum(2.0 ** -lengths) <= 1.0 + 1e-12
+
+    def test_force_symbols(self):
+        hist = np.array([10, 0, 0])
+        book = build_codebook(hist, force_symbols=(2,))
+        assert book.lengths[2] > 0
+        assert book.lengths[1] == 0
+
+    def test_canonical_codes_are_prefix_free(self, rng):
+        hist = rng.integers(1, 50, size=40)
+        book = build_codebook(hist)
+        words = [
+            format(int(book.codes[s]), f"0{int(book.lengths[s])}b")
+            for s in range(40)
+        ]
+        for i, a in enumerate(words):
+            for j, b in enumerate(words):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_rejects_2d_frequencies(self):
+        with pytest.raises(ValueError):
+            build_codebook(np.ones((2, 2)))
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        symbols = np.array([0, 1, 2, 1, 0, 0, 3], dtype=np.uint16)
+        assert np.array_equal(_round_trip(symbols, 4), symbols)
+
+    def test_single_distinct_symbol(self):
+        symbols = np.full(100, 3, dtype=np.uint16)
+        assert np.array_equal(_round_trip(symbols, 8), symbols)
+
+    def test_large_skewed(self, rng):
+        symbols = np.minimum(
+            rng.geometric(0.3, size=50_000) - 1, 256
+        ).astype(np.uint16)
+        assert np.array_equal(_round_trip(symbols, 257), symbols)
+
+    def test_uniform_alphabet(self, rng):
+        symbols = rng.integers(0, 257, size=10_000).astype(np.uint16)
+        assert np.array_equal(_round_trip(symbols, 257), symbols)
+
+    def test_empty(self):
+        book = build_codebook(np.array([1, 1]))
+        data, nbits = encode(np.zeros(0, dtype=np.uint16), book)
+        assert data == b""
+        assert nbits == 0
+        assert decode(data, 0, 0, book).size == 0
+
+    def test_encode_unknown_symbol_raises(self):
+        book = build_codebook(np.array([1, 1, 0]))
+        with pytest.raises(ValueError, match="no code"):
+            encode(np.array([2], dtype=np.uint16), book)
+
+    def test_bit_count_matches_lengths(self, rng):
+        symbols = rng.integers(0, 16, size=1000).astype(np.uint16)
+        hist = np.bincount(symbols, minlength=16)
+        book = build_codebook(hist)
+        _, nbits = encode(symbols, book)
+        assert nbits == int(book.lengths[symbols].astype(np.int64).sum())
+
+    def test_compresses_skewed_data(self, rng):
+        symbols = np.minimum(rng.geometric(0.7, size=10_000) - 1, 15).astype(
+            np.uint16
+        )
+        hist = np.bincount(symbols, minlength=16)
+        book = build_codebook(hist)
+        data, _ = encode(symbols, book)
+        assert len(data) < symbols.size  # well under 8 bits/symbol
+
+
+class TestSerialization:
+    def test_round_trip(self, rng):
+        hist = rng.integers(0, 100, size=257)
+        book = build_codebook(hist)
+        restored = codebook_from_bytes(codebook_to_bytes(book))
+        assert np.array_equal(restored.lengths, book.lengths)
+        assert np.array_equal(restored.codes, book.codes)
+
+    def test_restored_book_decodes(self, rng):
+        symbols = rng.integers(0, 50, size=2000).astype(np.uint16)
+        hist = np.bincount(symbols, minlength=50)
+        book = build_codebook(hist)
+        data, nbits = encode(symbols, book)
+        restored = codebook_from_bytes(codebook_to_bytes(book))
+        assert np.array_equal(
+            decode(data, nbits, symbols.size, restored), symbols
+        )
+
+
+class TestEstimate:
+    def test_estimate_matches_actual_bits(self, rng):
+        symbols = rng.integers(0, 32, size=5000).astype(np.uint16)
+        hist = np.bincount(symbols, minlength=32)
+        book = build_codebook(hist)
+        _, nbits = encode(symbols, book)
+        estimated, escapes = estimate_encoded_bits(hist, book)
+        assert estimated == nbits
+        assert escapes == 0
+
+    def test_escapes_counted(self):
+        book = build_codebook(np.array([10, 10, 0]))
+        _, escapes = estimate_encoded_bits(np.array([5, 5, 7]), book)
+        assert escapes == 7
+
+    def test_histogram_longer_than_book(self):
+        book = build_codebook(np.array([1, 1]))
+        bits, escapes = estimate_encoded_bits(np.array([1, 1, 4, 4]), book)
+        assert escapes == 8
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=500)
+)
+@settings(max_examples=60, deadline=None)
+def test_huffman_round_trip_property(symbol_list):
+    symbols = np.array(symbol_list, dtype=np.uint16)
+    hist = np.bincount(symbols, minlength=31)
+    book = build_codebook(hist)
+    data, nbits = encode(symbols, book)
+    assert np.array_equal(decode(data, nbits, symbols.size, book), symbols)

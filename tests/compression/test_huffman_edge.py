@@ -1,0 +1,178 @@
+"""Edge-case Huffman tests: deep trees, pathological distributions, and
+consistency between the encoder's table and the decoder's canonical walk."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    build_codebook,
+    codebook_from_bytes,
+    codebook_to_bytes,
+    decode,
+    encode,
+)
+
+
+def _fibonacci_freqs(n: int) -> np.ndarray:
+    """Fibonacci frequencies build the deepest possible Huffman tree."""
+    freqs = [1, 1]
+    while len(freqs) < n:
+        freqs.append(freqs[-1] + freqs[-2])
+    return np.array(freqs[:n], dtype=np.int64)
+
+
+class TestDeepTrees:
+    def test_fibonacci_tree_depth(self):
+        book = build_codebook(_fibonacci_freqs(24))
+        # Fibonacci weights force depth ~ n-1.
+        assert book.max_length >= 20
+
+    def test_deep_tree_round_trip(self, rng):
+        freqs = _fibonacci_freqs(24)
+        book = build_codebook(freqs)
+        # Sample symbols proportional to the pathological weights.
+        probs = freqs / freqs.sum()
+        symbols = rng.choice(24, size=5000, p=probs).astype(np.uint16)
+        data, nbits = encode(symbols, book)
+        assert np.array_equal(
+            decode(data, nbits, symbols.size, book), symbols
+        )
+
+    def test_deep_tree_survives_serialization(self, rng):
+        book = build_codebook(_fibonacci_freqs(30))
+        restored = codebook_from_bytes(codebook_to_bytes(book))
+        assert restored.max_length == book.max_length
+        assert np.array_equal(restored.codes, book.codes)
+
+    def test_rarest_symbol_longest_code(self):
+        freqs = _fibonacci_freqs(16)
+        book = build_codebook(freqs)
+        assert book.lengths[0] == book.max_length  # freq 1 symbol
+        assert book.lengths[-1] == min(book.lengths[book.lengths > 0])
+
+
+class TestDistributions:
+    def test_uniform_distribution_near_log2(self, rng):
+        n = 64
+        book = build_codebook(np.full(n, 100))
+        assert set(np.unique(book.lengths)) == {6}  # exactly log2(64)
+
+    def test_power_of_two_plus_one(self):
+        book = build_codebook(np.full(65, 1))
+        assert book.max_length == 7
+        assert int(book.lengths.min()) >= 6
+
+    def test_one_dominant_symbol(self, rng):
+        freqs = np.ones(32, dtype=np.int64)
+        freqs[7] = 10**9
+        book = build_codebook(freqs)
+        assert book.lengths[7] == 1
+        symbols = np.full(1000, 7, dtype=np.uint16)
+        data, nbits = encode(symbols, book)
+        assert nbits == 1000
+
+    def test_two_symbol_alternation(self):
+        book = build_codebook(np.array([500, 500]))
+        symbols = np.tile(
+            np.array([0, 1], dtype=np.uint16), 500
+        )
+        data, nbits = encode(symbols, book)
+        assert nbits == 1000
+        assert np.array_equal(
+            decode(data, nbits, 1000, book), symbols
+        )
+
+    def test_byte_boundary_exactness(self, rng):
+        # Streams whose bit counts are not byte multiples must decode
+        # exactly (padding bits ignored).
+        book = build_codebook(np.array([3, 2, 1]))
+        for count in range(1, 24):
+            symbols = rng.integers(0, 3, size=count).astype(np.uint16)
+            data, nbits = encode(symbols, book)
+            assert np.array_equal(
+                decode(data, nbits, count, book), symbols
+            )
+
+    def test_declared_bits_mismatch_detected(self, rng):
+        symbols = rng.integers(0, 8, size=100).astype(np.uint16)
+        hist = np.bincount(symbols, minlength=8)
+        book = build_codebook(hist)
+        data, nbits = encode(symbols, book)
+        with pytest.raises(ValueError, match="decoded"):
+            decode(data, nbits + 5, symbols.size, book)
+
+
+@given(
+    weights=st.lists(
+        st.integers(min_value=1, max_value=10**6), min_size=2, max_size=64
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_arbitrary_weights_round_trip(weights, seed):
+    freqs = np.array(weights, dtype=np.int64)
+    book = build_codebook(freqs)
+    rng = np.random.default_rng(seed)
+    symbols = rng.integers(0, len(weights), size=300).astype(np.uint16)
+    data, nbits = encode(symbols, book)
+    assert np.array_equal(decode(data, nbits, 300, book), symbols)
+    # Kraft equality for a complete code over >= 2 symbols.
+    lengths = book.lengths[book.lengths > 0].astype(float)
+    assert np.sum(2.0**-lengths) == pytest.approx(1.0)
+
+
+class TestLengthLimitedCodes:
+    def test_depth_bounded(self):
+        freqs = _fibonacci_freqs(24)
+        book = build_codebook(freqs, max_length=12)
+        assert book.max_length <= 12
+
+    def test_kraft_equality_preserved(self):
+        freqs = _fibonacci_freqs(30)
+        book = build_codebook(freqs, max_length=10)
+        lengths = book.lengths[book.lengths > 0].astype(float)
+        assert np.sum(2.0**-lengths) == pytest.approx(1.0)
+
+    def test_cost_overhead_tiny(self):
+        freqs = _fibonacci_freqs(24)
+        natural = build_codebook(freqs)
+        limited = build_codebook(freqs, max_length=12)
+        cost_nat = int(np.sum(freqs * natural.lengths[:24].astype(np.int64)))
+        cost_lim = int(np.sum(freqs * limited.lengths[:24].astype(np.int64)))
+        assert cost_lim >= cost_nat  # natural Huffman is optimal
+        assert cost_lim < cost_nat * 1.02
+
+    def test_limited_book_round_trips(self, rng):
+        freqs = _fibonacci_freqs(24)
+        book = build_codebook(freqs, max_length=9)
+        probs = freqs / freqs.sum()
+        symbols = rng.choice(24, size=4000, p=probs).astype(np.uint16)
+        data, nbits = encode(symbols, book)
+        assert np.array_equal(
+            decode(data, nbits, symbols.size, book), symbols
+        )
+
+    def test_noop_when_natural_tree_fits(self, rng):
+        freqs = rng.integers(50, 100, size=16)
+        natural = build_codebook(freqs)
+        limited = build_codebook(freqs, max_length=16)
+        assert np.array_equal(natural.lengths, limited.lengths)
+
+    def test_infeasible_bound_rejected(self):
+        with pytest.raises(ValueError, match="cannot encode"):
+            build_codebook(np.ones(32, dtype=np.int64), max_length=4)
+
+    def test_exact_bound_gives_fixed_length_code(self):
+        # 2^L symbols at depth L: the only feasible code is fixed-length.
+        freqs = _fibonacci_freqs(16)
+        book = build_codebook(freqs, max_length=4)
+        assert set(book.lengths[book.lengths > 0].tolist()) == {4}
+
+    def test_force_symbols_compose_with_limit(self):
+        freqs = _fibonacci_freqs(20)
+        freqs[5] = 0
+        book = build_codebook(freqs, force_symbols=(5,), max_length=10)
+        assert book.lengths[5] > 0
+        assert book.max_length <= 10

@@ -1,0 +1,136 @@
+"""Tests for quality metrics and the pre-compression ratio/time models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    CompressionThroughputModel,
+    RatioModel,
+    SZCompressor,
+    bit_rate,
+    build_codebook,
+    compression_ratio,
+    max_abs_error,
+    nrmse,
+    psnr,
+)
+
+
+class TestMetrics:
+    def test_compression_ratio(self):
+        assert compression_ratio(100, 10) == 10.0
+
+    def test_compression_ratio_zero_compressed(self):
+        assert compression_ratio(100, 0) == math.inf
+        assert compression_ratio(0, 0) == 1.0
+
+    def test_compression_ratio_negative_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio(-1, 10)
+
+    def test_bit_rate(self):
+        assert bit_rate(100, 25) == 2.0
+        assert bit_rate(0, 25) == 0.0
+
+    def test_psnr_identical_is_inf(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert psnr(x, x) == math.inf
+
+    def test_psnr_known_value(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.1, 1.0])
+        # range=1, mse=0.005 -> psnr = -10*log10(0.005) ~ 23.01 dB
+        assert psnr(x, y) == pytest.approx(23.0103, abs=1e-3)
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 2.0]), np.array([1.5, 2.0])) == 0.5
+
+    def test_nrmse(self):
+        x = np.array([0.0, 2.0])
+        y = np.array([0.0, 1.0])
+        assert nrmse(x, y) == pytest.approx(math.sqrt(0.5) / 2.0)
+
+    def test_empty_arrays(self):
+        empty = np.zeros(0)
+        assert max_abs_error(empty, empty) == 0.0
+        assert nrmse(empty, empty) == 0.0
+
+
+class TestRatioModel:
+    def _field(self, rng, shape=(32, 32, 32)):
+        base = np.cumsum(rng.normal(0, 1, size=shape), axis=0)
+        return np.cumsum(base, axis=1)
+
+    def test_prediction_close_to_actual(self, rng):
+        comp = SZCompressor()
+        model = RatioModel(comp)
+        field = self._field(rng)
+        eb = np.ptp(field) * 1e-3
+        predicted = model.predict(field, eb)
+        actual = comp.compress(field, eb).compression_ratio
+        # Within 2x either way is the paper's working accuracy.
+        assert predicted.ratio == pytest.approx(actual, rel=1.0)
+
+    def test_prediction_direction_tracks_error_bound(self, rng):
+        comp = SZCompressor()
+        model = RatioModel(comp)
+        field = self._field(rng)
+        loose = model.predict(field, np.ptp(field) * 1e-2).ratio
+        tight = model.predict(field, np.ptp(field) * 1e-5).ratio
+        assert loose > tight
+
+    def test_shared_codebook_path(self, rng):
+        comp = SZCompressor()
+        model = RatioModel(comp)
+        field = self._field(rng)
+        eb = np.ptp(field) * 1e-3
+        hist = comp.histogram(field, eb)
+        shared = build_codebook(hist, force_symbols=(comp.sentinel,))
+        estimate = model.predict(field, eb, shared_codebook=shared)
+        assert estimate.ratio > 1.0
+
+    def test_sampling_used_for_large_blocks(self, rng):
+        comp = SZCompressor()
+        model = RatioModel(comp, sample_limit=1024)
+        field = self._field(rng, shape=(64, 32, 32))
+        estimate = model.predict(field, np.ptp(field) * 1e-3)
+        assert estimate.ratio > 1.0
+
+    def test_empty_block(self):
+        comp = SZCompressor()
+        model = RatioModel(comp)
+        estimate = model.predict(np.zeros((0,)), 0.1)
+        assert estimate.ratio == 1.0
+
+    def test_outlier_fraction_reported(self, rng):
+        comp = SZCompressor(radius=4)  # tiny radius forces outliers
+        model = RatioModel(comp)
+        field = rng.normal(0, 1000, size=(16, 16))
+        estimate = model.predict(field, 0.01)
+        assert estimate.outlier_fraction > 0.0
+
+
+class TestThroughputModel:
+    def test_linear_in_size(self):
+        model = CompressionThroughputModel(
+            throughput_bytes_per_s=100e6, setup_s=0.0, tree_build_s=0.0
+        )
+        assert model.compression_time(100_000_000) == pytest.approx(1.0)
+
+    def test_tree_build_charged_without_shared_tree(self):
+        model = CompressionThroughputModel()
+        with_tree = model.compression_time(2**20, shared_tree=False)
+        without = model.compression_time(2**20, shared_tree=True)
+        assert with_tree - without == pytest.approx(model.tree_build_s)
+
+    def test_small_blocks_dominated_by_constant_cost(self):
+        model = CompressionThroughputModel()
+        small = model.compression_time(2**16, shared_tree=False)
+        effective_throughput = 2**16 / small
+        assert effective_throughput < model.throughput_bytes_per_s / 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionThroughputModel().compression_time(-1)

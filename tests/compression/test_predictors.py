@@ -1,0 +1,60 @@
+"""Tests for the integer Lorenzo transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.compression import lorenzo_forward, lorenzo_inverse
+
+
+class TestLorenzoRoundTrip:
+    @pytest.mark.parametrize("shape", [(7,), (4, 5), (3, 4, 5), (2, 3, 2, 2)])
+    def test_round_trip_random(self, shape, rng):
+        values = rng.integers(-1000, 1000, size=shape).astype(np.int64)
+        assert np.array_equal(
+            lorenzo_inverse(lorenzo_forward(values)), values
+        )
+
+    def test_constant_field_gives_single_nonzero(self):
+        values = np.full((8, 8), 7, dtype=np.int64)
+        deltas = lorenzo_forward(values)
+        assert deltas[0, 0] == 7
+        assert np.count_nonzero(deltas) == 1
+
+    def test_linear_ramp_1d(self):
+        values = np.arange(10, dtype=np.int64)
+        deltas = lorenzo_forward(values)
+        assert np.array_equal(deltas, np.array([0] + [1] * 9))
+
+    def test_smooth_2d_concentrates_near_zero(self, rng):
+        x = np.linspace(0, 4 * np.pi, 64)
+        smooth = (1000 * np.sin(x)[:, None] * np.cos(x)[None, :]).astype(
+            np.int64
+        )
+        deltas = lorenzo_forward(smooth)
+        # Second-mixed-differences of a smooth field are tiny.
+        assert np.abs(deltas[1:, 1:]).max() < np.abs(smooth).max() / 10
+
+    def test_empty_array(self):
+        values = np.zeros((0,), dtype=np.int64)
+        assert lorenzo_forward(values).size == 0
+
+    def test_rank0_rejected(self):
+        with pytest.raises(ValueError):
+            lorenzo_forward(np.int64(3))
+        with pytest.raises(ValueError):
+            lorenzo_inverse(np.int64(3))
+
+
+@given(
+    values=arrays(
+        dtype=np.int64,
+        shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8),
+        elements=st.integers(min_value=-(2**30), max_value=2**30),
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_lorenzo_inverse_is_exact(values):
+    assert np.array_equal(lorenzo_inverse(lorenzo_forward(values)), values)

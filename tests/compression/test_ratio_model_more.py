@@ -1,0 +1,82 @@
+"""Ratio-model prediction accuracy across application regimes.
+
+The framework's offset reservations and scheduling both hinge on the
+pre-compression size estimate (Section 4.4); these tests pin down its
+accuracy envelope on each application's characteristic data, and the
+safety margin that keeps overflow 'rare'.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import HaccModel, NyxModel, WarpXModel
+from repro.compression import RatioModel, SZCompressor
+
+
+def _accuracy(app, field_name, iteration=5, shape=None):
+    compressor = SZCompressor()
+    model = RatioModel(compressor, sample_limit=16384)
+    data = app.generate_field(field_name, 0, iteration, shape=shape)
+    data = np.ascontiguousarray(data)
+    bound = app.field(field_name).error_bound
+    predicted = model.predict(data, bound).compressed_nbytes
+    actual = compressor.compress(data, bound).compressed_nbytes
+    return predicted, actual
+
+
+class TestPredictionAccuracy:
+    @pytest.mark.parametrize(
+        "field_name", ["temperature", "baryon_density", "velocity_x"]
+    )
+    def test_nyx_within_2x(self, field_name):
+        app = NyxModel(seed=81, partition_shape=(24, 24, 24))
+        predicted, actual = _accuracy(app, field_name)
+        assert actual / 2 <= predicted <= actual * 2
+
+    def test_reservation_covers_actual_on_most_fields(self):
+        """With the 1.10 safety factor, predictions should cover the
+        actual size for the clear majority of blocks (overflow 'rare')."""
+        app = NyxModel(seed=81, partition_shape=(24, 24, 24))
+        covered = 0
+        total = 0
+        for field_name in [f.name for f in app.fields[:6]]:
+            predicted, actual = _accuracy(app, field_name)
+            total += 1
+            if predicted >= actual:
+                covered += 1
+        assert covered >= total - 1
+
+    def test_warpx_prediction(self):
+        app = WarpXModel(seed=81, partition_shape=(12, 12, 96))
+        predicted, actual = _accuracy(app, "Ex")
+        assert actual / 3 <= predicted <= actual * 3
+
+    def test_hacc_prediction(self):
+        app = HaccModel(seed=81, particles_per_rank=2**14)
+        predicted, actual = _accuracy(app, "vx")
+        assert actual / 2 <= predicted <= actual * 2
+
+    def test_sampling_consistency(self, rng):
+        """Strided sampling must track the full-data estimate."""
+        compressor = SZCompressor()
+        field = np.cumsum(
+            np.cumsum(rng.normal(size=(48, 32, 32)), axis=0), axis=1
+        )
+        full = RatioModel(compressor, sample_limit=10**9).predict(
+            field, 0.05
+        )
+        sampled = RatioModel(compressor, sample_limit=4096).predict(
+            field, 0.05
+        )
+        assert sampled.ratio == pytest.approx(full.ratio, rel=0.5)
+
+    def test_prediction_monotone_in_bound(self):
+        app = NyxModel(seed=81, partition_shape=(20, 20, 20))
+        compressor = SZCompressor()
+        model = RatioModel(compressor)
+        data = np.ascontiguousarray(
+            app.generate_field("temperature", 0, 5)
+        )
+        loose = model.predict(data, 1e4).compressed_nbytes
+        tight = model.predict(data, 1e1).compressed_nbytes
+        assert loose < tight

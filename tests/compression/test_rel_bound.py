@@ -1,0 +1,51 @@
+"""Tests for the value-range-relative error-bound mode."""
+
+import numpy as np
+import pytest
+
+from repro.compression import SZCompressor, max_abs_error
+
+
+class TestRelativeBound:
+    def test_rel_bound_respected(self, rng):
+        field = np.cumsum(rng.normal(size=(16, 16, 16)), axis=0) * 1e6
+        compressor = SZCompressor()
+        block = compressor.compress(field, 1e-3, mode="rel")
+        recon = compressor.decompress(block)
+        assert max_abs_error(field, recon) <= 1e-3 * np.ptp(field) * (
+            1 + 1e-9
+        )
+
+    def test_rel_scales_with_magnitude(self, rng):
+        base = np.cumsum(rng.normal(size=(12, 12)), axis=0)
+        compressor = SZCompressor()
+        small = compressor.resolve_bound(base, 1e-2, "rel")
+        large = compressor.resolve_bound(base * 1e8, 1e-2, "rel")
+        assert large == pytest.approx(small * 1e8, rel=1e-9)
+
+    def test_abs_mode_default(self, rng):
+        field = rng.normal(size=(8, 8))
+        compressor = SZCompressor()
+        assert compressor.resolve_bound(field, 0.5) == 0.5
+
+    def test_constant_field_rel_bound(self):
+        field = np.full((8, 8), 7.0)
+        compressor = SZCompressor()
+        block = compressor.compress(field, 1e-3, mode="rel")
+        recon = compressor.decompress(block)
+        assert np.allclose(recon, field)
+
+    def test_unknown_mode_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown error-bound mode"):
+            SZCompressor().compress(
+                rng.normal(size=4), 0.1, mode="percent"
+            )
+
+    def test_rel_ratio_stable_across_scales(self, rng):
+        base = np.cumsum(rng.normal(size=(16, 16, 16)), axis=0)
+        compressor = SZCompressor()
+        r1 = compressor.compress(base, 1e-3, mode="rel").compression_ratio
+        r2 = compressor.compress(
+            base * 1e9, 1e-3, mode="rel"
+        ).compression_ratio
+        assert r2 == pytest.approx(r1, rel=0.1)

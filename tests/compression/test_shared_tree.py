@@ -1,0 +1,117 @@
+"""Tests for the shared Huffman tree lifecycle manager."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    SharedTreeManager,
+    SZCompressor,
+    build_codebook,
+    degradation_ratio,
+)
+
+
+def _hist(rng, size=257, concentration=0.5):
+    center = size // 2
+    samples = np.clip(
+        np.rint(rng.normal(center, concentration * 10, size=10_000)),
+        0,
+        size - 1,
+    ).astype(np.int64)
+    return np.bincount(samples, minlength=size)
+
+
+class TestSharedTreeManager:
+    def test_no_tree_before_first_iteration(self):
+        mgr = SharedTreeManager(num_symbols=257, sentinel=256)
+        assert mgr.codebook is None
+
+    def test_tree_built_after_first_iteration(self, rng):
+        mgr = SharedTreeManager(num_symbols=257, sentinel=256)
+        mgr.observe(_hist(rng))
+        assert mgr.end_iteration()
+        assert mgr.codebook is not None
+
+    def test_sentinel_always_coded(self, rng):
+        mgr = SharedTreeManager(num_symbols=257, sentinel=256)
+        hist = _hist(rng)
+        hist[256] = 0
+        mgr.observe(hist)
+        mgr.end_iteration()
+        assert mgr.codebook.lengths[256] > 0
+
+    def test_rebuild_period(self, rng):
+        mgr = SharedTreeManager(num_symbols=257, sentinel=256, rebuild_period=3)
+        mgr.observe(_hist(rng))
+        assert mgr.end_iteration()  # first build
+        for expected in (False, False, True):
+            mgr.observe(_hist(rng))
+            assert mgr.end_iteration() is expected
+
+    def test_tree_age_tracks_iterations(self, rng):
+        mgr = SharedTreeManager(num_symbols=257, sentinel=256, rebuild_period=5)
+        mgr.observe(_hist(rng))
+        mgr.end_iteration()
+        assert mgr.tree_age == 0
+        mgr.observe(_hist(rng))
+        mgr.end_iteration()
+        assert mgr.tree_age == 1
+
+    def test_histogram_size_validated(self):
+        mgr = SharedTreeManager(num_symbols=257, sentinel=256)
+        with pytest.raises(ValueError):
+            mgr.observe(np.zeros(10, dtype=np.int64))
+
+    def test_invalid_rebuild_period(self):
+        with pytest.raises(ValueError):
+            SharedTreeManager(num_symbols=3, sentinel=2, rebuild_period=0)
+
+    def test_no_data_no_build(self):
+        mgr = SharedTreeManager(num_symbols=257, sentinel=256)
+        assert not mgr.end_iteration()
+        assert mgr.codebook is None
+
+    def test_histograms_accumulate_across_blocks(self, rng):
+        mgr = SharedTreeManager(num_symbols=257, sentinel=256)
+        for _ in range(4):
+            mgr.observe(_hist(rng))
+        mgr.end_iteration()
+        assert mgr.codebook is not None
+
+
+class TestDegradation:
+    def test_identical_histogram_no_degradation(self, rng):
+        hist = _hist(rng)
+        shared = build_codebook(hist, force_symbols=(256,))
+        ratio = degradation_ratio(hist, shared)
+        assert 0.97 <= ratio <= 1.0 + 1e-9
+
+    def test_drifted_histogram_degrades(self, rng):
+        hist0 = _hist(rng, concentration=0.5)
+        hist9 = _hist(rng, concentration=3.0)
+        shared = build_codebook(hist0, force_symbols=(256,))
+        fresh = degradation_ratio(hist0, shared)
+        stale = degradation_ratio(hist9, shared)
+        assert stale <= fresh + 1e-9
+
+    def test_degradation_monotone_in_drift(self, rng):
+        hist0 = _hist(rng, concentration=0.5)
+        shared = build_codebook(hist0, force_symbols=(256,))
+        ratios = [
+            degradation_ratio(_hist(rng, concentration=c), shared)
+            for c in (0.5, 1.5, 4.0)
+        ]
+        assert ratios[0] >= ratios[-1]
+
+    def test_integration_with_compressor(self, rng):
+        # The manager's tree must plug straight into SZCompressor.
+        comp = SZCompressor()
+        mgr = SharedTreeManager(
+            num_symbols=2 * comp.radius + 1, sentinel=comp.sentinel
+        )
+        base = np.cumsum(rng.normal(0, 1, size=(16, 16, 16)), axis=0)
+        mgr.observe(comp.histogram(base, 0.1))
+        mgr.end_iteration()
+        block = comp.compress(base, 0.1, shared_codebook=mgr.codebook)
+        recon = comp.decompress(block, shared_codebook=mgr.codebook)
+        assert np.max(np.abs(base - recon)) <= 0.1 * (1 + 1e-9)

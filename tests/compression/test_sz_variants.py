@@ -1,0 +1,92 @@
+"""SZ compressor variants: radius sweep, stage invariants, random bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import SZCompressor, max_abs_error
+
+
+def _field(rng, shape=(14, 14, 14)):
+    return np.cumsum(rng.normal(size=shape), axis=0)
+
+
+class TestRadiusVariants:
+    @pytest.mark.parametrize("radius", [4, 32, 128, 512])
+    def test_round_trip_any_radius(self, rng, radius):
+        compressor = SZCompressor(radius=radius)
+        field = _field(rng)
+        block = compressor.compress(field, 0.05)
+        recon = compressor.decompress(block)
+        assert max_abs_error(field, recon) <= 0.05 * (1 + 1e-9)
+
+    def test_small_radius_forces_outliers(self, rng):
+        tiny = SZCompressor(radius=2)
+        field = _field(rng) * 100
+        block = tiny.compress(field, 0.01)
+        assert block.num_outliers > 0
+        recon = tiny.decompress(block)
+        assert max_abs_error(field, recon) <= 0.01 * (1 + 1e-9)
+
+    def test_sentinel_position(self):
+        assert SZCompressor(radius=7).sentinel == 14
+
+    def test_larger_radius_fewer_outliers(self, rng):
+        field = _field(rng) * 50
+        small = SZCompressor(radius=8).compress(field, 0.01)
+        large = SZCompressor(radius=256).compress(field, 0.01)
+        assert large.num_outliers <= small.num_outliers
+
+
+class TestStageInvariants:
+    def test_histogram_sums_to_size(self, rng):
+        compressor = SZCompressor()
+        field = _field(rng)
+        hist = compressor.histogram(field, 0.1)
+        assert int(hist.sum()) == field.size
+        assert hist.size == 2 * compressor.radius + 1
+
+    def test_quantize_codes_within_alphabet(self, rng):
+        compressor = SZCompressor(radius=16)
+        quantized = compressor.quantize(_field(rng), 0.05)
+        assert quantized.codes.max() <= 2 * 16
+        assert quantized.codes.min() >= 0
+
+    def test_smoother_data_more_concentrated_histogram(self, rng):
+        compressor = SZCompressor()
+        smooth = _field(rng)
+        # Uncorrelated data at the same per-point scale as the smooth
+        # field's local increments, scaled up 20x so its Lorenzo deltas
+        # spread over many codes while staying in-alphabet.
+        eb = smooth.std() * 1e-3
+        rough = rng.normal(size=(14, 14, 14)) * (20 * eb)
+        h_smooth = compressor.histogram(smooth, eb)
+        h_rough = compressor.histogram(rough, eb)
+
+        def entropy(h):
+            p = h[h > 0] / h.sum()
+            return float(-(p * np.log2(p)).sum())
+
+        assert entropy(h_smooth) < entropy(h_rough)
+
+    def test_nbits_matches_payload_bound(self, rng):
+        compressor = SZCompressor()
+        block = compressor.compress(_field(rng), 0.05)
+        # Huffman bytes inside the payload can't exceed the zlib input.
+        assert (block.nbits + 7) // 8 >= 1
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    exponent=st.integers(min_value=-6, max_value=1),
+)
+@settings(max_examples=30, deadline=None)
+def test_round_trip_random_bounds(seed, exponent):
+    rng = np.random.default_rng(seed)
+    field = np.cumsum(rng.normal(size=(10, 10)), axis=0)
+    bound = 10.0**exponent
+    compressor = SZCompressor()
+    block = compressor.compress(field, bound)
+    recon = compressor.decompress(block)
+    assert max_abs_error(field, recon) <= bound * (1 + 1e-9)

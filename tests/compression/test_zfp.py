@@ -1,0 +1,186 @@
+"""Tests for the ZFP-style fixed-rate transform codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import ZFPCompressor
+from repro.compression.zfp import (
+    _blockify,
+    _from_negabinary,
+    _lift_forward,
+    _lift_inverse,
+    _to_negabinary,
+    _unblockify,
+)
+
+
+def _smooth(rng, shape):
+    arr = rng.normal(size=shape)
+    for axis in range(len(shape)):
+        arr = np.cumsum(arr, axis=axis)
+    return arr
+
+
+class TestInternals:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_lifting_exactly_invertible(self, rng, ndim):
+        blocks = rng.integers(-(2**27), 2**27, size=(16, 4**ndim)).astype(
+            np.int64
+        )
+        assert np.array_equal(
+            _lift_inverse(_lift_forward(blocks, ndim), ndim), blocks
+        )
+
+    def test_lifting_decorrelates_constant_block(self):
+        blocks = np.full((1, 64), 1000, dtype=np.int64)
+        out = _lift_forward(blocks, 3)
+        # A constant block concentrates into the DC coefficient.
+        assert np.count_nonzero(out) <= 1
+
+    def test_negabinary_round_trip(self, rng):
+        values = rng.integers(-(2**30), 2**30, size=5000)
+        assert np.array_equal(
+            _from_negabinary(_to_negabinary(values)), values
+        )
+
+    def test_negabinary_zero(self):
+        assert _to_negabinary(np.array([0]))[0] == 0
+
+    @pytest.mark.parametrize(
+        "shape", [(7,), (9, 5), (5, 6, 7), (4, 4, 4), (1, 1, 1)]
+    )
+    def test_blockify_round_trip(self, rng, shape):
+        values = rng.normal(size=shape)
+        blocks = _blockify(values)
+        assert blocks.shape[1] == 4 ** len(shape)
+        assert np.array_equal(_unblockify(blocks, shape), values)
+
+
+class TestCodec:
+    def test_error_shrinks_with_rate(self, rng):
+        field = _smooth(rng, (20, 20, 20))
+        errors = []
+        for rate in (4, 8, 16, 32):
+            codec = ZFPCompressor(rate)
+            recon = codec.decompress(codec.compress(field))
+            errors.append(float(np.max(np.abs(field - recon))))
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < np.ptp(field) * 1e-7
+
+    def test_fixed_rate_means_fixed_size(self, rng):
+        smooth = _smooth(rng, (16, 16, 16))
+        noisy = rng.normal(size=(16, 16, 16))
+        codec = ZFPCompressor(8)
+        assert (
+            codec.compress(smooth).compressed_nbytes
+            == codec.compress(noisy).compressed_nbytes
+        )
+
+    def test_compression_ratio_matches_rate(self, rng):
+        field = _smooth(rng, (16, 16, 16)).astype(np.float64)
+        codec = ZFPCompressor(8)
+        stream = codec.compress(field)
+        # 64-bit values at 8 bits/value + exponent sidecar: just under 8x.
+        assert 6.0 < stream.compression_ratio <= 8.0
+
+    @pytest.mark.parametrize("shape", [(33,), (10, 14), (9, 9, 9)])
+    def test_non_multiple_of_four_shapes(self, rng, shape):
+        field = _smooth(rng, shape)
+        codec = ZFPCompressor(16)
+        recon = codec.decompress(codec.compress(field))
+        assert recon.shape == shape
+        assert np.max(np.abs(field - recon)) < np.ptp(field) * 1e-3
+
+    def test_float32_supported(self, rng):
+        field = _smooth(rng, (8, 8, 8)).astype(np.float32)
+        codec = ZFPCompressor(16)
+        recon = codec.decompress(codec.compress(field))
+        assert recon.dtype == np.float32
+        # Error scales with the largest block magnitude at fixed rate.
+        assert np.max(np.abs(field - recon)) < np.abs(field).max() * 5e-3
+
+    def test_zero_field(self):
+        codec = ZFPCompressor(8)
+        field = np.zeros((8, 8))
+        recon = codec.decompress(codec.compress(field))
+        assert np.array_equal(recon, field)
+
+    def test_constant_field_cheap_and_exact(self):
+        codec = ZFPCompressor(8)
+        field = np.full((8, 8, 8), 2.5)
+        recon = codec.decompress(codec.compress(field))
+        assert np.allclose(recon, field, atol=1e-6 * 2.5)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ZFPCompressor(0)
+        with pytest.raises(ValueError):
+            ZFPCompressor(33)
+
+    def test_invalid_dtype(self):
+        with pytest.raises(TypeError):
+            ZFPCompressor(8).compress(np.zeros((4, 4), dtype=np.int32))
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            ZFPCompressor(8).compress(np.zeros((2, 2, 2, 2)))
+
+    def test_smooth_beats_noise_in_accuracy(self, rng):
+        codec = ZFPCompressor(8)
+        smooth = _smooth(rng, (16, 16, 16))
+        smooth /= np.abs(smooth).max()
+        noise = rng.normal(size=(16, 16, 16))
+        noise /= np.abs(noise).max()
+        err_smooth = np.max(
+            np.abs(smooth - codec.decompress(codec.compress(smooth)))
+        )
+        err_noise = np.max(
+            np.abs(noise - codec.decompress(codec.compress(noise)))
+        )
+        assert err_smooth < err_noise
+
+
+@given(
+    rate=st.integers(min_value=28, max_value=32),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=20, deadline=None)
+def test_high_rate_near_lossless(rate, seed):
+    rng = np.random.default_rng(seed)
+    field = _smooth(rng, (8, 8))
+    codec = ZFPCompressor(rate)
+    recon = codec.decompress(codec.compress(field))
+    scale = max(np.abs(field).max(), 1e-12)
+    assert np.max(np.abs(field - recon)) <= scale * 2.0 ** -(rate - 8)
+
+
+class TestSerialization:
+    def test_stream_round_trips_through_bytes(self, rng):
+        field = _smooth(rng, (12, 12, 12))
+        codec = ZFPCompressor(12)
+        stream = codec.compress(field)
+        from repro.compression import ZFPBlockStream
+
+        restored = ZFPBlockStream.from_bytes(stream.to_bytes())
+        assert restored.shape == stream.shape
+        assert restored.rate_bits == 12
+        assert restored.dtype == stream.dtype
+        recon_a = codec.decompress(stream)
+        recon_b = codec.decompress(restored)
+        assert np.array_equal(recon_a, recon_b)
+
+    def test_garbage_rejected(self):
+        from repro.compression import ZFPBlockStream
+
+        with pytest.raises(ValueError, match="not a ZFP stream"):
+            ZFPBlockStream.from_bytes(b"XXXX" + b"\0" * 40)
+
+    def test_float32_metadata(self, rng):
+        from repro.compression import ZFPBlockStream
+
+        field = _smooth(rng, (8, 8)).astype(np.float32)
+        stream = ZFPCompressor(8).compress(field)
+        restored = ZFPBlockStream.from_bytes(stream.to_bytes())
+        assert restored.dtype == np.float32

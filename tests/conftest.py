@@ -1,0 +1,79 @@
+"""Shared fixtures and instance builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Interval, Job, ProblemInstance
+
+
+def figure1_instance() -> ProblemInstance:
+    """The exact worked example from Figure 1 of the paper.
+
+    Iteration [0, 12]; main obstacles Y1=[3,4], Y2=[6,7]; background
+    obstacle G1=[4,5]; four jobs with (c, c') = (1,2), (2,1), (2,2), (3,2).
+    """
+    return ProblemInstance(
+        begin=0.0,
+        end=12.0,
+        jobs=(
+            Job(0, 1.0, 2.0),
+            Job(1, 2.0, 1.0),
+            Job(2, 2.0, 2.0),
+            Job(3, 3.0, 2.0),
+        ),
+        main_obstacles=(Interval(3.0, 4.0), Interval(6.0, 7.0)),
+        background_obstacles=(Interval(4.0, 5.0),),
+    )
+
+
+def random_instance(
+    rng: np.random.Generator,
+    num_jobs: int | None = None,
+    num_main_obstacles: int | None = None,
+    num_background_obstacles: int | None = None,
+    length: float = 20.0,
+) -> ProblemInstance:
+    """A random feasible instance for stress tests."""
+    if num_jobs is None:
+        num_jobs = int(rng.integers(1, 9))
+    if num_main_obstacles is None:
+        num_main_obstacles = int(rng.integers(0, 4))
+    if num_background_obstacles is None:
+        num_background_obstacles = int(rng.integers(0, 4))
+
+    def obstacles(count: int) -> tuple[Interval, ...]:
+        if count == 0:
+            return ()
+        points = np.sort(rng.uniform(0.0, length, size=2 * count))
+        return tuple(
+            Interval(float(points[2 * i]), float(points[2 * i + 1]))
+            for i in range(count)
+        )
+
+    jobs = tuple(
+        Job(
+            i,
+            float(rng.uniform(0.1, 3.0)),
+            float(rng.uniform(0.1, 3.0)),
+        )
+        for i in range(num_jobs)
+    )
+    return ProblemInstance(
+        begin=0.0,
+        end=length,
+        jobs=jobs,
+        main_obstacles=obstacles(num_main_obstacles),
+        background_obstacles=obstacles(num_background_obstacles),
+    )
+
+
+@pytest.fixture
+def figure1() -> ProblemInstance:
+    return figure1_instance()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20240422)

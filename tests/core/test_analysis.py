@@ -1,0 +1,108 @@
+"""Tests for schedule lower bounds and concealment statistics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    ALGORITHMS,
+    Interval,
+    Job,
+    ProblemInstance,
+    ext_johnson_backfill,
+    ilp_schedule,
+    lower_bound,
+    schedule_stats,
+)
+from tests.conftest import random_instance
+from tests.core.test_properties import instances
+
+
+class TestLowerBound:
+    def test_empty_instance(self):
+        assert lower_bound(ProblemInstance(begin=0.0, end=5.0, jobs=())) == 0.0
+
+    def test_single_job_no_obstacles(self):
+        inst = ProblemInstance(
+            begin=0.0, end=10.0, jobs=(Job(0, 2.0, 3.0),)
+        )
+        assert lower_bound(inst) == pytest.approx(5.0)
+
+    def test_obstacle_pushes_bound(self):
+        inst = ProblemInstance(
+            begin=0.0,
+            end=10.0,
+            jobs=(Job(0, 2.0, 3.0),),
+            main_obstacles=(Interval(0.0, 4.0),),
+        )
+        # Compression can't start before 4 -> job chain = 4+2+3 = 9.
+        assert lower_bound(inst) == pytest.approx(9.0)
+
+    def test_io_load_bound(self):
+        # Many jobs with tiny compression but heavy I/O: the background
+        # thread's total load dominates.
+        jobs = tuple(Job(i, 0.1, 5.0) for i in range(4))
+        inst = ProblemInstance(begin=0.0, end=100.0, jobs=jobs)
+        assert lower_bound(inst) >= 20.0
+
+    def test_figure1_bound_attained(self, figure1):
+        # ExtJohnson+BF achieves 12.0 on Figure 1; the bound must not
+        # exceed it.
+        assert lower_bound(figure1) <= 12.0 + 1e-9
+
+    def test_bound_respects_io_release(self):
+        inst = ProblemInstance(
+            begin=0.0,
+            end=10.0,
+            jobs=(Job(0, 0.0, 1.0, io_release=6.0),),
+        )
+        assert lower_bound(inst) == pytest.approx(7.0)
+
+    def test_all_heuristics_respect_bound(self, rng):
+        for _ in range(30):
+            inst = random_instance(rng)
+            bound = lower_bound(inst)
+            for algo in ALGORITHMS.values():
+                assert algo(inst).io_makespan >= bound - 1e-6
+
+    def test_ilp_optimum_at_least_bound(self, rng):
+        for _ in range(5):
+            inst = random_instance(rng, num_jobs=3)
+            result = ilp_schedule(inst, time_limit=10.0)
+            if result.status == "optimal":
+                assert result.objective >= lower_bound(inst) - 1e-4
+
+
+class TestScheduleStats:
+    def test_fully_concealed_schedule(self, figure1):
+        schedule = ext_johnson_backfill(figure1)
+        stats = schedule_stats(schedule)
+        assert stats.concealed_fraction == pytest.approx(1.0)
+        assert stats.spill == pytest.approx(0.0)
+        assert stats.io_makespan == pytest.approx(12.0)
+
+    def test_spilled_schedule(self):
+        inst = ProblemInstance(
+            begin=0.0, end=1.0, jobs=(Job(0, 2.0, 2.0),)
+        )
+        stats = schedule_stats(ext_johnson_backfill(inst))
+        assert stats.spill > 0.0
+        assert stats.concealed_fraction < 1.0
+
+    def test_gap_nonnegative(self, rng):
+        for _ in range(20):
+            inst = random_instance(rng)
+            stats = schedule_stats(ext_johnson_backfill(inst))
+            assert stats.optimality_gap >= 0.0
+
+    def test_idle_usage_bounded(self, figure1):
+        stats = schedule_stats(ext_johnson_backfill(figure1))
+        assert 0.0 <= stats.main_idle_used <= 1.0 + 1e-9
+        assert 0.0 <= stats.background_idle_used <= 1.0 + 1e-9
+
+
+@given(inst=instances())
+@settings(max_examples=50, deadline=None)
+def test_lower_bound_property(inst):
+    bound = lower_bound(inst)
+    for algo in ALGORITHMS.values():
+        assert algo(inst).io_makespan >= bound - 1e-6

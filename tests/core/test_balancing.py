@@ -1,0 +1,93 @@
+"""Tests for intra-node I/O workload balancing (Section 3.4)."""
+
+import pytest
+
+from repro.core import IoTaskRef, balance_io_workloads
+
+
+def _tasks(owner: int, durations: list[float]) -> list[IoTaskRef]:
+    return [
+        IoTaskRef(owner=owner, job_index=i, duration=d)
+        for i, d in enumerate(durations)
+    ]
+
+
+class TestBalanceLoop:
+    def test_balanced_input_untouched(self):
+        result = balance_io_workloads(
+            [_tasks(0, [1.0, 1.0]), _tasks(1, [1.0, 1.0])]
+        )
+        assert result.moves == 0
+        assert result.workloads_after == [2.0, 2.0]
+
+    def test_moves_first_task_of_heaviest_to_lightest(self):
+        heavy = _tasks(0, [3.0, 3.0, 3.0, 3.0])  # 12
+        light = _tasks(1, [1.0])  # 1
+        result = balance_io_workloads([heavy, light])
+        assert result.moves >= 1
+        # First move: heavy's first task appended after light's tasks.
+        moved = result.assignments[1][1]
+        assert moved.owner == 0
+        assert moved.job_index == 0
+
+    def test_terminates_within_threshold(self):
+        processes = [
+            _tasks(0, [2.0] * 10),
+            _tasks(1, [2.0] * 2),
+            _tasks(2, [2.0] * 3),
+            _tasks(3, [2.0] * 1),
+        ]
+        result = balance_io_workloads(processes)
+        after = result.workloads_after
+        assert max(after) <= 2.0 * min(after) + 1e-9
+
+    def test_single_huge_task_does_not_oscillate(self):
+        # One 100s task cannot be split; the loop must stop, not bounce.
+        result = balance_io_workloads(
+            [_tasks(0, [100.0, 0.5]), _tasks(1, [0.5])]
+        )
+        assert result.moves <= 2
+
+    def test_donor_keeps_at_least_one_task(self):
+        result = balance_io_workloads([_tasks(0, [10.0]), _tasks(1, [0.1])])
+        assert len(result.assignments[0]) >= 1
+
+    def test_total_work_conserved(self):
+        processes = [
+            _tasks(0, [5.0, 4.0, 3.0]),
+            _tasks(1, [0.5]),
+            _tasks(2, [1.0, 1.0]),
+        ]
+        result = balance_io_workloads(processes)
+        assert sum(result.workloads_after) == pytest.approx(
+            sum(result.workloads_before)
+        )
+        total_tasks = sum(len(a) for a in result.assignments)
+        assert total_tasks == 6
+
+    def test_imbalance_never_increases(self):
+        processes = [
+            _tasks(0, [8.0, 2.0, 1.0]),
+            _tasks(1, [1.0]),
+            _tasks(2, [2.0, 2.0]),
+        ]
+        result = balance_io_workloads(processes)
+        assert result.imbalance_after <= result.imbalance_before + 1e-9
+
+    def test_zero_workload_process_receives_work(self):
+        result = balance_io_workloads([_tasks(0, [4.0, 4.0]), []])
+        assert len(result.assignments[1]) >= 1
+
+    def test_single_process_noop(self):
+        result = balance_io_workloads([_tasks(0, [5.0, 1.0])])
+        assert result.moves == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            balance_io_workloads([_tasks(0, [1.0])], threshold=1.0)
+
+    def test_custom_threshold(self):
+        processes = [_tasks(0, [1.0] * 9), _tasks(1, [1.0] * 3)]
+        loose = balance_io_workloads(processes, threshold=3.0)
+        tight = balance_io_workloads(processes, threshold=1.5)
+        assert tight.moves >= loose.moves

@@ -1,0 +1,96 @@
+"""Tests for the Appendix A ILP solved with HiGHS."""
+
+import pytest
+
+from repro.core import (
+    ALGORITHMS,
+    Interval,
+    Job,
+    ProblemInstance,
+    ilp_schedule,
+)
+from tests.conftest import random_instance
+
+
+class TestIlpSmallInstances:
+    def test_empty_instance(self):
+        inst = ProblemInstance(begin=0.0, end=10.0, jobs=())
+        result = ilp_schedule(inst)
+        assert result.status == "optimal"
+        assert result.objective == 0.0
+
+    def test_single_job_no_obstacles(self):
+        inst = ProblemInstance(
+            begin=0.0, end=10.0, jobs=(Job(0, 2.0, 3.0),)
+        )
+        result = ilp_schedule(inst)
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(5.0, abs=1e-4)
+
+    def test_two_jobs_pipeline(self):
+        # Optimal: compress short first so I/O overlaps the long one.
+        inst = ProblemInstance(
+            begin=0.0,
+            end=100.0,
+            jobs=(Job(0, 5.0, 1.0), Job(1, 1.0, 5.0)),
+        )
+        result = ilp_schedule(inst)
+        assert result.status == "optimal"
+        # R1[0,1] B1[1,6]; R0[1,6] B0[6,7] -> makespan 7.
+        assert result.objective == pytest.approx(7.0, abs=1e-4)
+
+    def test_obstacle_forces_delay(self):
+        inst = ProblemInstance(
+            begin=0.0,
+            end=100.0,
+            jobs=(Job(0, 2.0, 2.0),),
+            main_obstacles=(Interval(0.0, 3.0),),
+        )
+        result = ilp_schedule(inst)
+        assert result.status == "optimal"
+        # Compression cannot start before 3 -> ends 5, I/O ends 7.
+        assert result.objective == pytest.approx(7.0, abs=1e-4)
+
+    def test_figure1_optimum_not_worse_than_heuristics(self, figure1):
+        result = ilp_schedule(figure1, time_limit=30.0)
+        assert result.status == "optimal"
+        best_heuristic = min(
+            algo(figure1).io_makespan for algo in ALGORITHMS.values()
+        )
+        assert result.objective <= best_heuristic + 1e-4
+
+
+class TestIlpDominatesHeuristics:
+    def test_ilp_lower_bounds_heuristics_on_random_instances(self, rng):
+        for _ in range(6):
+            inst = random_instance(
+                rng,
+                num_jobs=4,
+                num_main_obstacles=1,
+                num_background_obstacles=1,
+            )
+            result = ilp_schedule(inst, time_limit=20.0)
+            if result.status != "optimal":
+                continue  # HiGHS may time out; never wrong when optimal
+            for name, algo in ALGORITHMS.items():
+                heuristic = algo(inst).io_makespan
+                assert result.objective <= heuristic + 1e-4, name
+
+
+class TestIlpReporting:
+    def test_variable_and_constraint_counts_grow_quadratically(self):
+        def counts(m):
+            inst = ProblemInstance(
+                begin=0.0,
+                end=100.0,
+                jobs=tuple(Job(i, 1.0, 1.0) for i in range(m)),
+            )
+            r = ilp_schedule(inst, time_limit=1.0)
+            return r.num_variables, r.num_constraints
+
+        v4, c4 = counts(4)
+        v8, c8 = counts(8)
+        # first-variables scale with m(m-1)/2 on both machines.
+        assert v8 > v4
+        assert c8 > c4
+        assert v8 - v4 >= (8 * 7 - 4 * 3)  # 2 machines x pair growth

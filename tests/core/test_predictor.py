@@ -1,0 +1,66 @@
+"""Tests for history-based iteration prediction."""
+
+import pytest
+
+from repro.core import Interval, IterationHistory, IterationRecord, Job
+
+
+def _record(length=10.0, ratios=(16.0, 12.0)):
+    return IterationRecord(
+        length=length,
+        main_obstacles=(Interval(2.0, 3.0),),
+        background_obstacles=(Interval(4.0, 5.0),),
+        io_durations=(0.5, 0.7),
+        compression_ratios=ratios,
+    )
+
+
+class TestIterationHistory:
+    def test_empty_history_raises(self):
+        history = IterationHistory()
+        with pytest.raises(LookupError):
+            history.predict_instance(0.0, ())
+
+    def test_prediction_reanchors_intervals(self):
+        history = IterationHistory()
+        history.observe(_record())
+        jobs = (Job(0, 1.0, 1.0),)
+        inst = history.predict_instance(begin=100.0, jobs=jobs)
+        assert inst.begin == 100.0
+        assert inst.end == 110.0
+        assert inst.main_obstacles[0] == Interval(102.0, 103.0)
+        assert inst.background_obstacles[0] == Interval(104.0, 105.0)
+
+    def test_uses_most_recent_record(self):
+        history = IterationHistory()
+        history.observe(_record(length=10.0))
+        history.observe(_record(length=20.0))
+        inst = history.predict_instance(0.0, ())
+        assert inst.length == 20.0
+
+    def test_window_discards_old_records(self):
+        history = IterationHistory(window=2)
+        for length in (1.0, 2.0, 3.0, 4.0):
+            history.observe(_record(length=length))
+        assert len(history.records) == 2
+        assert history.records[0].length == 3.0
+
+    def test_predicted_ratio_known_block(self):
+        history = IterationHistory()
+        history.observe(_record(ratios=(16.0, 12.0)))
+        assert history.predicted_ratio(1, default=8.0) == 12.0
+
+    def test_predicted_ratio_unknown_block_uses_default(self):
+        history = IterationHistory()
+        history.observe(_record(ratios=(16.0,)))
+        assert history.predicted_ratio(5, default=8.0) == 8.0
+
+    def test_predicted_ratio_no_history_uses_default(self):
+        history = IterationHistory()
+        assert history.predicted_ratio(0, default=8.0) == 8.0
+
+    def test_predicted_io_durations(self):
+        history = IterationHistory()
+        assert history.predicted_io_durations() == ()
+        history.observe(_record())
+        assert history.predicted_io_durations() == (0.5, 0.7)

@@ -1,0 +1,111 @@
+"""Property-based tests: every algorithm yields valid schedules on
+arbitrary instances, and structural invariants hold."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ALGORITHMS,
+    Interval,
+    Job,
+    ProblemInstance,
+    johnson_order,
+)
+
+durations = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def instances(draw):
+    num_jobs = draw(st.integers(min_value=0, max_value=7))
+    jobs = tuple(
+        Job(i, draw(durations), draw(durations)) for i in range(num_jobs)
+    )
+    length = draw(st.floats(min_value=1.0, max_value=50.0))
+
+    def obstacle_set():
+        count = draw(st.integers(min_value=0, max_value=3))
+        points = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=length),
+                    min_size=2 * count,
+                    max_size=2 * count,
+                )
+            )
+        )
+        return tuple(
+            Interval(points[2 * i], points[2 * i + 1])
+            for i in range(count)
+            if points[2 * i + 1] > points[2 * i]
+        )
+
+    return ProblemInstance(
+        begin=0.0,
+        end=length,
+        jobs=jobs,
+        main_obstacles=obstacle_set(),
+        background_obstacles=obstacle_set(),
+    )
+
+
+@given(inst=instances())
+@settings(max_examples=60, deadline=None)
+def test_all_algorithms_produce_valid_schedules(inst):
+    for algo in ALGORITHMS.values():
+        schedule = algo(inst)
+        schedule.validate()
+
+
+@given(inst=instances())
+@settings(max_examples=60, deadline=None)
+def test_backfill_never_worse_than_plain_johnson(inst):
+    plain = ALGORITHMS["ExtJohnson"](inst)
+    backfilled = ALGORITHMS["ExtJohnson+BF"](inst)
+    assert backfilled.io_makespan <= plain.io_makespan + 1e-6
+
+
+@given(inst=instances())
+@settings(max_examples=60, deadline=None)
+def test_backfill_never_worse_than_plain_generation(inst):
+    plain = ALGORITHMS["GenerationListSchedule"](inst)
+    backfilled = ALGORITHMS["GenerationListSchedule+BF"](inst)
+    assert backfilled.io_makespan <= plain.io_makespan + 1e-6
+
+
+@given(inst=instances())
+@settings(max_examples=40, deadline=None)
+def test_makespan_at_least_critical_path(inst):
+    # No schedule can beat the trivial lower bound: for any job,
+    # compression + I/O time; and total I/O must fit on one machine.
+    for algo in ALGORITHMS.values():
+        schedule = algo(inst)
+        lower = max(
+            (j.compression_time + j.io_time for j in inst.jobs),
+            default=0.0,
+        )
+        lower = max(lower, inst.total_io_time())
+        assert schedule.io_makespan >= lower - 1e-6
+
+
+@given(inst=instances())
+@settings(max_examples=40, deadline=None)
+def test_johnson_order_is_permutation(inst):
+    order = johnson_order(inst.jobs)
+    assert sorted(order) == list(range(inst.num_jobs))
+
+
+@given(inst=instances())
+@settings(max_examples=30, deadline=None)
+def test_greedy_stays_competitive_with_generation_order(inst):
+    # OneListGreedy is not *guaranteed* to beat the generation order: a
+    # locally best partial insertion can lock in a worse final order
+    # (hypothesis found such instances).  The defensible invariant is
+    # that it never degrades badly — in practice it is almost always
+    # at least as good (asserted exactly on fixed instances in
+    # test_algorithms).
+    generation = ALGORITHMS["GenerationListSchedule"](inst).io_makespan
+    one = ALGORITHMS["OneListGreedy"](inst).io_makespan
+    assert one <= generation * 1.25 + 1e-6

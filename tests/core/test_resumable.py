@@ -1,0 +1,123 @@
+"""Tests for resumable (preemptive) scheduling semantics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    ALGORITHMS,
+    Interval,
+    Job,
+    ProblemInstance,
+    ext_johnson_backfill,
+)
+from repro.core.resumable import (
+    preemption_cost,
+    resumable_schedule,
+)
+from tests.conftest import random_instance
+from tests.core.test_properties import instances
+
+
+class TestResumableMechanics:
+    def test_task_splits_across_obstacle(self):
+        inst = ProblemInstance(
+            begin=0.0,
+            end=10.0,
+            jobs=(Job(0, 4.0, 1.0),),
+            main_obstacles=(Interval(2.0, 3.0),),
+        )
+        schedule = resumable_schedule(inst)
+        pieces = schedule.compression[0]
+        assert len(pieces) == 2
+        assert pieces[0] == Interval(0.0, 2.0)
+        assert pieces[1] == Interval(3.0, 5.0)
+
+    def test_pieces_sum_to_duration(self, rng):
+        for _ in range(20):
+            inst = random_instance(rng)
+            schedule = resumable_schedule(inst)
+            for j, job in enumerate(inst.jobs):
+                total = sum(
+                    p.duration for p in schedule.compression[j]
+                )
+                assert total == pytest.approx(
+                    job.compression_time, abs=1e-9
+                )
+                total_io = sum(p.duration for p in schedule.io[j])
+                assert total_io == pytest.approx(job.io_time, abs=1e-9)
+
+    def test_pieces_avoid_obstacles(self, rng):
+        for _ in range(20):
+            inst = random_instance(rng)
+            schedule = resumable_schedule(inst)
+            for pieces in schedule.compression.values():
+                for piece in pieces:
+                    for obs in inst.main_obstacles:
+                        if obs.duration > 1e-9:
+                            assert not piece.overlaps(obs)
+
+    def test_io_after_compression(self, rng):
+        for _ in range(10):
+            inst = random_instance(rng)
+            schedule = resumable_schedule(inst)
+            for j in range(inst.num_jobs):
+                if schedule.io[j]:
+                    assert (
+                        schedule.io[j][0].start
+                        >= schedule.compression[j][-1].end - 1e-9
+                    )
+
+    def test_no_obstacles_single_piece(self):
+        inst = ProblemInstance(
+            begin=0.0, end=10.0, jobs=(Job(0, 3.0, 1.0),)
+        )
+        schedule = resumable_schedule(inst)
+        assert len(schedule.compression[0]) == 1
+
+    def test_io_release_respected(self):
+        inst = ProblemInstance(
+            begin=0.0,
+            end=10.0,
+            jobs=(Job(0, 0.0, 1.0, io_release=4.0),),
+        )
+        schedule = resumable_schedule(inst)
+        assert schedule.io[0][0].start >= 4.0
+
+
+class TestResumableDominance:
+    def test_figure1_resumable_not_worse(self, figure1):
+        resumable = resumable_schedule(figure1).io_makespan
+        non_resumable = ext_johnson_backfill(figure1).io_makespan
+        assert resumable <= non_resumable + 1e-9
+
+    def test_preemption_cost_nonnegative(self, rng):
+        for _ in range(15):
+            inst = random_instance(rng)
+            makespan = ext_johnson_backfill(inst).io_makespan
+            assert preemption_cost(inst, makespan) >= 0.0
+
+    def test_preemption_cost_zero_without_obstacles(self):
+        inst = ProblemInstance(
+            begin=0.0,
+            end=100.0,
+            jobs=(Job(0, 1.0, 2.0), Job(1, 2.0, 1.0)),
+        )
+        makespan = ext_johnson_backfill(inst).io_makespan
+        # Same order, no obstacles: resumable == non-resumable.
+        assert preemption_cost(inst, makespan) == pytest.approx(0.0)
+
+    def test_empty_instance(self):
+        inst = ProblemInstance(begin=0.0, end=5.0, jobs=())
+        schedule = resumable_schedule(inst)
+        assert schedule.io_makespan == 0.0
+        assert preemption_cost(inst, 0.0) == 0.0
+
+
+@given(inst=instances())
+@settings(max_examples=50, deadline=None)
+def test_resumable_lower_bounds_same_order_heuristics(inst):
+    # Resumable Johnson-order lower-bounds the non-resumable Johnson
+    # heuristics (same order, relaxed semantics).
+    resumable = resumable_schedule(inst).io_makespan
+    for name in ("ExtJohnson", "ExtJohnson+BF"):
+        assert resumable <= ALGORITHMS[name](inst).io_makespan + 1e-6

@@ -1,0 +1,64 @@
+"""Tests for instance/schedule JSON serialization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    ext_johnson_backfill,
+    instance_from_json,
+    instance_to_json,
+    schedule_from_json,
+    schedule_to_json,
+)
+from tests.conftest import random_instance
+from tests.core.test_properties import instances
+
+
+class TestInstanceRoundTrip:
+    def test_figure1(self, figure1):
+        restored = instance_from_json(instance_to_json(figure1))
+        assert restored == figure1
+
+    def test_random(self, rng):
+        for _ in range(10):
+            inst = random_instance(rng)
+            assert instance_from_json(instance_to_json(inst)) == inst
+
+    def test_io_release_preserved(self):
+        from repro.core import Job, ProblemInstance
+
+        inst = ProblemInstance(
+            begin=0.0,
+            end=5.0,
+            jobs=(Job(0, 1.0, 1.0, label="x", io_release=2.5),),
+        )
+        restored = instance_from_json(instance_to_json(inst))
+        assert restored.jobs[0].io_release == 2.5
+        assert restored.jobs[0].label == "x"
+
+
+class TestScheduleRoundTrip:
+    def test_schedule_round_trips_and_revalidates(self, figure1):
+        schedule = ext_johnson_backfill(figure1)
+        restored = schedule_from_json(schedule_to_json(schedule))
+        restored.validate()
+        assert restored.algorithm == "ExtJohnson+BF"
+        assert restored.io_makespan == pytest.approx(
+            schedule.io_makespan
+        )
+        assert restored.compression == schedule.compression
+        assert restored.io == schedule.io
+
+    def test_garbage_rejected(self):
+        with pytest.raises(Exception):
+            schedule_from_json("not json at all")
+
+
+@given(inst=instances())
+@settings(max_examples=40, deadline=None)
+def test_serialization_property(inst):
+    assert instance_from_json(instance_to_json(inst)) == inst
+    schedule = ext_johnson_backfill(inst)
+    restored = schedule_from_json(schedule_to_json(schedule))
+    restored.validate()
+    assert restored.io_makespan == pytest.approx(schedule.io_makespan)

@@ -1,0 +1,127 @@
+"""Unit tests for obstacle-aware earliest-fit placement."""
+
+import pytest
+
+from repro.core import Interval
+from repro.core.timeline import MachineTimeline
+
+
+class TestEarliestFit:
+    def test_empty_machine(self):
+        tl = MachineTimeline(0.0)
+        assert tl.earliest_fit(2.0, 0.0) == 0.0
+
+    def test_respects_not_before(self):
+        tl = MachineTimeline(0.0)
+        assert tl.earliest_fit(2.0, 5.0) == 5.0
+
+    def test_respects_begin(self):
+        tl = MachineTimeline(3.0)
+        assert tl.earliest_fit(1.0, 0.0) == 3.0
+
+    def test_skips_obstacle(self):
+        tl = MachineTimeline(0.0, (Interval(1.0, 2.0),))
+        assert tl.earliest_fit(2.0, 0.0) == 2.0
+
+    def test_fits_before_obstacle(self):
+        tl = MachineTimeline(0.0, (Interval(1.0, 2.0),))
+        assert tl.earliest_fit(1.0, 0.0) == 0.0
+
+    def test_fits_exactly_between_obstacles(self):
+        tl = MachineTimeline(
+            0.0, (Interval(0.0, 1.0), Interval(3.0, 4.0))
+        )
+        assert tl.earliest_fit(2.0, 0.0) == 1.0
+
+    def test_too_big_for_gap_goes_after(self):
+        tl = MachineTimeline(
+            0.0, (Interval(0.0, 1.0), Interval(3.0, 4.0))
+        )
+        assert tl.earliest_fit(2.5, 0.0) == 4.0
+
+    def test_not_before_inside_obstacle(self):
+        tl = MachineTimeline(0.0, (Interval(1.0, 5.0),))
+        assert tl.earliest_fit(1.0, 3.0) == 5.0
+
+    def test_zero_duration_fits_anywhere(self):
+        tl = MachineTimeline(0.0, (Interval(1.0, 5.0),))
+        assert tl.earliest_fit(0.0, 3.0) == 3.0
+
+
+class TestPlacement:
+    def test_place_updates_frontier(self):
+        tl = MachineTimeline(0.0)
+        tl.place(2.0, 0.0)
+        assert tl.frontier == 2.0
+
+    def test_place_rejects_overlap(self):
+        tl = MachineTimeline(0.0, (Interval(1.0, 2.0),))
+        with pytest.raises(ValueError):
+            tl.place(2.0, 0.5)
+
+    def test_frontier_fit_waits_for_placed(self):
+        tl = MachineTimeline(0.0)
+        tl.place_earliest(2.0, 0.0, backfill=False)
+        iv = tl.place_earliest(1.0, 0.0, backfill=False)
+        assert iv.start == 2.0
+
+    def test_backfill_uses_gap(self):
+        tl = MachineTimeline(0.0, (Interval(2.0, 3.0),))
+        # First task lands after the obstacle, leaving gap [0, 2).
+        first = tl.place_earliest(3.0, 0.0, backfill=True)
+        assert first.start == 3.0
+        second = tl.place_earliest(1.5, 0.0, backfill=True)
+        assert second.start == 0.0
+
+    def test_no_backfill_ignores_gap(self):
+        tl = MachineTimeline(0.0, (Interval(2.0, 3.0),))
+        tl.place_earliest(3.0, 0.0, backfill=False)
+        second = tl.place_earliest(1.5, 0.0, backfill=False)
+        assert second.start == 6.0
+
+    def test_backfill_never_overlaps_placed(self):
+        tl = MachineTimeline(0.0)
+        tl.place(2.0, 1.0)  # busy [1, 3)
+        iv = tl.place_earliest(1.5, 0.0, backfill=True)
+        assert iv.start == 3.0  # gap [0,1) too small
+
+    def test_many_placements_stay_disjoint(self):
+        tl = MachineTimeline(0.0, (Interval(5.0, 6.0), Interval(10.0, 11.0)))
+        placed = [
+            tl.place_earliest(1.3, 0.0, backfill=True) for _ in range(12)
+        ]
+        placed.sort(key=lambda iv: iv.start)
+        for a, b in zip(placed, placed[1:]):
+            assert a.end <= b.start + 1e-9
+
+
+class TestGaps:
+    def test_empty_machine_one_gap(self):
+        tl = MachineTimeline(0.0)
+        assert tl.gaps(10.0) == [Interval(0.0, 10.0)]
+
+    def test_gaps_between_obstacles(self):
+        tl = MachineTimeline(
+            0.0, (Interval(2.0, 3.0), Interval(5.0, 7.0))
+        )
+        assert tl.gaps(10.0) == [
+            Interval(0.0, 2.0),
+            Interval(3.0, 5.0),
+            Interval(7.0, 10.0),
+        ]
+
+    def test_gaps_shrink_as_tasks_placed(self):
+        tl = MachineTimeline(0.0, (Interval(4.0, 5.0),))
+        before = sum(g.duration for g in tl.gaps(10.0))
+        tl.place_earliest(2.0, 0.0, backfill=True)
+        after = sum(g.duration for g in tl.gaps(10.0))
+        assert after == pytest.approx(before - 2.0)
+
+    def test_gap_clipped_at_horizon(self):
+        tl = MachineTimeline(0.0, (Interval(2.0, 3.0),))
+        gaps = tl.gaps(2.5)
+        assert gaps == [Interval(0.0, 2.0)]
+
+    def test_fully_busy_no_gaps(self):
+        tl = MachineTimeline(0.0, (Interval(0.0, 10.0),))
+        assert tl.gaps(10.0) == []

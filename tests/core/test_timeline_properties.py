@@ -1,0 +1,108 @@
+"""Property-based tests for the MachineTimeline placement machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EPSILON, Interval
+from repro.core.timeline import MachineTimeline
+
+
+@st.composite
+def obstacle_sets(draw):
+    count = draw(st.integers(min_value=0, max_value=5))
+    points = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=50.0),
+                min_size=2 * count,
+                max_size=2 * count,
+            )
+        )
+    )
+    return tuple(
+        Interval(points[2 * i], points[2 * i + 1]) for i in range(count)
+    )
+
+
+durations = st.floats(min_value=0.001, max_value=8.0)
+
+
+@given(
+    obstacles=obstacle_sets(),
+    tasks=st.lists(durations, min_size=1, max_size=10),
+    backfill=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_placements_never_overlap_anything(obstacles, tasks, backfill):
+    timeline = MachineTimeline(0.0, obstacles)
+    placed = [
+        timeline.place_earliest(d, 0.0, backfill=backfill) for d in tasks
+    ]
+    busy = sorted(
+        [iv for iv in placed if iv.duration > EPSILON]
+        + [o for o in obstacles if o.duration > EPSILON],
+        key=lambda iv: iv.start,
+    )
+    for a, b in zip(busy, busy[1:]):
+        assert a.end <= b.start + 1e-9
+
+
+@given(
+    obstacles=obstacle_sets(),
+    duration=durations,
+    not_before=st.floats(min_value=0.0, max_value=60.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_earliest_fit_is_feasible_and_respects_release(
+    obstacles, duration, not_before
+):
+    timeline = MachineTimeline(0.0, obstacles)
+    start = timeline.earliest_fit(duration, not_before)
+    assert start >= not_before - 1e-12
+    candidate = Interval(start, start + duration)
+    for obs in obstacles:
+        if obs.duration > EPSILON:
+            assert not candidate.overlaps(obs)
+
+
+@given(
+    obstacles=obstacle_sets(),
+    duration=durations,
+)
+@settings(max_examples=60, deadline=None)
+def test_earliest_fit_is_minimal_on_grid(obstacles, duration):
+    """No feasible start strictly earlier than earliest_fit exists —
+    checked on a discretized grid of candidate starts."""
+    timeline = MachineTimeline(0.0, obstacles)
+    best = timeline.earliest_fit(duration, 0.0)
+    if best <= 1e-6:
+        return  # already starts at the origin: trivially minimal
+    real = [o for o in obstacles if o.duration > EPSILON]
+    for candidate_start in np.linspace(0.0, best - 1e-6, 40):
+        candidate = Interval(
+            candidate_start, candidate_start + duration
+        )
+        assert any(candidate.overlaps(o) for o in real) or (
+            best - candidate_start <= 2e-6
+        )
+
+
+@given(
+    obstacles=obstacle_sets(),
+    tasks=st.lists(durations, min_size=1, max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_backfill_dominates_frontier_placement(obstacles, tasks):
+    frontier = MachineTimeline(0.0, obstacles)
+    gap = MachineTimeline(0.0, obstacles)
+    frontier_ends = [
+        frontier.place_earliest(d, 0.0, backfill=False).end for d in tasks
+    ]
+    gap_ends = [
+        gap.place_earliest(d, 0.0, backfill=True).end for d in tasks
+    ]
+    # Task-by-task, gap placement never finishes later than frontier
+    # placement given identical histories... which is only guaranteed for
+    # the makespan (max end), not per task.
+    assert max(gap_ends) <= max(frontier_ends) + 1e-9

@@ -1,0 +1,133 @@
+"""Tests for model calibration from measured samples."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionThroughputModel
+from repro.framework.calibration import (
+    fit_compression_model,
+    fit_io_model,
+)
+from repro.io import IoThroughputModel
+
+
+def _io_samples(model: IoThroughputModel, rng, noise=0.0):
+    sizes = [2**k for k in range(16, 28)]
+    return [
+        (
+            s,
+            model.write_time(s) * (1.0 + noise * float(rng.normal())),
+        )
+        for s in sizes
+    ]
+
+
+def _compression_samples(model, shared, rng, noise=0.0):
+    sizes = [2**k for k in range(18, 26)]
+    return [
+        (
+            s,
+            model.compression_time(s, shared_tree=shared)
+            * (1.0 + noise * float(rng.normal())),
+        )
+        for s in sizes
+    ]
+
+
+class TestIoFit:
+    def test_recovers_exact_constants(self, rng):
+        truth = IoThroughputModel(
+            node_bandwidth_bytes_per_s=1.2e9,
+            processes_per_node=4,
+            write_latency_s=0.003,
+        )
+        fitted, quality = fit_io_model(
+            _io_samples(truth, rng), processes_per_node=4
+        )
+        assert fitted.per_process_bandwidth == pytest.approx(
+            truth.per_process_bandwidth, rel=1e-6
+        )
+        assert fitted.write_latency_s == pytest.approx(0.003, rel=1e-6)
+        assert quality.r_squared > 0.999999
+
+    def test_tolerates_measurement_noise(self, rng):
+        truth = IoThroughputModel()
+        fitted, quality = fit_io_model(
+            _io_samples(truth, rng, noise=0.03)
+        )
+        assert fitted.per_process_bandwidth == pytest.approx(
+            truth.per_process_bandwidth, rel=0.15
+        )
+        assert quality.r_squared > 0.95
+
+    def test_fitted_model_predicts(self, rng):
+        truth = IoThroughputModel()
+        fitted, _ = fit_io_model(_io_samples(truth, rng))
+        probe = 5 * 2**20
+        assert fitted.write_time(probe) == pytest.approx(
+            truth.write_time(probe), rel=1e-6
+        )
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="two samples"):
+            fit_io_model([(100, 0.1)])
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_io_model([(100, 0.1), (200, -0.1)])
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            fit_io_model([(100, 1.0), (10_000_000, 0.5), (20_000_000, 0.2)])
+
+
+class TestCompressionFit:
+    def test_recovers_throughput_and_setup(self, rng):
+        truth = CompressionThroughputModel(
+            throughput_bytes_per_s=300e6, setup_s=0.001, tree_build_s=0.006
+        )
+        fitted, quality = fit_compression_model(
+            _compression_samples(truth, True, rng),
+            _compression_samples(truth, False, rng),
+        )
+        assert fitted.throughput_bytes_per_s == pytest.approx(
+            300e6, rel=1e-6
+        )
+        assert fitted.setup_s == pytest.approx(0.001, rel=1e-5)
+        assert fitted.tree_build_s == pytest.approx(0.006, rel=1e-5)
+        assert quality.r_squared > 0.999
+
+    def test_shared_only_keeps_default_tree_cost(self, rng):
+        truth = CompressionThroughputModel()
+        fitted, _ = fit_compression_model(
+            _compression_samples(truth, True, rng)
+        )
+        assert fitted.tree_build_s == truth.tree_build_s
+
+    def test_round_trip_with_real_timings(self, rng):
+        """Calibrate from actual Python-compressor timings: the fitted
+        model must predict a held-out size within 3x (coarse, but this is
+        a real machine measurement, not synthetic)."""
+        import time
+
+        from repro.compression import SZCompressor, build_codebook
+
+        compressor = SZCompressor()
+        field = np.cumsum(rng.normal(size=2**17))
+        hist = compressor.histogram(field, 0.01)
+        shared = build_codebook(
+            hist, force_symbols=(compressor.sentinel,)
+        )
+        samples = []
+        for count in (2**13, 2**15, 2**17):
+            block = field[:count]
+            t0 = time.perf_counter()
+            compressor.compress(block, 0.01, shared_codebook=shared)
+            samples.append((block.nbytes, time.perf_counter() - t0))
+        fitted, _ = fit_compression_model(samples)
+        probe = field[: 2**14]
+        t0 = time.perf_counter()
+        compressor.compress(probe, 0.01, shared_codebook=shared)
+        actual = time.perf_counter() - t0
+        predicted = fitted.compression_time(probe.nbytes)
+        assert predicted == pytest.approx(actual, rel=2.0)

@@ -1,0 +1,99 @@
+"""Additional runtime tests: balancing bookkeeping and plan integrity."""
+
+import pytest
+
+from repro.apps import NyxModel, WarpXModel
+from repro.core import IoTaskRef
+from repro.framework import ProcessRuntime, ours_config
+from repro.simulator import ZERO_NOISE
+
+
+def _runtime(app=None, config=None, rank=0):
+    app = app or NyxModel(seed=71)
+    return ProcessRuntime(
+        rank=rank,
+        app=app,
+        config=config or ours_config(),
+        node_size=4,
+        noise=ZERO_NOISE,
+    )
+
+
+class TestPlanIntegrity:
+    def test_job_indices_sequential_field_major(self):
+        rt = _runtime()
+        plan = rt.plan_dump(1)
+        nb = rt.blocks_per_field()
+        for i, block in enumerate(plan.blocks):
+            assert block.job_index == i
+            assert block.block_index == i % nb
+        field_order = [b.field_name for b in plan.blocks[::nb]]
+        assert field_order == [f.name for f in rt.app.fields]
+
+    def test_raw_bytes_cover_partition(self):
+        rt = _runtime()
+        plan = rt.plan_dump(1)
+        per_field = {}
+        for block in plan.blocks:
+            per_field.setdefault(block.field_name, 0)
+            per_field[block.field_name] += block.raw_bytes
+        for total in per_field.values():
+            assert total == rt.app.partition_nbytes()
+
+    def test_io_refs_match_blocks(self):
+        rt = _runtime()
+        plan = rt.plan_dump(1)
+        refs = plan.io_task_refs(rank=3)
+        assert len(refs) == len(plan.blocks)
+        assert all(r.owner == 3 for r in refs)
+        assert [r.job_index for r in refs] == [
+            b.job_index for b in plan.blocks
+        ]
+
+    def test_warpx_plan_uses_its_fields(self):
+        rt = _runtime(app=WarpXModel(seed=71))
+        plan = rt.plan_dump(1)
+        names = {b.field_name for b in plan.blocks}
+        assert "Ex" in names and "rho" in names
+
+
+class TestBalancingBookkeeping:
+    def test_kept_everything_means_no_moves(self):
+        rt = _runtime()
+        plan = rt.plan_dump(1)
+        rt.apply_balancing(plan, plan.io_task_refs(0), [])
+        assert plan.moved_out == set()
+        assert plan.moved_in == []
+
+    def test_moved_out_complements_kept(self):
+        rt = _runtime()
+        plan = rt.plan_dump(1)
+        refs = plan.io_task_refs(0)
+        kept = refs[::2]
+        rt.apply_balancing(plan, kept, [])
+        expected_out = {r.job_index for r in refs[1::2]}
+        assert plan.moved_out == expected_out
+
+    def test_foreign_kept_refs_ignored(self):
+        rt = _runtime()
+        plan = rt.plan_dump(1)
+        foreign = [IoTaskRef(owner=9, job_index=0, duration=1.0)]
+        rt.apply_balancing(plan, plan.io_task_refs(0) + foreign, [])
+        assert plan.moved_out == set()
+
+    def test_execution_with_moves_still_valid(self):
+        rt = _runtime()
+        rt.observe_iteration(rt.app.iteration_profile(0))
+        plan = rt.plan_dump(1)
+        refs = plan.io_task_refs(0)
+        rt.apply_balancing(
+            plan,
+            refs[:-2],
+            [IoTaskRef(owner=1, job_index=4, duration=0.02)],
+        )
+        rt.build_jobs(plan)
+        outcome = rt.execute_dump(plan, 1, moved_in_actual_s=[0.02])
+        outcome.schedule.validate()
+        # Moved-out jobs executed with zero I/O locally.
+        for job_index in plan.moved_out:
+            assert outcome.execution.io[job_index].duration == 0.0

@@ -1,0 +1,60 @@
+"""Property-based tests for the snapshot API."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compression import max_abs_error
+from repro.framework import load_snapshot, save_snapshot
+
+
+@st.composite
+def field_sets(draw):
+    num_fields = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    fields = {}
+    for i in range(num_fields):
+        ndim = draw(st.integers(min_value=1, max_value=3))
+        shape = tuple(
+            draw(st.integers(min_value=1, max_value=12))
+            for _ in range(ndim)
+        )
+        dtype = draw(st.sampled_from([np.float64, np.float32]))
+        data = np.cumsum(
+            rng.normal(size=shape).astype(dtype), axis=0
+        )
+        fields[f"field{i}"] = data
+    bound = draw(
+        st.floats(min_value=1e-4, max_value=1.0, allow_nan=False)
+    )
+    return fields, bound
+
+
+@given(spec=field_sets(), layout=st.sampled_from(["shared", "subfiled"]))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_snapshot_round_trip_property(spec, layout, tmp_path_factory):
+    fields, bound = spec
+    target = tmp_path_factory.mktemp("snap") / "snapshot"
+    save_snapshot(
+        target,
+        fields,
+        error_bounds=bound,
+        block_bytes=1024,
+        layout=layout,
+        num_subfiles=2,
+    )
+    restored = load_snapshot(target)
+    assert set(restored) == set(fields)
+    for name, original in fields.items():
+        assert restored[name].shape == original.shape
+        assert restored[name].dtype == original.dtype
+        tolerance = bound * (1 + 1e-9)
+        if original.dtype == np.float32:
+            tolerance += float(np.abs(original).max()) * 1e-6
+        assert max_abs_error(original, restored[name]) <= tolerance

@@ -1,0 +1,92 @@
+"""Tests for the campaign sweep utility."""
+
+import pytest
+
+from repro.apps import NyxModel
+from repro.framework import (
+    baseline_config,
+    ours_config,
+    sweep_campaigns,
+)
+from repro.simulator import ClusterSpec
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    variants = {
+        "seed-a": NyxModel(seed=61),
+        "seed-b": NyxModel(seed=62),
+    }
+    solutions = {
+        "baseline": baseline_config(),
+        "ours": ours_config(),
+    }
+    return sweep_campaigns(
+        variants,
+        solutions,
+        ClusterSpec(num_nodes=1, processes_per_node=2),
+        iterations=3,
+        seed=61,
+    )
+
+
+class TestSweep:
+    def test_full_cross_product(self, sweep):
+        assert len(sweep.points) == 4
+        assert sweep.variants() == ["seed-a", "seed-b"]
+        assert sweep.solutions() == ["baseline", "ours"]
+
+    def test_overhead_lookup(self, sweep):
+        assert sweep.overhead("seed-a", "ours") < sweep.overhead(
+            "seed-a", "baseline"
+        )
+
+    def test_missing_cell_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.overhead("seed-a", "nope")
+
+    def test_table_renders(self, sweep):
+        table = sweep.to_table()
+        assert "variant" in table
+        assert "seed-b" in table
+        assert "%" in table
+
+    def test_chart_renders(self, sweep):
+        chart = sweep.to_chart()
+        assert "o=baseline" in chart
+        assert "x=ours" in chart
+
+    def test_chart_with_numeric_x(self, sweep):
+        chart = sweep.to_chart(x_of=lambda v: 1.0 if v == "seed-a" else 2.0)
+        assert "relative overhead" in chart
+
+
+class TestSweepRegeneratesMiniScaling:
+    def test_mini_weak_scaling_shape(self):
+        """A 2-point Figure 11 through the public sweep API."""
+        app = NyxModel(seed=63)
+        small = sweep_campaigns(
+            {"8 GPUs": app},
+            {"baseline": baseline_config(), "ours": ours_config()},
+            ClusterSpec(num_nodes=2, processes_per_node=4),
+            iterations=3,
+            seed=63,
+        )
+        large = sweep_campaigns(
+            {"32 GPUs": app},
+            {"baseline": baseline_config(), "ours": ours_config()},
+            ClusterSpec(num_nodes=8, processes_per_node=4),
+            iterations=3,
+            seed=63,
+        )
+        assert large.overhead("32 GPUs", "baseline") > small.overhead(
+            "8 GPUs", "baseline"
+        )
+        ours_growth = abs(
+            large.overhead("32 GPUs", "ours")
+            - small.overhead("8 GPUs", "ours")
+        )
+        base_growth = large.overhead("32 GPUs", "baseline") - small.overhead(
+            "8 GPUs", "baseline"
+        )
+        assert ours_growth < base_growth / 3

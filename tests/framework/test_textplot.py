@@ -1,0 +1,61 @@
+"""Tests for the text line-chart renderer."""
+
+import pytest
+
+from repro.framework import line_chart
+
+
+class TestLineChart:
+    def test_single_series(self):
+        chart = line_chart({"a": [(0, 0), (1, 1), (2, 4)]})
+        assert "o=a" in chart
+        assert "o" in chart.splitlines()[0] or any(
+            "o" in line for line in chart.splitlines()
+        )
+
+    def test_y_extremes_labelled(self):
+        chart = line_chart({"a": [(0, 0.5), (1, 2.5)]})
+        assert "2.5" in chart
+        assert "0.5" in chart
+
+    def test_x_extremes_labelled(self):
+        chart = line_chart({"a": [(3, 1), (17, 2)]})
+        assert "3" in chart
+        assert "17" in chart
+
+    def test_multiple_series_distinct_glyphs(self):
+        chart = line_chart(
+            {"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 1)]}
+        )
+        assert "o=a" in chart
+        assert "x=b" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart(
+            {"a": [(0, 1)]}, x_label="time", y_label="overhead"
+        )
+        assert "time" in chart
+        assert chart.startswith("overhead")
+
+    def test_constant_series_no_div_zero(self):
+        chart = line_chart({"a": [(0, 5), (1, 5), (2, 5)]})
+        assert "5" in chart
+
+    def test_single_point(self):
+        chart = line_chart({"a": [(1, 1)]})
+        assert "o=a" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_dimensions_respected(self):
+        chart = line_chart(
+            {"a": [(0, 0), (10, 10)]}, width=30, height=8
+        )
+        plot_rows = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_rows) == 8
+        for row in plot_rows:
+            assert len(row.split("|", 1)[1]) <= 30

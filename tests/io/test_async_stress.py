@@ -1,0 +1,89 @@
+"""Async-writer stress: many jobs, mixed overflow, interleaved waits."""
+
+import numpy as np
+import pytest
+
+from repro.io import AsyncWriter, SharedFileReader, SharedFileWriter
+
+
+class TestAsyncStress:
+    def test_hundreds_of_jobs_land_exactly(self, tmp_path, rng):
+        path = tmp_path / "stress.rpio"
+        payloads = {
+            f"d{i}": rng.integers(0, 256, size=int(rng.integers(1, 400)))
+            .astype(np.uint8)
+            .tobytes()
+            for i in range(300)
+        }
+        with SharedFileWriter(path) as writer:
+            for name, payload in payloads.items():
+                writer.reserve(name, len(payload))
+            with AsyncWriter(writer) as background:
+                jobs = [
+                    background.submit(name, payload)
+                    for name, payload in payloads.items()
+                ]
+                background.drain()
+            assert all(j.fit_reservation for j in jobs)
+        with SharedFileReader(path) as reader:
+            for name, payload in payloads.items():
+                assert reader.read(name) == payload
+
+    def test_mixed_overflow_and_fit(self, tmp_path, rng):
+        path = tmp_path / "mixed.rpio"
+        with SharedFileWriter(path) as writer:
+            for i in range(50):
+                writer.reserve(f"d{i}", 16)
+            with AsyncWriter(writer) as background:
+                jobs = []
+                for i in range(50):
+                    size = 8 if i % 2 == 0 else 64  # odd ones overflow
+                    jobs.append(
+                        background.submit(f"d{i}", bytes([i % 256]) * size)
+                    )
+                background.drain()
+        fits = [j.fit_reservation for j in jobs]
+        assert fits == [i % 2 == 0 for i in range(50)]
+        with SharedFileReader(path) as reader:
+            for i in range(50):
+                size = 8 if i % 2 == 0 else 64
+                assert reader.read(f"d{i}") == bytes([i % 256]) * size
+                assert reader.entries[f"d{i}"].overflowed == (i % 2 == 1)
+
+    def test_interleaved_submit_and_wait(self, tmp_path):
+        path = tmp_path / "interleave.rpio"
+        with SharedFileWriter(path) as writer:
+            for i in range(20):
+                writer.reserve(f"d{i}", 4)
+            with AsyncWriter(writer) as background:
+                for i in range(20):
+                    job = background.submit(f"d{i}", b"abcd")
+                    if i % 5 == 0:
+                        assert job.wait(timeout=10.0)
+                background.drain()
+        with SharedFileReader(path) as reader:
+            assert len(reader.names()) == 20
+
+    def test_drain_is_reentrant(self, tmp_path):
+        with SharedFileWriter(tmp_path / "d.rpio") as writer:
+            writer.reserve("a", 4)
+            with AsyncWriter(writer) as background:
+                background.drain()  # nothing queued
+                background.submit("a", b"data")
+                background.drain()
+                background.drain()  # idempotent
+
+    def test_close_waits_for_queued_work(self, tmp_path):
+        path = tmp_path / "closing.rpio"
+        writer = SharedFileWriter(path)
+        for i in range(30):
+            writer.reserve(f"d{i}", 8)
+        background = AsyncWriter(writer)
+        jobs = [
+            background.submit(f"d{i}", b"12345678") for i in range(30)
+        ]
+        background.close()  # must flush the queue before stopping
+        assert all(j.fit_reservation for j in jobs)
+        writer.close()
+        with SharedFileReader(path) as reader:
+            assert len(reader.names()) == 30

@@ -1,0 +1,162 @@
+"""Failure injection: corrupted containers, truncation, bad payloads."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressedBlock, SZCompressor
+from repro.io import SharedFileReader, SharedFileWriter
+
+
+def _container(tmp_path, datasets):
+    path = tmp_path / "dump.rpio"
+    with SharedFileWriter(path) as writer:
+        for name, payload in datasets:
+            writer.reserve(name, len(payload))
+            writer.write(name, payload)
+    return path
+
+
+class TestContainerCorruption:
+    def test_truncated_file_rejected(self, tmp_path):
+        path = _container(tmp_path, [("a", b"hello world")])
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):
+            SharedFileReader(path)
+
+    def test_clobbered_footer_magic_rejected(self, tmp_path):
+        path = _container(tmp_path, [("a", b"hello")])
+        data = bytearray(path.read_bytes())
+        data[-4:] = b"XXXX"
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError):
+            SharedFileReader(path)
+
+    def test_clobbered_head_magic_rejected(self, tmp_path):
+        path = _container(tmp_path, [("a", b"hello")])
+        data = bytearray(path.read_bytes())
+        data[:4] = b"XXXX"
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError):
+            SharedFileReader(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            SharedFileReader(path)
+
+    def test_footer_length_overflow_rejected(self, tmp_path):
+        import struct
+
+        path = _container(tmp_path, [("a", b"hello")])
+        data = bytearray(path.read_bytes())
+        # Declare an absurd footer length.
+        tail = struct.pack("<Q8s", 2**40, b"RPIO0001")
+        data[-len(tail):] = tail
+        path.write_bytes(bytes(data))
+        with pytest.raises(Exception):
+            SharedFileReader(path)
+
+
+class TestBlockCorruption:
+    @pytest.fixture
+    def block_bytes(self, rng):
+        field = np.cumsum(rng.normal(size=(12, 12, 12)), axis=0)
+        return SZCompressor().compress(field, 0.01).to_bytes()
+
+    def test_bad_magic_rejected(self, block_bytes):
+        corrupted = b"XXXX" + block_bytes[4:]
+        with pytest.raises(ValueError, match="not a compressed block"):
+            CompressedBlock.from_bytes(corrupted)
+
+    def test_payload_bitflip_detected_or_bounded(self, block_bytes, rng):
+        # Flipping a byte inside the zlib payload must raise (zlib CRC /
+        # stream error or Huffman stream error), never return silently
+        # wrong *shape* data.
+        block = CompressedBlock.from_bytes(block_bytes)
+        corrupted = bytearray(block_bytes)
+        corrupted[-10] ^= 0xFF
+        try:
+            bad = CompressedBlock.from_bytes(bytes(corrupted))
+            result = SZCompressor().decompress(bad)
+        except Exception:
+            return  # detected — good
+        assert result.shape == block.shape  # at worst wrong values
+
+    def test_truncated_block_rejected(self, block_bytes):
+        with pytest.raises(Exception):
+            blk = CompressedBlock.from_bytes(block_bytes[: len(block_bytes) // 3])
+            SZCompressor().decompress(blk)
+
+
+class TestWriterRobustness:
+    def test_overflow_accounting_stable_under_many_overflows(self, tmp_path):
+        path = tmp_path / "dump.rpio"
+        with SharedFileWriter(path) as writer:
+            for i in range(20):
+                writer.reserve(f"d{i}", 1)
+            for i in range(20):
+                fit = writer.write(f"d{i}", b"bigger than one byte")
+                assert not fit
+            assert writer.overflow_bytes == 20 * len(
+                b"bigger than one byte"
+            )
+        with SharedFileReader(path) as reader:
+            for i in range(20):
+                assert reader.read(f"d{i}") == b"bigger than one byte"
+
+    def test_interleaved_reserve_write(self, tmp_path):
+        path = tmp_path / "dump.rpio"
+        with SharedFileWriter(path) as writer:
+            writer.reserve("a", 4)
+            writer.write("a", b"aaaa")
+            writer.reserve("b", 4)
+            writer.write("b", b"bbbb")
+        with SharedFileReader(path) as reader:
+            assert reader.read("a") == b"aaaa"
+            assert reader.read("b") == b"bbbb"
+
+    def test_zero_byte_dataset(self, tmp_path):
+        path = tmp_path / "dump.rpio"
+        with SharedFileWriter(path) as writer:
+            writer.reserve("empty", 0)
+            writer.write("empty", b"")
+        with SharedFileReader(path) as reader:
+            assert reader.read("empty") == b""
+
+
+class TestChecksums:
+    def test_crc_recorded_and_verified(self, tmp_path):
+        path = _container(tmp_path, [("a", b"payload bytes")])
+        with SharedFileReader(path) as reader:
+            assert reader.entries["a"].crc32 is not None
+            assert reader.read("a") == b"payload bytes"
+
+    def test_bitflip_detected_by_checksum(self, tmp_path):
+        path = _container(tmp_path, [("a", b"payload bytes here")])
+        with SharedFileReader(path) as reader:
+            offset = reader.entries["a"].offset
+        data = bytearray(path.read_bytes())
+        data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with SharedFileReader(path) as reader:
+            with pytest.raises(ValueError, match="checksum"):
+                reader.read("a")
+            # Unverified reads still return the (corrupt) bytes.
+            assert len(reader.read("a", verify=False)) == len(
+                b"payload bytes here"
+            )
+
+    def test_external_writes_have_no_crc(self, tmp_path):
+        path = tmp_path / "dump.rpio"
+        writer = SharedFileWriter(path)
+        writer.reserve("ext", 8)
+        os.pwrite(os.open(path, os.O_WRONLY), b"external", 8)
+        writer.commit_external("ext", 8)
+        writer.close()
+        with SharedFileReader(path) as reader:
+            assert reader.entries["ext"].crc32 is None
+            assert reader.read("ext") == b"external"  # verify is a no-op

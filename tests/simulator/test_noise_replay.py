@@ -1,0 +1,168 @@
+"""Tests for noise models and schedule replay."""
+
+import pytest
+
+from repro.core import ext_johnson_backfill
+from repro.simulator import (
+    ZERO_NOISE,
+    NoiseModel,
+    execute_schedule,
+    execution_to_trace,
+    render_gantt,
+    schedule_to_trace,
+)
+from tests.conftest import figure1_instance
+
+
+def _zero_actuals(instance):
+    return ZERO_NOISE.actual_durations(
+        instance,
+        tuple(j.compression_time for j in instance.jobs),
+        tuple(j.io_time for j in instance.jobs),
+    )
+
+
+class TestNoiseModel:
+    def test_zero_noise_is_identity(self, figure1):
+        actuals = _zero_actuals(figure1)
+        assert actuals.length == figure1.length
+        assert actuals.main_obstacles == figure1.main_obstacles
+        assert actuals.compression_times == tuple(
+            j.compression_time for j in figure1.jobs
+        )
+
+    def test_noise_changes_values(self, figure1):
+        model = NoiseModel(seed=7)
+        actuals = model.actual_durations(
+            figure1,
+            tuple(j.compression_time for j in figure1.jobs),
+            tuple(j.io_time for j in figure1.jobs),
+        )
+        assert actuals.length != figure1.length
+
+    def test_perturbed_obstacles_stay_ordered(self, figure1):
+        model = NoiseModel(seed=3, interval_sigma_frac=0.2)
+        for _ in range(20):
+            actuals = model.actual_durations(figure1, (), ())
+            obs = actuals.main_obstacles
+            for a, b in zip(obs, obs[1:]):
+                assert a.end <= b.start + 1e-9
+
+    def test_durations_stay_positive(self):
+        model = NoiseModel(seed=1, io_sigma_frac=3.0)  # absurd sigma
+        for _ in range(100):
+            assert model.perturb_io_time(1.0) > 0.0
+
+    def test_ratio_perturbation_centred(self):
+        model = NoiseModel(seed=5)
+        draws = [model.perturb_ratio(16.0) for _ in range(500)]
+        mean = sum(draws) / len(draws)
+        assert 15.0 < mean < 17.0
+
+    def test_determinism_per_seed(self, figure1):
+        a = NoiseModel(seed=42).actual_durations(figure1, (1.0,), (1.0,))
+        b = NoiseModel(seed=42).actual_durations(figure1, (1.0,), (1.0,))
+        assert a == b
+
+
+class TestReplay:
+    def test_zero_noise_matches_plan(self, figure1):
+        schedule = ext_johnson_backfill(figure1)
+        result = execute_schedule(schedule, _zero_actuals(figure1))
+        for j, planned in schedule.compression.items():
+            assert result.compression[j].start == pytest.approx(
+                planned.start
+            )
+        for j, planned in schedule.io.items():
+            assert result.io[j].start == pytest.approx(planned.start)
+        assert result.overhead == pytest.approx(schedule.overhead)
+
+    def test_late_obstacle_delays_compression(self, figure1):
+        schedule = ext_johnson_backfill(figure1)
+        actuals = _zero_actuals(figure1)
+        # Stretch the first main obstacle (Y1 planned [3,4] -> [3,6]).
+        from repro.core import Interval
+
+        stretched = (
+            Interval(3.0, 6.0),
+            actuals.main_obstacles[1].shifted(2.0),
+        )
+        actuals = type(actuals)(
+            length=actuals.length,
+            main_obstacles=stretched,
+            background_obstacles=actuals.background_obstacles,
+            compression_times=actuals.compression_times,
+            io_times=actuals.io_times,
+        )
+        result = execute_schedule(schedule, actuals)
+        # Job 1 was planned at [4, 6]; it must now start at >= 6.
+        assert result.compression[1].start >= 6.0 - 1e-9
+
+    def test_io_waits_for_actual_compression(self, figure1):
+        schedule = ext_johnson_backfill(figure1)
+        actuals = _zero_actuals(figure1)
+        slowed = tuple(c * 3.0 for c in actuals.compression_times)
+        actuals = type(actuals)(
+            length=actuals.length,
+            main_obstacles=actuals.main_obstacles,
+            background_obstacles=actuals.background_obstacles,
+            compression_times=slowed,
+            io_times=actuals.io_times,
+        )
+        result = execute_schedule(schedule, actuals)
+        for j in result.io:
+            assert (
+                result.io[j].start >= result.compression[j].end - 1e-9
+            )
+
+    def test_overhead_nonnegative_under_noise(self, figure1):
+        schedule = ext_johnson_backfill(figure1)
+        model = NoiseModel(seed=11)
+        for _ in range(30):
+            actuals = model.actual_durations(
+                figure1,
+                tuple(j.compression_time for j in figure1.jobs),
+                tuple(j.io_time for j in figure1.jobs),
+            )
+            result = execute_schedule(schedule, actuals)
+            assert result.overhead >= 0.0
+            assert result.relative_overhead >= 0.0
+
+    def test_threads_never_overlap_themselves(self, figure1):
+        schedule = ext_johnson_backfill(figure1)
+        model = NoiseModel(seed=13, interval_sigma_frac=0.05)
+        actuals = model.actual_durations(
+            figure1,
+            tuple(j.compression_time for j in figure1.jobs),
+            tuple(j.io_time for j in figure1.jobs),
+        )
+        result = execute_schedule(schedule, actuals)
+        main = sorted(
+            list(result.compression.values())
+            + list(result.main_obstacles),
+            key=lambda iv: iv.start,
+        )
+        for a, b in zip(main, main[1:]):
+            assert a.end <= b.start + 1e-9
+
+
+class TestTrace:
+    def test_schedule_trace_counts(self, figure1):
+        schedule = ext_johnson_backfill(figure1)
+        events = schedule_to_trace(schedule)
+        assert len(events) == 2 + 1 + 4 + 4  # Y, G, R, B
+
+    def test_execution_trace_counts(self, figure1):
+        schedule = ext_johnson_backfill(figure1)
+        result = execute_schedule(schedule, _zero_actuals(figure1))
+        assert len(execution_to_trace(result)) == 11
+
+    def test_gantt_renders_both_threads(self, figure1):
+        schedule = ext_johnson_backfill(figure1)
+        text = render_gantt(schedule_to_trace(schedule))
+        assert "main" in text
+        assert "background" in text
+        assert "R" in text and "B" in text and "Y" in text
+
+    def test_empty_trace(self):
+        assert render_gantt([]) == "(empty trace)"

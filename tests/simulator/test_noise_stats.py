@@ -1,0 +1,91 @@
+"""Statistical tests for the Section 5.4.1 noise models."""
+
+import numpy as np
+import pytest
+
+from repro.core import Interval, Job, ProblemInstance
+from repro.simulator import NoiseModel
+
+
+def _instance():
+    return ProblemInstance(
+        begin=0.0,
+        end=10.0,
+        jobs=(Job(0, 1.0, 1.0),),
+        main_obstacles=(Interval(2.0, 3.0), Interval(5.0, 6.0)),
+        background_obstacles=(Interval(4.0, 5.0),),
+    )
+
+
+class TestSigmaCalibration:
+    def _draws(self, fn, n=3000):
+        return np.array([fn() for _ in range(n)])
+
+    def test_compression_sigma(self):
+        model = NoiseModel(seed=5)
+        draws = self._draws(lambda: model.perturb_compression_time(2.0))
+        assert draws.mean() == pytest.approx(2.0, rel=0.02)
+        assert draws.std() == pytest.approx(0.05 * 2.0, rel=0.1)
+
+    def test_io_sigma(self):
+        model = NoiseModel(seed=5)
+        draws = self._draws(lambda: model.perturb_io_time(4.0))
+        assert draws.std() == pytest.approx(0.05 * 4.0, rel=0.1)
+
+    def test_ratio_sigma(self):
+        model = NoiseModel(seed=5)
+        draws = self._draws(lambda: model.perturb_ratio(16.0))
+        assert draws.mean() == pytest.approx(16.0, rel=0.02)
+        assert draws.std() == pytest.approx(1.6, rel=0.1)
+
+    def test_interval_sigma_scales_with_length(self):
+        inst = _instance()
+        model = NoiseModel(seed=5)
+        starts = []
+        for _ in range(2000):
+            actuals = model.actual_durations(inst, (1.0,), (1.0,))
+            starts.append(actuals.main_obstacles[0].start)
+        starts = np.array(starts)
+        # sigma = 0.01 * T_n = 0.1; clamping at the cursor trims little
+        # for the first obstacle at t=2.
+        assert starts.std() == pytest.approx(0.1, rel=0.15)
+        assert starts.mean() == pytest.approx(2.0, abs=0.02)
+
+    def test_length_noise(self):
+        inst = _instance()
+        model = NoiseModel(seed=6)
+        lengths = np.array(
+            [
+                model.actual_durations(inst, (), ()).length
+                for _ in range(2000)
+            ]
+        )
+        assert lengths.mean() == pytest.approx(10.0, rel=0.01)
+        assert lengths.std() == pytest.approx(0.1, rel=0.15)
+
+
+class TestStructuralInvariants:
+    def test_obstacle_count_preserved(self):
+        inst = _instance()
+        model = NoiseModel(seed=7, interval_sigma_frac=0.05)
+        for _ in range(200):
+            actuals = model.actual_durations(inst, (1.0,), (1.0,))
+            assert len(actuals.main_obstacles) == 2
+            assert len(actuals.background_obstacles) == 1
+
+    def test_durations_never_collapse(self):
+        inst = _instance()
+        model = NoiseModel(seed=8, interval_sigma_frac=0.5)  # extreme
+        for _ in range(200):
+            actuals = model.actual_durations(inst, (1.0,), (1.0,))
+            for obs in actuals.main_obstacles:
+                assert obs.duration > 0.0
+
+    def test_task_count_matches_inputs(self):
+        inst = _instance()
+        model = NoiseModel(seed=9)
+        actuals = model.actual_durations(
+            inst, (1.0, 2.0, 3.0), (0.5, 0.5)
+        )
+        assert len(actuals.compression_times) == 3
+        assert len(actuals.io_times) == 2

@@ -1,0 +1,122 @@
+"""Edge cases in schedule replay."""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    Job,
+    ProblemInstance,
+    ext_johnson_backfill,
+    generation_list_schedule,
+)
+from repro.simulator import ActualDurations, ZERO_NOISE, execute_schedule
+
+
+def _zero_actuals(instance):
+    return ZERO_NOISE.actual_durations(
+        instance,
+        tuple(j.compression_time for j in instance.jobs),
+        tuple(j.io_time for j in instance.jobs),
+    )
+
+
+class TestReplayEdges:
+    def test_empty_schedule(self):
+        inst = ProblemInstance(begin=0.0, end=5.0, jobs=())
+        schedule = ext_johnson_backfill(inst)
+        result = execute_schedule(schedule, _zero_actuals(inst))
+        assert result.io_makespan == 0.0
+        assert result.overall_time == pytest.approx(5.0)
+
+    def test_io_release_respected_in_replay(self):
+        inst = ProblemInstance(
+            begin=0.0,
+            end=10.0,
+            jobs=(Job(0, 0.0, 1.0, io_release=6.0),),
+        )
+        schedule = ext_johnson_backfill(inst)
+        result = execute_schedule(schedule, _zero_actuals(inst))
+        assert result.io[0].start >= 6.0
+
+    def test_shrunken_obstacles_pull_tasks_earlier(self):
+        inst = ProblemInstance(
+            begin=0.0,
+            end=10.0,
+            jobs=(Job(0, 2.0, 1.0),),
+            main_obstacles=(Interval(0.0, 5.0),),
+        )
+        schedule = generation_list_schedule(inst)
+        assert schedule.compression[0].start == pytest.approx(5.0)
+        # Actual obstacle finished at 2.0 instead of 5.0; the replay lets
+        # the queued compression start right after it.
+        actuals = ActualDurations(
+            length=10.0,
+            main_obstacles=(Interval(0.0, 2.0),),
+            background_obstacles=(),
+            compression_times=(2.0,),
+            io_times=(1.0,),
+        )
+        result = execute_schedule(schedule, actuals)
+        assert result.compression[0].start == pytest.approx(2.0)
+
+    def test_obstacle_count_mismatch_is_an_error(self):
+        inst = ProblemInstance(
+            begin=0.0,
+            end=10.0,
+            jobs=(Job(0, 1.0, 1.0),),
+            main_obstacles=(Interval(1.0, 2.0),),
+        )
+        schedule = ext_johnson_backfill(inst)
+        actuals = ActualDurations(
+            length=10.0,
+            main_obstacles=(),  # planned one, delivered none
+            background_obstacles=(),
+            compression_times=(1.0,),
+            io_times=(1.0,),
+        )
+        with pytest.raises(IndexError):
+            execute_schedule(schedule, actuals)
+
+    def test_overall_time_includes_trailing_obstacle(self):
+        inst = ProblemInstance(
+            begin=0.0,
+            end=4.0,
+            jobs=(Job(0, 0.5, 0.5),),
+            main_obstacles=(Interval(3.0, 4.0),),
+        )
+        schedule = ext_johnson_backfill(inst)
+        actuals = ActualDurations(
+            length=4.0,
+            main_obstacles=(Interval(3.0, 6.0),),  # ran long
+            background_obstacles=(),
+            compression_times=(0.5,),
+            io_times=(0.5,),
+        )
+        result = execute_schedule(schedule, actuals)
+        assert result.overall_time >= 6.0
+
+    def test_relative_overhead_zero_computation(self):
+        inst = ProblemInstance(begin=0.0, end=0.0, jobs=())
+        schedule = ext_johnson_backfill(inst)
+        actuals = ActualDurations(
+            length=0.0,
+            main_obstacles=(),
+            background_obstacles=(),
+            compression_times=(),
+            io_times=(),
+        )
+        result = execute_schedule(schedule, actuals)
+        assert result.relative_overhead == 0.0
+
+    def test_overflow_trace_glyph(self):
+        from repro.simulator import execution_to_trace, render_gantt
+
+        inst = ProblemInstance(
+            begin=0.0, end=4.0, jobs=(Job(0, 1.0, 1.0),)
+        )
+        schedule = ext_johnson_backfill(inst)
+        result = execute_schedule(schedule, _zero_actuals(inst))
+        result.extra_io = (Interval(5.0, 6.0),)
+        events = execution_to_trace(result)
+        assert any(e.kind == "overflow" for e in events)
+        assert "O" in render_gantt(events)

@@ -1,0 +1,40 @@
+"""Tests for trace CSV/JSON export."""
+
+import csv
+import io
+import json
+
+from repro.core import ext_johnson_backfill
+from repro.simulator import (
+    schedule_to_trace,
+    trace_to_csv,
+    trace_to_json,
+)
+
+
+class TestTraceExport:
+    def test_csv_round_trip(self, figure1):
+        events = schedule_to_trace(ext_johnson_backfill(figure1))
+        text = trace_to_csv(events)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(events)
+        for row, event in zip(rows, events):
+            assert row["resource"] == event.resource
+            assert float(row["start"]) == event.start
+            assert float(row["end"]) == event.end
+
+    def test_csv_header(self, figure1):
+        events = schedule_to_trace(ext_johnson_backfill(figure1))
+        assert trace_to_csv(events).startswith(
+            "resource,kind,label,start,end"
+        )
+
+    def test_json_round_trip(self, figure1):
+        events = schedule_to_trace(ext_johnson_backfill(figure1))
+        decoded = json.loads(trace_to_json(events))
+        assert len(decoded) == len(events)
+        assert decoded[0]["kind"] in {"compute", "core", "compression", "io"}
+
+    def test_empty_traces(self):
+        assert trace_to_csv([]) == "resource,kind,label,start,end\n"
+        assert json.loads(trace_to_json([])) == []

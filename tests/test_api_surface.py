@@ -1,0 +1,63 @@
+"""Meta tests: the public API surface is consistent and importable."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+_PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.compression",
+    "repro.simulator",
+    "repro.io",
+    "repro.apps",
+    "repro.framework",
+    "repro.parallel",
+]
+
+
+class TestApiSurface:
+    @pytest.mark.parametrize("package", _PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", _PACKAGES)
+    def test_no_duplicate_exports(self, package):
+        module = importlib.import_module(package)
+        assert len(module.__all__) == len(set(module.__all__))
+
+    def test_every_submodule_imports(self):
+        failures = []
+        for info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            try:
+                importlib.import_module(info.name)
+            except Exception as exc:  # pragma: no cover
+                failures.append((info.name, exc))
+        assert not failures
+
+    def test_every_public_item_documented(self):
+        undocumented = []
+        for package in _PACKAGES:
+            module = importlib.import_module(package)
+            for name in module.__all__:
+                item = getattr(module, name)
+                if callable(item) or isinstance(item, type):
+                    if not (item.__doc__ or "").strip():
+                        undocumented.append(f"{package}.{name}")
+        assert not undocumented, undocumented
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_cli_importable_without_side_effects(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.prog == "repro"

@@ -1,0 +1,146 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.instance == "figure1"
+        assert not args.ilp
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "--app", "warpx", "--nodes", "2", "--solution", "ours"]
+        )
+        assert args.app == "warpx"
+        assert args.nodes == 2
+
+
+class TestCommands:
+    def test_experiments_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for experiment in (
+            "Table 1",
+            "Figure 3",
+            "Figure 9",
+            "Figure 11",
+            "Artifact B.5",
+        ):
+            assert experiment in out
+
+    def test_schedule_figure1(self, capsys):
+        assert main(["schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "ExtJohnson+BF" in out
+        assert "12.000" in out  # the Figure 1d optimum
+        assert "lower bound" in out
+
+    def test_schedule_random_with_ilp(self, capsys):
+        assert main(
+            ["schedule", "--instance", "random", "--jobs", "3", "--ilp"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ILP" in out
+
+    def test_compress_sz(self, capsys):
+        assert main(["compress", "--codec", "sz", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "SZ-style" in out
+        assert "compression ratio" in out
+
+    def test_compress_zfp(self, capsys):
+        assert (
+            main(["compress", "--codec", "zfp", "--size", "16", "--rate", "12"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fixed rate 12" in out
+
+    def test_campaign_single_solution(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--nodes",
+                    "1",
+                    "--ppn",
+                    "2",
+                    "--iterations",
+                    "3",
+                    "--solution",
+                    "ours",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ours" in out
+        assert "%" in out
+
+    def test_campaign_all_solutions_ordering(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--nodes",
+                    "1",
+                    "--ppn",
+                    "2",
+                    "--iterations",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "baseline" in out and "previous" in out and "ours" in out
+
+
+class TestSnapshotCommand:
+    def test_snapshot_shared(self, tmp_path, capsys):
+        out = tmp_path / "snap.rpio"
+        assert main(["snapshot", str(out), "--size", "16"]) == 0
+        text = capsys.readouterr().out
+        assert "snapshot verified" in text
+        assert out.exists()
+
+    def test_snapshot_subfiled(self, tmp_path, capsys):
+        out = tmp_path / "snapdir"
+        assert (
+            main(
+                [
+                    "snapshot",
+                    str(out),
+                    "--layout",
+                    "subfiled",
+                    "--size",
+                    "12",
+                    "--fields",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        assert (out / "index.json").exists()
+
+    def test_snapshot_hacc(self, tmp_path, capsys):
+        out = tmp_path / "hacc.rpio"
+        assert (
+            main(
+                ["snapshot", str(out), "--app", "hacc", "--size", "8"]
+            )
+            == 0
+        )
+        assert "verified" in capsys.readouterr().out

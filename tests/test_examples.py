@@ -1,0 +1,49 @@
+"""Smoke tests: the example scripts stay runnable.
+
+Each example runs as a subprocess exactly as a user would invoke it
+(small arguments where supported).  Slow examples (full campaigns, the
+ILP playground) are exercised by their own benches instead.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+_FAST_EXAMPLES = [
+    ("real_file_pipeline.py", []),
+    ("checkpoint_restart.py", []),
+    ("parallel_node_dump.py", ["2"]),
+    ("nyx_campaign.py", ["3"]),
+]
+
+
+@pytest.mark.parametrize("script,args", _FAST_EXAMPLES)
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_all_examples_compile():
+    """Every example parses and compiles (cheap rot guard for the slow
+    ones too)."""
+    for script in sorted(_EXAMPLES_DIR.glob("*.py")):
+        source = script.read_text()
+        compile(source, str(script), "exec")
+
+
+def test_examples_inventory_matches_readme():
+    readme = (
+        pathlib.Path(__file__).parent.parent / "README.md"
+    ).read_text()
+    for script in sorted(_EXAMPLES_DIR.glob("*.py")):
+        assert script.name in readme, f"{script.name} missing from README"

@@ -1,0 +1,196 @@
+"""Cross-module integration tests: the real data path end to end.
+
+These mirror ``examples/real_file_pipeline.py`` at test scale: generate
+application data, compress it block by block with a shared Huffman tree,
+reserve offsets from the ratio model, write through the async background
+thread into a shared container (with overflow), read everything back and
+verify the error bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import NyxModel, WarpXModel
+from repro.compression import (
+    CompressedBlock,
+    CompressedDataBuffer,
+    RatioModel,
+    SharedTreeManager,
+    SZCompressor,
+    max_abs_error,
+    plan_blocks,
+    reassemble_field,
+    slice_field,
+)
+from repro.io import AsyncWriter, SharedFileReader, SharedFileWriter
+
+_BLOCK_BYTES = 16 * 1024
+_SHAPE = (16, 16, 16)
+
+
+@pytest.fixture
+def nyx():
+    return NyxModel(seed=31, partition_shape=_SHAPE)
+
+
+def _dump(app, fields, iteration, path, shared, compressor, ratio_model):
+    """Compress + write one iteration's fields; returns overflow count."""
+    overflow = 0
+    with SharedFileWriter(path) as writer:
+        with AsyncWriter(writer) as background:
+            jobs = []
+            for field_name in fields:
+                data = app.generate_field(field_name, 0, iteration)
+                bound = app.field(field_name).error_bound
+                for spec in plan_blocks(
+                    field_name, data.shape, data.itemsize, _BLOCK_BYTES
+                ):
+                    block_data = np.ascontiguousarray(
+                        slice_field(data, spec)
+                    )
+                    estimate = ratio_model.predict(
+                        block_data, bound, shared_codebook=shared
+                    )
+                    name = f"{field_name}/{spec.block_index}"
+                    writer.reserve(name, estimate.compressed_nbytes)
+                    payload = compressor.compress(
+                        block_data, bound, shared_codebook=shared
+                    ).to_bytes()
+                    jobs.append(background.submit(name, payload))
+            background.drain()
+            overflow = sum(
+                1 for j in jobs if j.fit_reservation is False
+            )
+    return overflow
+
+
+def _verify(app, fields, iteration, path, shared, compressor):
+    with SharedFileReader(path) as reader:
+        for field_name in fields:
+            original = app.generate_field(field_name, 0, iteration)
+            bound = app.field(field_name).error_bound
+            blocks = []
+            for spec in plan_blocks(
+                field_name,
+                original.shape,
+                original.itemsize,
+                _BLOCK_BYTES,
+            ):
+                block = CompressedBlock.from_bytes(
+                    reader.read(f"{field_name}/{spec.block_index}")
+                )
+                recon = compressor.decompress(
+                    block,
+                    shared_codebook=shared
+                    if block.used_shared_tree
+                    else None,
+                )
+                blocks.append((spec, recon))
+            restored = reassemble_field(blocks)
+            assert max_abs_error(original, restored) <= bound * (1 + 1e-9)
+
+
+class TestRealPipeline:
+    def test_multi_iteration_dump_with_shared_tree(self, nyx, tmp_path):
+        fields = ("temperature", "velocity_x")
+        compressor = SZCompressor()
+        ratio_model = RatioModel(compressor, sample_limit=4096)
+        tree = SharedTreeManager(
+            num_symbols=2 * compressor.radius + 1,
+            sentinel=compressor.sentinel,
+        )
+        for iteration in range(3):
+            shared = tree.codebook
+            path = tmp_path / f"snap_{iteration}.rpio"
+            _dump(
+                nyx, fields, iteration, path, shared, compressor,
+                ratio_model,
+            )
+            _verify(nyx, fields, iteration, path, shared, compressor)
+            for field_name in fields:
+                data = nyx.generate_field(field_name, 0, iteration)
+                tree.observe(
+                    compressor.histogram(
+                        data, nyx.field(field_name).error_bound
+                    )
+                )
+            tree.end_iteration()
+        assert tree.codebook is not None
+
+    def test_warpx_extreme_ratio_pipeline(self, tmp_path):
+        app = WarpXModel(seed=31, partition_shape=(8, 8, 64))
+        compressor = SZCompressor()
+        ratio_model = RatioModel(compressor, sample_limit=4096)
+        path = tmp_path / "warpx.rpio"
+        _dump(
+            app, ("Ex", "rho"), 3, path, None, compressor, ratio_model
+        )
+        _verify(app, ("Ex", "rho"), 3, path, None, compressor)
+
+    def test_buffer_consolidation_in_pipeline(self, nyx, tmp_path):
+        # Push blocks through the compressed data buffer and ensure the
+        # emitted write units cover every block exactly once.
+        compressor = SZCompressor()
+        buffer = CompressedDataBuffer(max_bytes=8 * 1024)
+        data = nyx.generate_field("temperature", 0, 0)
+        bound = nyx.field("temperature").error_bound
+        payloads = {}
+        units = []
+        for spec in plan_blocks(
+            "temperature", data.shape, data.itemsize, _BLOCK_BYTES
+        ):
+            payload = compressor.compress(
+                np.ascontiguousarray(slice_field(data, spec)), bound
+            ).to_bytes()
+            payloads[spec.block_index] = payload
+            units.extend(buffer.append(spec.block_index, len(payload)))
+        units.extend(buffer.flush())
+        seen = [b for unit in units for b in unit.block_ids]
+        assert sorted(seen) == sorted(payloads)
+
+    def test_schedule_feeds_real_execution_order(self, nyx, tmp_path):
+        """The planned I/O order from the scheduler can drive real writes."""
+        from repro.core import Job, ProblemInstance, ext_johnson_backfill
+
+        compressor = SZCompressor()
+        data = nyx.generate_field("baryon_density", 0, 0)
+        bound = nyx.field("baryon_density").error_bound
+        specs = plan_blocks(
+            "rho", data.shape, data.itemsize, _BLOCK_BYTES
+        )
+        payloads = [
+            compressor.compress(
+                np.ascontiguousarray(slice_field(data, spec)), bound
+            ).to_bytes()
+            for spec in specs
+        ]
+        jobs = tuple(
+            Job(i, 0.001, len(p) / 1e6) for i, p in enumerate(payloads)
+        )
+        instance = ProblemInstance(
+            begin=0.0, end=10.0, jobs=jobs
+        )
+        schedule = ext_johnson_backfill(instance)
+        io_order = sorted(
+            schedule.io, key=lambda j: schedule.io[j].start
+        )
+        path = tmp_path / "ordered.rpio"
+        with SharedFileWriter(path) as writer:
+            for i, payload in enumerate(payloads):
+                writer.reserve(f"b{i}", len(payload))
+            for i in io_order:
+                writer.write(f"b{i}", payloads[i])
+        with SharedFileReader(path) as reader:
+            blocks = [
+                (
+                    spec,
+                    compressor.decompress(
+                        CompressedBlock.from_bytes(
+                            reader.read(f"b{spec.block_index}")
+                        )
+                    ),
+                )
+                for spec in specs
+            ]
+        restored = reassemble_field(blocks)
+        assert max_abs_error(data, restored) <= bound * (1 + 1e-9)

@@ -1,0 +1,95 @@
+"""Coverage scraps: small behaviours not exercised elsewhere."""
+
+import pytest
+
+from repro.framework.report import _factor
+
+
+class TestComparisonFactors:
+    def test_zero_ours_infinite_factor(self):
+        assert _factor(1.0, 0.0) == float("inf")
+
+    def test_both_zero_is_parity(self):
+        assert _factor(0.0, 0.0) == 1.0
+
+    def test_ordinary_ratio(self):
+        assert _factor(3.0, 1.5) == 2.0
+
+
+class TestCliCampaignHacc:
+    def test_hacc_campaign_via_cli(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--app",
+                    "hacc",
+                    "--nodes",
+                    "1",
+                    "--ppn",
+                    "2",
+                    "--iterations",
+                    "3",
+                    "--solution",
+                    "ours",
+                ]
+            )
+            == 0
+        )
+        assert "ours" in capsys.readouterr().out
+
+
+class TestIterationRecord:
+    def test_zero_computation_relative_overhead(self):
+        from repro.framework import IterationRecord
+
+        record = IterationRecord(
+            iteration=0, dumped=True, computation_s=0.0, overall_s=1.0
+        )
+        assert record.relative_overhead == 0.0
+        assert record.overhead_s == 1.0
+
+    def test_overall_below_computation_clamped(self):
+        from repro.framework import IterationRecord
+
+        record = IterationRecord(
+            iteration=0, dumped=False, computation_s=2.0, overall_s=1.5
+        )
+        assert record.overhead_s == 0.0
+
+
+class TestEmptyCampaignResult:
+    def test_no_dumps_zero_overhead(self):
+        from repro.framework import CampaignResult
+
+        result = CampaignResult(solution="x")
+        assert result.mean_relative_overhead == 0.0
+        assert result.total_time == 0.0
+
+
+class TestBufferStats:
+    def test_counters(self):
+        from repro.compression import CompressedDataBuffer
+
+        buf = CompressedDataBuffer(max_bytes=10)
+        buf.append(0, 4)
+        buf.append(1, 9)  # flush of [0], pending [1]
+        buf.flush()
+        assert buf.blocks_seen == 2
+        assert buf.units_emitted == 2
+
+
+class TestDefaultRegistryOrder:
+    def test_presentation_order_matches_paper(self):
+        from repro.core import list_algorithms
+
+        assert list_algorithms() == [
+            "ExtJohnson",
+            "ExtJohnson+BF",
+            "GenerationListSchedule",
+            "GenerationListSchedule+BF",
+            "OneListGreedy",
+            "TwoListsGreedy",
+        ]
