@@ -15,6 +15,7 @@ from repro.apps import NyxModel, Stage
 from repro.apps.base import FieldSpec
 from repro.framework import CampaignRunner, FrameworkConfig
 from repro.simulator import ClusterSpec, NoiseModel
+from repro.telemetry import NULL_TRACER, NullTracer, Tracer
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -27,6 +28,16 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def emit_trace(tracer: NullTracer, name: str) -> None:
+    """Persist a recording tracer's records to
+    ``benchmarks/results/<name>.trace.jsonl`` (no-op for NullTracer), so
+    any bench can dump the timeline behind its table."""
+    if not tracer.enabled:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    tracer.recorder.write_jsonl(RESULTS_DIR / f"{name}.trace.jsonl")
+
+
 def run_campaign(
     app,
     config: FrameworkConfig,
@@ -36,12 +47,26 @@ def run_campaign(
     seed: int = 1,
     solution: str = "run",
     noise: NoiseModel | None = None,
+    tracer: NullTracer = NULL_TRACER,
+    trace_name: str | None = None,
 ):
+    """Run one campaign; ``trace_name`` records and dumps its trace."""
+    if trace_name is not None and not tracer.enabled:
+        tracer = Tracer()
     cluster = ClusterSpec(num_nodes=nodes, processes_per_node=ppn)
     runner = CampaignRunner(
-        app, cluster, config, solution=solution, seed=seed, noise=noise
+        app,
+        cluster,
+        config,
+        solution=solution,
+        seed=seed,
+        noise=noise,
+        tracer=tracer,
     )
-    return runner.run(iterations)
+    result = runner.run(iterations)
+    if trace_name is not None:
+        emit_trace(tracer, trace_name)
+    return result
 
 
 def mean_overhead(

@@ -16,9 +16,20 @@ Public API tour:
 * :mod:`repro.apps` — Nyx-like and WarpX-like application models.
 * :mod:`repro.framework` — the end-to-end system and the three evaluated
   solutions (baseline / async-I/O-only / ours).
+* :mod:`repro.telemetry` — tracing and metrics: spans, counters, JSON-lines
+  traces, ASCII Gantt rendering.
 """
 
-from . import apps, compression, core, framework, io, parallel, simulator
+from . import (
+    apps,
+    compression,
+    core,
+    framework,
+    io,
+    parallel,
+    simulator,
+    telemetry,
+)
 
 __version__ = "1.0.0"
 
@@ -30,5 +41,6 @@ __all__ = [
     "apps",
     "parallel",
     "framework",
+    "telemetry",
     "__version__",
 ]

@@ -66,9 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=6, help="random-instance job count")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
+        "--algorithm",
+        default=None,
+        help=(
+            "run one named algorithm through the solve() facade "
+            "instead of sweeping all six heuristics "
+            "(exact solvers 'ILP' and 'Exhaustive' included)"
+        ),
+    )
+    p.add_argument(
         "--ilp",
         action="store_true",
         help="also solve the Appendix A ILP (small instances only)",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="record telemetry spans and write them as JSON lines",
     )
 
     p = sub.add_parser("campaign", help="run an application campaign")
@@ -82,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
     )
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="record telemetry spans and write them as JSON lines",
+    )
 
     p = sub.add_parser("compress", help="compress a synthetic field")
     p.add_argument("--codec", choices=["sz", "zfp"], default="sz")
@@ -125,10 +146,32 @@ def main(argv: list[str] | None = None) -> int:
 
 
 # ----------------------------------------------------------------------
+def _make_tracer(args):
+    """A recording tracer when ``--trace-out`` was given, else the null."""
+    from repro.telemetry import NULL_TRACER, Tracer
+
+    return Tracer() if getattr(args, "trace_out", None) else NULL_TRACER
+
+
+def _write_trace(tracer, path: str) -> None:
+    if not tracer.enabled:
+        return
+    tracer.recorder.write_jsonl(path)
+    print(
+        f"\ntrace: {len(tracer.recorder.records)} records -> {path}"
+    )
+
+
 def _cmd_schedule(args) -> int:
-    from repro.core import ALGORITHMS, ilp_schedule, lower_bound
+    from repro.core import (
+        get_algorithm_info,
+        list_algorithms,
+        lower_bound,
+        solve,
+    )
     from repro.simulator import render_gantt, schedule_to_trace
 
+    tracer = _make_tracer(args)
     instance = _make_instance(args)
     print(
         f"instance: {instance.num_jobs} jobs, "
@@ -137,19 +180,42 @@ def _cmd_schedule(args) -> int:
         f"T_n = {instance.length:.2f}"
     )
     print(f"lower bound on I/O makespan: {lower_bound(instance):.3f}\n")
+    names = (
+        [args.algorithm]
+        if args.algorithm
+        else list_algorithms()
+    )
     best_name, best = None, None
-    for name, algorithm in ALGORITHMS.items():
-        schedule = algorithm(instance)
-        schedule.validate()
-        print(f"  {name:28s} io makespan = {schedule.io_makespan:7.3f}")
-        if best is None or schedule.io_makespan < best.io_makespan:
-            best_name, best = name, schedule
-    if args.ilp:
-        result = ilp_schedule(instance, time_limit=30.0)
-        value = "-" if result.objective is None else f"{result.objective:7.3f}"
+    for name in names:
+        try:
+            info = get_algorithm_info(name)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        result = solve(instance, name, tracer=tracer, time_limit=30.0)
+        if result.schedule is None:
+            print(f"  {name:28s} {result.status}: no schedule")
+            continue
+        if not info.exact:
+            # Exact solvers place tasks on a discretized grid whose
+            # sub-microsecond slack the strict validator rejects.
+            result.schedule.validate()
+        print(
+            f"  {name:28s} io makespan = {result.makespan:7.3f} "
+            f"({result.wall_time * 1e3:.1f} ms)"
+        )
+        if best is None or result.makespan < best.io_makespan:
+            best_name, best = name, result.schedule
+    if args.ilp and "ILP" not in names:
+        result = solve(instance, "ILP", tracer=tracer, time_limit=30.0)
+        value = "-" if result.makespan is None else f"{result.makespan:7.3f}"
         print(f"  {'ILP (' + result.status + ')':28s} io makespan = {value}")
+    if best is None:
+        _write_trace(tracer, args.trace_out)
+        return 1
     print(f"\nbest heuristic: {best_name}")
     print(render_gantt(schedule_to_trace(best)))
+    _write_trace(tracer, args.trace_out)
     return 0
 
 
@@ -220,10 +286,16 @@ def _cmd_campaign(args) -> int:
     wanted = configs if args.solution == "all" else {
         args.solution: configs[args.solution]
     }
+    tracer = _make_tracer(args)
     rows = []
     for name, config in wanted.items():
         runner = CampaignRunner(
-            app, cluster, config, solution=name, seed=args.seed
+            app,
+            cluster,
+            config,
+            solution=name,
+            seed=args.seed,
+            tracer=tracer.bind(solution=name),
         )
         result = runner.run(args.iterations)
         rows.append(
@@ -238,6 +310,7 @@ def _cmd_campaign(args) -> int:
             rows, headers=("solution", "I/O overhead", "total time")
         )
     )
+    _write_trace(tracer, args.trace_out)
     return 0
 
 

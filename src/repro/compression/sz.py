@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import NULL_TRACER, NullTracer
 from . import huffman
 from .lossless import lossless_compress, lossless_decompress
 from .predictors import lorenzo_forward, lorenzo_inverse
@@ -128,10 +129,15 @@ class CompressedBlock:
 class SZCompressor:
     """Error-bounded lossy compressor with optional shared Huffman tree."""
 
-    def __init__(self, radius: int = DEFAULT_RADIUS) -> None:
+    def __init__(
+        self,
+        radius: int = DEFAULT_RADIUS,
+        tracer: NullTracer = NULL_TRACER,
+    ) -> None:
         if radius < 1:
             raise ValueError("radius must be at least 1")
         self.radius = radius
+        self.tracer = tracer
 
     @property
     def sentinel(self) -> int:
@@ -194,7 +200,8 @@ class SZCompressor:
                 f"unsupported dtype {values.dtype}; use float32/float64"
             )
         error_bound = self.resolve_bound(values, error_bound, mode)
-        quantized = self.quantize(values, error_bound)
+        with self.tracer.timed("codec.quantize", nbytes=values.nbytes):
+            quantized = self.quantize(values, error_bound)
         codes = quantized.codes.reshape(-1)
         outlier_positions = quantized.outlier_positions
         outlier_values = quantized.outlier_values
@@ -234,14 +241,19 @@ class SZCompressor:
                 outlier_positions = outlier_positions[order]
                 outlier_values = outlier_values[order]
 
-        encoded, nbits = huffman.encode(codes, codebook)
+        with self.tracer.timed(
+            "codec.encode", shared_tree=used_shared
+        ):
+            encoded, nbits = huffman.encode(codes, codebook)
         body = (
             encoded
             + outlier_positions.astype(np.int64).tobytes()
             + outlier_values.astype(np.int64).tobytes()
         )
+        with self.tracer.timed("codec.lossless", nbytes=len(body)):
+            payload = lossless_compress(body)
         return CompressedBlock(
-            payload=lossless_compress(body),
+            payload=payload,
             shape=values.shape,
             dtype=values.dtype,
             error_bound=error_bound,

@@ -33,12 +33,17 @@ from .resumable import (
     preemption_cost,
     resumable_schedule,
 )
+from .executor import trace_schedule
 from .registry import (
     ALGORITHMS,
+    REGISTRY,
+    AlgorithmInfo,
     DEFAULT_ALGORITHM,
     get_algorithm,
+    get_algorithm_info,
     list_algorithms,
 )
+from .solve import SolveResult, solve
 from .serialization import (
     instance_from_json,
     instance_to_json,
@@ -84,7 +89,13 @@ __all__ = [
     "IterationHistory",
     "IterationRecord",
     "ALGORITHMS",
+    "REGISTRY",
+    "AlgorithmInfo",
     "DEFAULT_ALGORITHM",
     "get_algorithm",
+    "get_algorithm_info",
     "list_algorithms",
+    "SolveResult",
+    "solve",
+    "trace_schedule",
 ]

@@ -12,10 +12,43 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..telemetry import NULL_TRACER, NullTracer
 from .model import Interval, ProblemInstance, Schedule
 from .timeline import MachineTimeline
 
-__all__ = ["schedule_orders"]
+__all__ = ["schedule_orders", "trace_schedule"]
+
+
+def trace_schedule(
+    tracer: NullTracer,
+    schedule: Schedule,
+    suffix: str = "planned",
+    **attrs,
+) -> None:
+    """Emit one span per obstacle and per scheduled task.
+
+    Obstacles emit as ``compute`` (main) / ``core`` (background) spans;
+    tasks as ``compress.<suffix>`` / ``write.<suffix>`` so planned
+    placements and replayed executions stay distinguishable in one trace.
+    """
+    if not tracer.enabled:
+        return
+    inst = schedule.instance
+    for obs in inst.main_obstacles:
+        tracer.span("compute", "main", None, obs.start, obs.end, **attrs)
+    for obs in inst.background_obstacles:
+        tracer.span(
+            "core", "background", None, obs.start, obs.end, **attrs
+        )
+    for job, iv in schedule.compression.items():
+        tracer.span(
+            f"compress.{suffix}", "main", job, iv.start, iv.end, **attrs
+        )
+    for job, iv in schedule.io.items():
+        tracer.span(
+            f"write.{suffix}", "background", job, iv.start, iv.end,
+            **attrs,
+        )
 
 
 def schedule_orders(
@@ -25,6 +58,7 @@ def schedule_orders(
     backfill: bool,
     algorithm: str = "",
     require_complete: bool = True,
+    tracer: NullTracer = NULL_TRACER,
 ) -> Schedule:
     """Build a schedule from explicit task orders.
 
@@ -42,6 +76,8 @@ def schedule_orders(
         require_complete: when True (the default) the orders must each be a
             permutation of all job indices.  The insertion greedies pass
             False to evaluate partial orders while they are being built.
+        tracer: when recording, the placed schedule's tasks are emitted
+            as ``compress.planned``/``write.planned`` spans.
 
     The R -> B dependency is enforced by giving each I/O task a ready time
     equal to its compression task's completion.
@@ -70,12 +106,15 @@ def schedule_orders(
             jobs[job_index].io_time, ready, backfill
         )
 
-    return Schedule(
+    schedule = Schedule(
         instance=instance,
         compression=compression,
         io=io,
         algorithm=algorithm,
     )
+    if tracer.enabled:
+        trace_schedule(tracer, schedule, algorithm=algorithm)
+    return schedule
 
 
 def _check_orders(

@@ -1,17 +1,22 @@
-"""Registry of the six scheduling heuristics from Section 3.3.
+"""Registry of scheduling algorithms (Section 3.3 + the exact solvers).
 
-The registry maps the paper's algorithm names to callables with the common
-signature ``(ProblemInstance) -> Schedule`` so evaluation harnesses can
-sweep all of them uniformly (as Table 1 does).  The exact ILP is exposed
-separately through :mod:`repro.core.ilp` because it needs a time limit and
-can fail.
+Entries carry metadata — :class:`AlgorithmInfo` records the paper name,
+whether the solver is exact, and whether it needs a time limit — so the
+:func:`~repro.core.solve.solve` facade can dispatch any of them through
+one call.  The historical surface is preserved: ``ALGORITHMS`` still maps
+the six heuristic names to their bare callables, ``get_algorithm`` still
+returns the callable itself, and ``list_algorithms()`` still returns the
+six heuristics in the paper's presentation order.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
 
+from .bruteforce import exhaustive_schedule
 from .greedy import one_list_greedy, two_lists_greedy
+from .ilp import ilp_schedule
 from .johnson import ext_johnson, ext_johnson_backfill
 from .list_scheduling import (
     generation_list_schedule,
@@ -19,17 +24,61 @@ from .list_scheduling import (
 )
 from .model import ProblemInstance, Schedule
 
-__all__ = ["ALGORITHMS", "DEFAULT_ALGORITHM", "get_algorithm", "list_algorithms"]
+__all__ = [
+    "ALGORITHMS",
+    "REGISTRY",
+    "AlgorithmInfo",
+    "DEFAULT_ALGORITHM",
+    "get_algorithm",
+    "get_algorithm_info",
+    "list_algorithms",
+]
 
 Scheduler = Callable[[ProblemInstance], Schedule]
 
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One registry entry: the callable plus dispatch metadata.
+
+    ``exact`` marks optimal solvers (the Appendix A ILP, the exhaustive
+    list-schedule search) as opposed to the Section 3.3 heuristics;
+    ``needs_time_limit`` marks solvers whose signature takes a
+    ``time_limit`` keyword and whose result may be a non-schedule
+    wrapper (the ILP's :class:`~repro.core.ilp.IlpResult`).
+    """
+
+    name: str
+    func: Callable
+    exact: bool = False
+    needs_time_limit: bool = False
+
+
+#: Every registered algorithm, heuristics first in the paper's
+#: presentation order, then the exact solvers.
+REGISTRY: dict[str, AlgorithmInfo] = {
+    info.name: info
+    for info in (
+        AlgorithmInfo("ExtJohnson", ext_johnson),
+        AlgorithmInfo("ExtJohnson+BF", ext_johnson_backfill),
+        AlgorithmInfo("GenerationListSchedule", generation_list_schedule),
+        AlgorithmInfo(
+            "GenerationListSchedule+BF", generation_list_schedule_backfill
+        ),
+        AlgorithmInfo("OneListGreedy", one_list_greedy),
+        AlgorithmInfo("TwoListsGreedy", two_lists_greedy),
+        AlgorithmInfo("Exhaustive", exhaustive_schedule, exact=True),
+        AlgorithmInfo(
+            "ILP", ilp_schedule, exact=True, needs_time_limit=True
+        ),
+    )
+}
+
+#: The six Section 3.3 heuristics as bare callables (legacy surface).
 ALGORITHMS: dict[str, Scheduler] = {
-    "ExtJohnson": ext_johnson,
-    "ExtJohnson+BF": ext_johnson_backfill,
-    "GenerationListSchedule": generation_list_schedule,
-    "GenerationListSchedule+BF": generation_list_schedule_backfill,
-    "OneListGreedy": one_list_greedy,
-    "TwoListsGreedy": two_lists_greedy,
+    name: info.func
+    for name, info in REGISTRY.items()
+    if not info.exact
 }
 
 #: The algorithm the paper adopts after Table 1.
@@ -37,7 +86,9 @@ DEFAULT_ALGORITHM = "ExtJohnson+BF"
 
 
 def get_algorithm(name: str) -> Scheduler:
-    """Look up a scheduler by its paper name; raises ``KeyError``."""
+    """Look up a heuristic's callable by its paper name; raises
+    ``KeyError`` (exact solvers are reachable via
+    :func:`get_algorithm_info` or :func:`~repro.core.solve.solve`)."""
     try:
         return ALGORITHMS[name]
     except KeyError:
@@ -45,6 +96,21 @@ def get_algorithm(name: str) -> Scheduler:
         raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
 
 
-def list_algorithms() -> list[str]:
-    """All registered algorithm names, in the paper's presentation order."""
+def get_algorithm_info(name: str) -> AlgorithmInfo:
+    """Look up any registered algorithm's metadata entry by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+
+
+def list_algorithms(include_exact: bool = False) -> list[str]:
+    """Registered algorithm names, in the paper's presentation order.
+
+    By default only the six heuristics (the historical behaviour);
+    ``include_exact=True`` appends the exact solvers.
+    """
+    if include_exact:
+        return list(REGISTRY)
     return list(ALGORITHMS)

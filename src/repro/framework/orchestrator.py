@@ -20,6 +20,7 @@ from ..io.filesystem import SimulatedFileSystem
 from ..simulator.engine import Simulation
 from ..simulator.node import ClusterSpec
 from ..simulator.noise import NoiseModel
+from ..telemetry import NULL_TRACER, NullTracer
 from .config import FrameworkConfig
 from .runtime import DumpOutcome, DumpPlan, ProcessRuntime
 
@@ -49,10 +50,17 @@ class IterationRecord:
 
 @dataclass
 class CampaignResult:
-    """A full run's per-iteration records plus summary statistics."""
+    """A full run's per-iteration records plus summary statistics.
+
+    ``metrics`` is the aggregated per-iteration/per-rank telemetry —
+    iteration and dump counts, mean/worst overheads, and one
+    ``overhead.rank<N>.mean`` entry per rank — filled by
+    :meth:`CampaignRunner.run` whether or not a tracer records.
+    """
 
     solution: str
     records: list[IterationRecord] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
 
     def dump_records(self) -> list[IterationRecord]:
         return [r for r in self.records if r.dumped]
@@ -88,11 +96,13 @@ class CampaignRunner:
         solution: str = "ours",
         seed: int = 0,
         noise: NoiseModel | None = None,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.app = app
         self.cluster = cluster
         self.config = config
         self.solution = solution
+        self.tracer = tracer
         io_model = (
             config.io_model.with_processes(cluster.processes_per_node)
             .with_nodes(cluster.num_nodes)
@@ -112,11 +122,14 @@ class CampaignRunner:
                     if noise is not None
                     else NoiseModel(seed=seed * 100_003 + rank)
                 ),
+                tracer=tracer,
             )
             for rank in range(cluster.total_processes)
         ]
         self.simulation = Simulation()
-        self.filesystem = SimulatedFileSystem(self.config.io_model)
+        self.filesystem = SimulatedFileSystem(
+            self.config.io_model, tracer=tracer
+        )
         self.last_outcomes: list[DumpOutcome] | None = None
 
     # ------------------------------------------------------------------
@@ -125,9 +138,48 @@ class CampaignRunner:
         first iteration seeds the history predictor."""
         result = CampaignResult(solution=self.solution)
         for iteration in range(num_iterations):
+            t0 = self.simulation.now
             record = self._run_iteration(iteration)
             result.records.append(record)
+            self.tracer.span(
+                "iteration",
+                t0=t0,
+                t1=self.simulation.now,
+                iteration=iteration,
+                dumped=record.dumped,
+                overhead_s=record.overhead_s,
+                solution=self.solution,
+            )
+        self._aggregate_metrics(result)
         return result
+
+    def _aggregate_metrics(self, result: CampaignResult) -> None:
+        """Fill ``result.metrics`` and mirror the values into gauges."""
+        dumps = result.dump_records()
+        per_rank = np.array(
+            [r.per_rank_overhead for r in dumps], dtype=np.float64
+        )
+        metrics = {
+            "iterations": float(len(result.records)),
+            "dumps": float(len(dumps)),
+            "total_time_s": float(result.total_time),
+            "total_overhead_s": float(result.total_overhead),
+            "mean_relative_overhead": float(
+                result.mean_relative_overhead
+            ),
+            "worst_iteration_overhead": float(
+                max((r.relative_overhead for r in dumps), default=0.0)
+            ),
+        }
+        if per_rank.size:
+            means = per_rank.mean(axis=0)
+            metrics["worst_rank_overhead"] = float(per_rank.max())
+            for rank, mean in enumerate(means):
+                metrics[f"overhead.rank{rank}.mean"] = float(mean)
+        result.metrics = metrics
+        if self.tracer.enabled:
+            for name, value in metrics.items():
+                self.tracer.gauge(f"campaign.{name}").set(value)
 
     # ------------------------------------------------------------------
     def _run_iteration(self, iteration: int) -> IterationRecord:

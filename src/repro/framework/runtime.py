@@ -29,9 +29,11 @@ import numpy as np
 from ..apps.base import ApplicationModel, IterationProfile
 from ..core.balancing import IoTaskRef
 from ..core.model import Interval, Job, ProblemInstance, Schedule
+from ..core.executor import trace_schedule
 from ..core.registry import get_algorithm
 from ..simulator.noise import ActualDurations, NoiseModel
 from ..simulator.replay import ExecutionResult, execute_schedule
+from ..telemetry import NULL_TRACER, NullTracer
 from .config import FrameworkConfig
 
 __all__ = ["BlockPlan", "DumpPlan", "DumpOutcome", "ProcessRuntime"]
@@ -103,12 +105,16 @@ class ProcessRuntime:
         config: FrameworkConfig,
         node_size: int,
         noise: NoiseModel | None = None,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.rank = rank
         self.app = app
         self.config = config
         self.node_size = node_size
         self.noise = noise if noise is not None else NoiseModel(seed=rank)
+        self.tracer = (
+            tracer.bind(rank=rank) if tracer.enabled else tracer
+        )
         self._previous_profile: IterationProfile | None = None
         self._previous_ratios: dict[str, np.ndarray] | None = None
         self._scheduler = get_algorithm(config.scheduler)
@@ -324,8 +330,17 @@ class ProcessRuntime:
             # Section 5.2 mode: the scheduler sees the iteration's actual
             # obstacle layout rather than the previous iteration's.
             self._previous_profile = self.app.iteration_profile(iteration)
+        tracer = (
+            self.tracer.bind(iteration=iteration)
+            if self.tracer.enabled
+            else self.tracer
+        )
         instance = self.make_instance(plan)
-        schedule = self._scheduler(instance)
+        with tracer.timed(
+            "dump.schedule", algorithm=self.config.scheduler
+        ):
+            schedule = self._scheduler(instance)
+        trace_schedule(tracer, schedule, algorithm=self.config.scheduler)
 
         actual_profile = self.app.iteration_profile(iteration)
         nb = self.blocks_per_field()
@@ -379,7 +394,7 @@ class ProcessRuntime:
             compression_times=tuple(compression_times),
             io_times=tuple(io_times),
         )
-        execution = execute_schedule(schedule, actuals)
+        execution = execute_schedule(schedule, actuals, tracer=tracer)
 
         # Section 4.4 overflow: blocks that compressed worse than their
         # reservation spill into the shared file's tail through one extra,
@@ -395,6 +410,44 @@ class ProcessRuntime:
             tail_ends += [o.end for o in execution.background_obstacles]
             start = max(tail_ends, default=0.0)
             execution.extra_io = (Interval(start, start + duration),)
+            tracer.span(
+                "write.overflow",
+                "background",
+                None,
+                start,
+                start + duration,
+                nbytes=overflow_bytes,
+            )
+
+        if tracer.enabled:
+            # Prediction-error attrs: how far the previous-iteration
+            # forecast (Section 3.1/3.4) was from this dump's reality.
+            predicted_bytes = sum(b.predicted_bytes for b in plan.blocks)
+            written = sum(
+                size
+                for b, size in zip(plan.blocks, actual_sizes)
+                if b.job_index not in plan.moved_out
+            )
+            tracer.span(
+                "dump",
+                t0=instance.begin,
+                t1=instance.begin + execution.overall_time,
+                length_error=actual_profile.length - instance.length,
+                size_rel_error=(
+                    (sum(actual_sizes) - predicted_bytes) / predicted_bytes
+                    if predicted_bytes
+                    else 0.0
+                ),
+                makespan_error=(
+                    execution.io_makespan - schedule.io_makespan
+                ),
+                overflow_bytes=overflow_bytes,
+                relative_overhead=execution.relative_overhead,
+                moved_in=len(plan.moved_in),
+                moved_out=len(plan.moved_out),
+            )
+            tracer.counter("dump.bytes_written").inc(written)
+            tracer.counter("dump.overflow_bytes").inc(overflow_bytes)
 
         self._previous_profile = actual_profile
         self._previous_ratios = actual_ratios

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..telemetry import NULL_TRACER, NullTracer
 from .throughput import IoThroughputModel
 
 __all__ = ["WriteRecord", "SimulatedFileSystem"]
@@ -30,11 +31,18 @@ class SimulatedFileSystem:
 
     model: IoThroughputModel
     writes: list[WriteRecord] = field(default_factory=list)
+    tracer: NullTracer = NULL_TRACER
 
     def write(self, rank: int, nbytes: int) -> float:
         """Simulate one write; returns its duration."""
         duration = self.model.write_time(nbytes)
         self.writes.append(WriteRecord(rank, nbytes, duration))
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fs.write", rank=rank, nbytes=nbytes, duration=duration
+            )
+            self.tracer.counter("fs.bytes").inc(nbytes)
+            self.tracer.counter("fs.writes").inc()
         return duration
 
     @property

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.model import Interval, Schedule
+from ..telemetry import NULL_TRACER, NullTracer
 from .noise import ActualDurations
 
 __all__ = ["ExecutionResult", "execute_schedule"]
@@ -77,7 +78,9 @@ class ExecutionResult:
 
 
 def execute_schedule(
-    schedule: Schedule, actuals: ActualDurations
+    schedule: Schedule,
+    actuals: ActualDurations,
+    tracer: NullTracer = NULL_TRACER,
 ) -> ExecutionResult:
     """Replay ``schedule`` with ``actuals``; returns actual timings.
 
@@ -86,7 +89,9 @@ def execute_schedule(
     position; a compression task is released immediately; an I/O task is
     released when its compression task actually completes.  Each item
     starts at ``max(thread cursor, release)`` and runs for its actual
-    duration without preemption.
+    duration without preemption.  A recording ``tracer`` receives the
+    realized timeline as ``compute``/``core``/``compress.actual``/
+    ``write.actual`` spans.
     """
     inst = schedule.instance
     begin = inst.begin
@@ -142,6 +147,16 @@ def execute_schedule(
             end = start + duration
             actual_io[idx] = Interval(start, end)
         cursor = end
+
+    if tracer.enabled:
+        for obs in actual_main_obs:
+            tracer.span("compute", "main", None, obs.start, obs.end)
+        for obs in actual_bg_obs:
+            tracer.span("core", "background", None, obs.start, obs.end)
+        for idx, iv in actual_compression.items():
+            tracer.span("compress.actual", "main", idx, iv.start, iv.end)
+        for idx, iv in actual_io.items():
+            tracer.span("write.actual", "background", idx, iv.start, iv.end)
 
     return ExecutionResult(
         begin=begin,

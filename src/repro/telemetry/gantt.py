@@ -1,0 +1,77 @@
+"""Render recorded spans as an ASCII Gantt chart.
+
+The textual equivalent of the paper's Figure 1, but driven by telemetry
+spans instead of a :class:`~repro.core.model.Schedule`: any set of spans
+that carry a ``machine`` (timeline row) renders, so the same function
+draws planned schedules, replayed executions, and whole traced dumps
+loaded back from a JSON-lines file.
+
+Glyphs follow the Figure 1 colour legend: application compute tasks
+``Y``, core/background tasks ``G``, compression ``R``, writes ``B``,
+Section 4.4 overflow writes ``O``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .recorder import SpanRecord
+
+__all__ = ["render_gantt"]
+
+#: Exact span-name glyphs, consulted before the prefix table.
+_NAME_GLYPHS = {
+    "compute": "Y",
+    "core": "G",
+    "write.overflow": "O",
+}
+
+#: Glyphs by the span name's first dotted segment.
+_PREFIX_GLYPHS = {
+    "compute": "Y",
+    "core": "G",
+    "compress": "R",
+    "write": "B",
+}
+
+_LEGEND = "Y=compute  G=core  R=compression  B=write  O=overflow"
+
+
+def _glyph(name: str) -> str:
+    exact = _NAME_GLYPHS.get(name)
+    if exact is not None:
+        return exact
+    return _PREFIX_GLYPHS.get(name.split(".", 1)[0], "#")
+
+
+def render_gantt(
+    spans: Iterable[SpanRecord],
+    width: int = 72,
+    legend: bool = True,
+) -> str:
+    """Draw every span that names a ``machine``, one row per machine.
+
+    Spans are drawn in record order (later spans overwrite earlier ones
+    where they overlap); machines are sorted so ``background`` and
+    ``main`` rows land in a stable order.  Spans with an empty
+    ``machine`` (pipeline timings like ``dump.schedule``) are skipped —
+    they live on the wall clock, not the simulated timeline.
+    """
+    from ..framework.textplot import gantt_chart
+
+    rows: dict[str, list[tuple[float, float, str]]] = {}
+    for span in spans:
+        if not span.machine:
+            continue
+        rows.setdefault(span.machine, []).append(
+            (span.t0, span.t1, _glyph(span.name))
+        )
+    if not rows:
+        return "(no machine spans)"
+    chart = gantt_chart(
+        {name: rows[name] for name in sorted(rows)}, width=width
+    )
+    if legend:
+        pad = chart.splitlines()[-1].index("|") + 1
+        chart += "\n" + " " * pad + _LEGEND
+    return chart

@@ -1,0 +1,84 @@
+"""Counter and gauge metrics for the tracing subsystem.
+
+Metrics complement spans: a span says *when* something happened on a
+timeline, a metric says *how much* of something accumulated (counter) or
+*what level* it sits at (gauge).  Both are thread-safe so ranks driven
+from worker threads can share one registry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "NULL_COUNTER", "NULL_GAUGE"]
+
+
+class Counter:
+    """A monotonically increasing metric (e.g. bytes written, dumps run)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self._value!r})"
+
+
+class Gauge:
+    """A set-to-current-level metric (e.g. mean overhead, queue depth)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's level."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self._value!r})"
+
+
+class _NullCounter(Counter):
+    """Counter that drops updates (handed out by :class:`NullTracer`)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    """Gauge that drops updates (handed out by :class:`NullTracer`)."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+#: Shared do-nothing instances so the no-op path allocates nothing.
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")

@@ -1,0 +1,220 @@
+"""Thread-safe in-memory record store with JSON-lines round-trip.
+
+The :class:`Recorder` is the single sink behind every bound
+:class:`~repro.telemetry.tracer.Tracer`: span and event records are
+appended in arrival order under a lock, and counters/gauges are
+create-on-first-use so all threads share one instance per name.
+
+The on-disk format is JSON lines — one self-describing object per line
+(``{"type": "span", ...}``), streamable and greppable, loadable back with
+:func:`read_jsonl` for post-hoc analysis or Gantt rendering.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .metrics import Counter, Gauge
+
+__all__ = ["SpanRecord", "EventRecord", "Recorder", "read_jsonl"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span: a named interval on a machine's timeline."""
+
+    name: str
+    machine: str = ""
+    job: int | None = None
+    t0: float = 0.0
+    t1: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the one JSON-lines line)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "machine": self.machine,
+            "job": self.job,
+            "t0": self.t0,
+            "t1": self.t1,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One instantaneous occurrence (no duration)."""
+
+    name: str
+    t: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the one JSON-lines line)."""
+        return {
+            "type": "event",
+            "name": self.name,
+            "t": self.t,
+            "attrs": self.attrs,
+        }
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other oddballs for ``json.dumps``."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+class Recorder:
+    """Append-only, thread-safe store of spans, events, and metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord | EventRecord] = []
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, record: SpanRecord | EventRecord) -> None:
+        """Append one record, preserving global arrival order."""
+        with self._lock:
+            self._records.append(record)
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter called ``name``."""
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge called ``name``."""
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> tuple[SpanRecord | EventRecord, ...]:
+        """All records in arrival order."""
+        with self._lock:
+            return tuple(self._records)
+
+    @property
+    def spans(self) -> tuple[SpanRecord, ...]:
+        return tuple(
+            r for r in self.records if isinstance(r, SpanRecord)
+        )
+
+    @property
+    def events(self) -> tuple[EventRecord, ...]:
+        return tuple(
+            r for r in self.records if isinstance(r, EventRecord)
+        )
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Snapshot of counter values by name."""
+        with self._lock:
+            return {name: c.value for name, c in self._counters.items()}
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        """Snapshot of gauge values by name."""
+        with self._lock:
+            return {name: g.value for name, g in self._gauges.items()}
+
+    def clear(self) -> None:
+        """Drop every record and metric."""
+        with self._lock:
+            self._records.clear()
+            self._counters.clear()
+            self._gauges.clear()
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Records (arrival order) then metrics, one JSON object per line."""
+        lines = [
+            json.dumps(r.to_dict(), default=_jsonable)
+            for r in self.records
+        ]
+        for name, value in sorted(self.counters.items()):
+            lines.append(
+                json.dumps(
+                    {"type": "counter", "name": name, "value": value}
+                )
+            )
+        for name, value in sorted(self.gauges.items()):
+            lines.append(
+                json.dumps({"type": "gauge", "name": name, "value": value})
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write :meth:`to_jsonl` to ``path`` (creating parent
+        directories); returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+
+def read_jsonl(source: str | Path) -> Recorder:
+    """Load a JSON-lines trace back into a fresh :class:`Recorder`.
+
+    ``source`` is a path, or the raw text itself when it contains a
+    newline (convenient in tests).  Unknown record types raise.
+    """
+    text = (
+        source
+        if isinstance(source, str) and "\n" in source
+        else Path(source).read_text()
+    )
+    recorder = Recorder()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        kind = data.get("type")
+        if kind == "span":
+            recorder.add(
+                SpanRecord(
+                    name=data["name"],
+                    machine=data.get("machine", ""),
+                    job=data.get("job"),
+                    t0=data["t0"],
+                    t1=data["t1"],
+                    attrs=data.get("attrs", {}),
+                )
+            )
+        elif kind == "event":
+            recorder.add(
+                EventRecord(
+                    name=data["name"],
+                    t=data.get("t", 0.0),
+                    attrs=data.get("attrs", {}),
+                )
+            )
+        elif kind == "counter":
+            recorder.counter(data["name"]).inc(data["value"])
+        elif kind == "gauge":
+            recorder.gauge(data["name"]).set(data["value"])
+        else:
+            raise ValueError(
+                f"line {line_no}: unknown record type {kind!r}"
+            )
+    return recorder

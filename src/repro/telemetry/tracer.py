@@ -1,0 +1,153 @@
+"""Tracers: the emit-side API of the telemetry subsystem.
+
+Two implementations share one interface:
+
+* :class:`NullTracer` — the default everywhere; every method is a no-op
+  and ``enabled`` is ``False`` so hot paths can skip even building the
+  attribute dicts.  A single shared :data:`NULL_TRACER` instance exists
+  so call sites never allocate.
+* :class:`Tracer` — records into a :class:`~repro.telemetry.recorder.Recorder`.
+  ``bind(**attrs)`` returns a child tracer sharing the same recorder whose
+  emitted records all carry the bound attributes (e.g. ``rank``,
+  ``iteration``), which is how per-rank context flows through the
+  scheduler and replay code without threading keyword arguments.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from .metrics import NULL_COUNTER, NULL_GAUGE, Counter, Gauge
+from .recorder import EventRecord, Recorder, SpanRecord
+
+__all__ = ["NullTracer", "Tracer", "NULL_TRACER"]
+
+
+class NullTracer:
+    """Do-nothing tracer; the zero-overhead default for every call site.
+
+    Also serves as the interface definition: :class:`Tracer` subclasses
+    it, so ``isinstance(t, NullTracer)`` accepts both.
+    """
+
+    #: Hot paths may guard attr construction with ``if tracer.enabled:``.
+    enabled = False
+
+    __slots__ = ()
+
+    def span(
+        self,
+        name: str,
+        machine: str = "",
+        job: int | None = None,
+        t0: float = 0.0,
+        t1: float = 0.0,
+        **attrs,
+    ) -> None:
+        """Record one completed span (no-op here)."""
+
+    def event(self, name: str, t: float = 0.0, **attrs) -> None:
+        """Record one instantaneous event (no-op here)."""
+
+    def counter(self, name: str) -> Counter:
+        """A counter metric by name (a shared null counter here)."""
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        """A gauge metric by name (a shared null gauge here)."""
+        return NULL_GAUGE
+
+    def bind(self, **attrs) -> "NullTracer":
+        """A tracer stamping ``attrs`` on every record (itself here)."""
+        return self
+
+    @contextmanager
+    def timed(
+        self,
+        name: str,
+        machine: str = "",
+        job: int | None = None,
+        **attrs,
+    ):
+        """Context manager emitting a wall-clock span (no-op here)."""
+        yield
+
+
+class Tracer(NullTracer):
+    """Recording tracer: spans/events/metrics land in a shared recorder."""
+
+    enabled = True
+
+    __slots__ = ("recorder", "_attrs")
+
+    def __init__(
+        self,
+        recorder: Recorder | None = None,
+        _attrs: dict | None = None,
+    ) -> None:
+        self.recorder = recorder if recorder is not None else Recorder()
+        self._attrs = dict(_attrs) if _attrs else {}
+
+    def span(
+        self,
+        name: str,
+        machine: str = "",
+        job: int | None = None,
+        t0: float = 0.0,
+        t1: float = 0.0,
+        **attrs,
+    ) -> None:
+        """Record one completed span ``[t0, t1]`` on ``machine``."""
+        merged = {**self._attrs, **attrs} if self._attrs else attrs
+        self.recorder.add(
+            SpanRecord(
+                name=name, machine=machine, job=job, t0=t0, t1=t1,
+                attrs=merged,
+            )
+        )
+
+    def event(self, name: str, t: float = 0.0, **attrs) -> None:
+        """Record one instantaneous event at time ``t``."""
+        merged = {**self._attrs, **attrs} if self._attrs else attrs
+        self.recorder.add(EventRecord(name=name, t=t, attrs=merged))
+
+    def counter(self, name: str) -> Counter:
+        """The shared counter called ``name`` (create on first use)."""
+        return self.recorder.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        """The shared gauge called ``name`` (create on first use)."""
+        return self.recorder.gauge(name)
+
+    def bind(self, **attrs) -> "Tracer":
+        """Child tracer sharing this recorder, with ``attrs`` stamped on
+        every record it emits (later ``bind``/call attrs win)."""
+        return Tracer(self.recorder, {**self._attrs, **attrs})
+
+    @contextmanager
+    def timed(
+        self,
+        name: str,
+        machine: str = "",
+        job: int | None = None,
+        **attrs,
+    ):
+        """Measure the enclosed block with ``time.perf_counter`` and emit
+        it as a span, even if the block raises."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.span(
+                name,
+                machine=machine,
+                job=job,
+                t0=t0,
+                t1=time.perf_counter(),
+                **attrs,
+            )
+
+
+#: Shared no-op instance; use as the default instead of allocating.
+NULL_TRACER = NullTracer()

@@ -1,0 +1,144 @@
+"""The solve() facade: parity with direct calls, metadata, tracing."""
+
+import pytest
+
+from repro.core import (
+    ALGORITHMS,
+    DEFAULT_ALGORITHM,
+    SolveResult,
+    exhaustive_schedule,
+    get_algorithm_info,
+    ilp_schedule,
+    list_algorithms,
+    schedule_stats,
+    solve,
+)
+from repro.telemetry import Tracer
+from tests.conftest import figure1_instance, random_instance
+
+
+class TestHeuristicParity:
+    @pytest.mark.parametrize("name", list_algorithms())
+    def test_figure1_matches_direct_call(self, name):
+        instance = figure1_instance()
+        via_facade = solve(instance, name)
+        direct = ALGORITHMS[name](instance)
+        assert via_facade.schedule.compression == direct.compression
+        assert via_facade.schedule.io == direct.io
+        assert via_facade.makespan == direct.io_makespan
+        assert via_facade.status == "ok"
+        assert via_facade.algorithm == name
+
+    @pytest.mark.parametrize("name", list_algorithms())
+    def test_random_instances_match_direct_call(self, name, rng):
+        for _ in range(5):
+            instance = random_instance(rng)
+            via_facade = solve(instance, name)
+            direct = ALGORITHMS[name](instance)
+            assert via_facade.schedule.compression == direct.compression
+            assert via_facade.schedule.io == direct.io
+
+
+class TestExactSolvers:
+    def test_ilp_returns_optimal_figure1(self):
+        result = solve(figure1_instance(), "ILP", time_limit=30.0)
+        assert result.status == "optimal"
+        assert result.makespan == pytest.approx(12.0)
+        direct = ilp_schedule(figure1_instance(), time_limit=30.0)
+        assert result.schedule.io == direct.schedule.io
+
+    def test_ilp_detail_carries_problem_size(self):
+        result = solve(figure1_instance(), "ILP", time_limit=30.0)
+        direct = ilp_schedule(figure1_instance(), time_limit=30.0)
+        assert result.detail["num_variables"] == direct.num_variables
+        assert result.detail["num_constraints"] == direct.num_constraints
+        assert result.detail["objective"] == pytest.approx(
+            direct.objective
+        )
+
+    def test_heuristic_detail_empty(self):
+        assert solve(figure1_instance()).detail == {}
+
+    def test_exhaustive_matches_direct(self):
+        instance = figure1_instance()
+        result = solve(instance, "Exhaustive")
+        direct = exhaustive_schedule(instance)
+        assert result.schedule.io == direct.io
+        assert result.makespan == pytest.approx(12.0)
+
+    def test_heuristic_never_beats_exact(self, rng):
+        for _ in range(3):
+            instance = random_instance(rng, num_jobs=4)
+            exact = solve(instance, "Exhaustive")
+            heuristic = solve(instance, DEFAULT_ALGORITHM)
+            assert heuristic.makespan >= exact.makespan - 1e-9
+
+
+class TestResultShape:
+    def test_wall_time_measured(self):
+        result = solve(figure1_instance())
+        assert result.wall_time >= 0.0
+
+    def test_stats_lazy_and_correct(self):
+        result = solve(figure1_instance())
+        assert result._stats is None  # not computed until asked for
+        stats = result.stats
+        assert stats == schedule_stats(result.schedule)
+        assert result.stats is stats  # cached after first access
+
+    def test_default_algorithm(self):
+        assert solve(figure1_instance()).algorithm == DEFAULT_ALGORITHM
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            solve(figure1_instance(), "NoSuchSolver")
+
+    def test_result_is_dataclass_with_status(self):
+        result = solve(figure1_instance())
+        assert isinstance(result, SolveResult)
+        assert result.status == "ok"
+
+
+class TestRegistryMetadata:
+    def test_heuristics_are_inexact_and_untimed(self):
+        for name in list_algorithms():
+            info = get_algorithm_info(name)
+            assert info.name == name
+            assert not info.exact
+            assert not info.needs_time_limit
+
+    def test_ilp_metadata(self):
+        info = get_algorithm_info("ILP")
+        assert info.exact and info.needs_time_limit
+
+    def test_exhaustive_metadata(self):
+        info = get_algorithm_info("Exhaustive")
+        assert info.exact and not info.needs_time_limit
+
+    def test_list_algorithms_include_exact(self):
+        names = list_algorithms(include_exact=True)
+        assert set(list_algorithms()) < set(names)
+        assert {"ILP", "Exhaustive"} <= set(names)
+
+    def test_exact_names_hidden_by_default(self):
+        assert "ILP" not in list_algorithms()
+        assert "Exhaustive" not in list_algorithms()
+
+
+class TestTracing:
+    def test_solve_emits_solve_span_and_planned_layout(self):
+        tracer = Tracer()
+        result = solve(figure1_instance(), tracer=tracer)
+        names = [s.name for s in tracer.recorder.spans]
+        assert names.count("solve") == 1
+        assert "compute" in names
+        assert "compress.planned" in names
+        assert "write.planned" in names
+        (span,) = [s for s in tracer.recorder.spans if s.name == "solve"]
+        assert span.attrs["algorithm"] == DEFAULT_ALGORITHM
+        assert span.attrs["makespan"] == result.makespan
+
+    def test_untraced_solve_records_nothing(self):
+        # The default NULL_TRACER has no recorder to pollute.
+        result = solve(figure1_instance())
+        assert result.schedule is not None

@@ -1,0 +1,88 @@
+"""End-to-end: a traced campaign covers every phase for every rank."""
+
+import json
+
+from repro.apps import NyxModel
+from repro.framework import CampaignRunner, ours_config
+from repro.simulator import ClusterSpec
+from repro.telemetry import Tracer, read_jsonl
+
+
+def _run_traced(iterations=3, ppn=2):
+    tracer = Tracer()
+    runner = CampaignRunner(
+        NyxModel(seed=1),
+        ClusterSpec(num_nodes=1, processes_per_node=ppn),
+        ours_config(),
+        solution="ours",
+        seed=1,
+        tracer=tracer,
+    )
+    result = runner.run(iterations)
+    return tracer, result
+
+
+class TestCampaignTrace:
+    def test_all_phases_for_every_rank(self):
+        tracer, _ = _run_traced(ppn=2)
+        spans = tracer.recorder.spans
+        for rank in range(2):
+            mine = [s for s in spans if s.attrs.get("rank") == rank]
+            kinds = {s.name for s in mine}
+            assert "compute" in kinds
+            assert {"compress.planned", "compress.actual"} <= kinds
+            assert {"write.planned", "write.actual"} <= kinds
+            assert "dump" in kinds
+
+    def test_dump_spans_carry_prediction_error_attrs(self):
+        tracer, _ = _run_traced()
+        dumps = [s for s in tracer.recorder.spans if s.name == "dump"]
+        assert dumps
+        for span in dumps:
+            assert "size_rel_error" in span.attrs
+            assert "length_error" in span.attrs
+            assert "makespan_error" in span.attrs
+            assert span.attrs["relative_overhead"] >= 0.0
+
+    def test_iteration_spans_advance_on_simulated_clock(self):
+        tracer, result = _run_traced(iterations=4)
+        iterations = [
+            s for s in tracer.recorder.spans if s.name == "iteration"
+        ]
+        assert len(iterations) == 4
+        assert all(s.t1 >= s.t0 for s in iterations)
+        # Consecutive iterations abut on the virtual clock.
+        for before, after in zip(iterations, iterations[1:]):
+            assert after.t0 == before.t1
+
+    def test_jsonl_export_is_valid_and_round_trips(self, tmp_path):
+        tracer, _ = _run_traced()
+        path = tracer.recorder.write_jsonl(tmp_path / "campaign.jsonl")
+        lines = path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)
+        restored = read_jsonl(path)
+        assert len(restored.spans) == len(tracer.recorder.spans)
+        assert restored.counters == tracer.recorder.counters
+
+    def test_metrics_aggregated_into_result(self):
+        tracer, result = _run_traced(iterations=4, ppn=2)
+        assert result.metrics["iterations"] == 4.0
+        assert result.metrics["dumps"] == 3.0
+        assert "overhead.rank0.mean" in result.metrics
+        assert "overhead.rank1.mean" in result.metrics
+        assert (
+            tracer.recorder.gauges["campaign.mean_relative_overhead"]
+            == result.metrics["mean_relative_overhead"]
+        )
+
+    def test_untraced_campaign_still_fills_metrics(self):
+        runner = CampaignRunner(
+            NyxModel(seed=1),
+            ClusterSpec(num_nodes=1, processes_per_node=2),
+            ours_config(),
+        )
+        result = runner.run(3)
+        assert result.metrics["dumps"] == 2.0
+        assert result.metrics["mean_relative_overhead"] >= 0.0

@@ -1,0 +1,93 @@
+"""Gantt rendering: golden layout and Figure 1 reproduction."""
+
+from repro.core import DEFAULT_ALGORITHM, solve
+from repro.telemetry import (
+    Recorder,
+    SpanRecord,
+    Tracer,
+    render_gantt,
+)
+from tests.conftest import figure1_instance
+
+
+class TestGolden:
+    def _recorder(self):
+        recorder = Recorder()
+        recorder.add(SpanRecord("core", "background", None, 4.0, 5.0))
+        recorder.add(SpanRecord("write.actual", "background", 0, 1.0, 3.0))
+        recorder.add(SpanRecord("compute", "main", None, 3.0, 4.0))
+        recorder.add(SpanRecord("compute", "main", None, 6.0, 7.0))
+        recorder.add(SpanRecord("compute", "main", None, 11.0, 12.0))
+        recorder.add(SpanRecord("compress.actual", "main", 0, 0.0, 1.0))
+        return recorder
+
+    def test_exact_layout(self):
+        # width 13 over a [0, 12] span puts one column per time unit.
+        chart = render_gantt(
+            self._recorder().spans, width=13, legend=False
+        )
+        expected = "\n".join(
+            [
+                "background |" + " BB G        " + "|",
+                "main       |" + "R  Y  Y    Y " + "|",
+                "           |" + "t=0.00" + "   t=12.00" + "|",
+            ]
+        )
+        assert chart == expected
+
+    def test_legend_appended(self):
+        chart = render_gantt(self._recorder().spans, width=13)
+        assert chart.splitlines()[-1].strip() == (
+            "Y=compute  G=core  R=compression  B=write  O=overflow"
+        )
+
+    def test_machineless_spans_skipped(self):
+        recorder = self._recorder()
+        recorder.add(SpanRecord("dump.schedule", t0=0.0, t1=99.0))
+        chart = render_gantt(recorder.spans, width=13, legend=False)
+        # The wall-clock span neither adds a row nor stretches the axis.
+        assert "t=12.00" in chart
+        assert len(chart.splitlines()) == 3
+
+    def test_no_machine_spans(self):
+        assert render_gantt([]) == "(no machine spans)"
+
+
+class TestFigure1:
+    def test_reproduces_figure1_layout(self):
+        """The traced default schedule re-draws Figure 1: obstacles and
+        tasks land in the same columns the schedule dictates."""
+        instance = figure1_instance()
+        tracer = Tracer()
+        result = solve(instance, DEFAULT_ALGORITHM, tracer=tracer)
+        width = 73  # one column per 1/6 time unit over [0, 12]
+        chart = render_gantt(tracer.recorder.spans, width=width)
+        rows = {
+            line.split("|")[0].strip(): line.split("|")[1]
+            for line in chart.splitlines()[:2]
+        }
+        scale = (width - 1) / instance.length
+
+        def mid_col(iv) -> int:
+            return int((iv.start + iv.end) / 2 * scale)
+
+        # Main thread: every obstacle is a Y at its midpoint, every
+        # scheduled compression task an R at its midpoint.
+        for obs in instance.main_obstacles:
+            assert rows["main"][mid_col(obs)] == "Y"
+        for iv in result.schedule.compression.values():
+            assert rows["main"][mid_col(iv)] == "R"
+        # Background thread: the core obstacle is a G, writes are Bs.
+        for obs in instance.background_obstacles:
+            assert rows["background"][mid_col(obs)] == "G"
+        for iv in result.schedule.io.values():
+            assert rows["background"][mid_col(iv)] == "B"
+
+    def test_round_trip_through_jsonl_renders_identically(self):
+        from repro.telemetry import read_jsonl
+
+        tracer = Tracer()
+        solve(figure1_instance(), tracer=tracer)
+        direct = render_gantt(tracer.recorder.spans)
+        restored = read_jsonl(tracer.recorder.to_jsonl())
+        assert render_gantt(restored.spans) == direct

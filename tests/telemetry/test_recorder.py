@@ -1,0 +1,122 @@
+"""Recorder ordering, thread safety, and JSON-lines round-trip."""
+
+import json
+import threading
+
+from repro.telemetry import (
+    EventRecord,
+    Recorder,
+    SpanRecord,
+    read_jsonl,
+)
+
+
+class TestOrdering:
+    def test_records_keep_arrival_order(self):
+        recorder = Recorder()
+        recorder.add(SpanRecord("a", t0=5.0, t1=6.0))
+        recorder.add(EventRecord("b", t=1.0))
+        recorder.add(SpanRecord("c", t0=0.0, t1=2.0))
+        assert [r.name for r in recorder.records] == ["a", "b", "c"]
+
+    def test_spans_and_events_filter_but_preserve_order(self):
+        recorder = Recorder()
+        for i in range(4):
+            recorder.add(SpanRecord(f"s{i}", t0=float(i), t1=float(i)))
+            recorder.add(EventRecord(f"e{i}", t=float(i)))
+        assert [s.name for s in recorder.spans] == ["s0", "s1", "s2", "s3"]
+        assert [e.name for e in recorder.events] == ["e0", "e1", "e2", "e3"]
+
+    def test_threaded_appends_all_arrive(self):
+        recorder = Recorder()
+
+        def worker(tag):
+            for i in range(200):
+                recorder.add(SpanRecord(f"{tag}.{i}"))
+                recorder.counter("total").inc()
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(recorder.records) == 8 * 200
+        assert recorder.counters["total"] == 8 * 200
+
+    def test_clear(self):
+        recorder = Recorder()
+        recorder.add(SpanRecord("a"))
+        recorder.counter("c").inc()
+        recorder.gauge("g").set(2.0)
+        recorder.clear()
+        assert recorder.records == ()
+        assert recorder.counters == {}
+        assert recorder.gauges == {}
+
+
+class TestJsonl:
+    def _populated(self):
+        recorder = Recorder()
+        recorder.add(
+            SpanRecord(
+                "compress.actual",
+                machine="main",
+                job=3,
+                t0=1.5,
+                t1=2.25,
+                attrs={"rank": 1, "iteration": 4},
+            )
+        )
+        recorder.add(
+            EventRecord("fs.write", t=2.5, attrs={"nbytes": 1024})
+        )
+        recorder.counter("fs.bytes").inc(1024)
+        recorder.gauge("campaign.mean_relative_overhead").set(0.25)
+        return recorder
+
+    def test_every_line_is_json(self):
+        text = self._populated().to_jsonl()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            json.loads(line)
+
+    def test_round_trip_preserves_records_and_metrics(self):
+        original = self._populated()
+        restored = read_jsonl(original.to_jsonl())
+        assert restored.spans == original.spans
+        assert restored.events == original.events
+        assert restored.counters == original.counters
+        assert restored.gauges == original.gauges
+
+    def test_round_trip_via_file(self, tmp_path):
+        original = self._populated()
+        path = original.write_jsonl(tmp_path / "trace.jsonl")
+        restored = read_jsonl(path)
+        assert restored.records == original.records
+
+    def test_numpy_attrs_serialize(self):
+        import numpy as np
+
+        recorder = Recorder()
+        recorder.add(
+            SpanRecord("dump", attrs={"x": np.float64(0.5), "n": np.int64(3)})
+        )
+        data = json.loads(recorder.to_jsonl())
+        assert data["attrs"] == {"x": 0.5, "n": 3}
+
+    def test_empty_recorder_round_trips(self):
+        assert Recorder().to_jsonl() == ""
+        assert read_jsonl("\n").records == ()
+
+    def test_unknown_type_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown record type"):
+            read_jsonl('{"type": "mystery"}\n')
+
+    def test_span_duration(self):
+        span = SpanRecord("a", t0=1.0, t1=3.5)
+        assert span.duration == 2.5

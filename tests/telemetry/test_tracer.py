@@ -1,0 +1,111 @@
+"""Tracer/NullTracer behaviour: no-op guarantees, binding, timing."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    Counter,
+    Gauge,
+    NullTracer,
+    Tracer,
+)
+
+
+class TestNullTracer:
+    def test_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_all_emitters_are_noops(self):
+        tracer = NullTracer()
+        tracer.span("a", "main", 1, 0.0, 1.0, rank=2)
+        tracer.event("b", t=1.0)
+        with tracer.timed("c", machine="main"):
+            pass
+        # Nothing observable: no recorder attribute at all.
+        assert not hasattr(tracer, "recorder")
+
+    def test_metrics_are_shared_nulls(self):
+        tracer = NullTracer()
+        counter = tracer.counter("x")
+        counter.inc(100)
+        assert counter.value == 0.0
+        gauge = tracer.gauge("y")
+        gauge.set(5.0)
+        assert gauge.value == 0.0
+        # Same instance every time — no per-call allocation.
+        assert tracer.counter("other") is counter
+
+    def test_bind_returns_self(self):
+        tracer = NullTracer()
+        assert tracer.bind(rank=3) is tracer
+
+    def test_tracer_isinstance_nulltracer(self):
+        assert isinstance(Tracer(), NullTracer)
+
+
+class TestTracer:
+    def test_span_records(self):
+        tracer = Tracer()
+        tracer.span("compress.planned", "main", 2, 1.0, 2.0, rank=0)
+        (span,) = tracer.recorder.spans
+        assert span.name == "compress.planned"
+        assert span.machine == "main"
+        assert span.job == 2
+        assert (span.t0, span.t1) == (1.0, 2.0)
+        assert span.attrs == {"rank": 0}
+
+    def test_bind_stamps_attrs_on_everything(self):
+        tracer = Tracer()
+        bound = tracer.bind(rank=1).bind(iteration=7)
+        bound.span("compute", "main", None, 0.0, 1.0)
+        bound.event("fs.write", nbytes=10)
+        span, = bound.recorder.spans
+        event, = bound.recorder.events
+        assert span.attrs == {"rank": 1, "iteration": 7}
+        assert event.attrs == {"rank": 1, "iteration": 7, "nbytes": 10}
+
+    def test_bind_shares_recorder_and_call_attrs_win(self):
+        tracer = Tracer()
+        bound = tracer.bind(rank=1)
+        assert bound.recorder is tracer.recorder
+        bound.span("a", rank=9)
+        assert tracer.recorder.spans[0].attrs == {"rank": 9}
+
+    def test_metrics_shared_across_bound_tracers(self):
+        tracer = Tracer()
+        tracer.bind(rank=0).counter("n").inc()
+        tracer.bind(rank=1).counter("n").inc()
+        assert tracer.recorder.counters["n"] == 2.0
+
+    def test_timed_measures_wall_clock(self):
+        tracer = Tracer()
+        with tracer.timed("codec.quantize", nbytes=8):
+            pass
+        (span,) = tracer.recorder.spans
+        assert span.t1 >= span.t0
+        assert span.attrs == {"nbytes": 8}
+
+    def test_timed_emits_even_on_raise(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.timed("failing"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tracer.recorder.spans] == ["failing"]
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        counter = Counter("bytes")
+        counter.inc()
+        counter.inc(4.0)
+        assert counter.value == 5.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter("x").inc(-1)
+
+    def test_gauge_sets_level(self):
+        gauge = Gauge("overhead")
+        gauge.set(0.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25

@@ -16,6 +16,7 @@ _PACKAGES = [
     "repro.apps",
     "repro.framework",
     "repro.parallel",
+    "repro.telemetry",
 ]
 
 
