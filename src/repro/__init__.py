@@ -18,6 +18,9 @@ Public API tour:
   solutions (baseline / async-I/O-only / ours).
 * :mod:`repro.telemetry` — tracing and metrics: spans, counters, JSON-lines
   traces, ASCII Gantt rendering.
+* :mod:`repro.resilience` — fault injection (stalls, transient write
+  errors, bandwidth collapse, compression failures, stragglers), retry
+  policies, and the per-campaign resilience report.
 """
 
 from . import (
@@ -27,6 +30,7 @@ from . import (
     framework,
     io,
     parallel,
+    resilience,
     simulator,
     telemetry,
 )
@@ -42,5 +46,6 @@ __all__ = [
     "parallel",
     "framework",
     "telemetry",
+    "resilience",
     "__version__",
 ]

@@ -5,7 +5,8 @@ Four commands expose the library without writing code:
 * ``schedule``  — run the six heuristics (and optionally the ILP) on the
   paper's Figure 1 instance or a random one; prints a Gantt chart.
 * ``campaign``  — run a Nyx/WarpX campaign for one or all solutions and
-  print the overhead comparison.
+  print the overhead comparison; ``--faults SPEC`` runs it under a
+  seeded fault-injection plan and appends a resilience report.
 * ``compress``  — generate a synthetic field, compress it with the SZ or
   ZFP codec, and report ratio/error.
 * ``snapshot``  — write a real compressed snapshot of synthetic fields to
@@ -96,7 +97,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["baseline", "previous", "ours", "all"],
         default="all",
     )
-    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        help=(
+            "master seed: drives the application fields, the per-rank "
+            "noise models, and (with --faults) every fault draw, so one "
+            "value reproduces the whole campaign"
+        ),
+    )
+    p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "YAML/JSON fault spec (see examples/fault_specs/); injects "
+            "stalls, write errors, bandwidth bursts, compression "
+            "failures, and stragglers, then prints a resilience report"
+        ),
+    )
     p.add_argument(
         "--trace-out",
         metavar="FILE",
@@ -278,6 +298,15 @@ def _cmd_campaign(args) -> int:
     cluster = ClusterSpec(
         num_nodes=args.nodes, processes_per_node=args.ppn
     )
+    spec = None
+    if args.faults:
+        from repro.resilience import load_fault_spec
+
+        try:
+            spec = load_fault_spec(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     configs = {
         "baseline": baseline_config(),
         "previous": async_io_config(),
@@ -288,7 +317,16 @@ def _cmd_campaign(args) -> int:
     }
     tracer = _make_tracer(args)
     rows = []
+    reports = []
     for name, config in wanted.items():
+        injector = None
+        retry = {}
+        if spec is not None:
+            from repro.resilience import FaultInjector
+
+            seed = spec.seed if spec.seed is not None else args.seed
+            injector = FaultInjector(spec.plan, seed=seed)
+            retry = {"retry": spec.retry}
         runner = CampaignRunner(
             app,
             cluster,
@@ -296,6 +334,8 @@ def _cmd_campaign(args) -> int:
             solution=name,
             seed=args.seed,
             tracer=tracer.bind(solution=name),
+            injector=injector,
+            **retry,
         )
         result = runner.run(args.iterations)
         rows.append(
@@ -305,11 +345,16 @@ def _cmd_campaign(args) -> int:
                 f"{result.total_time:.1f}s",
             )
         )
+        if result.resilience is not None:
+            reports.append((name, result.resilience))
     print(
         format_table(
             rows, headers=("solution", "I/O overhead", "total time")
         )
     )
+    for name, report in reports:
+        print(f"\nresilience [{name}]:")
+        print(report.format())
     _write_trace(tracer, args.trace_out)
     return 0
 

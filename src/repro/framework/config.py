@@ -42,6 +42,10 @@ class FrameworkConfig:
             the Section 5.2 evaluation mode used to isolate algorithm
             quality from prediction error.
         dump_period: dump data every ``l`` iterations (Section 3.1).
+        overrun_deadline_frac: under fault injection, a dump whose
+            replay exceeds ``T_n * (1 + frac)`` triggers the graceful
+            degradation path (trailing writes deferred to the next
+            compute gap).
         compression_model: duration model for compression tasks.
         io_model: duration model for write operations.
     """
@@ -59,17 +63,47 @@ class FrameworkConfig:
     num_subfiles: int = 1
     oracle_scheduling: bool = False
     dump_period: int = 1
+    overrun_deadline_frac: float = 0.5
     compression_model: CompressionThroughputModel = field(
         default_factory=CompressionThroughputModel
     )
     io_model: IoThroughputModel = field(default_factory=IoThroughputModel)
 
     def __post_init__(self) -> None:
+        """Validate every field on construction, naming the bad one.
+
+        A bad knob fails here — at config-build time, with
+        ``FrameworkConfig.<field>`` in the message — instead of deep in
+        the runtime ten stack frames into a campaign.
+        """
+        def bad(field_name: str, requirement: str) -> ValueError:
+            value = getattr(self, field_name)
+            return ValueError(
+                f"FrameworkConfig.{field_name} {requirement}, "
+                f"got {value!r}"
+            )
+
+        if not isinstance(self.scheduler, str) or not self.scheduler:
+            raise bad("scheduler", "must be a non-empty algorithm name")
+        from ..core.registry import REGISTRY
+
+        if self.scheduler not in REGISTRY:
+            raise ValueError(
+                f"FrameworkConfig.scheduler: unknown algorithm "
+                f"{self.scheduler!r} (available: "
+                f"{', '.join(sorted(REGISTRY))})"
+            )
         if self.block_bytes <= 0:
-            raise ValueError("block_bytes must be positive")
+            raise bad("block_bytes", "must be positive")
         if self.buffer_bytes < 0:
-            raise ValueError("buffer_bytes must be non-negative")
+            raise bad("buffer_bytes", "must be non-negative")
+        if self.shared_tree_rebuild_period < 1:
+            raise bad("shared_tree_rebuild_period", "must be >= 1")
+        if self.balancing_threshold <= 1.0:
+            raise bad("balancing_threshold", "must exceed 1.0")
         if self.dump_period < 1:
-            raise ValueError("dump_period must be >= 1")
+            raise bad("dump_period", "must be >= 1")
         if self.num_subfiles < 1:
-            raise ValueError("num_subfiles must be >= 1")
+            raise bad("num_subfiles", "must be >= 1")
+        if self.overrun_deadline_frac < 0:
+            raise bad("overrun_deadline_frac", "must be non-negative")

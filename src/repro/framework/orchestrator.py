@@ -17,9 +17,16 @@ import numpy as np
 from ..apps.base import ApplicationModel
 from ..core.balancing import IoTaskRef, balance_io_workloads
 from ..io.filesystem import SimulatedFileSystem
+from ..resilience.faults import FaultInjector
+from ..resilience.report import ResilienceReport
+from ..resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    WriteFailedError,
+)
 from ..simulator.engine import Simulation
 from ..simulator.node import ClusterSpec
-from ..simulator.noise import NoiseModel
+from ..simulator.noise import FaultAwareNoiseModel, NoiseModel
 from ..telemetry import NULL_TRACER, NullTracer
 from .config import FrameworkConfig
 from .runtime import DumpOutcome, DumpPlan, ProcessRuntime
@@ -61,6 +68,7 @@ class CampaignResult:
     solution: str
     records: list[IterationRecord] = field(default_factory=list)
     metrics: dict[str, float] = field(default_factory=dict)
+    resilience: ResilienceReport | None = None
 
     def dump_records(self) -> list[IterationRecord]:
         return [r for r in self.records if r.dumped]
@@ -97,12 +105,15 @@ class CampaignRunner:
         seed: int = 0,
         noise: NoiseModel | None = None,
         tracer: NullTracer = NULL_TRACER,
+        injector: FaultInjector | None = None,
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
     ) -> None:
         self.app = app
         self.cluster = cluster
         self.config = config
         self.solution = solution
         self.tracer = tracer
+        self.injector = injector
         io_model = (
             config.io_model.with_processes(cluster.processes_per_node)
             .with_nodes(cluster.num_nodes)
@@ -111,26 +122,40 @@ class CampaignRunner:
         import dataclasses
 
         self.config = dataclasses.replace(config, io_model=io_model)
+
+        def rank_noise(rank: int) -> NoiseModel:
+            if noise is not None:
+                return noise
+            rank_seed = seed * 100_003 + rank
+            if injector is not None:
+                return FaultAwareNoiseModel(
+                    injector, rank, seed=rank_seed
+                )
+            return NoiseModel(seed=rank_seed)
+
         self.runtimes = [
             ProcessRuntime(
                 rank,
                 app,
                 self.config,
                 node_size=cluster.processes_per_node,
-                noise=(
-                    noise
-                    if noise is not None
-                    else NoiseModel(seed=seed * 100_003 + rank)
-                ),
+                noise=rank_noise(rank),
                 tracer=tracer,
+                injector=injector,
             )
             for rank in range(cluster.total_processes)
         ]
         self.simulation = Simulation()
         self.filesystem = SimulatedFileSystem(
-            self.config.io_model, tracer=tracer
+            self.config.io_model,
+            tracer=tracer,
+            injector=injector,
+            retry=retry,
         )
         self.last_outcomes: list[DumpOutcome] | None = None
+        #: (rank, nbytes) payloads pushed to the next compute gap by the
+        #: deadline guard or by writes that exhausted their retries.
+        self._deferred: list[tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     def run(self, num_iterations: int) -> CampaignResult:
@@ -176,6 +201,12 @@ class CampaignRunner:
             metrics["worst_rank_overhead"] = float(per_rank.max())
             for rank, mean in enumerate(means):
                 metrics[f"overhead.rank{rank}.mean"] = float(mean)
+        if self.injector is not None:
+            self.injector.log.pending_deferred_bytes = sum(
+                nbytes for _, nbytes in self._deferred
+            )
+            result.resilience = self.injector.log.report()
+            metrics.update(result.resilience.as_metrics())
         result.metrics = metrics
         if self.tracer.enabled:
             for name, value in metrics.items():
@@ -187,17 +218,22 @@ class CampaignRunner:
         is_dump = iteration >= 1 and (
             (iteration - 1) % self.config.dump_period == 0
         )
+        # Payloads deferred by earlier iterations catch up in this
+        # iteration's compute gap: they ride the background thread and
+        # only cost overhead if they outlast everything else.
+        flush_s = self._flush_deferred()
         if not is_dump:
             for rt in self.runtimes:
                 rt.observe_iteration(profile)
-            finish = self.simulation.now + profile.length
+            overall = max(profile.length, flush_s)
+            finish = self.simulation.now + overall
             self.simulation.at(finish, lambda: None)
             self.simulation.run(until=finish)
             return IterationRecord(
                 iteration=iteration,
                 dumped=False,
                 computation_s=profile.length,
-                overall_s=profile.length,
+                overall_s=overall,
             )
 
         plans = [rt.plan_dump(iteration) for rt in self.runtimes]
@@ -212,14 +248,27 @@ class CampaignRunner:
             )
         self.last_outcomes = outcomes
         for rank, outcome in enumerate(outcomes):
+            deferred_now = {idx for idx, _ in outcome.deferred}
             for block, size in zip(
                 outcome.plan.blocks, outcome.actual_sizes
             ):
-                if block.job_index not in outcome.plan.moved_out:
-                    self.filesystem.write(rank, size)
+                if block.job_index in outcome.plan.moved_out:
+                    continue
+                if block.job_index in deferred_now:
+                    continue  # deadline guard pushed it to the next gap
+                self._write_or_defer(rank, size)
+            for _, nbytes in outcome.deferred:
+                self._deferred.append((rank, nbytes))
+
+        if self.injector is not None and any(
+            o.overrun for o in outcomes
+        ):
+            self.injector.log.overrun_iterations += 1
 
         computation = max(o.execution.computation_length for o in outcomes)
-        overall = max(o.execution.overall_time for o in outcomes)
+        overall = max(
+            max(o.execution.overall_time for o in outcomes), flush_s
+        )
         finish = self.simulation.now + overall
         self.simulation.at(finish, lambda: None)
         self.simulation.run(until=finish)
@@ -232,6 +281,57 @@ class CampaignRunner:
                 o.execution.relative_overhead for o in outcomes
             ),
         )
+
+    # ------------------------------------------------------------------
+    # graceful degradation plumbing (fault campaigns only)
+    # ------------------------------------------------------------------
+    def _write_or_defer(self, rank: int, nbytes: int) -> float:
+        """One filesystem write; exhausted retries defer to the next gap."""
+        try:
+            return self.filesystem.write(rank, nbytes)
+        except WriteFailedError:
+            self._deferred.append((rank, nbytes))
+            assert self.injector is not None  # faults imply an injector
+            self.injector.log.record_fallback(
+                "defer-write", nbytes=nbytes
+            )
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "runtime.fallback",
+                    kind="defer-write",
+                    rank=rank,
+                    nbytes=nbytes,
+                )
+                self.tracer.counter("runtime.fallback").inc()
+            return 0.0
+
+    def _flush_deferred(self) -> float:
+        """Drain deferred payloads during a compute gap.
+
+        Returns the slowest rank's flush time (writes of different ranks
+        proceed independently; within a rank they are sequential).  A
+        payload that fails again stays queued for the following gap.
+        """
+        if not self._deferred:
+            return 0.0
+        pending, self._deferred = self._deferred, []
+        per_rank: dict[int, float] = {}
+        for rank, nbytes in pending:
+            try:
+                duration = self.filesystem.write(rank, nbytes)
+            except WriteFailedError:
+                self._deferred.append((rank, nbytes))
+                continue
+            per_rank[rank] = per_rank.get(rank, 0.0) + duration
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "runtime.deferred_flush", rank=rank, nbytes=nbytes
+                )
+        if self.injector is not None:
+            self.injector.log.pending_deferred_bytes = sum(
+                nbytes for _, nbytes in self._deferred
+            )
+        return max(per_rank.values(), default=0.0)
 
     # ------------------------------------------------------------------
     def _balance_node_io(self, plans: list[DumpPlan]) -> None:

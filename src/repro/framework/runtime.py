@@ -31,6 +31,7 @@ from ..core.balancing import IoTaskRef
 from ..core.model import Interval, Job, ProblemInstance, Schedule
 from ..core.executor import trace_schedule
 from ..core.registry import get_algorithm
+from ..resilience.faults import FaultInjector
 from ..simulator.noise import ActualDurations, NoiseModel
 from ..simulator.replay import ExecutionResult, execute_schedule
 from ..telemetry import NULL_TRACER, NullTracer
@@ -81,7 +82,14 @@ class DumpPlan:
 
 @dataclass
 class DumpOutcome:
-    """The result of executing one dump on one process."""
+    """The result of executing one dump on one process.
+
+    Under fault injection, ``degraded_blocks`` counts blocks whose
+    compression failed and were written raw, ``deferred`` lists
+    ``(job_index, nbytes)`` of blocks whose I/O the deadline guard
+    pushed to the next compute gap, and ``overrun`` marks a dump whose
+    first replay blew past the overrun deadline.
+    """
 
     plan: DumpPlan
     schedule: Schedule
@@ -89,6 +97,9 @@ class DumpOutcome:
     actual_ratios: dict[str, np.ndarray]
     actual_sizes: list[int]
     overflow_bytes: int = 0
+    degraded_blocks: int = 0
+    deferred: tuple[tuple[int, int], ...] = ()
+    overrun: bool = False
 
     @property
     def relative_overhead(self) -> float:
@@ -106,12 +117,14 @@ class ProcessRuntime:
         node_size: int,
         noise: NoiseModel | None = None,
         tracer: NullTracer = NULL_TRACER,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.rank = rank
         self.app = app
         self.config = config
         self.node_size = node_size
         self.noise = noise if noise is not None else NoiseModel(seed=rank)
+        self.injector = injector
         self.tracer = (
             tracer.bind(rank=rank) if tracer.enabled else tracer
         )
@@ -353,6 +366,20 @@ class ProcessRuntime:
                 spec.name: np.ones(nb) for spec in self.app.fields
             }
 
+        set_ctx = getattr(self.noise, "set_fault_context", None)
+        if set_ctx is not None:
+            set_ctx(iteration)
+        failed_compression = self._failed_compression_blocks(
+            plan, iteration, tracer
+        )
+        if failed_compression:
+            # The degraded blocks really went out raw; make the history
+            # predictor (and next iteration's balancer inputs) see it.
+            actual_ratios = {
+                name: ratios.copy()
+                for name, ratios in actual_ratios.items()
+            }
+
         mean_pred = float(
             np.mean([b.predicted_bytes for b in plan.blocks])
         )
@@ -360,8 +387,15 @@ class ProcessRuntime:
         compression_times: list[float] = []
         io_times: list[float] = []
         for b in plan.blocks:
-            ratio = float(actual_ratios[b.field_name][b.block_index])
-            size = max(1, int(b.raw_bytes / ratio))
+            if b.job_index in failed_compression:
+                # Graceful degradation: the block's compression task
+                # failed, so its raw bytes are written instead — the
+                # failed attempt still burns main-thread time.
+                actual_ratios[b.field_name][b.block_index] = 1.0
+                size = b.raw_bytes
+            else:
+                ratio = float(actual_ratios[b.field_name][b.block_index])
+                size = max(1, int(b.raw_bytes / ratio))
             actual_sizes.append(size)
             compression_times.append(
                 self.noise.perturb_compression_time(
@@ -394,15 +428,42 @@ class ProcessRuntime:
             compression_times=tuple(compression_times),
             io_times=tuple(io_times),
         )
-        execution = execute_schedule(schedule, actuals, tracer=tracer)
+        if self.injector is None:
+            execution = execute_schedule(schedule, actuals, tracer=tracer)
+            deferred: list[tuple[int, int]] = []
+            overrun = False
+        else:
+            # First replay is silent: if the deadline guard defers I/O,
+            # the final (traced) replay below is the only one emitting
+            # spans and fault events, so the trace stays duplicate-free.
+            probe = execute_schedule(
+                schedule,
+                actuals,
+                injector=self.injector,
+                rank=self.rank,
+                iteration=iteration,
+            )
+            actuals, deferred, overrun = self._deadline_guard(
+                plan, actuals, probe, actual_sizes, tracer
+            )
+            execution = execute_schedule(
+                schedule,
+                actuals,
+                tracer=tracer,
+                injector=self.injector,
+                rank=self.rank,
+                iteration=iteration,
+            )
 
         # Section 4.4 overflow: blocks that compressed worse than their
         # reservation spill into the shared file's tail through one extra,
         # unschedulable write queued after the last planned I/O task.
+        deferred_indices = {idx for idx, _ in deferred}
         overflow_bytes = sum(
             max(0, size - b.predicted_bytes)
             for b, size in zip(plan.blocks, actual_sizes)
             if b.job_index not in plan.moved_out
+            and b.job_index not in deferred_indices
         )
         if overflow_bytes > 0 and self.config.use_compression:
             duration = self.config.io_model.write_time(overflow_bytes)
@@ -449,6 +510,11 @@ class ProcessRuntime:
             tracer.counter("dump.bytes_written").inc(written)
             tracer.counter("dump.overflow_bytes").inc(overflow_bytes)
 
+        if self.injector is not None and (
+            failed_compression or deferred
+        ):
+            self.injector.log.degraded_dumps += 1
+
         self._previous_profile = actual_profile
         self._previous_ratios = actual_ratios
         return DumpOutcome(
@@ -458,4 +524,96 @@ class ProcessRuntime:
             actual_ratios=actual_ratios,
             actual_sizes=actual_sizes,
             overflow_bytes=overflow_bytes,
+            degraded_blocks=len(failed_compression),
+            deferred=tuple(deferred),
+            overrun=overrun,
         )
+
+    # ------------------------------------------------------------------
+    # graceful degradation (fault campaigns only)
+    # ------------------------------------------------------------------
+    def _failed_compression_blocks(
+        self, plan: DumpPlan, iteration: int, tracer: NullTracer
+    ) -> set[int]:
+        """Blocks whose compression task fails this dump (written raw)."""
+        if self.injector is None or not self.config.use_compression:
+            return set()
+        failed: set[int] = set()
+        for b in plan.blocks:
+            if self.injector.compression_fails(
+                self.rank, iteration, b.job_index
+            ):
+                failed.add(b.job_index)
+                self.injector.log.record_fallback("raw-write")
+                if tracer.enabled:
+                    tracer.event(
+                        "fault.injected",
+                        kind="compression",
+                        job=b.job_index,
+                    )
+                    tracer.counter("fault.injected").inc()
+                    tracer.event(
+                        "runtime.fallback",
+                        kind="raw-write",
+                        job=b.job_index,
+                        nbytes=b.raw_bytes,
+                    )
+                    tracer.counter("runtime.fallback").inc()
+        return failed
+
+    def _deadline_guard(
+        self,
+        plan: DumpPlan,
+        actuals: ActualDurations,
+        probe: ExecutionResult,
+        actual_sizes: list[int],
+        tracer: NullTracer,
+    ) -> tuple[ActualDurations, list[tuple[int, int]], bool]:
+        """Defer trailing I/O when the dump would overrun the next gap.
+
+        Concealment promises the dump fits inside the compute interval;
+        when the probe replay overruns ``T_n * (1 + frac)``, the I/O
+        tasks ending past the deadline are pulled off this iteration's
+        background thread (their durations zeroed in the returned
+        actuals) and handed to the orchestrator to write during the next
+        compute gap.  Only this rank's own blocks are deferrable
+        (moved-in tasks write another rank's buffer).
+        """
+        deadline = actuals.length * (
+            1.0 + self.config.overrun_deadline_frac
+        )
+        if probe.overall_time <= deadline:
+            return actuals, [], False
+        begin = probe.begin
+        victims = sorted(
+            idx
+            for idx, iv in probe.io.items()
+            if iv.end - begin > deadline
+            and idx < len(plan.blocks)
+            and actuals.io_times[idx] > 0.0
+        )
+        if not victims:
+            return actuals, [], True
+        deferred: list[tuple[int, int]] = []
+        io_times = list(actuals.io_times)
+        for idx in victims:
+            io_times[idx] = 0.0
+            nbytes = actual_sizes[idx]
+            deferred.append((idx, nbytes))
+            self.injector.log.record_fallback("defer-io", nbytes=nbytes)
+            if tracer.enabled:
+                tracer.event(
+                    "runtime.fallback",
+                    kind="defer-io",
+                    job=idx,
+                    nbytes=nbytes,
+                )
+                tracer.counter("runtime.fallback").inc()
+        trimmed = ActualDurations(
+            length=actuals.length,
+            main_obstacles=actuals.main_obstacles,
+            background_obstacles=actuals.background_obstacles,
+            compression_times=actuals.compression_times,
+            io_times=tuple(io_times),
+        )
+        return trimmed, deferred, True

@@ -9,14 +9,21 @@ handle per job.
 
 Ordering is FIFO — matching the scheduler's premise that I/O tasks on the
 background thread execute sequentially in the submitted order.
+
+A :class:`~repro.resilience.retry.RetryPolicy` makes the worker retry
+transiently failing writes with (wall-clock) exponential backoff before
+surfacing the error at ``wait()`` — the real-file counterpart of the
+simulated retry loop in :class:`~repro.io.filesystem.SimulatedFileSystem`.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 
+from ..resilience.retry import RetryPolicy
 from .hdf5like import SharedFileWriter
 
 __all__ = ["WriteJob", "AsyncWriter"]
@@ -31,6 +38,7 @@ class WriteJob:
     _done: threading.Event = field(default_factory=threading.Event)
     fit_reservation: bool | None = None
     error: BaseException | None = None
+    attempts: int = 0
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the write completed; re-raises worker errors."""
@@ -43,8 +51,13 @@ class WriteJob:
 class AsyncWriter:
     """One background thread writing jobs to a shared container in FIFO."""
 
-    def __init__(self, writer: SharedFileWriter) -> None:
+    def __init__(
+        self,
+        writer: SharedFileWriter,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self._writer = writer
+        self._retry = retry
         self._queue: queue.SimpleQueue[WriteJob | None] = queue.SimpleQueue()
         self._thread = threading.Thread(
             target=self._drain, name="repro-async-io", daemon=True
@@ -89,10 +102,24 @@ class AsyncWriter:
                 job._done.set()  # drain barrier
                 continue
             try:
-                job.fit_reservation = self._writer.write(
-                    job.name, job.payload
-                )
+                job.fit_reservation = self._write_with_retry(job)
             except BaseException as exc:  # surfaced at wait()
                 job.error = exc
             finally:
                 job._done.set()
+
+    def _write_with_retry(self, job: WriteJob) -> bool:
+        """One write, retried per the policy with wall-clock backoff."""
+        policy = self._retry
+        attempts = policy.max_attempts if policy is not None else 1
+        started = time.monotonic()
+        while True:
+            job.attempts += 1
+            try:
+                return self._writer.write(job.name, job.payload)
+            except Exception:
+                if policy is None or job.attempts >= attempts:
+                    raise
+                time.sleep(policy.backoff_s(job.attempts))
+                if policy.past_deadline(time.monotonic() - started):
+                    raise

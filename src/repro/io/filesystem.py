@@ -3,13 +3,31 @@
 The campaign simulator does not move real bytes; it asks this object how
 long each write takes (delegating to :class:`IoThroughputModel`) and keeps
 aggregate statistics so experiments can report achieved bandwidth and
-write-size distributions.
+write-size distributions.  Aggregates are maintained as running totals in
+:meth:`SimulatedFileSystem.write`, so ``total_bytes``/``total_time`` stay
+O(1) however many writes a campaign records.
+
+With a :class:`~repro.resilience.faults.FaultInjector` attached, writes
+can suffer bandwidth-collapse bursts (the throughput model is degraded
+via :meth:`IoThroughputModel.with_bandwidth_factor`) and transient
+errors; the configured :class:`~repro.resilience.retry.RetryPolicy`
+drives a simulated retry loop — failed attempts and backoffs add
+simulated seconds — and a write that exhausts its budget raises
+:class:`~repro.resilience.retry.WriteFailedError` for the caller to
+degrade gracefully (typically by deferring the payload to the next
+compute gap).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..resilience.faults import FaultInjector
+from ..resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    WriteFailedError,
+)
 from ..telemetry import NULL_TRACER, NullTracer
 from .throughput import IoThroughputModel
 
@@ -23,6 +41,7 @@ class WriteRecord:
     rank: int
     nbytes: int
     duration: float
+    attempts: int = 1
 
 
 @dataclass
@@ -32,34 +51,136 @@ class SimulatedFileSystem:
     model: IoThroughputModel
     writes: list[WriteRecord] = field(default_factory=list)
     tracer: NullTracer = NULL_TRACER
+    injector: FaultInjector | None = None
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    _total_bytes: int = field(default=0, init=False, repr=False)
+    _total_time: float = field(default=0.0, init=False, repr=False)
+    _ops: int = field(default=0, init=False, repr=False)
 
     def write(self, rank: int, nbytes: int) -> float:
-        """Simulate one write; returns its duration."""
-        duration = self.model.write_time(nbytes)
-        self.writes.append(WriteRecord(rank, nbytes, duration))
+        """Simulate one write; returns its duration.
+
+        Under fault injection the duration includes degraded-bandwidth
+        slow-down, wasted partial attempts, and retry backoffs.  Raises
+        :class:`WriteFailedError` when the retry budget or per-write
+        deadline is exhausted; no record is kept for failed writes.
+        """
+        op = self._ops
+        self._ops += 1
+        if self.injector is None:
+            duration, attempts = self.model.write_time(nbytes), 1
+        else:
+            duration, attempts = self._faulty_write(rank, nbytes, op)
+        self.writes.append(WriteRecord(rank, nbytes, duration, attempts))
+        self._total_bytes += nbytes
+        self._total_time += duration
         if self.tracer.enabled:
             self.tracer.event(
-                "fs.write", rank=rank, nbytes=nbytes, duration=duration
+                "fs.write",
+                rank=rank,
+                nbytes=nbytes,
+                duration=duration,
+                attempts=attempts,
             )
             self.tracer.counter("fs.bytes").inc(nbytes)
             self.tracer.counter("fs.writes").inc()
         return duration
 
+    def _faulty_write(
+        self, rank: int, nbytes: int, op: int
+    ) -> tuple[float, int]:
+        """Retry loop over injected faults; simulated elapsed + attempts."""
+        injector = self.injector
+        assert injector is not None
+        factor = injector.bandwidth_factor(rank, op, scope=1)
+        model = (
+            self.model
+            if factor == 1.0
+            else self.model.with_bandwidth_factor(factor)
+        )
+        attempt_s = model.write_time(nbytes)
+        if factor != 1.0 and self.tracer.enabled:
+            self.tracer.event(
+                "fault.injected", kind="bandwidth", rank=rank, factor=factor
+            )
+            self.tracer.counter("fault.injected").inc()
+        rng = injector.rng("retry", rank, op)
+        elapsed = 0.0
+        attempt = 1
+        while True:
+            if not injector.write_error(rank, op, attempt):
+                elapsed += attempt_s
+                if attempt > 1:
+                    injector.log.record_retry_success()
+                return elapsed, attempt
+            # The attempt dies partway through: a transient error wastes
+            # a uniform fraction of the would-be write time.
+            elapsed += attempt_s * float(rng.uniform(0.0, 1.0))
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "fault.injected",
+                    kind="write-error",
+                    rank=rank,
+                    attempt=attempt,
+                )
+                self.tracer.counter("fault.injected").inc()
+            exhausted = attempt >= self.retry.max_attempts
+            if not exhausted:
+                backoff = self.retry.backoff_s(attempt, rng)
+                elapsed += backoff
+                exhausted = self.retry.past_deadline(elapsed + attempt_s)
+                injector.log.record_retry()
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "io.retry",
+                        rank=rank,
+                        attempt=attempt,
+                        backoff_s=backoff,
+                    )
+                    self.tracer.counter("io.retry").inc()
+            if exhausted:
+                injector.log.record_write_failure()
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "io.write_failed",
+                        rank=rank,
+                        nbytes=nbytes,
+                        attempts=attempt,
+                    )
+                    self.tracer.counter("io.write_failed").inc()
+                raise WriteFailedError(
+                    f"write of {nbytes} bytes on rank {rank} failed "
+                    f"after {attempt} attempts ({elapsed:.3f}s elapsed)",
+                    rank=rank,
+                    nbytes=nbytes,
+                    attempts=attempt,
+                    elapsed_s=elapsed,
+                )
+            attempt += 1
+
     @property
     def total_bytes(self) -> int:
-        return sum(w.nbytes for w in self.writes)
+        return self._total_bytes
 
     @property
     def total_time(self) -> float:
-        return sum(w.duration for w in self.writes)
+        return self._total_time
 
     @property
     def mean_write_bytes(self) -> float:
-        return self.total_bytes / len(self.writes) if self.writes else 0.0
+        return (
+            self._total_bytes / len(self.writes) if self.writes else 0.0
+        )
 
     def achieved_bandwidth(self) -> float:
         """Aggregate bytes per second across all recorded writes."""
-        return self.total_bytes / self.total_time if self.total_time else 0.0
+        return (
+            self._total_bytes / self._total_time
+            if self._total_time
+            else 0.0
+        )
 
     def reset(self) -> None:
         self.writes.clear()
+        self._total_bytes = 0
+        self._total_time = 0.0

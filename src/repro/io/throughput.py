@@ -28,6 +28,7 @@ operation, 10 % contention growth per node doubling.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
@@ -94,35 +95,29 @@ class IoThroughputModel:
 
     def with_processes(self, processes_per_node: int) -> "IoThroughputModel":
         """Same filesystem, different node occupancy."""
-        return IoThroughputModel(
-            node_bandwidth_bytes_per_s=self.node_bandwidth_bytes_per_s,
-            processes_per_node=processes_per_node,
-            write_latency_s=self.write_latency_s,
-            num_nodes=self.num_nodes,
-            scale_contention=self.scale_contention,
-            num_subfiles=self.num_subfiles,
+        return dataclasses.replace(
+            self, processes_per_node=processes_per_node
         )
 
     def with_nodes(self, num_nodes: int) -> "IoThroughputModel":
         """Same filesystem, different job footprint."""
-        return IoThroughputModel(
-            node_bandwidth_bytes_per_s=self.node_bandwidth_bytes_per_s,
-            processes_per_node=self.processes_per_node,
-            write_latency_s=self.write_latency_s,
-            num_nodes=num_nodes,
-            scale_contention=self.scale_contention,
-            num_subfiles=self.num_subfiles,
-        )
+        return dataclasses.replace(self, num_nodes=num_nodes)
 
     def with_subfiles(self, num_subfiles: int) -> "IoThroughputModel":
         """Same filesystem, logical file split across subfiles."""
-        return IoThroughputModel(
-            node_bandwidth_bytes_per_s=self.node_bandwidth_bytes_per_s,
-            processes_per_node=self.processes_per_node,
-            write_latency_s=self.write_latency_s,
-            num_nodes=self.num_nodes,
-            scale_contention=self.scale_contention,
-            num_subfiles=num_subfiles,
+        return dataclasses.replace(self, num_subfiles=num_subfiles)
+
+    def with_bandwidth_factor(self, factor: float) -> "IoThroughputModel":
+        """A degraded view of the same filesystem during a contention
+        burst: this process's bandwidth share is scaled by ``factor``
+        (0 < factor <= 1; latency is unaffected)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        return dataclasses.replace(
+            self,
+            node_bandwidth_bytes_per_s=(
+                self.node_bandwidth_bytes_per_s * factor
+            ),
         )
 
 

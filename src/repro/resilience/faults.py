@@ -1,0 +1,356 @@
+"""Deterministic fault injection for the campaign runtime.
+
+The paper's evaluation perturbs predictions only with Gaussian noise
+(Section 5.4.1), but real parallel filesystems misbehave in structured
+ways: bursty OST contention stalls individual writes, transient errors
+force retries, aggregate bandwidth collapses under interference, and a
+straggler rank drags the whole iteration (independent writes make the
+slowest rank decisive, Section 4.4).  This module models those failure
+classes so a campaign can answer "does concealment survive a misbehaving
+filesystem" end to end.
+
+Every decision is drawn from a :func:`numpy.random.default_rng` seeded
+with ``(seed, fault-kind, key...)``, so injections are a pure function of
+the seed and the operation identity — independent of call order, query
+count, and which layer asks.  Repeated queries for the same key return
+the cached first draw and are counted once in the
+:class:`~repro.resilience.report.ResilienceLog`, which keeps the
+per-campaign resilience report exactly reproducible from the command
+line (``campaign --faults spec.yaml --seed N``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .report import ResilienceLog
+
+__all__ = [
+    "StallFault",
+    "WriteErrorFault",
+    "BandwidthFault",
+    "CompressionFault",
+    "StragglerFault",
+    "FaultPlan",
+    "FaultInjector",
+]
+
+
+def _check_probability(owner: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(
+            f"fault spec: {owner}.probability must be in [0, 1], "
+            f"got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class StallFault:
+    """Bursty I/O stalls: a write occasionally hangs for a while.
+
+    When a stall hits (per-task ``probability``), its length is a
+    heavy-tailed draw ``mean_duration_s * (0.1 + Pareto(tail_alpha))`` —
+    most stalls are short, a few are catastrophic, matching observed OST
+    contention bursts.
+    """
+
+    probability: float = 0.0
+    mean_duration_s: float = 0.5
+    tail_alpha: float = 2.0
+
+    def __post_init__(self) -> None:
+        _check_probability("stall", self.probability)
+        if self.mean_duration_s <= 0:
+            raise ValueError(
+                "fault spec: stall.mean_duration_s must be positive, "
+                f"got {self.mean_duration_s!r}"
+            )
+        if self.tail_alpha <= 0:
+            raise ValueError(
+                "fault spec: stall.tail_alpha must be positive, "
+                f"got {self.tail_alpha!r}"
+            )
+
+
+@dataclass(frozen=True)
+class WriteErrorFault:
+    """Transient write errors: an attempt fails and must be retried.
+
+    Each attempt fails independently with ``probability``, so a retry
+    policy with ``n`` attempts succeeds unless ``probability**n`` comes
+    up — the long tail that exercises the graceful-degradation path.
+    """
+
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("write_error", self.probability)
+
+
+@dataclass(frozen=True)
+class BandwidthFault:
+    """Heavy-tailed bandwidth collapse during contention bursts.
+
+    With ``probability`` per (rank, window), the effective bandwidth
+    share drops to ``factor = max(min_factor, 1 / (1 + Pareto(tail_alpha)))``
+    of nominal — writes in that window take ``1 / factor`` times longer.
+    """
+
+    probability: float = 0.0
+    min_factor: float = 0.2
+    tail_alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        _check_probability("bandwidth", self.probability)
+        if not 0.0 < self.min_factor <= 1.0:
+            raise ValueError(
+                "fault spec: bandwidth.min_factor must be in (0, 1], "
+                f"got {self.min_factor!r}"
+            )
+        if self.tail_alpha <= 0:
+            raise ValueError(
+                "fault spec: bandwidth.tail_alpha must be positive, "
+                f"got {self.tail_alpha!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CompressionFault:
+    """A compression block fails (bad convergence, codec error).
+
+    The runtime degrades gracefully: the block is written raw instead —
+    ratio 1, no compression task — and the fallback is recorded.
+    """
+
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("compression", self.probability)
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Persistently slow ranks (bad node, degraded NIC, thermal limits).
+
+    Every I/O (``io_factor``) and compression (``compression_factor``)
+    duration on the listed ranks is multiplied by the given factor.
+    """
+
+    ranks: tuple[int, ...] = ()
+    io_factor: float = 1.0
+    compression_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if any(r < 0 for r in self.ranks):
+            raise ValueError(
+                "fault spec: straggler.ranks must be non-negative, "
+                f"got {list(self.ranks)!r}"
+            )
+        if self.io_factor < 1.0:
+            raise ValueError(
+                "fault spec: straggler.io_factor must be >= 1, "
+                f"got {self.io_factor!r}"
+            )
+        if self.compression_factor < 1.0:
+            raise ValueError(
+                "fault spec: straggler.compression_factor must be >= 1, "
+                f"got {self.compression_factor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which fault classes a campaign injects, with their parameters."""
+
+    stall: StallFault | None = None
+    write_error: WriteErrorFault | None = None
+    bandwidth: BandwidthFault | None = None
+    compression: CompressionFault | None = None
+    straggler: StragglerFault | None = None
+
+    @property
+    def any_faults(self) -> bool:
+        return any(
+            (
+                self.stall is not None and self.stall.probability > 0,
+                self.write_error is not None
+                and self.write_error.probability > 0,
+                self.bandwidth is not None
+                and self.bandwidth.probability > 0,
+                self.compression is not None
+                and self.compression.probability > 0,
+                self.straggler is not None and bool(self.straggler.ranks),
+            )
+        )
+
+
+# Per-kind salts keep draws for different fault classes independent even
+# when their keys coincide.
+_SALTS = {
+    "stall": 11,
+    "write_error": 13,
+    "bandwidth": 17,
+    "compression": 19,
+    "straggler": 23,
+    "retry": 29,
+}
+
+
+class FaultInjector:
+    """Seeded oracle answering "does this operation fail, and how badly?".
+
+    One injector serves a whole campaign.  Each query is keyed by the
+    operation's identity (rank, iteration, job/op index); the first draw
+    per key is cached, recorded in :attr:`log` when it fires, and
+    returned verbatim on every later query — so planning, replay, and
+    accounting layers can all consult the same oracle without
+    double-counting or perturbing each other's randomness.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        seed: int = 0,
+        log: ResilienceLog | None = None,
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self.log = log if log is not None else ResilienceLog()
+        if plan.straggler is not None:
+            self.log.straggler_ranks = tuple(plan.straggler.ranks)
+        self._cache: dict[tuple, float | bool] = {}
+
+    # ------------------------------------------------------------------
+    def rng(self, kind: str, *key: int) -> np.random.Generator:
+        """Deterministic generator for one (kind, key) decision."""
+        return np.random.default_rng(
+            (0x5EED, self.seed, _SALTS.get(kind, 97), *key)
+        )
+
+    def _cached(
+        self,
+        kind: str,
+        key: tuple[int, ...],
+        draw: Callable[[np.random.Generator], float | bool],
+        fired: Callable[[float | bool], bool],
+    ) -> float | bool:
+        cache_key = (kind, *key)
+        if cache_key in self._cache:
+            return self._cache[cache_key]
+        value = draw(self.rng(kind, *key))
+        self._cache[cache_key] = value
+        if fired(value):
+            self.log.record_injection(kind)
+        return value
+
+    # ------------------------------------------------------------------
+    def io_stall_s(self, rank: int, iteration: int, task: int) -> float:
+        """Extra seconds this I/O task hangs (0.0 = no stall)."""
+        fault = self.plan.stall
+        if fault is None or fault.probability <= 0:
+            return 0.0
+
+        def draw(rng: np.random.Generator) -> float:
+            if rng.random() >= fault.probability:
+                return 0.0
+            severity = 0.1 + float(rng.pareto(fault.tail_alpha))
+            return fault.mean_duration_s * severity
+
+        return float(
+            self._cached(
+                "stall", (rank, iteration, task), draw, lambda v: v > 0
+            )
+        )
+
+    def write_error(self, rank: int, op: int, attempt: int) -> bool:
+        """Whether write attempt ``attempt`` of operation ``op`` fails."""
+        fault = self.plan.write_error
+        if fault is None or fault.probability <= 0:
+            return False
+
+        def draw(rng: np.random.Generator) -> bool:
+            return bool(rng.random() < fault.probability)
+
+        return bool(
+            self._cached(
+                "write_error", (rank, op, attempt), draw, lambda v: bool(v)
+            )
+        )
+
+    def bandwidth_factor(
+        self, rank: int, window: int, scope: int = 0
+    ) -> float:
+        """Effective-bandwidth multiplier in ``window`` (1.0 = nominal).
+
+        ``scope`` namespaces independent window sequences (e.g. the
+        per-iteration bursts seen by the noise model vs. the per-write
+        bursts seen by the simulated filesystem) so their keys never
+        collide.
+        """
+        fault = self.plan.bandwidth
+        if fault is None or fault.probability <= 0:
+            return 1.0
+
+        def draw(rng: np.random.Generator) -> float:
+            if rng.random() >= fault.probability:
+                return 1.0
+            severity = float(rng.pareto(fault.tail_alpha))
+            return max(fault.min_factor, 1.0 / (1.0 + severity))
+
+        return float(
+            self._cached(
+                "bandwidth", (scope, rank, window), draw, lambda v: v != 1.0
+            )
+        )
+
+    def compression_fails(
+        self, rank: int, iteration: int, job: int
+    ) -> bool:
+        """Whether this block's compression task fails (write raw)."""
+        fault = self.plan.compression
+        if fault is None or fault.probability <= 0:
+            return False
+
+        def draw(rng: np.random.Generator) -> bool:
+            return bool(rng.random() < fault.probability)
+
+        return bool(
+            self._cached(
+                "compression",
+                (rank, iteration, job),
+                draw,
+                lambda v: bool(v),
+            )
+        )
+
+    def straggler_io_factor(self, rank: int) -> float:
+        """I/O slow-down multiplier for ``rank`` (1.0 = healthy)."""
+        fault = self.plan.straggler
+        if fault is None or rank not in fault.ranks:
+            return 1.0
+        return self._straggler(rank, fault.io_factor)
+
+    def straggler_compression_factor(self, rank: int) -> float:
+        """Compression slow-down multiplier for ``rank``."""
+        fault = self.plan.straggler
+        if fault is None or rank not in fault.ranks:
+            return 1.0
+        return self._straggler(rank, fault.compression_factor)
+
+    def _straggler(self, rank: int, factor: float) -> float:
+        # Not random — but mark the rank once so the injection is
+        # counted exactly once however many durations it scales.  The
+        # decision looks at the plan's factors, not the queried one:
+        # a first query for an unaffected dimension (e.g. compression
+        # at factor 1.0) must not swallow the rank's record.
+        cache_key = ("straggler", rank)
+        if cache_key not in self._cache:
+            self._cache[cache_key] = True
+            fault = self.plan.straggler
+            assert fault is not None
+            if fault.io_factor != 1.0 or fault.compression_factor != 1.0:
+                self.log.record_injection("straggler")
+        return factor

@@ -1,0 +1,113 @@
+"""Retry policy for writes: bounded attempts, backoff, per-write deadline.
+
+Transient filesystem errors (dropped RPCs, lock timeouts) are the
+common case on shared parallel filesystems; the standard remedy is a
+bounded number of retries with exponential backoff plus jitter so
+concurrent writers do not re-collide in lockstep.  The same policy
+object drives both the *simulated* retry loop in
+:class:`~repro.io.filesystem.SimulatedFileSystem` (backoff adds
+simulated seconds) and the *real* one in
+:class:`~repro.io.async_io.AsyncWriter` (backoff sleeps the worker
+thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "WriteFailedError", "DEFAULT_RETRY_POLICY"]
+
+
+class WriteFailedError(RuntimeError):
+    """A write exhausted its retry budget or blew its deadline.
+
+    Carries enough context for the caller to degrade gracefully —
+    typically by deferring the payload to the next compute gap.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int = -1,
+        nbytes: int = 0,
+        attempts: int = 0,
+        elapsed_s: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.nbytes = nbytes
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and an optional per-write deadline.
+
+    Attributes:
+        max_attempts: total tries per write (first attempt included).
+        base_backoff_s: wait before the first retry.
+        backoff_multiplier: growth factor per retry (2 = exponential).
+        jitter_frac: each backoff is scaled by a uniform draw in
+            ``[1 - jitter_frac, 1 + jitter_frac]``.
+        deadline_s: give up once a single write's cumulative simulated
+            (or wall-clock) time would exceed this; ``None`` disables.
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter_frac: float = 0.1
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                "RetryPolicy.max_attempts must be >= 1, "
+                f"got {self.max_attempts!r}"
+            )
+        if self.base_backoff_s < 0:
+            raise ValueError(
+                "RetryPolicy.base_backoff_s must be non-negative, "
+                f"got {self.base_backoff_s!r}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                "RetryPolicy.backoff_multiplier must be >= 1, "
+                f"got {self.backoff_multiplier!r}"
+            )
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError(
+                "RetryPolicy.jitter_frac must be in [0, 1), "
+                f"got {self.jitter_frac!r}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                "RetryPolicy.deadline_s must be positive or None, "
+                f"got {self.deadline_s!r}"
+            )
+
+    def backoff_s(
+        self, attempt: int, rng: np.random.Generator | None = None
+    ) -> float:
+        """Wait before retry number ``attempt`` (1-based failed attempt)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = self.base_backoff_s * self.backoff_multiplier ** (
+            attempt - 1
+        )
+        if rng is None or self.jitter_frac <= 0.0:
+            return base
+        scale = 1.0 + self.jitter_frac * float(rng.uniform(-1.0, 1.0))
+        return base * scale
+
+    def past_deadline(self, elapsed_s: float) -> bool:
+        """Whether a write at ``elapsed_s`` cumulative time must give up."""
+        return self.deadline_s is not None and elapsed_s > self.deadline_s
+
+
+#: Paper-ish default: 4 attempts, 50 ms first backoff, doubling.
+DEFAULT_RETRY_POLICY = RetryPolicy()

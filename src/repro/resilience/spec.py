@@ -1,0 +1,159 @@
+"""Fault-spec files: declarative fault campaigns loaded from YAML/JSON.
+
+A spec is a small mapping with one section per fault class plus an
+optional ``retry`` policy and ``seed``::
+
+    seed: 7
+    stall:        {probability: 0.15, mean_duration_s: 0.4}
+    write_error:  {probability: 0.25}
+    bandwidth:    {probability: 0.2, min_factor: 0.25}
+    compression:  {probability: 0.1}
+    straggler:    {ranks: [0], io_factor: 3.0}
+    retry:        {max_attempts: 4, base_backoff_s: 0.02}
+
+Validation happens at load time with errors naming the exact bad field
+(``fault spec: stall.probability must be in [0, 1]``) instead of failing
+deep inside the runtime.  JSON is a subset of YAML, so specs load even
+when PyYAML is unavailable as long as they are written as JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from .faults import (
+    BandwidthFault,
+    CompressionFault,
+    FaultPlan,
+    StallFault,
+    StragglerFault,
+    WriteErrorFault,
+)
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = ["FaultSpec", "parse_fault_spec", "load_fault_spec"]
+
+_SECTIONS = {
+    "stall": StallFault,
+    "write_error": WriteErrorFault,
+    "bandwidth": BandwidthFault,
+    "compression": CompressionFault,
+    "straggler": StragglerFault,
+}
+_TOP_LEVEL = set(_SECTIONS) | {"retry", "seed"}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A parsed fault-spec file: the plan, retry policy, and seed."""
+
+    plan: FaultPlan
+    retry: RetryPolicy = DEFAULT_RETRY_POLICY
+    seed: int | None = None
+
+
+def _build_section(name: str, cls: type, data: object):
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"fault spec: {name} must be a mapping, "
+            f"got {type(data).__name__}"
+        )
+    allowed = {f.name for f in fields(cls)}
+    for key in data:
+        if key not in allowed:
+            raise ValueError(
+                f"fault spec: unknown field {name}.{key!r} "
+                f"(allowed: {', '.join(sorted(allowed))})"
+            )
+    kwargs = dict(data)
+    if name == "straggler" and "ranks" in kwargs:
+        ranks = kwargs["ranks"]
+        if not isinstance(ranks, (list, tuple)) or not all(
+            isinstance(r, int) and not isinstance(r, bool) for r in ranks
+        ):
+            raise ValueError(
+                "fault spec: straggler.ranks must be a list of ints, "
+                f"got {ranks!r}"
+            )
+        kwargs["ranks"] = tuple(ranks)
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"fault spec: bad {name} section: {exc}") from exc
+
+
+def parse_fault_spec(data: dict) -> FaultSpec:
+    """Validate a spec mapping and build the typed :class:`FaultSpec`."""
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"fault spec: top level must be a mapping, "
+            f"got {type(data).__name__}"
+        )
+    for key in data:
+        if key not in _TOP_LEVEL:
+            raise ValueError(
+                f"fault spec: unknown top-level field {key!r} "
+                f"(allowed: {', '.join(sorted(_TOP_LEVEL))})"
+            )
+
+    sections = {
+        name: _build_section(name, cls, data[name])
+        for name, cls in _SECTIONS.items()
+        if name in data
+    }
+    plan = FaultPlan(**sections)
+
+    retry = DEFAULT_RETRY_POLICY
+    if "retry" in data:
+        retry_data = data["retry"]
+        if not isinstance(retry_data, dict):
+            raise ValueError(
+                "fault spec: retry must be a mapping, "
+                f"got {type(retry_data).__name__}"
+            )
+        allowed = {f.name for f in fields(RetryPolicy)}
+        for key in retry_data:
+            if key not in allowed:
+                raise ValueError(
+                    f"fault spec: unknown field retry.{key!r} "
+                    f"(allowed: {', '.join(sorted(allowed))})"
+                )
+        retry = RetryPolicy(**retry_data)
+
+    seed = data.get("seed")
+    if seed is not None and (
+        not isinstance(seed, int) or isinstance(seed, bool)
+    ):
+        raise ValueError(
+            f"fault spec: seed must be an integer, got {seed!r}"
+        )
+    return FaultSpec(plan=plan, retry=retry, seed=seed)
+
+
+def load_fault_spec(path: str | Path) -> FaultSpec:
+    """Load and validate a fault-spec file (YAML, or JSON as fallback)."""
+    text = Path(path).read_text()
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - PyYAML is normally present
+        import json
+
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"fault spec {path}: PyYAML unavailable and file is "
+                f"not valid JSON: {exc}"
+            ) from exc
+    else:
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ValueError(f"fault spec {path}: invalid YAML: {exc}") from exc
+    if data is None:
+        raise ValueError(f"fault spec {path}: file is empty")
+    try:
+        return parse_fault_spec(data)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc

@@ -3,7 +3,12 @@ schedule replay under actual durations, cluster topology, and traces."""
 
 from .engine import Simulation
 from .node import ClusterSpec
-from .noise import ZERO_NOISE, ActualDurations, NoiseModel
+from .noise import (
+    ZERO_NOISE,
+    ActualDurations,
+    FaultAwareNoiseModel,
+    NoiseModel,
+)
 from .replay import ExecutionResult, execute_schedule
 from .trace import (
     TraceEvent,
@@ -18,6 +23,7 @@ __all__ = [
     "Simulation",
     "ClusterSpec",
     "NoiseModel",
+    "FaultAwareNoiseModel",
     "ActualDurations",
     "ZERO_NOISE",
     "ExecutionResult",

@@ -20,8 +20,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.model import Interval, ProblemInstance
+from ..resilience.faults import FaultInjector
 
-__all__ = ["NoiseModel", "ActualDurations", "ZERO_NOISE"]
+__all__ = [
+    "NoiseModel",
+    "FaultAwareNoiseModel",
+    "ActualDurations",
+    "ZERO_NOISE",
+]
 
 
 @dataclass(frozen=True)
@@ -113,6 +119,59 @@ class NoiseModel:
                 self.perturb_io_time(d) for d in predicted_io
             ),
         )
+
+
+class FaultAwareNoiseModel(NoiseModel):
+    """Gaussian noise compounded with injected degradations.
+
+    On top of the Section 5.4.1 perturbations, one rank's actual
+    durations absorb its straggler slow-down and any heavy-tailed
+    bandwidth-collapse burst the
+    :class:`~repro.resilience.faults.FaultInjector` schedules for the
+    current iteration (set via :meth:`set_fault_context` before each
+    dump).  Determinism is preserved: the Gaussian stream comes from the
+    base seed, the fault decisions from the injector's keyed draws.
+    """
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        rank: int,
+        interval_sigma_frac: float = 0.01,
+        ratio_sigma_frac: float = 0.10,
+        compression_sigma_frac: float = 0.05,
+        io_sigma_frac: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        NoiseModel.__init__(
+            self,
+            interval_sigma_frac=interval_sigma_frac,
+            ratio_sigma_frac=ratio_sigma_frac,
+            compression_sigma_frac=compression_sigma_frac,
+            io_sigma_frac=io_sigma_frac,
+            seed=seed,
+        )
+        self.injector = injector
+        self.rank = rank
+        self.iteration = 0
+
+    def set_fault_context(self, iteration: int) -> None:
+        """Tell the model which iteration's bursts apply."""
+        self.iteration = iteration
+
+    def perturb_compression_time(self, duration: float) -> float:
+        duration = NoiseModel.perturb_compression_time(self, duration)
+        return duration * self.injector.straggler_compression_factor(
+            self.rank
+        )
+
+    def perturb_io_time(self, duration: float) -> float:
+        duration = NoiseModel.perturb_io_time(self, duration)
+        duration *= self.injector.straggler_io_factor(self.rank)
+        factor = self.injector.bandwidth_factor(
+            self.rank, self.iteration
+        )
+        return duration / factor if factor != 1.0 else duration
 
 
 #: Convenience model with every sigma zero (actuals == predictions).

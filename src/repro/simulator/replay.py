@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.model import Interval, Schedule
+from ..resilience.faults import FaultInjector
 from ..telemetry import NULL_TRACER, NullTracer
 from .noise import ActualDurations
 
@@ -81,6 +82,9 @@ def execute_schedule(
     schedule: Schedule,
     actuals: ActualDurations,
     tracer: NullTracer = NULL_TRACER,
+    injector: FaultInjector | None = None,
+    rank: int = 0,
+    iteration: int = 0,
 ) -> ExecutionResult:
     """Replay ``schedule`` with ``actuals``; returns actual timings.
 
@@ -92,6 +96,13 @@ def execute_schedule(
     duration without preemption.  A recording ``tracer`` receives the
     realized timeline as ``compute``/``core``/``compress.actual``/
     ``write.actual`` spans.
+
+    With a :class:`~repro.resilience.faults.FaultInjector`, individual
+    I/O tasks can additionally *stall* — a bursty-contention hang that
+    extends the task and, per the sequential-conflict rule, delays every
+    task queued behind it on the background thread.  Injected stalls are
+    emitted as ``fault.injected`` events (keyed by ``rank``/``iteration``
+    so identical seeds reproduce identical stalls).
     """
     inst = schedule.instance
     begin = inst.begin
@@ -143,6 +154,18 @@ def execute_schedule(
                 begin + inst.jobs[idx].io_release,
             )
             duration = actuals.io_times[idx]
+            if injector is not None and duration > 0.0:
+                stall = injector.io_stall_s(rank, iteration, idx)
+                if stall > 0.0:
+                    duration += stall
+                    if tracer.enabled:
+                        tracer.event(
+                            "fault.injected",
+                            kind="stall",
+                            job=idx,
+                            stall_s=stall,
+                        )
+                        tracer.counter("fault.injected").inc()
             start = max(cursor, ready)
             end = start + duration
             actual_io[idx] = Interval(start, end)

@@ -1,0 +1,156 @@
+"""End-to-end fault campaigns: graceful degradation and reproducibility."""
+
+import pytest
+
+from repro.apps import NyxModel
+from repro.framework import CampaignRunner, FrameworkConfig, ours_config
+from repro.resilience import (
+    BandwidthFault,
+    CompressionFault,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    StallFault,
+    StragglerFault,
+    WriteErrorFault,
+)
+from repro.simulator import ClusterSpec
+from repro.telemetry import Tracer
+
+_PLAN = FaultPlan(
+    stall=StallFault(probability=0.15, mean_duration_s=0.3),
+    write_error=WriteErrorFault(probability=0.25),
+    bandwidth=BandwidthFault(probability=0.2, min_factor=0.1),
+    compression=CompressionFault(probability=0.1),
+    straggler=StragglerFault(ranks=(0,), io_factor=2.5,
+                             compression_factor=1.5),
+)
+_CLUSTER = ClusterSpec(num_nodes=2, processes_per_node=2)
+
+
+def _run(plan=_PLAN, seed=7, iterations=6, tracer=None, config=None):
+    runner = CampaignRunner(
+        NyxModel(seed=seed),
+        _CLUSTER,
+        config or ours_config(),
+        seed=seed,
+        injector=FaultInjector(plan, seed=seed) if plan else None,
+        retry=RetryPolicy(max_attempts=4, deadline_s=5.0),
+        **({"tracer": tracer} if tracer else {}),
+    )
+    return runner.run(iterations)
+
+
+class TestFaultCampaign:
+    def test_completes_with_populated_report(self):
+        result = _run()
+        report = result.resilience
+        assert report is not None
+        injected = dict(report.injected)
+        # Every configured fault class fired at least once.
+        for kind in (
+            "stall", "write_error", "bandwidth", "compression", "straggler"
+        ):
+            assert injected.get(kind, 0) > 0, kind
+        assert report.retries > 0
+        assert report.retry_successes > 0
+        assert report.total_fallbacks > 0
+        assert report.straggler_ranks == (0,)
+        # Every exhausted write was deferred, not lost.
+        assert report.deferred_writes >= report.write_failures
+
+    def test_same_seed_reproduces_exactly(self):
+        a = _run()
+        b = _run()
+        assert a.resilience == b.resilience
+        assert a.total_time == pytest.approx(b.total_time)
+        assert [r.overall_s for r in a.records] == pytest.approx(
+            [r.overall_s for r in b.records]
+        )
+
+    def test_different_seed_differs(self):
+        a = _run(seed=7)
+        b = _run(seed=8)
+        assert a.resilience != b.resilience
+
+    def test_faults_cost_time_not_correctness(self):
+        clean = _run(plan=None)
+        faulty = _run()
+        assert clean.resilience is None
+        assert faulty.total_time > clean.total_time
+        assert len(faulty.records) == len(clean.records)
+
+    def test_resilience_metrics_merged(self):
+        result = _run()
+        assert result.metrics["resilience.injected"] == float(
+            result.resilience.total_injected
+        )
+        assert result.metrics["resilience.retries"] == float(
+            result.resilience.retries
+        )
+        clean = _run(plan=None)
+        assert not any(
+            k.startswith("resilience.") for k in clean.metrics
+        )
+
+    def test_telemetry_names_emitted(self):
+        tracer = Tracer()
+        result = _run(tracer=tracer, iterations=4)
+        counters = tracer.recorder.counters
+        for name in ("fault.injected", "io.retry", "runtime.fallback"):
+            assert counters.get(name, 0) > 0, name
+        events = {e.name for e in tracer.recorder.events}
+        assert {"fault.injected", "io.retry", "runtime.fallback"} <= events
+        assert result.resilience.retries == counters["io.retry"]
+
+    def test_write_error_only_plan(self):
+        plan = FaultPlan(write_error=WriteErrorFault(probability=0.3))
+        result = _run(plan=plan)
+        report = result.resilience
+        assert set(dict(report.injected)) == {"write_error"}
+        assert report.retries > 0
+
+    def test_overrun_guard_defers_io(self):
+        # Saturating stalls force dumps past the overrun deadline.
+        plan = FaultPlan(
+            stall=StallFault(probability=0.9, mean_duration_s=2.0)
+        )
+        config = ours_config()
+        import dataclasses
+
+        config = dataclasses.replace(config, overrun_deadline_frac=0.2)
+        result = _run(plan=plan, config=config)
+        report = result.resilience
+        assert report.overrun_iterations > 0
+        assert dict(report.fallbacks).get("defer-io", 0) > 0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs,field",
+        [
+            ({"scheduler": ""}, "FrameworkConfig.scheduler"),
+            ({"scheduler": "NoSuchAlgorithm"},
+             "FrameworkConfig.scheduler"),
+            ({"block_bytes": 0}, "FrameworkConfig.block_bytes"),
+            ({"buffer_bytes": -1}, "FrameworkConfig.buffer_bytes"),
+            ({"shared_tree_rebuild_period": 0},
+             "FrameworkConfig.shared_tree_rebuild_period"),
+            ({"balancing_threshold": 1.0},
+             "FrameworkConfig.balancing_threshold"),
+            ({"dump_period": 0}, "FrameworkConfig.dump_period"),
+            ({"num_subfiles": 0}, "FrameworkConfig.num_subfiles"),
+            ({"overrun_deadline_frac": -0.1},
+             "FrameworkConfig.overrun_deadline_frac"),
+        ],
+    )
+    def test_bad_field_named_in_error(self, kwargs, field):
+        with pytest.raises(ValueError, match=field.replace(".", r"\.")):
+            FrameworkConfig(**kwargs)
+
+    def test_unknown_scheduler_lists_available(self):
+        with pytest.raises(ValueError, match="ExtJohnson"):
+            FrameworkConfig(scheduler="NoSuchAlgorithm")
+
+    def test_defaults_valid(self):
+        FrameworkConfig()

@@ -1,0 +1,218 @@
+"""SimulatedFileSystem under fault injection: retries, totals, failure."""
+
+import pytest
+
+from repro.io import IoThroughputModel, SimulatedFileSystem
+from repro.resilience import (
+    BandwidthFault,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    WriteErrorFault,
+    WriteFailedError,
+)
+from repro.telemetry import Tracer
+
+_MODEL = IoThroughputModel(
+    node_bandwidth_bytes_per_s=1e9, processes_per_node=1
+)
+
+
+def _fs(plan=None, seed=0, **kwargs):
+    injector = FaultInjector(plan, seed=seed) if plan else None
+    return (
+        SimulatedFileSystem(_MODEL, injector=injector, **kwargs),
+        injector,
+    )
+
+
+class TestRunningTotals:
+    def test_totals_match_record_sums(self):
+        fs, _ = _fs()
+        for rank in range(3):
+            for nbytes in (1000, 2_000_000, 0):
+                fs.write(rank, nbytes)
+        assert fs.total_bytes == sum(w.nbytes for w in fs.writes)
+        assert fs.total_time == pytest.approx(
+            sum(w.duration for w in fs.writes)
+        )
+        assert fs.mean_write_bytes == pytest.approx(
+            fs.total_bytes / len(fs.writes)
+        )
+        assert fs.achieved_bandwidth() == pytest.approx(
+            fs.total_bytes / fs.total_time
+        )
+
+    def test_reset_clears_totals(self):
+        fs, _ = _fs()
+        fs.write(0, 1_000_000)
+        fs.reset()
+        assert fs.total_bytes == 0
+        assert fs.total_time == 0.0
+        assert fs.mean_write_bytes == 0.0
+        assert fs.achieved_bandwidth() == 0.0
+        # And accumulation restarts cleanly.
+        fs.write(0, 500)
+        assert fs.total_bytes == 500
+
+    def test_totals_include_retry_inflation(self):
+        plan = FaultPlan(write_error=WriteErrorFault(probability=0.5))
+        fs, _ = _fs(plan, seed=3)
+        clean = _MODEL.write_time(1_000_000)
+        for op in range(50):
+            fs.write(0, 1_000_000)
+        assert fs.total_time == pytest.approx(
+            sum(w.duration for w in fs.writes)
+        )
+        assert fs.total_time > 50 * clean  # some attempts were retried
+        assert any(w.attempts > 1 for w in fs.writes)
+
+
+class TestRetries:
+    def test_no_injector_single_attempt(self):
+        fs, _ = _fs()
+        fs.write(0, 1000)
+        assert fs.writes[0].attempts == 1
+        assert fs.writes[0].duration == pytest.approx(
+            _MODEL.write_time(1000)
+        )
+
+    def test_retries_logged(self):
+        plan = FaultPlan(write_error=WriteErrorFault(probability=0.6))
+        fs, injector = _fs(plan, seed=1)
+        for op in range(80):
+            try:
+                fs.write(0, 100_000)
+            except WriteFailedError:
+                pass
+        log = injector.log
+        assert log.retries > 0
+        assert log.retry_successes > 0
+        # Recovered writes show their attempt count in the record.
+        assert any(w.attempts > 1 for w in fs.writes)
+
+    def test_exhaustion_raises_with_context(self):
+        plan = FaultPlan(write_error=WriteErrorFault(probability=1.0))
+        fs, injector = _fs(
+            plan, retry=RetryPolicy(max_attempts=3, jitter_frac=0.0)
+        )
+        with pytest.raises(WriteFailedError) as info:
+            fs.write(2, 4096)
+        assert info.value.rank == 2
+        assert info.value.nbytes == 4096
+        assert info.value.attempts == 3
+        assert injector.log.write_failures == 1
+        # Failed writes leave no record and no byte accounting.
+        assert fs.writes == []
+        assert fs.total_bytes == 0
+
+    def test_deadline_cuts_retries_short(self):
+        plan = FaultPlan(write_error=WriteErrorFault(probability=1.0))
+        fs, _ = _fs(
+            plan,
+            retry=RetryPolicy(
+                max_attempts=100, base_backoff_s=1.0, jitter_frac=0.0,
+                deadline_s=2.5,
+            ),
+        )
+        with pytest.raises(WriteFailedError) as info:
+            fs.write(0, 1000)
+        assert info.value.attempts < 100
+
+    def test_deterministic_across_instances(self):
+        plan = FaultPlan(
+            write_error=WriteErrorFault(probability=0.5),
+            bandwidth=BandwidthFault(probability=0.5, min_factor=0.1),
+        )
+        durations = []
+        for _ in range(2):
+            fs, _ = _fs(plan, seed=11)
+            run = []
+            for op in range(40):
+                try:
+                    run.append(fs.write(op % 4, 200_000))
+                except WriteFailedError as exc:
+                    run.append(("failed", exc.attempts))
+            durations.append(run)
+        assert durations[0] == durations[1]
+
+
+class _FlakyWriter:
+    """Duck-typed SharedFileWriter failing the first ``failures`` calls."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def write(self, name, payload):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise OSError("transient")
+        return True
+
+
+class TestAsyncWriterRetry:
+    def test_transient_failures_recovered(self):
+        from repro.io import AsyncWriter
+
+        target = _FlakyWriter(failures=2)
+        policy = RetryPolicy(
+            max_attempts=4, base_backoff_s=0.001, jitter_frac=0.0
+        )
+        with AsyncWriter(target, retry=policy) as writer:
+            job = writer.submit("a", b"payload")
+            assert job.wait(timeout=5.0)
+        assert job.error is None
+        assert job.attempts == 3
+        assert job.fit_reservation is True
+
+    def test_exhaustion_surfaces_at_wait(self):
+        from repro.io import AsyncWriter
+
+        target = _FlakyWriter(failures=100)
+        policy = RetryPolicy(
+            max_attempts=2, base_backoff_s=0.001, jitter_frac=0.0
+        )
+        with AsyncWriter(target, retry=policy) as writer:
+            job = writer.submit("a", b"payload")
+            with pytest.raises(OSError, match="transient"):
+                job.wait(timeout=5.0)
+        assert job.attempts == 2
+
+    def test_no_policy_fails_immediately(self):
+        from repro.io import AsyncWriter
+
+        target = _FlakyWriter(failures=1)
+        with AsyncWriter(target) as writer:
+            job = writer.submit("a", b"payload")
+            with pytest.raises(OSError):
+                job.wait(timeout=5.0)
+        assert job.attempts == 1
+
+
+class TestBandwidthBursts:
+    def test_burst_slows_write(self):
+        plan = FaultPlan(
+            bandwidth=BandwidthFault(probability=1.0, min_factor=0.1)
+        )
+        fs, _ = _fs(plan)
+        duration = fs.write(0, 10_000_000)
+        assert duration > _MODEL.write_time(10_000_000)
+
+    def test_telemetry_events_emitted(self):
+        tracer = Tracer()
+        plan = FaultPlan(
+            write_error=WriteErrorFault(probability=0.6),
+            bandwidth=BandwidthFault(probability=0.5, min_factor=0.1),
+        )
+        injector = FaultInjector(plan, seed=2)
+        fs = SimulatedFileSystem(_MODEL, tracer=tracer, injector=injector)
+        for op in range(60):
+            try:
+                fs.write(0, 100_000)
+            except WriteFailedError:
+                pass
+        names = {e.name for e in tracer.recorder.events}
+        assert "fault.injected" in names
+        assert "io.retry" in names
+        assert tracer.recorder.counters["io.retry"] == injector.log.retries

@@ -1,0 +1,163 @@
+"""FaultInjector: determinism, caching, and per-class validation."""
+
+import pytest
+
+from repro.resilience import (
+    BandwidthFault,
+    CompressionFault,
+    FaultInjector,
+    FaultPlan,
+    StallFault,
+    StragglerFault,
+    WriteErrorFault,
+)
+
+_FULL_PLAN = FaultPlan(
+    stall=StallFault(probability=0.3, mean_duration_s=0.5),
+    write_error=WriteErrorFault(probability=0.4),
+    bandwidth=BandwidthFault(probability=0.3, min_factor=0.1),
+    compression=CompressionFault(probability=0.2),
+    straggler=StragglerFault(ranks=(1,), io_factor=2.0,
+                             compression_factor=1.5),
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = FaultInjector(_FULL_PLAN, seed=42)
+        b = FaultInjector(_FULL_PLAN, seed=42)
+        for rank in range(4):
+            for it in range(5):
+                for task in range(3):
+                    assert a.io_stall_s(rank, it, task) == b.io_stall_s(
+                        rank, it, task
+                    )
+                    assert a.write_error(rank, it, task) == b.write_error(
+                        rank, it, task
+                    )
+                assert a.bandwidth_factor(rank, it) == b.bandwidth_factor(
+                    rank, it
+                )
+                assert a.compression_fails(rank, it, 0) == (
+                    b.compression_fails(rank, it, 0)
+                )
+
+    def test_query_order_does_not_matter(self):
+        a = FaultInjector(_FULL_PLAN, seed=7)
+        b = FaultInjector(_FULL_PLAN, seed=7)
+        keys = [(r, i, t) for r in range(3) for i in range(3)
+                for t in range(2)]
+        forward = [a.io_stall_s(*k) for k in keys]
+        backward = [b.io_stall_s(*k) for k in reversed(keys)]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(_FULL_PLAN, seed=1)
+        b = FaultInjector(_FULL_PLAN, seed=2)
+        draws_a = [a.io_stall_s(r, i, 0) for r in range(8)
+                   for i in range(8)]
+        draws_b = [b.io_stall_s(r, i, 0) for r in range(8)
+                   for i in range(8)]
+        assert draws_a != draws_b
+
+    def test_fault_kinds_independent(self):
+        # Same key, different fault class: the per-kind salts keep the
+        # underlying draws from being the same uniform.
+        inj = FaultInjector(
+            FaultPlan(
+                stall=StallFault(probability=0.5),
+                write_error=WriteErrorFault(probability=0.5),
+            ),
+            seed=3,
+        )
+        stalls = [inj.io_stall_s(r, 0, 0) > 0 for r in range(64)]
+        errors = [inj.write_error(r, 0, 0) for r in range(64)]
+        assert stalls != errors
+
+
+class TestCachingAndLog:
+    def test_repeated_query_counted_once(self):
+        inj = FaultInjector(
+            FaultPlan(stall=StallFault(probability=1.0)), seed=0
+        )
+        first = inj.io_stall_s(0, 0, 0)
+        for _ in range(5):
+            assert inj.io_stall_s(0, 0, 0) == first
+        assert inj.log.injected["stall"] == 1
+
+    def test_non_firing_draw_not_logged(self):
+        inj = FaultInjector(
+            FaultPlan(stall=StallFault(probability=0.0)), seed=0
+        )
+        assert inj.io_stall_s(0, 0, 0) == 0.0
+        assert "stall" not in inj.log.injected
+
+    def test_bandwidth_scopes_independent(self):
+        plan = FaultPlan(bandwidth=BandwidthFault(probability=0.5))
+        inj = FaultInjector(plan, seed=9)
+        by_scope0 = [inj.bandwidth_factor(r, 0, scope=0) for r in range(64)]
+        by_scope1 = [inj.bandwidth_factor(r, 0, scope=1) for r in range(64)]
+        assert by_scope0 != by_scope1
+
+    def test_straggler_factors_and_single_count(self):
+        inj = FaultInjector(_FULL_PLAN, seed=0)
+        assert inj.straggler_io_factor(0) == 1.0
+        assert inj.straggler_io_factor(1) == 2.0
+        assert inj.straggler_compression_factor(1) == 1.5
+        inj.straggler_io_factor(1)
+        assert inj.log.injected["straggler"] == 1
+        assert inj.log.straggler_ranks == (1,)
+
+    def test_stall_length_heavy_tailed_positive(self):
+        inj = FaultInjector(
+            FaultPlan(stall=StallFault(probability=1.0,
+                                       mean_duration_s=0.2)),
+            seed=5,
+        )
+        stalls = [inj.io_stall_s(r, i, 0) for r in range(10)
+                  for i in range(10)]
+        assert all(s > 0 for s in stalls)
+        assert max(stalls) > min(stalls)
+
+    def test_bandwidth_factor_bounds(self):
+        inj = FaultInjector(
+            FaultPlan(bandwidth=BandwidthFault(probability=1.0,
+                                               min_factor=0.25)),
+            seed=5,
+        )
+        factors = [inj.bandwidth_factor(r, i) for r in range(10)
+                   for i in range(10)]
+        assert all(0.25 <= f < 1.0 for f in factors)
+
+
+class TestPlanValidation:
+    @pytest.mark.parametrize(
+        "cls,kwargs,field",
+        [
+            (StallFault, {"probability": 1.5}, "stall.probability"),
+            (StallFault, {"mean_duration_s": 0.0},
+             "stall.mean_duration_s"),
+            (StallFault, {"tail_alpha": -1.0}, "stall.tail_alpha"),
+            (WriteErrorFault, {"probability": -0.1},
+             "write_error.probability"),
+            (BandwidthFault, {"min_factor": 0.0}, "bandwidth.min_factor"),
+            (BandwidthFault, {"min_factor": 1.5}, "bandwidth.min_factor"),
+            (CompressionFault, {"probability": 2.0},
+             "compression.probability"),
+            (StragglerFault, {"ranks": (-1,)}, "straggler.ranks"),
+            (StragglerFault, {"io_factor": 0.5}, "straggler.io_factor"),
+            (StragglerFault, {"compression_factor": 0.0},
+             "straggler.compression_factor"),
+        ],
+    )
+    def test_bad_field_named_in_error(self, cls, kwargs, field):
+        with pytest.raises(ValueError, match=field.replace(".", r"\.")):
+            cls(**kwargs)
+
+    def test_any_faults(self):
+        assert not FaultPlan().any_faults
+        assert not FaultPlan(stall=StallFault(probability=0.0)).any_faults
+        assert FaultPlan(stall=StallFault(probability=0.1)).any_faults
+        assert FaultPlan(
+            straggler=StragglerFault(ranks=(0,), io_factor=2.0)
+        ).any_faults

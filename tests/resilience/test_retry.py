@@ -1,0 +1,76 @@
+"""RetryPolicy backoff/deadline semantics and WriteFailedError context."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    WriteFailedError,
+)
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            base_backoff_s=0.1, backoff_multiplier=2.0, jitter_frac=0.0
+        )
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.4)
+
+    def test_no_rng_means_no_jitter(self):
+        policy = RetryPolicy(base_backoff_s=0.1, jitter_frac=0.5)
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, backoff_multiplier=1.0, jitter_frac=0.2
+        )
+        rng = np.random.default_rng(0)
+        draws = [policy.backoff_s(1, rng) for _ in range(200)]
+        assert all(0.8 <= d <= 1.2 for d in draws)
+        assert max(draws) > min(draws)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().backoff_s(0)
+
+
+class TestDeadline:
+    def test_disabled_by_default(self):
+        assert DEFAULT_RETRY_POLICY.deadline_s is None
+        assert not DEFAULT_RETRY_POLICY.past_deadline(1e9)
+
+    def test_enforced_when_set(self):
+        policy = RetryPolicy(deadline_s=2.0)
+        assert not policy.past_deadline(2.0)
+        assert policy.past_deadline(2.0001)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs,field",
+        [
+            ({"max_attempts": 0}, "RetryPolicy.max_attempts"),
+            ({"base_backoff_s": -0.1}, "RetryPolicy.base_backoff_s"),
+            ({"backoff_multiplier": 0.5},
+             "RetryPolicy.backoff_multiplier"),
+            ({"jitter_frac": 1.0}, "RetryPolicy.jitter_frac"),
+            ({"deadline_s": 0.0}, "RetryPolicy.deadline_s"),
+        ],
+    )
+    def test_bad_field_named_in_error(self, kwargs, field):
+        with pytest.raises(ValueError, match=field.replace(".", r"\.")):
+            RetryPolicy(**kwargs)
+
+
+class TestWriteFailedError:
+    def test_carries_context(self):
+        err = WriteFailedError(
+            "boom", rank=3, nbytes=1024, attempts=4, elapsed_s=1.5
+        )
+        assert isinstance(err, RuntimeError)
+        assert (err.rank, err.nbytes, err.attempts, err.elapsed_s) == (
+            3, 1024, 4, 1.5
+        )

@@ -1,0 +1,100 @@
+"""Fault-spec parsing: typed construction and field-naming errors."""
+
+import pathlib
+
+import pytest
+
+from repro.resilience import (
+    DEFAULT_RETRY_POLICY,
+    load_fault_spec,
+    parse_fault_spec,
+)
+
+_EXAMPLE = (
+    pathlib.Path(__file__).parent.parent.parent
+    / "examples"
+    / "fault_specs"
+    / "smoke.yaml"
+)
+
+
+class TestParse:
+    def test_full_spec(self):
+        spec = parse_fault_spec(
+            {
+                "seed": 7,
+                "stall": {"probability": 0.1, "mean_duration_s": 0.4},
+                "write_error": {"probability": 0.2},
+                "bandwidth": {"probability": 0.15, "min_factor": 0.1},
+                "compression": {"probability": 0.05},
+                "straggler": {"ranks": [0, 2], "io_factor": 3.0},
+                "retry": {"max_attempts": 5, "deadline_s": 2.0},
+            }
+        )
+        assert spec.seed == 7
+        assert spec.plan.stall.probability == 0.1
+        assert spec.plan.straggler.ranks == (0, 2)
+        assert spec.retry.max_attempts == 5
+        assert spec.plan.any_faults
+
+    def test_empty_spec_is_neutral(self):
+        spec = parse_fault_spec({})
+        assert not spec.plan.any_faults
+        assert spec.retry == DEFAULT_RETRY_POLICY
+        assert spec.seed is None
+
+    @pytest.mark.parametrize(
+        "data,fragment",
+        [
+            ([1, 2], "top level must be a mapping"),
+            ({"bogus": {}}, "unknown top-level field 'bogus'"),
+            ({"stall": 3}, "stall must be a mapping"),
+            ({"stall": {"probabilty": 0.1}},
+             "unknown field stall.'probabilty'"),
+            ({"stall": {"probability": 2.0}},
+             r"stall\.probability must be in \[0, 1\]"),
+            ({"straggler": {"ranks": "all"}},
+             "straggler.ranks must be a list of ints"),
+            ({"straggler": {"ranks": [0, True]}},
+             "straggler.ranks must be a list of ints"),
+            ({"retry": {"max_attempts": 0}},
+             r"RetryPolicy\.max_attempts"),
+            ({"retry": {"nope": 1}}, "unknown field retry.'nope'"),
+            ({"seed": "seven"}, "seed must be an integer"),
+            ({"seed": True}, "seed must be an integer"),
+        ],
+    )
+    def test_bad_spec_names_field(self, data, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            parse_fault_spec(data)
+
+
+class TestLoad:
+    def test_example_spec_loads(self):
+        spec = load_fault_spec(_EXAMPLE)
+        assert spec.plan.any_faults
+        assert spec.plan.straggler.ranks == (0,)
+        assert spec.retry.deadline_s == 5.0
+
+    def test_json_spec_loads(self, tmp_path):
+        # JSON is a YAML subset: works even without PyYAML.
+        path = tmp_path / "spec.json"
+        path.write_text('{"write_error": {"probability": 0.5}}')
+        spec = load_fault_spec(path)
+        assert spec.plan.write_error.probability == 0.5
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.yaml"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_fault_spec(path)
+
+    def test_error_carries_path(self, tmp_path):
+        path = tmp_path / "bad.yaml"
+        path.write_text("stall: {probability: 2.0}\n")
+        with pytest.raises(ValueError, match="bad.yaml"):
+            load_fault_spec(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_fault_spec(tmp_path / "nope.yaml")

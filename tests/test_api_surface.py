@@ -17,6 +17,7 @@ _PACKAGES = [
     "repro.framework",
     "repro.parallel",
     "repro.telemetry",
+    "repro.resilience",
 ]
 
 

@@ -26,6 +26,14 @@ class TestParser:
         assert args.app == "warpx"
         assert args.nodes == 2
 
+    def test_campaign_faults_option(self):
+        args = build_parser().parse_args(
+            ["campaign", "--faults", "spec.yaml", "--seed", "9"]
+        )
+        assert args.faults == "spec.yaml"
+        assert args.seed == 9
+        assert build_parser().parse_args(["campaign"]).faults is None
+
 
 class TestCommands:
     def test_experiments_lists_all(self, capsys):
@@ -106,6 +114,69 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "baseline" in out and "previous" in out and "ours" in out
+
+
+class TestFaultCampaignCommand:
+    _ARGS = [
+        "campaign",
+        "--nodes", "1",
+        "--ppn", "2",
+        "--iterations", "3",
+        "--solution", "ours",
+        "--seed", "7",
+    ]
+
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text(
+            "write_error: {probability: 0.4}\n"
+            "stall: {probability: 0.3, mean_duration_s: 0.3}\n"
+            "straggler: {ranks: [0], io_factor: 2.0}\n"
+        )
+        return str(path)
+
+    def test_prints_resilience_report(self, spec_path, capsys):
+        assert main([*self._ARGS, "--faults", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "resilience [ours]" in out
+        assert "faults injected:" in out
+        assert "write retries:" in out
+
+    def test_same_seed_same_report(self, spec_path, capsys):
+        assert main([*self._ARGS, "--faults", spec_path]) == 0
+        first = capsys.readouterr().out
+        assert main([*self._ARGS, "--faults", spec_path]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_no_faults_no_report(self, capsys):
+        assert main(self._ARGS) == 0
+        assert "resilience" not in capsys.readouterr().out
+
+    def test_bad_spec_exits_2_naming_field(self, tmp_path, capsys):
+        path = tmp_path / "bad.yaml"
+        path.write_text("stall: {probability: 2.0}\n")
+        assert main([*self._ARGS, "--faults", str(path)]) == 2
+        assert "stall.probability" in capsys.readouterr().err
+
+    def test_missing_spec_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.yaml")
+        assert main([*self._ARGS, "--faults", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_out_records_fault_events(self, spec_path, tmp_path,
+                                            capsys):
+        from repro.telemetry import read_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main([*self._ARGS, "--faults", spec_path,
+                  "--trace-out", str(trace)])
+            == 0
+        )
+        counters = read_jsonl(str(trace)).counters
+        assert counters.get("fault.injected", 0) > 0
+        assert counters.get("runtime.fallback", 0) >= 0
 
 
 class TestSnapshotCommand:
