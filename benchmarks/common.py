@@ -7,6 +7,7 @@ and both prints the reproduced rows/series and saves them under
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
@@ -19,16 +20,31 @@ from repro.telemetry import NULL_TRACER, NullTracer, Tracer
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Either tracer flavour; :class:`Tracer` subclasses :class:`NullTracer`,
+#: so the union spells out what call sites actually pass.
+AnyTracer = NullTracer | Tracer
 
-def emit(name: str, text: str) -> None:
-    """Print a reproduced table and persist it to benchmarks/results/."""
+
+def emit(name: str, text: str, data: object | None = None) -> None:
+    """Print a reproduced table and persist it to benchmarks/results/.
+
+    Writes ``<name>.txt`` plus a ``<name>.json`` sidecar (the text split
+    into lines, and optionally a structured ``data`` payload) so figure
+    outputs diff cleanly run-to-run.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     banner = f"\n===== {name} =====\n{text}\n"
     print(banner)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    sidecar: dict[str, object] = {"name": name, "lines": text.splitlines()}
+    if data is not None:
+        sidecar["data"] = data
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(sidecar, indent=2, sort_keys=True) + "\n"
+    )
 
 
-def emit_trace(tracer: NullTracer, name: str) -> None:
+def emit_trace(tracer: AnyTracer, name: str) -> None:
     """Persist a recording tracer's records to
     ``benchmarks/results/<name>.trace.jsonl`` (no-op for NullTracer), so
     any bench can dump the timeline behind its table."""
@@ -47,7 +63,7 @@ def run_campaign(
     seed: int = 1,
     solution: str = "run",
     noise: NoiseModel | None = None,
-    tracer: NullTracer = NULL_TRACER,
+    tracer: AnyTracer = NULL_TRACER,
     trace_name: str | None = None,
 ):
     """Run one campaign; ``trace_name`` records and dumps its trace."""

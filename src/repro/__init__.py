@@ -21,10 +21,14 @@ Public API tour:
 * :mod:`repro.resilience` — fault injection (stalls, transient write
   errors, bandwidth collapse, compression failures, stragglers), retry
   policies, and the per-campaign resilience report.
+* :mod:`repro.bench` — benchmark harness and performance-regression
+  gate: registered timed cases, robust statistics, versioned
+  ``BENCH_*.json`` reports, and baseline comparison.
 """
 
 from . import (
     apps,
+    bench,
     compression,
     core,
     framework,
@@ -47,5 +51,6 @@ __all__ = [
     "framework",
     "telemetry",
     "resilience",
+    "bench",
     "__version__",
 ]

@@ -1,0 +1,85 @@
+"""Benchmark harness and performance-regression subsystem.
+
+The ROADMAP's north star is that every PR makes a hot path "measurably
+faster"; this package is the measurement substrate.  It turns the
+repo's figure scripts (and any future scenario) into registered, timed,
+statistically summarized cases whose results serialize to versioned
+``BENCH_*.json`` documents and gate CI against a committed baseline.
+
+Layers:
+
+* :mod:`~repro.bench.harness` — ``BenchCase``/``BenchSample``/
+  ``BenchResult`` dataclasses, ``perf_counter`` timing with warmup and
+  repeats, robust statistics (min/median/mean/stdev + IQR outlier
+  flagging), and the host environment fingerprint.
+* :mod:`~repro.bench.registry` — the ``@bench_case`` decorator, the
+  shared :data:`~repro.bench.registry.REGISTRY`, and discovery of
+  ``benchmarks/bench_*.py`` registration modules.
+* :mod:`~repro.bench.runner` — serial and ``ProcessPoolExecutor``
+  execution with per-case wall budgets and failure isolation; emits
+  ``bench.case`` telemetry spans.
+* :mod:`~repro.bench.schema` — the versioned JSON document format with
+  exhaustive validation.
+* :mod:`~repro.bench.baseline` — the improved/unchanged/regressed
+  comparator behind ``repro bench compare`` and the CI gate.
+
+CLI: ``repro bench run|list|compare`` (see ``repro bench --help``).
+"""
+
+from .baseline import BaselineComparison, CaseComparison, compare_documents
+from .harness import (
+    BenchCase,
+    BenchResult,
+    BenchSample,
+    BenchStats,
+    BenchTimeout,
+    environment_fingerprint,
+    run_case,
+    summarize,
+)
+from .registry import (
+    REGISTRY,
+    BenchRegistry,
+    RegisteredCase,
+    bench_case,
+    discover_benchmarks,
+)
+from .runner import BenchReport, run_benchmarks, standalone_main
+from .schema import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    SchemaError,
+    load_document,
+    report_to_document,
+    validate_document,
+    write_document,
+)
+
+__all__ = [
+    "BenchCase",
+    "BenchSample",
+    "BenchStats",
+    "BenchResult",
+    "BenchTimeout",
+    "run_case",
+    "summarize",
+    "environment_fingerprint",
+    "RegisteredCase",
+    "BenchRegistry",
+    "REGISTRY",
+    "bench_case",
+    "discover_benchmarks",
+    "BenchReport",
+    "run_benchmarks",
+    "standalone_main",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "report_to_document",
+    "validate_document",
+    "write_document",
+    "load_document",
+    "CaseComparison",
+    "BaselineComparison",
+    "compare_documents",
+]

@@ -1,0 +1,185 @@
+"""Baseline comparison: the regression gate behind ``repro bench compare``.
+
+:func:`compare_documents` matches the cases of a current report against a
+baseline document and classifies each by the ratio of median runtimes:
+
+=============  ========================================================
+``regressed``  current median > baseline median * (1 + threshold)
+``improved``   current median < baseline median * (1 - threshold)
+``unchanged``  within the threshold band
+``failed``     the current run ended ``failed``/``timeout``
+``added``      present now, absent from the baseline (informational)
+``missing``    present in the baseline, absent now (informational)
+=============  ========================================================
+
+``regressed`` and ``failed`` drive the nonzero exit code; ``added`` and
+``missing`` are surfaced but do not gate, so growing or pruning the suite
+never requires a synchronized baseline refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CaseComparison", "BaselineComparison", "compare_documents"]
+
+#: Default relative threshold: +/-25% of the baseline median.
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One case's classification against the baseline."""
+
+    name: str
+    group: str
+    verdict: str  # regressed | improved | unchanged | failed | added | missing
+    current_median_s: float | None = None
+    baseline_median_s: float | None = None
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline median, when both are measurable."""
+        if not self.current_median_s or not self.baseline_median_s:
+            return None
+        return self.current_median_s / self.baseline_median_s
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Full verdict set for one current-vs-baseline comparison."""
+
+    cases: tuple[CaseComparison, ...]
+    threshold: float
+
+    def verdicts(self, *names: str) -> tuple[CaseComparison, ...]:
+        return tuple(c for c in self.cases if c.verdict in names)
+
+    @property
+    def regressed(self) -> tuple[CaseComparison, ...]:
+        return self.verdicts("regressed")
+
+    @property
+    def failed(self) -> tuple[CaseComparison, ...]:
+        return self.verdicts("failed")
+
+    @property
+    def exit_code(self) -> int:
+        """Nonzero iff any case regressed or failed — the CI gate."""
+        return 1 if self.verdicts("regressed", "failed") else 0
+
+    def format(self) -> str:
+        """Human-readable verdict table plus a one-line summary."""
+        from repro.framework.report import format_table
+
+        def fmt(value: float | None) -> str:
+            return "-" if value is None else f"{value * 1e3:.3f} ms"
+
+        rows = []
+        for case in self.cases:
+            ratio = case.ratio
+            rows.append(
+                (
+                    case.name,
+                    case.group,
+                    fmt(case.baseline_median_s),
+                    fmt(case.current_median_s),
+                    "-" if ratio is None else f"{ratio:.2f}x",
+                    case.verdict,
+                )
+            )
+        table = format_table(
+            rows,
+            headers=(
+                "case",
+                "group",
+                "baseline median",
+                "current median",
+                "ratio",
+                "verdict",
+            ),
+        )
+        lines = [table, "", f"threshold: +/-{self.threshold * 100:g}%"]
+        for verdict in ("regressed", "failed", "improved", "missing", "added"):
+            hits = self.verdicts(verdict)
+            if hits:
+                names = ", ".join(c.name for c in hits)
+                lines.append(f"{verdict}: {names}")
+        if self.exit_code == 0:
+            lines.append("no regressions")
+        return "\n".join(lines)
+
+
+def _medians(doc: dict) -> dict[str, dict]:
+    return {case["name"]: case for case in doc["cases"]}
+
+
+def compare_documents(
+    current: dict,
+    baseline: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BaselineComparison:
+    """Classify every case of ``current`` against ``baseline``.
+
+    Both documents must already be schema-valid (see
+    :func:`repro.bench.schema.load_document`).  ``threshold`` is the
+    relative band around the baseline median counted as noise.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    current_cases = _medians(current)
+    baseline_cases = _medians(baseline)
+    comparisons = []
+    for name, case in current_cases.items():
+        group = case["group"]
+        if case["status"] != "ok":
+            comparisons.append(
+                CaseComparison(name=name, group=group, verdict="failed")
+            )
+            continue
+        cur = case["stats"]["median_s"]
+        ref_case = baseline_cases.get(name)
+        if ref_case is None or ref_case["status"] != "ok":
+            comparisons.append(
+                CaseComparison(
+                    name=name,
+                    group=group,
+                    verdict="added",
+                    current_median_s=cur,
+                )
+            )
+            continue
+        ref = ref_case["stats"]["median_s"]
+        if ref <= 0:
+            verdict = "unchanged" if cur <= 0 else "regressed"
+        elif cur > ref * (1 + threshold):
+            verdict = "regressed"
+        elif cur < ref * (1 - threshold):
+            verdict = "improved"
+        else:
+            verdict = "unchanged"
+        comparisons.append(
+            CaseComparison(
+                name=name,
+                group=group,
+                verdict=verdict,
+                current_median_s=cur,
+                baseline_median_s=ref,
+            )
+        )
+    for name, ref_case in baseline_cases.items():
+        if name not in current_cases:
+            comparisons.append(
+                CaseComparison(
+                    name=name,
+                    group=ref_case["group"],
+                    verdict="missing",
+                    baseline_median_s=(
+                        ref_case["stats"]["median_s"]
+                        if ref_case["status"] == "ok"
+                        else None
+                    ),
+                )
+            )
+    ordered = sorted(comparisons, key=lambda c: (c.group, c.name))
+    return BaselineComparison(cases=tuple(ordered), threshold=threshold)

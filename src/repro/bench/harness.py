@@ -1,0 +1,187 @@
+"""Timing core of the benchmark subsystem: cases, samples, statistics.
+
+A :class:`BenchCase` is a fully resolved, runnable scenario — a callable
+plus its keyword arguments, warmup/repeat counts, and an optional wall
+budget.  :func:`run_case` executes it with ``time.perf_counter`` (or any
+injected clock, which is how the tests obtain deterministic timings) and
+returns a :class:`BenchResult` carrying the raw :class:`BenchSample`
+timings and their :class:`BenchStats` summary: min/median/mean/stdev and
+the indices of IQR outliers (Tukey fences at 1.5x), so noisy samples are
+flagged rather than silently averaged in.
+
+:func:`environment_fingerprint` stamps every report with enough context
+to interpret a regression: interpreter, platform, CPU count, git SHA, and
+the package version.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+__all__ = [
+    "BenchCase",
+    "BenchSample",
+    "BenchStats",
+    "BenchResult",
+    "BenchTimeout",
+    "run_case",
+    "summarize",
+    "environment_fingerprint",
+]
+
+#: Tukey fence multiplier for IQR outlier flagging.
+_IQR_FENCE = 1.5
+
+
+class BenchTimeout(Exception):
+    """A case exceeded its wall budget (raised by the runner's deadline)."""
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One runnable benchmark scenario, fully resolved."""
+
+    name: str
+    func: Callable[..., object]
+    group: str = "default"
+    kwargs: Mapping[str, object] = field(default_factory=dict)
+    warmup: int = 1
+    repeats: int = 3
+    timeout_s: float | None = 60.0
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError(f"{self.name}: warmup must be >= 0")
+        if self.repeats < 1:
+            raise ValueError(f"{self.name}: repeats must be >= 1")
+
+
+@dataclass(frozen=True)
+class BenchSample:
+    """One timed execution of a case's callable."""
+
+    index: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class BenchStats:
+    """Robust summary of a case's samples."""
+
+    min_s: float
+    max_s: float
+    mean_s: float
+    median_s: float
+    stdev_s: float
+    iqr_s: float
+    #: Indices (into the sample list) outside the Tukey fences.
+    outliers: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Outcome of running one case: samples + stats, or a failure."""
+
+    name: str
+    group: str
+    status: str  # "ok" | "failed" | "timeout"
+    warmup: int
+    repeats: int
+    samples: tuple[BenchSample, ...] = ()
+    stats: BenchStats | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def summarize(samples: tuple[BenchSample, ...] | list[BenchSample]) -> BenchStats:
+    """Min/median/mean/stdev plus IQR outlier indices for the samples."""
+    if not samples:
+        raise ValueError("cannot summarize zero samples")
+    values = [s.seconds for s in samples]
+    stdev = statistics.stdev(values) if len(values) > 1 else 0.0
+    if len(values) >= 4:
+        q1, _, q3 = statistics.quantiles(values, n=4, method="inclusive")
+        iqr = q3 - q1
+        low = q1 - _IQR_FENCE * iqr
+        high = q3 + _IQR_FENCE * iqr
+        outliers = tuple(
+            s.index for s in samples if not low <= s.seconds <= high
+        )
+    else:
+        iqr, outliers = 0.0, ()
+    return BenchStats(
+        min_s=min(values),
+        max_s=max(values),
+        mean_s=statistics.fmean(values),
+        median_s=statistics.median(values),
+        stdev_s=stdev,
+        iqr_s=iqr,
+        outliers=outliers,
+    )
+
+
+def run_case(
+    case: BenchCase,
+    clock: Callable[[], float] = time.perf_counter,
+) -> BenchResult:
+    """Run ``case``: warmup iterations untimed, then ``repeats`` timed calls.
+
+    Exceptions from the case's callable propagate — failure isolation and
+    wall budgets live in :mod:`repro.bench.runner`, which maps them to
+    ``failed``/``timeout`` results.  ``clock`` is injectable so tests can
+    produce deterministic samples.
+    """
+    kwargs = dict(case.kwargs)
+    for _ in range(case.warmup):
+        case.func(**kwargs)
+    samples = []
+    for i in range(case.repeats):
+        t0 = clock()
+        case.func(**kwargs)
+        t1 = clock()
+        samples.append(BenchSample(index=i, seconds=t1 - t0))
+    return BenchResult(
+        name=case.name,
+        group=case.group,
+        status="ok",
+        warmup=case.warmup,
+        repeats=case.repeats,
+        samples=tuple(samples),
+        stats=summarize(samples),
+    )
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def environment_fingerprint() -> dict[str, object]:
+    """Context stamped on every report: interpreter, host, code version."""
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": _git_sha(),
+        "repro_version": __version__,
+    }

@@ -1,0 +1,237 @@
+"""Case registry: the ``@bench_case`` decorator and module discovery.
+
+Benchmark scenarios register themselves by decorating a callable:
+
+.. code-block:: python
+
+    from repro.bench import bench_case
+
+    @bench_case(
+        "fig5.buffer_plan",
+        group="figures",
+        params={"edge": 128},          # full-size run
+        quick={"edge": 32},            # CI-sized override
+        warmup=1, repeats=3, timeout_s=60.0,
+    )
+    def plan_with_buffer(edge=128):
+        ...
+
+``params`` are the keyword arguments of the full run; ``quick`` opts the
+case into the CI suite (``repro bench run --quick``) with overrides sized
+to finish in seconds (``quick=True`` keeps the full params).  Cases whose
+``quick`` is ``None`` are excluded from the quick suite entirely.
+
+:func:`discover_benchmarks` imports every ``benchmarks/bench_*.py`` so
+their decorators populate the shared :data:`REGISTRY`; the figure scripts
+therefore double as registration modules while keeping their pytest
+behaviour.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from .harness import BenchCase
+
+__all__ = [
+    "RegisteredCase",
+    "BenchRegistry",
+    "REGISTRY",
+    "bench_case",
+    "discover_benchmarks",
+]
+
+
+@dataclass(frozen=True)
+class RegisteredCase:
+    """A decorated case plus both of its parameterizations."""
+
+    name: str
+    group: str
+    func: Callable[..., object]
+    module: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    #: ``None`` — not part of the quick suite; a mapping — overrides
+    #: merged over ``params`` when running with ``--quick``.
+    quick: Mapping[str, object] | None = None
+    warmup: int = 1
+    repeats: int = 3
+    timeout_s: float | None = 60.0
+
+    def resolve(self, quick: bool = False) -> BenchCase:
+        """The runnable :class:`BenchCase` for the requested suite."""
+        kwargs = dict(self.params)
+        if quick:
+            if self.quick is None:
+                raise ValueError(f"{self.name} has no quick variant")
+            kwargs.update(self.quick)
+        return BenchCase(
+            name=self.name,
+            func=self.func,
+            group=self.group,
+            kwargs=kwargs,
+            warmup=self.warmup,
+            repeats=self.repeats,
+            timeout_s=self.timeout_s,
+        )
+
+
+class BenchRegistry:
+    """Name-keyed collection of :class:`RegisteredCase` entries."""
+
+    def __init__(self) -> None:
+        self._cases: dict[str, RegisteredCase] = {}
+
+    def register(self, case: RegisteredCase) -> None:
+        existing = self._cases.get(case.name)
+        if existing is not None and (
+            existing.module != case.module
+            or existing.func.__qualname__ != case.func.__qualname__
+        ):
+            raise ValueError(
+                f"bench case {case.name!r} already registered by "
+                f"{existing.module}.{existing.func.__qualname__}"
+            )
+        self._cases[case.name] = case
+
+    def get(self, name: str) -> RegisteredCase:
+        try:
+            return self._cases[name]
+        except KeyError:
+            known = ", ".join(sorted(self._cases)) or "<none>"
+            raise KeyError(
+                f"unknown bench case {name!r} (registered: {known})"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._cases)
+
+    def select(
+        self,
+        quick: bool = False,
+        filter: str | None = None,
+        modules: Iterable[str] | None = None,
+    ) -> list[RegisteredCase]:
+        """Cases matching the suite/filter, ordered by (group, name).
+
+        ``filter`` is a case-insensitive substring over ``group/name``;
+        ``modules`` restricts to cases registered by those modules.
+        """
+        wanted_modules = set(modules) if modules is not None else None
+        selected = []
+        for case in self._cases.values():
+            if quick and case.quick is None:
+                continue
+            if wanted_modules is not None and case.module not in wanted_modules:
+                continue
+            if filter and filter.lower() not in f"{case.group}/{case.name}".lower():
+                continue
+            selected.append(case)
+        return sorted(selected, key=lambda c: (c.group, c.name))
+
+    def clear(self) -> None:
+        """Drop every registration (test isolation helper)."""
+        self._cases.clear()
+
+    def __len__(self) -> int:
+        return len(self._cases)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cases
+
+
+#: The process-wide registry the decorator and CLI share.
+REGISTRY = BenchRegistry()
+
+
+def bench_case(
+    name: str,
+    group: str = "default",
+    *,
+    params: Mapping[str, object] | None = None,
+    quick: Mapping[str, object] | bool | None = None,
+    warmup: int = 1,
+    repeats: int = 3,
+    timeout_s: float | None = 60.0,
+    registry: BenchRegistry | None = None,
+) -> Callable[[Callable[..., object]], Callable[..., object]]:
+    """Register the decorated callable as a benchmark case.
+
+    ``quick=True`` joins the quick suite with the full ``params``; a
+    mapping joins it with those keys overriding ``params``; ``None``
+    (default) keeps the case full-suite only.
+    """
+    if quick is True:
+        quick = {}
+    elif quick is False:
+        quick = None
+
+    def decorate(func: Callable[..., object]) -> Callable[..., object]:
+        case = RegisteredCase(
+            name=name,
+            group=group,
+            func=func,
+            module=func.__module__,
+            params=dict(params or {}),
+            quick=None if quick is None else dict(quick),
+            warmup=warmup,
+            repeats=repeats,
+            timeout_s=timeout_s,
+        )
+        (registry if registry is not None else REGISTRY).register(case)
+        return func
+
+    return decorate
+
+
+def _benchmarks_dir(directory: str | Path | None) -> Path | None:
+    """Resolve the benchmarks directory: arg > $REPRO_BENCH_DIR > cwd >
+    the checkout that contains the installed package."""
+    import os
+
+    if directory is not None:
+        # An explicit directory is authoritative — no fallbacks.
+        path = Path(directory)
+        return path.resolve() if path.is_dir() else None
+    candidates: list[Path] = []
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        candidates.append(Path(env))
+    candidates.append(Path.cwd() / "benchmarks")
+    candidates.append(Path(__file__).resolve().parents[3] / "benchmarks")
+    for candidate in candidates:
+        if candidate.is_dir():
+            return candidate.resolve()
+    return None
+
+
+def discover_benchmarks(
+    directory: str | Path | None = None,
+) -> tuple[list[str], list[str]]:
+    """Import every ``bench_*.py`` under the benchmarks directory.
+
+    Returns ``(imported_module_names, errors)``; an unimportable module
+    is reported, not fatal, so one broken figure script cannot take the
+    whole suite down.
+    """
+    root = _benchmarks_dir(directory)
+    if root is None:
+        return [], ["no benchmarks/ directory found"]
+    parent = str(root.parent)
+    if parent not in sys.path:
+        sys.path.insert(0, parent)
+    package = root.name
+    imported, errors = [], []
+    for path in sorted(root.glob("bench_*.py")):
+        module = f"{package}.{path.stem}"
+        try:
+            importlib.import_module(module)
+        except Exception as exc:  # noqa: BLE001 — isolate broken scripts
+            errors.append(f"{module}: {type(exc).__name__}: {exc}")
+        else:
+            imported.append(module)
+    return imported, errors

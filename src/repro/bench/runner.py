@@ -1,0 +1,269 @@
+"""Suite execution: serial or process-parallel, with failure isolation.
+
+:func:`run_benchmarks` executes a selection of registered cases and
+returns a :class:`BenchReport`.  Guarantees:
+
+* **Failure isolation** — a case that raises is reported as ``failed``
+  (with its traceback) and the remaining cases still run.
+* **Per-case wall budgets** — each case runs under a ``SIGALRM``
+  deadline covering warmup + all repeats; overruns are reported as
+  ``timeout``.  The deadline interrupts Python-level work (including
+  ``time.sleep``); a C extension that never re-enters the interpreter
+  can only be bounded by the parallel mode's process kill-switch.
+* **Parallel mode** — ``jobs > 1`` fans cases out over a
+  ``ProcessPoolExecutor``; workers re-resolve their case from the
+  registry by module + name, so only small specs cross the process
+  boundary.  A hard-crashed worker (e.g. segfault) breaks the pool;
+  the affected cases are reported ``failed`` instead of sinking the
+  suite.
+
+Every case emits a ``bench.case`` span through the given
+:class:`repro.telemetry` tracer (name/group/status/median attached), so
+``--trace-out`` shows the suite's timeline like any other run.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.telemetry import NULL_TRACER, NullTracer, Tracer
+
+from .harness import BenchResult, BenchTimeout, environment_fingerprint, run_case
+from .registry import REGISTRY, RegisteredCase
+
+__all__ = ["BenchReport", "run_benchmarks", "standalone_main"]
+
+#: Extra seconds granted to a worker beyond the case's own deadline
+#: before the parent gives up waiting on its future.
+_WORKER_GRACE_S = 30.0
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """All results of one suite run plus the host fingerprint."""
+
+    results: tuple[BenchResult, ...]
+    environment: dict[str, object] = field(default_factory=dict)
+    quick: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failed(self) -> tuple[BenchResult, ...]:
+        return tuple(r for r in self.results if not r.ok)
+
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`BenchTimeout` inside the block after ``seconds``.
+
+    No-op when ``seconds`` is falsy, off the main thread, or on a
+    platform without ``SIGALRM``.
+    """
+    usable = (
+        seconds
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise BenchTimeout(f"exceeded wall budget of {seconds:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute(case: RegisteredCase, quick: bool) -> BenchResult:
+    """Run one case under its deadline, mapping errors to statuses."""
+    bench = case.resolve(quick=quick)
+    try:
+        with _deadline(bench.timeout_s):
+            return run_case(bench)
+    except BenchTimeout as exc:
+        return BenchResult(
+            name=case.name,
+            group=case.group,
+            status="timeout",
+            warmup=bench.warmup,
+            repeats=bench.repeats,
+            error=str(exc),
+        )
+    except Exception:  # noqa: BLE001 — isolation is the contract
+        return BenchResult(
+            name=case.name,
+            group=case.group,
+            status="failed",
+            warmup=bench.warmup,
+            repeats=bench.repeats,
+            error=traceback.format_exc(limit=8),
+        )
+
+
+def _failure(case: RegisteredCase, status: str, error: str) -> BenchResult:
+    return BenchResult(
+        name=case.name,
+        group=case.group,
+        status=status,
+        warmup=case.warmup,
+        repeats=case.repeats,
+        error=error,
+    )
+
+
+def _worker_execute(module: str, name: str, quick: bool) -> dict:
+    """Process-pool entry point: re-resolve the case, run, serialize."""
+    import importlib
+
+    from .schema import result_to_dict
+
+    if name not in REGISTRY:
+        # Fresh interpreter (spawn start method): re-run the decorators.
+        importlib.import_module(module)
+    return result_to_dict(_execute(REGISTRY.get(name), quick))
+
+
+def _span(tracer: NullTracer | Tracer, result: BenchResult, t0: float, t1: float) -> None:
+    tracer.span(
+        "bench.case",
+        machine="bench",
+        t0=t0,
+        t1=t1,
+        case=result.name,
+        group=result.group,
+        status=result.status,
+        median_s=None if result.stats is None else result.stats.median_s,
+    )
+    tracer.counter(f"bench.{result.status}").inc()
+
+
+def _run_serial(
+    cases: list[RegisteredCase], quick: bool, tracer: NullTracer | Tracer
+) -> list[BenchResult]:
+    results = []
+    for case in cases:
+        t0 = time.perf_counter()
+        result = _execute(case, quick)
+        _span(tracer, result, t0, time.perf_counter())
+        results.append(result)
+    return results
+
+
+def _run_parallel(
+    cases: list[RegisteredCase],
+    quick: bool,
+    jobs: int,
+    tracer: NullTracer | Tracer,
+) -> list[BenchResult]:
+    from .schema import result_from_dict
+
+    results: dict[str, BenchResult] = {}
+    t0 = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            case.name: pool.submit(
+                _worker_execute, case.module, case.name, quick
+            )
+            for case in cases
+        }
+        for case in cases:
+            future = futures[case.name]
+            budget = (case.timeout_s or 0.0) + _WORKER_GRACE_S
+            try:
+                result = result_from_dict(future.result(timeout=budget))
+            except BrokenProcessPool:
+                result = _failure(
+                    case, "failed", "worker process crashed (pool broken)"
+                )
+            except TimeoutError:
+                future.cancel()
+                result = _failure(
+                    case,
+                    "timeout",
+                    f"worker unresponsive past {budget:g}s hard limit",
+                )
+            except Exception as exc:  # noqa: BLE001 — isolation contract
+                result = _failure(
+                    case, "failed", f"{type(exc).__name__}: {exc}"
+                )
+            _span(tracer, result, t0, time.perf_counter())
+            results[case.name] = result
+    return [results[case.name] for case in cases]
+
+
+def run_benchmarks(
+    cases: list[RegisteredCase],
+    quick: bool = False,
+    jobs: int = 1,
+    tracer: NullTracer | Tracer = NULL_TRACER,
+) -> BenchReport:
+    """Run the cases serially (``jobs=1``) or in a process pool."""
+    started = time.perf_counter()
+    if jobs <= 1 or len(cases) <= 1:
+        results = _run_serial(cases, quick, tracer)
+    else:
+        results = _run_parallel(cases, quick, jobs, tracer)
+    return BenchReport(
+        results=tuple(results),
+        environment=environment_fingerprint(),
+        quick=quick,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def standalone_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python benchmarks/bench_*.py``.
+
+    Runs whatever cases the executing script registered (serially) and
+    prints their summary, so every figure script doubles as a
+    self-contained benchmark without the ``repro bench`` CLI.
+    """
+    import argparse
+
+    from repro.framework.report import format_table
+
+    parser = argparse.ArgumentParser(
+        description="run this script's registered bench cases"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized quick variants"
+    )
+    parser.add_argument(
+        "--filter", default=None, help="substring over 'group/name'"
+    )
+    args = parser.parse_args(argv)
+    cases = REGISTRY.select(quick=args.quick, filter=args.filter)
+    if not cases:
+        print("no bench cases registered")
+        return 1
+    report = run_benchmarks(cases, quick=args.quick)
+    rows = [
+        (
+            r.name,
+            r.status,
+            "-" if r.stats is None else f"{r.stats.median_s * 1e3:.3f} ms",
+            "-" if r.stats is None else f"{r.stats.mean_s * 1e3:.3f} ms",
+        )
+        for r in report.results
+    ]
+    print(format_table(rows, headers=("case", "status", "median", "mean")))
+    for result in report.failed:
+        print(f"{result.status}: {result.name}\n{result.error}")
+    return 0 if report.ok else 1

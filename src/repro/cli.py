@@ -12,6 +12,10 @@ Four commands expose the library without writing code:
 * ``snapshot``  — write a real compressed snapshot of synthetic fields to
   a shared file (or subfiled directory) and verify it on read-back.
 * ``experiments`` — list every reproduced table/figure and its bench.
+* ``bench``     — the performance-regression harness: ``run`` registered
+  benchmark cases (serial or process-parallel) into a versioned
+  ``BENCH_*.json`` report, ``list`` the registry, and ``compare`` a
+  report against a baseline with a nonzero exit on regression.
 """
 
 from __future__ import annotations
@@ -47,6 +51,8 @@ _EXPERIMENTS = [
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -54,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
             "for HPC Applications through In Situ Task Scheduling' "
             "(EuroSys '24)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -150,6 +161,83 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("experiments", help="list the reproduced experiments")
+
+    p = sub.add_parser(
+        "bench", help="run/list/compare performance benchmark cases"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    def _selection_flags(q):
+        q.add_argument(
+            "--quick",
+            action="store_true",
+            help="only the CI-sized quick variants of each case",
+        )
+        q.add_argument(
+            "--filter",
+            metavar="SUBSTR",
+            default=None,
+            help="case-insensitive substring over 'group/name'",
+        )
+        q.add_argument(
+            "--bench-dir",
+            metavar="DIR",
+            default=None,
+            help="benchmarks directory to discover (default: ./benchmarks)",
+        )
+
+    q = bench_sub.add_parser("run", help="run selected cases, write JSON")
+    _selection_flags(q)
+    q.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial in-process)",
+    )
+    q.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="report path (default: BENCH_quick.json / BENCH_full.json)",
+    )
+    q.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="also compare against this baseline document",
+    )
+    q.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative regression threshold for --baseline (default 0.25)",
+    )
+    q.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="record bench.case telemetry spans as JSON lines",
+    )
+
+    q = bench_sub.add_parser("list", help="list registered cases")
+    _selection_flags(q)
+
+    q = bench_sub.add_parser(
+        "compare", help="compare a report against a baseline"
+    )
+    q.add_argument("current", help="current BENCH_*.json report")
+    q.add_argument(
+        "--baseline",
+        metavar="FILE",
+        required=True,
+        help="baseline BENCH_*.json document",
+    )
+    q.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative regression threshold (default 0.25)",
+    )
     return parser
 
 
@@ -161,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
         "compress": _cmd_compress,
         "snapshot": _cmd_snapshot,
         "experiments": _cmd_experiments,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args)
 
@@ -442,6 +531,133 @@ def _cmd_snapshot(args) -> int:
     return 0
 
 
+def _bench_select(args):
+    """Discover registration modules, then select matching cases."""
+    from repro.bench import REGISTRY, discover_benchmarks
+
+    _, errors = discover_benchmarks(args.bench_dir)
+    for error in errors:
+        print(f"warning: {error}", file=sys.stderr)
+    return REGISTRY.select(quick=args.quick, filter=args.filter)
+
+
+def _cmd_bench(args) -> int:
+    return {
+        "run": _cmd_bench_run,
+        "list": _cmd_bench_list,
+        "compare": _cmd_bench_compare,
+    }[args.bench_command](args)
+
+
+def _cmd_bench_list(args) -> int:
+    from repro.framework import format_table
+
+    cases = _bench_select(args)
+    if not cases:
+        print("no bench cases matched", file=sys.stderr)
+        return 1
+    rows = [
+        (
+            c.name,
+            c.group,
+            "yes" if c.quick is not None else "-",
+            str(c.warmup),
+            str(c.repeats),
+            "-" if c.timeout_s is None else f"{c.timeout_s:g}s",
+        )
+        for c in cases
+    ]
+    print(
+        format_table(
+            rows,
+            headers=("case", "group", "quick", "warmup", "repeats", "timeout"),
+        )
+    )
+    return 0
+
+
+def _cmd_bench_run(args) -> int:
+    from repro.bench import report_to_document, run_benchmarks, write_document
+    from repro.framework import format_table
+
+    cases = _bench_select(args)
+    if not cases:
+        print("no bench cases matched", file=sys.stderr)
+        return 1
+    tracer = _make_tracer(args)
+    report = run_benchmarks(
+        cases,
+        quick=args.quick,
+        jobs=max(1, args.jobs),
+        tracer=tracer,
+    )
+    rows = []
+    for result in report.results:
+        if result.stats is None:
+            rows.append(
+                (result.name, result.group, result.status, "-", "-", "-")
+            )
+        else:
+            s = result.stats
+            rows.append(
+                (
+                    result.name,
+                    result.group,
+                    result.status,
+                    f"{s.median_s * 1e3:.3f} ms",
+                    f"{s.mean_s * 1e3:.3f} +/- {s.stdev_s * 1e3:.3f} ms",
+                    str(len(s.outliers)),
+                )
+            )
+    print(
+        format_table(
+            rows,
+            headers=("case", "group", "status", "median", "mean", "outliers"),
+        )
+    )
+    suite = "quick" if args.quick else "full"
+    out = args.out or f"BENCH_{suite}.json"
+    write_document(report_to_document(report, name=suite), out)
+    print(
+        f"\n{len(report.results)} cases in {report.elapsed_s:.2f}s -> {out}"
+    )
+    for result in report.failed:
+        detail = (result.error or "").strip().splitlines()
+        last = detail[-1] if detail else "no detail"
+        print(f"{result.status}: {result.name}: {last}", file=sys.stderr)
+    _write_trace(tracer, args.trace_out)
+    exit_code = 0 if report.ok else 1
+    if args.baseline:
+        compare_code = _bench_compare_files(
+            out, args.baseline, args.threshold
+        )
+        exit_code = exit_code or compare_code
+    return exit_code
+
+
+def _bench_compare_files(current, baseline, threshold) -> int:
+    from repro.bench import SchemaError, compare_documents, load_document
+    from repro.bench.baseline import DEFAULT_THRESHOLD
+
+    try:
+        current_doc = load_document(current)
+        baseline_doc = load_document(baseline)
+    except (OSError, SchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_documents(
+        current_doc,
+        baseline_doc,
+        threshold=DEFAULT_THRESHOLD if threshold is None else threshold,
+    )
+    print(comparison.format())
+    return comparison.exit_code
+
+
+def _cmd_bench_compare(args) -> int:
+    return _bench_compare_files(args.current, args.baseline, args.threshold)
+
+
 def _cmd_experiments(args) -> int:
     from repro.framework import format_table
 
@@ -451,6 +667,7 @@ def _cmd_experiments(args) -> int:
         )
     )
     print("\nRun all with: pytest benchmarks/ --benchmark-only")
+    print("Quick perf suite: python -m repro bench run --quick --jobs 2")
     return 0
 
 

@@ -1,0 +1,38 @@
+"""Registered sample cases the runner/CLI tests execute for real.
+
+Importing this module populates the shared registry; every name is
+prefixed ``sample.`` (group ``sample``) so CLI tests that run the real
+figure cases can filter these out.  Only the well-behaved case opts into
+the quick suite — the crashing/sleeping ones are full-suite only, so a
+stray ``--quick`` run in the same process never trips over them.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import bench_case
+
+
+@bench_case("sample.ok", group="sample", quick=True, warmup=1, repeats=3,
+            timeout_s=30.0)
+def ok_case(n=2000):
+    return sum(range(n))
+
+
+@bench_case("sample.ok2", group="sample", warmup=0, repeats=2,
+            timeout_s=30.0)
+def ok2_case():
+    return sum(range(1000))
+
+
+@bench_case("sample.crash", group="sample", warmup=0, repeats=1,
+            timeout_s=30.0)
+def crash_case():
+    raise RuntimeError("boom")
+
+
+@bench_case("sample.sleepy", group="sample", warmup=0, repeats=1,
+            timeout_s=0.3)
+def sleepy_case():
+    time.sleep(30.0)

@@ -1,0 +1,125 @@
+"""Baseline comparator: verdicts, exit codes, regression naming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import compare_documents
+
+
+def _case(name: str, median: float, status: str = "ok", group: str = "g"):
+    stats = None
+    if status == "ok":
+        stats = {
+            "min_s": median,
+            "max_s": median,
+            "mean_s": median,
+            "median_s": median,
+            "stdev_s": 0.0,
+            "iqr_s": 0.0,
+            "outliers": [],
+        }
+    return {
+        "name": name,
+        "group": group,
+        "status": status,
+        "warmup": 0,
+        "repeats": 3,
+        "samples_s": [median] * 3 if status == "ok" else [],
+        "stats": stats,
+        "error": None if status == "ok" else "boom",
+    }
+
+
+def _doc(*cases: dict) -> dict:
+    return {
+        "schema": "repro.bench",
+        "version": 1,
+        "name": "quick",
+        "created_unix": 0.0,
+        "quick": True,
+        "environment": {},
+        "cases": list(cases),
+    }
+
+
+def _verdict(comparison, name):
+    return next(c for c in comparison.cases if c.name == name).verdict
+
+
+class TestVerdicts:
+    def test_regression_detected_and_named(self):
+        current = _doc(_case("a", 1.0), _case("b", 1.0))
+        baseline = _doc(_case("a", 1.0), _case("b", 0.1))  # b now 10x slower
+        comparison = compare_documents(current, baseline, threshold=0.25)
+        assert _verdict(comparison, "a") == "unchanged"
+        assert _verdict(comparison, "b") == "regressed"
+        assert [c.name for c in comparison.regressed] == ["b"]
+        assert comparison.exit_code == 1
+        formatted = comparison.format()
+        assert "regressed: b" in formatted
+        assert "10.00x" in formatted
+
+    def test_improvement_and_unchanged_band(self):
+        current = _doc(
+            _case("faster", 0.5),
+            _case("same_low", 0.8),
+            _case("same_high", 1.2),
+        )
+        baseline = _doc(
+            _case("faster", 1.0),
+            _case("same_low", 1.0),
+            _case("same_high", 1.0),
+        )
+        comparison = compare_documents(current, baseline, threshold=0.25)
+        assert _verdict(comparison, "faster") == "improved"
+        assert _verdict(comparison, "same_low") == "unchanged"
+        assert _verdict(comparison, "same_high") == "unchanged"
+        assert comparison.exit_code == 0
+        assert "no regressions" in comparison.format()
+
+    def test_failed_current_case_gates(self):
+        current = _doc(_case("a", 1.0, status="timeout"))
+        baseline = _doc(_case("a", 1.0))
+        comparison = compare_documents(current, baseline)
+        assert _verdict(comparison, "a") == "failed"
+        assert comparison.exit_code == 1
+
+    def test_added_and_missing_are_informational(self):
+        current = _doc(_case("new", 1.0))
+        baseline = _doc(_case("old", 1.0))
+        comparison = compare_documents(current, baseline)
+        assert _verdict(comparison, "new") == "added"
+        assert _verdict(comparison, "old") == "missing"
+        assert comparison.exit_code == 0
+        formatted = comparison.format()
+        assert "added: new" in formatted
+        assert "missing: old" in formatted
+
+    def test_failed_baseline_case_counts_as_added(self):
+        current = _doc(_case("a", 1.0))
+        baseline = _doc(_case("a", 1.0, status="failed"))
+        comparison = compare_documents(current, baseline)
+        assert _verdict(comparison, "a") == "added"
+        assert comparison.exit_code == 0
+
+    def test_zero_baseline_median(self):
+        comparison = compare_documents(
+            _doc(_case("a", 1.0)), _doc(_case("a", 0.0))
+        )
+        assert _verdict(comparison, "a") == "regressed"
+        comparison = compare_documents(
+            _doc(_case("a", 0.0)), _doc(_case("a", 0.0))
+        )
+        assert _verdict(comparison, "a") == "unchanged"
+
+    def test_threshold_boundary_is_inclusive(self):
+        # Exactly at the band edge counts as unchanged, not regressed.
+        comparison = compare_documents(
+            _doc(_case("a", 1.25)), _doc(_case("a", 1.0)), threshold=0.25
+        )
+        assert _verdict(comparison, "a") == "unchanged"
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_documents(_doc(), _doc(), threshold=-0.1)

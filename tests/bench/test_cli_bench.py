@@ -1,0 +1,134 @@
+"""The ``repro bench`` CLI: run/list/compare end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import load_document, write_document
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            build_parser().parse_args(["--version"])
+        assert info.value.code == 0
+        assert "repro 1.0.0" in capsys.readouterr().out
+
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["bench", "run"])
+        assert args.jobs == 1
+        assert not args.quick
+        assert args.out is None
+        assert args.baseline is None
+
+    def test_compare_requires_baseline(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "compare", "cur.json"])
+        args = build_parser().parse_args(
+            ["bench", "compare", "cur.json", "--baseline", "base.json",
+             "--threshold", "5.0"]
+        )
+        assert args.current == "cur.json"
+        assert args.threshold == 5.0
+
+
+class TestList:
+    def test_lists_registered_figure_cases(self, capsys):
+        assert main(["bench", "list", "--filter", "figures/"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5.buffer_plan" in out
+        assert "fig4.blocksize_campaign" in out
+        assert "fig11.weak_scaling" in out
+
+    def test_no_match_exits_1(self, capsys):
+        assert main(["bench", "list", "--filter", "zzz-no-such"]) == 1
+        assert "no bench cases matched" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_quick_run_writes_valid_document(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_quick.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "run",
+                    "--quick",
+                    "--filter",
+                    "fig5.buffer_plan",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "fig5.buffer_plan" in text
+        doc = load_document(out)  # validates against the schema
+        assert doc["quick"] is True
+        assert [c["name"] for c in doc["cases"]] == ["fig5.buffer_plan"]
+        assert doc["cases"][0]["status"] == "ok"
+        assert len(doc["cases"][0]["samples_s"]) == 3
+
+    def test_run_then_compare_against_tampered_baseline(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "BENCH_quick.json"
+        assert (
+            main(
+                ["bench", "run", "--quick", "--filter", "fig5",
+                 "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doc = load_document(out)
+        # Tamper: shrink the baseline median 10x, so the (identical)
+        # current run reads as 10x slower than baseline.
+        tampered = json.loads(json.dumps(doc))
+        for case in tampered["cases"]:
+            if case["name"] == "fig5.buffer_plan":
+                case["stats"]["median_s"] /= 10.0
+        baseline = tmp_path / "BENCH_baseline.json"
+        write_document(tampered, baseline)
+        code = main(
+            ["bench", "compare", str(out), "--baseline", str(baseline)]
+        )
+        assert code == 1
+        text = capsys.readouterr().out
+        assert "regressed: fig5.buffer_plan" in text
+
+    def test_compare_against_itself_passes(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_quick.json"
+        assert (
+            main(
+                ["bench", "run", "--quick", "--filter", "fig5",
+                 "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["bench", "compare", str(out), "--baseline", str(out)])
+            == 0
+        )
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_missing_baseline_file_exits_2(self, tmp_path, capsys):
+        current = tmp_path / "cur.json"
+        current.write_text("{}")
+        assert (
+            main(
+                ["bench", "compare", str(current), "--baseline",
+                 str(tmp_path / "none.json")]
+            )
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,118 @@
+"""Harness: deterministic timing via injected clocks, robust statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchCase,
+    BenchSample,
+    environment_fingerprint,
+    run_case,
+    summarize,
+)
+
+
+def _scripted_clock(*values: float):
+    it = iter(values)
+    return lambda: next(it)
+
+
+class TestRunCase:
+    def test_deterministic_samples_from_fake_clock(self):
+        case = BenchCase(
+            name="c", func=lambda: None, warmup=0, repeats=3
+        )
+        result = run_case(
+            case, clock=_scripted_clock(0.0, 1.0, 10.0, 12.0, 20.0, 21.0)
+        )
+        assert result.status == "ok"
+        assert [s.seconds for s in result.samples] == [1.0, 2.0, 1.0]
+        assert result.stats.median_s == 1.0
+        assert result.stats.min_s == 1.0
+        assert result.stats.max_s == 2.0
+        assert result.stats.mean_s == pytest.approx(4.0 / 3.0)
+
+    def test_warmup_calls_are_untimed(self):
+        calls = []
+        case = BenchCase(
+            name="c", func=lambda: calls.append(1), warmup=2, repeats=3
+        )
+        result = run_case(case, clock=_scripted_clock(*range(6)))
+        assert len(calls) == 5  # 2 warmup + 3 timed
+        assert len(result.samples) == 3
+
+    def test_kwargs_reach_the_callable(self):
+        seen = {}
+        case = BenchCase(
+            name="c",
+            func=lambda edge: seen.setdefault("edge", edge),
+            kwargs={"edge": 24},
+            warmup=0,
+            repeats=1,
+        )
+        run_case(case, clock=_scripted_clock(0.0, 1.0))
+        assert seen == {"edge": 24}
+
+    def test_exceptions_propagate(self):
+        case = BenchCase(
+            name="c",
+            func=lambda: (_ for _ in ()).throw(ValueError("nope")),
+            warmup=0,
+            repeats=1,
+        )
+        with pytest.raises(ValueError):
+            run_case(case)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchCase(name="c", func=lambda: None, warmup=-1)
+        with pytest.raises(ValueError):
+            BenchCase(name="c", func=lambda: None, repeats=0)
+
+
+class TestSummarize:
+    def _samples(self, *seconds: float):
+        return [
+            BenchSample(index=i, seconds=s) for i, s in enumerate(seconds)
+        ]
+
+    def test_single_sample(self):
+        stats = summarize(self._samples(2.5))
+        assert stats.min_s == stats.max_s == stats.median_s == 2.5
+        assert stats.stdev_s == 0.0
+        assert stats.outliers == ()
+
+    def test_outlier_flagged_by_iqr(self):
+        stats = summarize(self._samples(1.0, 1.0, 1.0, 1.0, 10.0))
+        assert stats.outliers == (4,)
+
+    def test_uniform_samples_have_no_outliers(self):
+        stats = summarize(self._samples(1.0, 1.0, 1.0, 1.0, 1.0))
+        assert stats.outliers == ()
+        assert stats.iqr_s == 0.0
+
+    def test_fewer_than_four_samples_never_flag(self):
+        stats = summarize(self._samples(1.0, 100.0, 1.0))
+        assert stats.outliers == ()
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestFingerprint:
+    def test_fingerprint_fields(self):
+        fp = environment_fingerprint()
+        assert set(fp) == {
+            "python",
+            "platform",
+            "cpu_count",
+            "git_sha",
+            "repro_version",
+        }
+        assert fp["repro_version"] == __import__("repro").__version__
+        assert fp["cpu_count"] >= 1
+        # In this checkout the SHA resolves; "unknown" is the documented
+        # fallback outside a git worktree.
+        assert fp["git_sha"] == "unknown" or len(fp["git_sha"]) == 40

@@ -18,6 +18,7 @@ _PACKAGES = [
     "repro.parallel",
     "repro.telemetry",
     "repro.resilience",
+    "repro.bench",
 ]
 
 
