@@ -5,6 +5,13 @@ each stage of the pipeline (the numbers the throughput models abstract):
 integer Lorenzo, Huffman encode/decode, full SZ-style compress/decompress
 (native and shared tree), and the ZFP-style codec.  pytest-benchmark's
 timing table is the output.
+
+The ``@bench_case`` entries (group ``codec``) additionally register the
+Huffman-decode hot path with the ``repro bench`` regression gate, one
+case per kernel backend, so the pure/numpy speedup is tracked like any
+other trajectory point::
+
+    PYTHONPATH=src python -m repro bench run --filter codec --quick
 """
 
 from __future__ import annotations
@@ -13,12 +20,14 @@ import numpy as np
 import pytest
 
 from repro.apps import NyxModel
+from repro.bench import bench_case
 from repro.compression import (
     SZCompressor,
     ZFPCompressor,
     build_codebook,
     decode,
     encode,
+    get_backend,
     lorenzo_forward,
     prequantize,
 )
@@ -108,3 +117,122 @@ def test_micro_zfp_decompress(benchmark, field):
     stream = codec.compress(field)
     result = benchmark(codec.decompress, stream)
     assert result.shape == field.shape
+
+
+# --- repro.bench registrations (group "codec") -------------------------
+#
+# Setup (field synthesis, quantization, encoding) is cached per edge so
+# the registered bodies time only the operation under test; the harness's
+# warmup pass pays the one-time setup cost.
+
+_PREPARED: dict[int, tuple] = {}
+
+
+def _prepared_stream(edge: int):
+    """(codes, codebook, encoded stream) for a Nyx temperature block."""
+    if edge not in _PREPARED:
+        app = NyxModel(seed=61, partition_shape=(edge,) * 3)
+        data = app.generate_field("temperature", 0, 5)
+        bound = app.field("temperature").error_bound
+        compressor = SZCompressor()
+        quantized = compressor.quantize(data, bound)
+        codes = quantized.codes.reshape(-1)
+        hist = np.bincount(codes, minlength=2 * compressor.radius + 1)
+        book = build_codebook(
+            hist,
+            force_symbols=(compressor.sentinel,),
+            max_length=compressor.backend.build_max_length,
+        )
+        stream = compressor.backend.encode(
+            codes, book, chunk_size=compressor.chunk_size
+        )
+        _PREPARED[edge] = (codes, book, stream, data, bound)
+    return _PREPARED[edge]
+
+
+def _decode_with(backend_name: str, edge: int) -> None:
+    codes, book, stream, _, _ = _prepared_stream(edge)
+    out = get_backend(backend_name).decode(
+        stream.data,
+        stream.nbits,
+        codes.size,
+        book,
+        stream.chunk_size,
+        stream.chunk_offsets,
+    )
+    assert out.size == codes.size
+
+
+@bench_case(
+    "codec.huffman_decode_pure",
+    group="codec",
+    params={"edge": 64},
+    quick={"edge": 48},
+    warmup=1,
+    repeats=3,
+    timeout_s=120.0,
+)
+def bench_decode_pure(edge=64):
+    _decode_with("pure", edge)
+
+
+@bench_case(
+    "codec.huffman_decode_numpy",
+    group="codec",
+    params={"edge": 64},
+    quick={"edge": 48},
+    warmup=1,
+    repeats=3,
+    timeout_s=120.0,
+)
+def bench_decode_numpy(edge=64):
+    _decode_with("numpy", edge)
+
+
+@bench_case(
+    "codec.huffman_encode",
+    group="codec",
+    params={"edge": 64},
+    quick={"edge": 48},
+    warmup=1,
+    repeats=3,
+    timeout_s=120.0,
+)
+def bench_encode(edge=64):
+    codes, book, _, _, _ = _prepared_stream(edge)
+    stream = get_backend("numpy").encode(codes, book)
+    assert stream.nbits > 0
+
+
+@bench_case(
+    "codec.sz_roundtrip_pure",
+    group="codec",
+    params={"edge": 48},
+    quick={"edge": 32},
+    warmup=1,
+    repeats=3,
+    timeout_s=120.0,
+)
+def bench_sz_roundtrip_pure(edge=48):
+    _sz_roundtrip("pure", edge)
+
+
+@bench_case(
+    "codec.sz_roundtrip_numpy",
+    group="codec",
+    params={"edge": 48},
+    quick={"edge": 32},
+    warmup=1,
+    repeats=3,
+    timeout_s=120.0,
+)
+def bench_sz_roundtrip_numpy(edge=48):
+    _sz_roundtrip("numpy", edge)
+
+
+def _sz_roundtrip(backend_name: str, edge: int) -> None:
+    _, _, _, data, bound = _prepared_stream(edge)
+    compressor = SZCompressor(backend=backend_name)
+    block = compressor.compress(data, bound)
+    recon = compressor.decompress(block)
+    assert recon.shape == data.shape

@@ -137,6 +137,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compress", help="compress a synthetic field")
     p.add_argument("--codec", choices=["sz", "zfp"], default="sz")
+    p.add_argument(
+        "--backend",
+        choices=["pure", "numpy"],
+        default=None,
+        help="Huffman kernel backend (sz; default: $REPRO_CODEC_BACKEND "
+        "or numpy)",
+    )
     p.add_argument("--field", default="temperature")
     p.add_argument("--size", type=int, default=48, help="cubic field edge")
     p.add_argument(
@@ -466,10 +473,13 @@ def _cmd_compress(args) -> int:
             if args.error_bound is not None
             else app.field(args.field).error_bound
         )
-        compressor = SZCompressor()
+        compressor = SZCompressor(backend=args.backend)
         block = compressor.compress(field, bound)
         recon = compressor.decompress(block)
-        print(f"codec: SZ-style, absolute error bound {bound:g}")
+        print(
+            f"codec: SZ-style, absolute error bound {bound:g}, "
+            f"{compressor.backend.name} backend"
+        )
         print(f"compression ratio: {block.compression_ratio:.1f}x")
     else:
         codec = ZFPCompressor(args.rate)

@@ -14,6 +14,14 @@ from .huffman import (
     encode,
     estimate_encoded_bits,
 )
+from .kernels import (
+    DEFAULT_CHUNK_SIZE,
+    CodecBackend,
+    EncodedStream,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
 from .lossless import lossless_compress, lossless_decompress
 from .metrics import bit_rate, compression_ratio, max_abs_error, nrmse, psnr
 from .predictors import lorenzo_forward, lorenzo_inverse
@@ -69,6 +77,12 @@ __all__ = [
     "decode_codes",
     "SharedTreeManager",
     "degradation_ratio",
+    "DEFAULT_CHUNK_SIZE",
+    "CodecBackend",
+    "EncodedStream",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
     "CompressedBlock",
     "SZCompressor",
     "ZFPCompressor",

@@ -23,9 +23,11 @@ __all__ = [
     "build_codebook",
     "encode",
     "decode",
+    "dense_decode_tables",
     "codebook_to_bytes",
     "codebook_from_bytes",
     "estimate_encoded_bits",
+    "TABLE_DECODE_MAX_LEN",
 ]
 
 
@@ -213,7 +215,8 @@ def encode(symbols: np.ndarray, codebook: Codebook) -> tuple[bytes, int]:
 #: Codes at or below this depth decode through a dense lookup table
 #: (2^depth entries) instead of the canonical walk — one array access per
 #: symbol instead of one per candidate length.
-_TABLE_DECODE_MAX_LEN = 12
+TABLE_DECODE_MAX_LEN = 12
+_TABLE_DECODE_MAX_LEN = TABLE_DECODE_MAX_LEN  # backwards-compat alias
 
 
 def decode(
@@ -227,7 +230,14 @@ def decode(
     """
     if count == 0:
         return np.zeros(0, dtype=np.uint16)
-    if 0 < codebook.max_length <= _TABLE_DECODE_MAX_LEN:
+    if codebook.max_length == 0:
+        # An all-zero-length codebook encodes nothing; a stream that
+        # declares symbols against it is corrupt, not an index error.
+        raise ValueError(
+            "corrupt Huffman stream: codebook has no codes but "
+            f"{count} symbols are declared"
+        )
+    if codebook.max_length <= _TABLE_DECODE_MAX_LEN:
         return _decode_table(data, nbits, count, codebook)
     first_code, order = _canonical_decode_tables(codebook)
     max_len = codebook.max_length
@@ -266,10 +276,14 @@ def decode(
     return out
 
 
-def _decode_table(
-    data: bytes, nbits: int, count: int, codebook: Codebook
-) -> np.ndarray:
-    """Dense-table decoder for shallow codebooks."""
+def dense_decode_tables(
+    codebook: Codebook,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense prefix tables ``(symbols, lengths)`` of ``2^max_length``
+    entries: entry ``p`` is the symbol whose code prefixes ``p`` and its
+    code length (0 = no code starts with ``p``; the stream is corrupt).
+    Shared by the scalar fast path below and the vectorized kernel
+    backend (:mod:`repro.compression.kernels.vectorized`)."""
     depth = codebook.max_length
     size = 1 << depth
     symbols_table = np.zeros(size, dtype=np.uint16)
@@ -281,6 +295,16 @@ def _decode_table(
         span = 1 << (depth - length)
         symbols_table[base : base + span] = symbol
         lengths_table[base : base + span] = length
+    return symbols_table, lengths_table
+
+
+def _decode_table(
+    data: bytes, nbits: int, count: int, codebook: Codebook
+) -> np.ndarray:
+    """Dense-table decoder for shallow codebooks."""
+    depth = codebook.max_length
+    size = 1 << depth
+    symbols_table, lengths_table = dense_decode_tables(codebook)
     sym_list = symbols_table.tolist()
     len_list = lengths_table.tolist()
 

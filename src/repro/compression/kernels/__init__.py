@@ -1,0 +1,80 @@
+"""Huffman codec kernel backends (the decode hot path).
+
+Two interchangeable implementations of the same bit format:
+
+* ``pure`` — the per-symbol reference loop (``huffman.decode``);
+* ``numpy`` — chunk-parallel dense-table decoding (the default), enabled
+  by the per-chunk bit offsets the v2 block format records.
+
+Selection order: an explicit ``SZCompressor(backend=...)`` argument, then
+the ``REPRO_CODEC_BACKEND`` environment variable, then ``numpy``.  Both
+backends produce bit-identical streams and decoded symbols; the choice
+only moves the throughput/compatibility trade-off.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .base import (
+    DEFAULT_CHUNK_SIZE,
+    CodecBackend,
+    EncodedStream,
+    encode_chunked,
+)
+from .pure import PureBackend
+from .vectorized import NumpyBackend
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "CodecBackend",
+    "EncodedStream",
+    "encode_chunked",
+    "PureBackend",
+    "NumpyBackend",
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+]
+
+BACKEND_ENV_VAR = "REPRO_CODEC_BACKEND"
+DEFAULT_BACKEND = "numpy"
+
+_BACKEND_TYPES: dict[str, type[CodecBackend]] = {
+    PureBackend.name: PureBackend,
+    NumpyBackend.name: NumpyBackend,
+}
+_INSTANCES: dict[str, CodecBackend] = {}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKEND_TYPES))
+
+
+def get_backend(name: str) -> CodecBackend:
+    """The (shared, stateless) backend instance registered as ``name``."""
+    try:
+        backend_type = _BACKEND_TYPES[name]
+    except KeyError:
+        known = ", ".join(available_backends())
+        raise ValueError(
+            f"unknown codec backend {name!r} (available: {known})"
+        ) from None
+    if name not in _INSTANCES:
+        _INSTANCES[name] = backend_type()
+    return _INSTANCES[name]
+
+
+def resolve_backend(
+    backend: str | CodecBackend | None = None,
+) -> CodecBackend:
+    """Resolve a backend spec: instance > name > $REPRO_CODEC_BACKEND >
+    the ``numpy`` default."""
+    if isinstance(backend, CodecBackend):
+        return backend
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    return get_backend(backend)

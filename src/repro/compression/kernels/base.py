@@ -1,0 +1,134 @@
+"""Backend contract for the Huffman codec kernels.
+
+A backend turns quantization-code symbol streams into packed Huffman bits
+and back.  Encoding is shared (it was already numpy-vectorized); what the
+backends differ on is *decoding*: the ``pure`` backend is the per-symbol
+reference loop, the ``numpy`` backend decodes all chunks of a block in
+lockstep with dense-table gathers (see :mod:`.vectorized`).
+
+To make batch decoding possible at all, the encoder splits the symbol
+stream into fixed-size chunks and records each chunk's start *bit* offset;
+the offsets ride in the v2 block header (`docs/formats.md`).  A chunk
+boundary never splits a code word, so each chunk is independently
+decodable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import huffman
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "EncodedStream",
+    "CodecBackend",
+    "encode_chunked",
+    "expected_num_chunks",
+]
+
+#: Symbols per chunk.  256 keeps the vectorized decoder's Python-level
+#: step count low (steps == chunk size) while the per-chunk cost — one
+#: uint32 bit offset in the header — stays at 0.125 bits/symbol.
+DEFAULT_CHUNK_SIZE = 256
+
+
+@dataclass(frozen=True)
+class EncodedStream:
+    """A chunked Huffman bit stream plus the offsets that index it."""
+
+    data: bytes
+    nbits: int
+    chunk_size: int
+    #: uint64 start bit of each chunk; ``chunk_offsets[0] == 0``.
+    chunk_offsets: np.ndarray
+
+    @property
+    def num_chunks(self) -> int:
+        return int(self.chunk_offsets.size)
+
+
+def encode_chunked(
+    symbols: np.ndarray,
+    codebook: huffman.Codebook,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> EncodedStream:
+    """Encode ``symbols`` and record per-chunk bit offsets.
+
+    The bit stream is identical to :func:`repro.compression.huffman.encode`
+    output — chunking only adds the offset index, never padding.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    flat = symbols.reshape(-1)
+    data, nbits = huffman.encode(flat, codebook)
+    if flat.size == 0:
+        offsets = np.zeros(0, dtype=np.uint64)
+    else:
+        lens = codebook.lengths[flat].astype(np.int64)
+        starts = np.concatenate(([0], np.cumsum(lens)))
+        offsets = starts[np.arange(0, flat.size, chunk_size)].astype(
+            np.uint64
+        )
+    return EncodedStream(
+        data=data, nbits=nbits, chunk_size=chunk_size, chunk_offsets=offsets
+    )
+
+
+def expected_num_chunks(
+    count: int, chunk_size: int, chunk_offsets: np.ndarray
+) -> int:
+    """Validate a chunk index against the declared symbol count."""
+    if chunk_size < 1:
+        raise ValueError("corrupt Huffman stream: chunk size must be >= 1")
+    want = -(-count // chunk_size) if count else 0
+    if chunk_offsets.size != want:
+        raise ValueError(
+            f"corrupt Huffman stream: {chunk_offsets.size} chunk offsets "
+            f"for {count} symbols at chunk size {chunk_size} "
+            f"(expected {want})"
+        )
+    if want and int(chunk_offsets[0]) != 0:
+        raise ValueError(
+            "corrupt Huffman stream: first chunk offset must be 0"
+        )
+    return want
+
+
+class CodecBackend(abc.ABC):
+    """One Huffman encode/decode implementation."""
+
+    #: Registry key and telemetry label.
+    name: str = "abstract"
+    #: Deepest code length the backend's fast decode path handles; deeper
+    #: codebooks fall back to the reference canonical walk.
+    decode_max_length: int = 64
+    #: Code-length limit handed to ``build_codebook`` so blocks written
+    #: with this backend always decode on every backend's fast path.
+    build_max_length: int = huffman.TABLE_DECODE_MAX_LEN
+
+    def encode(
+        self,
+        symbols: np.ndarray,
+        codebook: huffman.Codebook,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> EncodedStream:
+        return encode_chunked(symbols, codebook, chunk_size)
+
+    @abc.abstractmethod
+    def decode(
+        self,
+        data: bytes,
+        nbits: int,
+        count: int,
+        codebook: huffman.Codebook,
+        chunk_size: int = 0,
+        chunk_offsets: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Decode ``count`` symbols; chunk metadata may be absent (v1)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CodecBackend {self.name}>"

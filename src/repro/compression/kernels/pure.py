@@ -1,0 +1,35 @@
+"""Reference backend: the per-symbol Python decode loop.
+
+This is the behavioural baseline the vectorized backend is tested
+against — bit-for-bit identical output on every valid stream, the same
+``ValueError`` on every corrupt one.  It ignores the chunk index (the
+stream is one contiguous bit sequence) apart from sanity-checking it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import huffman
+from .base import CodecBackend, expected_num_chunks
+
+__all__ = ["PureBackend"]
+
+
+class PureBackend(CodecBackend):
+    """Sequential canonical/table decoder (no numpy in the hot loop)."""
+
+    name = "pure"
+
+    def decode(
+        self,
+        data: bytes,
+        nbits: int,
+        count: int,
+        codebook: huffman.Codebook,
+        chunk_size: int = 0,
+        chunk_offsets: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if chunk_offsets is not None:
+            expected_num_chunks(count, chunk_size, chunk_offsets)
+        return huffman.decode(data, nbits, count, codebook)

@@ -1,0 +1,114 @@
+"""Numpy-vectorized batch Huffman decoder.
+
+The per-symbol decode loop is inherently sequential *within* a bit
+stream: a symbol's start position is only known once the previous symbol's
+length is.  The chunk index recorded at encode time breaks exactly that
+dependency — every chunk's start bit is in the v2 block header, so the
+decoder advances all chunks in lockstep: step ``i`` decodes symbol ``i``
+of *every* chunk with dense-table gathers.  The Python-level loop runs
+``chunk_size`` times instead of ``count`` times; everything inside it is
+numpy over ``num_chunks``-wide arrays.
+
+Bit windows are read through a precomputed 24-bit sliding-word array
+(``w24[i]`` holds bytes ``i..i+2`` big-endian), so fetching the next
+``max_length`` bits at any bit position is a single gather plus a shift —
+no ``np.unpackbits`` blow-up of the whole stream into one byte per bit.
+This caps the fast path at 16-bit codes (24 window bits minus up to 7
+alignment bits); deeper codebooks — which the SZ layer never produces,
+its books are length-limited to 12 — fall back to the reference walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import huffman
+from .base import CodecBackend, expected_num_chunks
+
+__all__ = ["NumpyBackend"]
+
+_WINDOW_BITS = 24
+
+
+class NumpyBackend(CodecBackend):
+    """Chunk-parallel dense-table decoder."""
+
+    name = "numpy"
+    decode_max_length = _WINDOW_BITS - 8  # 16: window minus bit alignment
+
+    def decode(
+        self,
+        data: bytes,
+        nbits: int,
+        count: int,
+        codebook: huffman.Codebook,
+        chunk_size: int = 0,
+        chunk_offsets: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if count == 0:
+            return np.zeros(0, dtype=np.uint16)
+        depth = codebook.max_length
+        if depth == 0:
+            raise ValueError(
+                "corrupt Huffman stream: codebook has no codes but "
+                f"{count} symbols are declared"
+            )
+        if chunk_offsets is None or depth > self.decode_max_length:
+            # v1 blobs carry no chunk index; pathological codebooks
+            # exceed the 24-bit window.  Both take the reference path.
+            return huffman.decode(data, nbits, count, codebook)
+        num_chunks = expected_num_chunks(count, chunk_size, chunk_offsets)
+        if 8 * len(data) < nbits:
+            raise ValueError(
+                f"corrupt Huffman stream: {len(data)} bytes cannot hold "
+                f"the declared {nbits} bits"
+            )
+
+        symbols_table, lengths_table = huffman.dense_decode_tables(codebook)
+        lengths_table = lengths_table.astype(np.int64)
+
+        # w24[i] = bytes i..i+2, big-endian; 3 zero bytes of padding keep
+        # the windows of the final bit positions in bounds.
+        raw = np.frombuffer(data, dtype=np.uint8)
+        padded = np.concatenate(
+            [raw, np.zeros(3, dtype=np.uint8)]
+        ).astype(np.uint32)
+        w24 = (padded[:-2] << 8 | padded[1:-1]) << 8 | padded[2:]
+
+        pos = chunk_offsets.astype(np.int64)
+        ends = np.concatenate(
+            [pos[1:], np.array([nbits], dtype=np.int64)]
+        )
+        if np.any(pos > ends):
+            raise ValueError(
+                "corrupt Huffman stream: chunk offsets not increasing"
+            )
+        last_count = count - (num_chunks - 1) * chunk_size
+
+        out = np.zeros((num_chunks, chunk_size), dtype=np.uint16)
+        base_shift = _WINDOW_BITS - depth
+        mask = (1 << depth) - 1
+        # Lockstep walk.  No per-step validity checks: an invalid prefix
+        # has table length 0, so a corrupt chunk's cursor stalls (or,
+        # clamped at ``nbits``, overshoots its range) and the final
+        # offset comparison below rejects the stream.  Clamping keeps
+        # every gather in bounds without branching.
+        active = pos
+        for step in range(chunk_size):
+            if step == last_count:
+                # Only the (possibly short) final chunk goes idle early;
+                # freeze it by shrinking the working view once.
+                active = pos[:-1]
+            prefix = (
+                w24[active >> 3] >> (base_shift - (active & 7))
+            ) & mask
+            out[: active.size, step] = symbols_table[prefix]
+            np.minimum(
+                active + lengths_table[prefix], nbits, out=active
+            )
+        if not np.array_equal(pos, ends):
+            raise ValueError(
+                "corrupt Huffman stream: decoded bits disagree with the "
+                "declared chunk offsets"
+            )
+        return out.reshape(-1)[:count]

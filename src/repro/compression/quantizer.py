@@ -62,7 +62,24 @@ def prequantize(values: np.ndarray, error_bound: float) -> np.ndarray:
     """
     if error_bound <= 0:
         raise ValueError("error_bound must be positive")
-    return np.rint(values / (2.0 * error_bound)).astype(np.int64)
+    with np.errstate(over="ignore", invalid="ignore"):
+        grid = np.rint(values / (2.0 * error_bound))
+    # int64 wraps silently on cast, turning a huge value / tiny bound
+    # into garbage that violates the error bound without any error.
+    # (2**63 - 1 is not float64-representable; the nearest exact power
+    # 2**63 is the first magnitude that would overflow.)
+    limit = float(2**63)
+    bad = ~np.isfinite(grid) | (np.abs(grid) >= limit)
+    if np.any(bad):
+        worst = np.asarray(values).reshape(-1)[
+            int(np.flatnonzero(bad.reshape(-1))[0])
+        ]
+        raise ValueError(
+            f"value {worst!r} overflows the int64 quantization grid at "
+            f"error bound {error_bound:g}; use a larger bound or scale "
+            "the data"
+        )
+    return grid.astype(np.int64)
 
 
 def dequantize(quantized: np.ndarray, error_bound: float) -> np.ndarray:
@@ -77,7 +94,10 @@ def encode_codes(
     if radius < 1:
         raise ValueError("radius must be at least 1")
     flat = deltas.reshape(-1)
-    in_range = np.abs(flat) < radius
+    # The alphabet covers deltas in [-radius, radius): code 0 encodes
+    # exactly -radius (|delta| < radius would wrongly route it to the
+    # outlier channel and leave code 0 of the 2*radius+1 alphabet unused).
+    in_range = (flat >= -radius) & (flat < radius)
     codes = np.empty(flat.shape, dtype=np.uint16)
     codes[in_range] = (flat[in_range] + radius).astype(np.uint16)
     codes[~in_range] = 2 * radius  # outlier sentinel

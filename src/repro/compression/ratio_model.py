@@ -110,12 +110,17 @@ class RatioModel:
         bits_per_value = payload_bits / total
 
         original = values.nbytes
+        # v2 blocks carry one uint32 bit offset per chunk in the header.
+        chunk_bytes = 4 * -(
+            -values.size // self.compressor.chunk_size
+        )
         predicted = int(
             (
                 original * (payload_bytes / (total * values.itemsize))
             )
             * self.safety_factor
             + self.header_bytes
+            + chunk_bytes
         )
         predicted = max(predicted, self.header_bytes)
         ratio = original / predicted if predicted else 1.0

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from . import huffman
+from .kernels import CodecBackend, resolve_backend
 
 __all__ = ["SharedTreeManager", "degradation_ratio"]
 
@@ -42,16 +43,25 @@ class SharedTreeManager:
         rebuild_period: rebuild the tree from fresh histograms every this
             many iterations (1 = rebuild each iteration from the previous
             one, the paper's recommended trade-off).
+        backend: codec kernel backend (name, instance, or None for the
+            ``REPRO_CODEC_BACKEND``/default resolution); shared trees are
+            length-limited to the backend's fast decode-table depth so
+            every block they code stays on the vectorized path.
     """
 
     def __init__(
-        self, num_symbols: int, sentinel: int, rebuild_period: int = 1
+        self,
+        num_symbols: int,
+        sentinel: int,
+        rebuild_period: int = 1,
+        backend: str | CodecBackend | None = None,
     ) -> None:
         if rebuild_period < 1:
             raise ValueError("rebuild_period must be >= 1")
         self.num_symbols = num_symbols
         self.sentinel = sentinel
         self.rebuild_period = rebuild_period
+        self.backend = resolve_backend(backend)
         self._pending = np.zeros(num_symbols, dtype=np.int64)
         self._state: _TreeState | None = None
         self._iteration = 0
@@ -91,7 +101,7 @@ class SharedTreeManager:
                 codebook=huffman.build_codebook(
                     self._pending,
                     force_symbols=(self.sentinel,),
-                    max_length=huffman._TABLE_DECODE_MAX_LEN,
+                    max_length=self.backend.build_max_length,
                 ),
                 built_at_iteration=self._iteration,
             )

@@ -23,6 +23,8 @@ import numpy as np
 
 from ..telemetry import NULL_TRACER, NullTracer
 from . import huffman
+from .kernels import CodecBackend, resolve_backend
+from .kernels.base import DEFAULT_CHUNK_SIZE
 from .lossless import lossless_compress, lossless_decompress
 from .predictors import lorenzo_forward, lorenzo_inverse
 from .quantizer import (
@@ -37,6 +39,8 @@ from .quantizer import (
 __all__ = ["CompressedBlock", "SZCompressor", "DEFAULT_RADIUS"]
 
 _MAGIC = b"RSZ1"
+_HEADER_FMT = "<4sBBBdIQQQI"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 _DTYPES = {0: np.float32, 1: np.float64}
 _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
 
@@ -54,6 +58,12 @@ class CompressedBlock:
     num_outliers: int
     codebook_blob: bytes  # empty when a shared tree was used
     used_shared_tree: bool
+    #: v2 chunk index (None for v1 blocks, which predate chunking):
+    #: the Huffman stream is split into ``chunk_size``-symbol chunks and
+    #: ``chunk_offsets[c]`` is chunk ``c``'s start bit — what lets the
+    #: vectorized backend decode all chunks in lockstep.
+    chunk_size: int = 0
+    chunk_offsets: tuple[int, ...] | None = None
 
     @property
     def original_nbytes(self) -> int:
@@ -69,12 +79,18 @@ class CompressedBlock:
         return self.original_nbytes / compressed if compressed else 1.0
 
     def to_bytes(self) -> bytes:
-        """Serialize for storage in the shared-file container."""
+        """Serialize for storage in the shared-file container.
+
+        Blocks carrying a chunk index serialize as format v2; a block
+        without one (``chunk_offsets is None``) falls back to the v1
+        layout, byte-identical to what pre-chunking versions wrote.
+        """
         dtype_code = _DTYPE_CODES[self.dtype]
+        version = 1 if self.chunk_offsets is None else 2
         header = struct.pack(
-            "<4sBBBdIQQQI",
+            _HEADER_FMT,
             _MAGIC,
-            1,  # version
+            version,
             dtype_code,
             len(self.shape),
             self.error_bound,
@@ -86,11 +102,31 @@ class CompressedBlock:
         )
         dims = struct.pack(f"<{len(self.shape)}Q", *self.shape)
         flags = struct.pack("<B", 1 if self.used_shared_tree else 0)
-        return header + dims + flags + self.codebook_blob + self.payload
+        if version == 1:
+            return header + dims + flags + self.codebook_blob + self.payload
+        if self.nbits >= 2**32:
+            raise ValueError(
+                "block too large: chunk offsets are stored as uint32 "
+                f"bit positions but the stream has {self.nbits} bits"
+            )
+        chunks = struct.pack(
+            "<II", self.chunk_size, len(self.chunk_offsets)
+        ) + np.asarray(self.chunk_offsets, dtype=np.uint32).tobytes()
+        return (
+            header + dims + flags + chunks + self.codebook_blob + self.payload
+        )
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "CompressedBlock":
-        head_size = struct.calcsize("<4sBBBdIQQQI")
+        def take(offset: int, nbytes: int, what: str) -> bytes:
+            if len(blob) < offset + nbytes:
+                raise ValueError(
+                    f"truncated compressed block: {what} needs bytes "
+                    f"{offset}..{offset + nbytes} but the blob has only "
+                    f"{len(blob)}"
+                )
+            return blob[offset : offset + nbytes]
+
         (
             magic,
             version,
@@ -102,17 +138,41 @@ class CompressedBlock:
             num_outliers,
             payload_len,
             codebook_len,
-        ) = struct.unpack("<4sBBBdIQQQI", blob[:head_size])
-        if magic != _MAGIC or version != 1:
+        ) = struct.unpack(_HEADER_FMT, take(0, _HEADER_SIZE, "header"))
+        if magic != _MAGIC:
             raise ValueError("not a compressed block")
-        offset = head_size
-        shape = struct.unpack_from(f"<{ndim}Q", blob, offset)
+        if version not in (1, 2):
+            raise ValueError(
+                f"not a compressed block: unknown format version {version}"
+            )
+        if dtype_code not in _DTYPES:
+            raise ValueError(
+                f"corrupt compressed block: unknown dtype code {dtype_code}"
+            )
+        offset = _HEADER_SIZE
+        shape = struct.unpack(
+            f"<{ndim}Q", take(offset, 8 * ndim, "shape dims")
+        )
         offset += 8 * ndim
-        (shared_flag,) = struct.unpack_from("<B", blob, offset)
+        (shared_flag,) = struct.unpack("<B", take(offset, 1, "flags"))
         offset += 1
-        codebook_blob = blob[offset : offset + codebook_len]
+        chunk_size = 0
+        chunk_offsets: tuple[int, ...] | None = None
+        if version == 2:
+            chunk_size, num_chunks = struct.unpack(
+                "<II", take(offset, 8, "chunk header")
+            )
+            offset += 8
+            chunk_offsets = tuple(
+                np.frombuffer(
+                    take(offset, 4 * num_chunks, "chunk offsets"),
+                    dtype=np.uint32,
+                ).tolist()
+            )
+            offset += 4 * num_chunks
+        codebook_blob = take(offset, codebook_len, "codebook blob")
         offset += codebook_len
-        payload = blob[offset : offset + payload_len]
+        payload = take(offset, payload_len, "payload")
         return cls(
             payload=payload,
             shape=tuple(int(d) for d in shape),
@@ -123,21 +183,35 @@ class CompressedBlock:
             num_outliers=num_outliers,
             codebook_blob=codebook_blob,
             used_shared_tree=bool(shared_flag),
+            chunk_size=chunk_size,
+            chunk_offsets=chunk_offsets,
         )
 
 
 class SZCompressor:
-    """Error-bounded lossy compressor with optional shared Huffman tree."""
+    """Error-bounded lossy compressor with optional shared Huffman tree.
+
+    ``backend`` selects the Huffman kernel (``"pure"`` reference loop or
+    ``"numpy"`` vectorized batch decode); ``None`` defers to the
+    ``REPRO_CODEC_BACKEND`` environment variable, then the ``numpy``
+    default.  Backends produce bit-identical blocks and decoded values.
+    """
 
     def __init__(
         self,
         radius: int = DEFAULT_RADIUS,
         tracer: NullTracer = NULL_TRACER,
+        backend: str | CodecBackend | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> None:
         if radius < 1:
             raise ValueError("radius must be at least 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
         self.radius = radius
         self.tracer = tracer
+        self.backend = resolve_backend(backend)
+        self.chunk_size = chunk_size
 
     @property
     def sentinel(self) -> int:
@@ -213,7 +287,7 @@ class SZCompressor:
             codebook = huffman.build_codebook(
                 hist,
                 force_symbols=(self.sentinel,),
-                max_length=huffman._TABLE_DECODE_MAX_LEN,
+                max_length=self.backend.build_max_length,
             )
             codebook_blob = huffman.codebook_to_bytes(codebook)
             used_shared = False
@@ -242,11 +316,15 @@ class SZCompressor:
                 outlier_values = outlier_values[order]
 
         with self.tracer.timed(
-            "codec.encode", shared_tree=used_shared
+            "codec.encode",
+            shared_tree=used_shared,
+            backend=self.backend.name,
         ):
-            encoded, nbits = huffman.encode(codes, codebook)
+            stream = self.backend.encode(
+                codes, codebook, chunk_size=self.chunk_size
+            )
         body = (
-            encoded
+            stream.data
             + outlier_positions.astype(np.int64).tobytes()
             + outlier_values.astype(np.int64).tobytes()
         )
@@ -258,10 +336,14 @@ class SZCompressor:
             dtype=values.dtype,
             error_bound=error_bound,
             radius=self.radius,
-            nbits=nbits,
+            nbits=stream.nbits,
             num_outliers=int(outlier_positions.size),
             codebook_blob=codebook_blob,
             used_shared_tree=used_shared,
+            chunk_size=stream.chunk_size,
+            chunk_offsets=tuple(
+                int(o) for o in stream.chunk_offsets
+            ),
         )
 
     def decompress(
@@ -291,7 +373,25 @@ class SZCompressor:
             rest[8 * block.num_outliers : 16 * block.num_outliers],
             dtype=np.int64,
         )
-        codes = huffman.decode(encoded, block.nbits, count, codebook)
+        chunk_offsets = (
+            None
+            if block.chunk_offsets is None
+            else np.asarray(block.chunk_offsets, dtype=np.int64)
+        )
+        with self.tracer.timed(
+            "codec.decode",
+            backend=self.backend.name,
+            nbytes=encoded_len,
+            chunked=chunk_offsets is not None,
+        ):
+            codes = self.backend.decode(
+                encoded,
+                block.nbits,
+                count,
+                codebook,
+                block.chunk_size,
+                chunk_offsets,
+            )
         quantized = QuantizedDeltas(
             codes=codes.reshape(block.shape),
             radius=block.radius,

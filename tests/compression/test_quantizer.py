@@ -63,8 +63,21 @@ class TestCodeMapping:
         radius = 8
         deltas = np.array([-radius, -radius + 1, 0, radius - 1, radius])
         q = encode_codes(deltas, radius=radius)
-        # +/-radius fall outside the open interval and become outliers.
-        assert set(q.outlier_positions.tolist()) == {0, 4}
+        # The alphabet covers [-radius, radius): -radius is code 0, only
+        # +radius overflows into the outlier channel.
+        assert set(q.outlier_positions.tolist()) == {4}
+        assert q.codes[0] == 0
+        assert np.array_equal(decode_codes(q), deltas)
+
+    def test_minus_radius_uses_code_zero_not_outlier(self):
+        # Regression: symmetric data routed delta == -radius to the
+        # outlier channel, leaving code 0 unused and inflating outlier
+        # counts.
+        radius = 16
+        deltas = np.full(100, -radius, dtype=np.int64)
+        q = encode_codes(deltas, radius=radius)
+        assert q.outlier_positions.size == 0
+        assert np.all(q.codes == 0)
         assert np.array_equal(decode_codes(q), deltas)
 
     def test_sentinel_code(self):
