@@ -1,0 +1,80 @@
+"""Durability benchmarks: the cost of end-to-end integrity.
+
+Registers the ``repro verify`` scrub of a freshly written snapshot with
+the regression gate (group ``durability``), so the overhead of walking
+every container and block checksum is tracked in ``BENCH_*.json``
+alongside the codec and pipeline trajectories::
+
+    PYTHONPATH=src python -m repro bench run --filter durability --quick
+
+Snapshot synthesis (field generation, compression, write) is cached per
+edge and paid by the warmup pass; the timed body is the scrub alone.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import bench_case
+
+_SNAPSHOTS: dict[int, Path] = {}
+
+
+def _snapshot_path(edge: int) -> Path:
+    """A written-once ``.rpio`` snapshot of ``edge``-cubed Nyx fields."""
+    if edge not in _SNAPSHOTS:
+        from repro.apps import NyxModel
+        from repro.framework import save_snapshot
+
+        app = NyxModel(seed=61, partition_shape=(edge,) * 3)
+        fields = {
+            name: app.generate_field(name, 0, 5)
+            for name in ("temperature", "baryon_density")
+        }
+        bounds = {
+            name: app.field(name).error_bound for name in fields
+        }
+        directory = Path(tempfile.mkdtemp(prefix="repro-bench-durability-"))
+        path = directory / "snap.rpio"
+        save_snapshot(path, fields, error_bounds=bounds, block_bytes=65_536)
+        _SNAPSHOTS[edge] = path
+    return _SNAPSHOTS[edge]
+
+
+@bench_case(
+    "durability.verify",
+    group="durability",
+    params={"edge": 48},
+    quick={"edge": 32},
+    warmup=1,
+    repeats=3,
+    timeout_s=120.0,
+)
+def bench_verify_snapshot(edge=48):
+    from repro.durability import verify_snapshot
+
+    report = verify_snapshot(_snapshot_path(edge))
+    assert report.ok, report.format()
+    assert report.checked > 2
+
+
+@bench_case(
+    "durability.crc32c",
+    group="durability",
+    params={"mebibytes": 16},
+    quick={"mebibytes": 4},
+    warmup=1,
+    repeats=3,
+    timeout_s=60.0,
+)
+def bench_crc32c(mebibytes=16):
+    from repro.durability import crc32c
+
+    rng = np.random.default_rng(61)
+    data = rng.integers(
+        0, 256, size=mebibytes * (1 << 20), dtype=np.uint8
+    ).tobytes()
+    assert crc32c(data) != 0

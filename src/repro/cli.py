@@ -1,12 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands expose the library without writing code:
+The commands expose the library without writing code:
 
 * ``schedule``  — run the six heuristics (and optionally the ILP) on the
   paper's Figure 1 instance or a random one; prints a Gantt chart.
 * ``campaign``  — run a Nyx/WarpX campaign for one or all solutions and
   print the overhead comparison; ``--faults SPEC`` runs it under a
-  seeded fault-injection plan and appends a resilience report.
+  seeded fault-injection plan and appends a resilience report;
+  ``--journal``/``--resume`` write-ahead-log the run and recover an
+  interrupted one (``docs/durability.md``).
+* ``verify``    — scrub a snapshot or journal offline, walking every
+  checksum and structural invariant; exit 0 clean, 1 corrupt.
 * ``compress``  — generate a synthetic field, compress it with the SZ or
   ZFP codec, and report ratio/error.
 * ``snapshot``  — write a real compressed snapshot of synthetic fields to
@@ -134,6 +138,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record telemetry spans and write them as JSON lines",
     )
+    p.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write-ahead campaign journal (JSONL): one plan record "
+            "before and one commit record after each iteration, fsynced; "
+            "requires a single --solution"
+        ),
+    )
+    p.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help=(
+            "resume an interrupted journaled campaign: replays the "
+            "committed prefix (verifying it byte-for-byte) and continues "
+            "from the first incomplete iteration; campaign parameters "
+            "come from the journal header"
+        ),
+    )
+    p.add_argument(
+        "--report-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the campaign result as JSON (atomic temp+fsync+"
+            "rename); with --journal/--resume this is the recovery-gate "
+            "artifact"
+        ),
+    )
+
+    p = sub.add_parser(
+        "verify",
+        help="scrub a snapshot or journal for corruption (exit 1 if any)",
+    )
+    p.add_argument("target", help="a .rpio snapshot, snapshot dir, or journal")
+    p.add_argument(
+        "--kind",
+        choices=["auto", "snapshot", "journal"],
+        default="auto",
+        help="what the target is (default: sniff the file)",
+    )
 
     p = sub.add_parser("compress", help="compress a synthetic field")
     p.add_argument("--codec", choices=["sz", "zfp"], default="sz")
@@ -257,6 +304,7 @@ def main(argv: list[str] | None = None) -> int:
         "snapshot": _cmd_snapshot,
         "experiments": _cmd_experiments,
         "bench": _cmd_bench,
+        "verify": _cmd_verify,
     }[args.command]
     return handler(args)
 
@@ -378,62 +426,148 @@ def _make_instance(args):
 
 def _cmd_campaign(args) -> int:
     from repro.apps import HaccModel, NyxModel, WarpXModel
+    from repro.durability import CampaignJournal, JournalError
     from repro.framework import (
         CampaignRunner,
         async_io_config,
         baseline_config,
         format_table,
         ours_config,
+        write_campaign_report,
     )
+    from repro.resilience import parse_fault_spec
     from repro.simulator import ClusterSpec
 
-    app_class = {"nyx": NyxModel, "warpx": WarpXModel, "hacc": HaccModel}[
-        args.app
-    ]
-    app = app_class(seed=args.seed)
-    cluster = ClusterSpec(
-        num_nodes=args.nodes, processes_per_node=args.ppn
-    )
-    spec = None
-    if args.faults:
-        from repro.resilience import load_fault_spec
+    if args.journal and args.resume:
+        print(
+            "error: --journal and --resume are mutually exclusive "
+            "(--resume appends to the journal it resumes)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.journal and args.solution == "all":
+        print(
+            "error: --journal records a single campaign; pick one "
+            "--solution (baseline, previous, or ours)",
+            file=sys.stderr,
+        )
+        return 2
 
+    spec_data = None
+    journal = None
+    if args.resume:
+        # Every campaign parameter comes from the journal header so the
+        # resumed run re-executes exactly what the crashed run planned.
         try:
-            spec = load_fault_spec(args.faults)
-        except (OSError, ValueError) as exc:
+            journal = CampaignJournal.resume(args.resume)
+        except (OSError, JournalError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        header = journal.header
+        app_name = header["app"]
+        num_nodes = header["nodes"]
+        ppn = header["ppn"]
+        iterations = header["iterations"]
+        solution = header["solution"]
+        master_seed = header["seed"]
+        spec_data = header.get("faults")
+        print(
+            f"resuming {solution} campaign from {args.resume}: "
+            f"{journal.committed_iterations}/{iterations} iterations "
+            "already committed"
+        )
+    else:
+        app_name = args.app
+        num_nodes = args.nodes
+        ppn = args.ppn
+        iterations = args.iterations
+        solution = args.solution
+        master_seed = args.seed
+        if args.faults:
+            from repro.resilience import load_spec_data
+
+            try:
+                spec_data = load_spec_data(args.faults)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+    spec = None
+    if spec_data is not None:
+        try:
+            spec = parse_fault_spec(spec_data)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    app_class = {"nyx": NyxModel, "warpx": WarpXModel, "hacc": HaccModel}[
+        app_name
+    ]
+    app = app_class(seed=master_seed)
+    cluster = ClusterSpec(num_nodes=num_nodes, processes_per_node=ppn)
     configs = {
         "baseline": baseline_config(),
         "previous": async_io_config(),
         "ours": ours_config(),
     }
-    wanted = configs if args.solution == "all" else {
-        args.solution: configs[args.solution]
+    wanted = configs if solution == "all" else {
+        solution: configs[solution]
     }
     tracer = _make_tracer(args)
     rows = []
     reports = []
+    last_result = None
     for name, config in wanted.items():
         injector = None
         retry = {}
         if spec is not None:
             from repro.resilience import FaultInjector
 
-            seed = spec.seed if spec.seed is not None else args.seed
+            seed = spec.seed if spec.seed is not None else master_seed
             injector = FaultInjector(spec.plan, seed=seed)
+            if args.resume:
+                # A crash point that killed the original run must not
+                # re-fire while the resumed run replays past it.
+                injector.crash_enabled = False
             retry = {"retry": spec.retry}
+        if args.journal:
+            try:
+                journal = CampaignJournal.create(
+                    args.journal,
+                    {
+                        "app": app_name,
+                        "nodes": num_nodes,
+                        "ppn": ppn,
+                        "iterations": iterations,
+                        "solution": name,
+                        "seed": master_seed,
+                        "faults": spec_data,
+                    },
+                    fsync=config.journal_fsync,
+                    injector=injector,
+                    tracer=tracer,
+                )
+            except OSError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         runner = CampaignRunner(
             app,
             cluster,
             config,
             solution=name,
-            seed=args.seed,
+            seed=master_seed,
             tracer=tracer.bind(solution=name),
             injector=injector,
             **retry,
         )
-        result = runner.run(args.iterations)
+        try:
+            result = runner.run(
+                iterations, journal=journal if name == solution else None
+            )
+        except JournalError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        last_result = result
         rows.append(
             (
                 name,
@@ -451,8 +585,34 @@ def _cmd_campaign(args) -> int:
     for name, report in reports:
         print(f"\nresilience [{name}]:")
         print(report.format())
+    if args.report_out and last_result is not None:
+        before_commit = None
+        if journal is not None:
+            # The "report" crash point: die after the temp file is
+            # durable but before the rename publishes it.
+            def before_commit(j=journal):
+                j.maybe_crash("report", -1)
+
+        write_campaign_report(
+            args.report_out, last_result, before_commit=before_commit
+        )
+        print(f"report -> {args.report_out}")
+    if journal is not None:
+        journal.close()
     _write_trace(tracer, args.trace_out)
     return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.durability import verify_path
+
+    try:
+        report = verify_path(args.target, kind=args.kind)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_compress(args) -> int:

@@ -12,15 +12,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..durability.checksum import crc32c_combine
+
 __all__ = ["BufferedBlock", "WriteUnit", "CompressedDataBuffer"]
 
 
 @dataclass(frozen=True)
 class BufferedBlock:
-    """One compressed block waiting in the buffer."""
+    """One compressed block waiting in the buffer.
+
+    ``crc32c`` carries the block's compression-time checksum through
+    consolidation (None when the producer did not checksum).
+    """
 
     block_id: int
     nbytes: int
+    crc32c: int | None = None
 
 
 @dataclass(frozen=True)
@@ -37,6 +44,19 @@ class WriteUnit:
     def block_ids(self) -> tuple[int, ...]:
         return tuple(b.block_id for b in self.blocks)
 
+    @property
+    def crc32c(self) -> int | None:
+        """Checksum of the unit's concatenated payload, derived from the
+        blocks' compression-time checksums via CRC combination — the
+        payload bytes are never re-read.  None unless every block
+        carries a checksum."""
+        if not self.blocks or any(b.crc32c is None for b in self.blocks):
+            return None
+        total = self.blocks[0].crc32c
+        for block in self.blocks[1:]:
+            total = crc32c_combine(total, block.crc32c, block.nbytes)
+        return total
+
 
 @dataclass
 class CompressedDataBuffer:
@@ -52,7 +72,9 @@ class CompressedDataBuffer:
     units_emitted: int = 0
     blocks_seen: int = 0
 
-    def append(self, block_id: int, nbytes: int) -> list[WriteUnit]:
+    def append(
+        self, block_id: int, nbytes: int, crc32c: int | None = None
+    ) -> list[WriteUnit]:
         """Add a compressed block; return any write units now full.
 
         A block larger than ``max_bytes`` flushes the pending unit and is
@@ -61,7 +83,9 @@ class CompressedDataBuffer:
         if nbytes < 0:
             raise ValueError("block size must be non-negative")
         self.blocks_seen += 1
-        block = BufferedBlock(block_id=block_id, nbytes=nbytes)
+        block = BufferedBlock(
+            block_id=block_id, nbytes=nbytes, crc32c=crc32c
+        )
         if self.max_bytes <= 0:
             self.units_emitted += 1
             return [WriteUnit(blocks=(block,))]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..durability.checksum import crc32c
 from ..telemetry import NULL_TRACER, NullTracer
 from . import huffman
 from .kernels import CodecBackend, resolve_backend
@@ -116,8 +117,26 @@ class CompressedBlock:
             header + dims + flags + chunks + self.codebook_blob + self.payload
         )
 
+    def checksum(self) -> int:
+        """CRC32C of the serialized block — computed at compression
+        time by the snapshot writer, carried through the write path, and
+        handed back to :meth:`from_bytes` on load for end-to-end
+        integrity."""
+        return crc32c(self.to_bytes())
+
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "CompressedBlock":
+    def from_bytes(
+        cls, blob: bytes, expected_crc32c: int | None = None
+    ) -> "CompressedBlock":
+        if expected_crc32c is not None:
+            actual = crc32c(blob)
+            if actual != expected_crc32c:
+                raise ValueError(
+                    f"compressed block failed its end-to-end checksum "
+                    f"(declared {expected_crc32c:#010x} at compression "
+                    f"time, read {actual:#010x})"
+                )
+
         def take(offset: int, nbytes: int, what: str) -> bytes:
             if len(blob) < offset + nbytes:
                 raise ValueError(

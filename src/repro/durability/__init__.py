@@ -1,0 +1,79 @@
+"""Crash-consistent durability: checksums, atomic commits, journaling.
+
+The write path the paper conceals (compress on the fly, write from a
+background thread) is also the write path a crash can tear at any
+instant.  This package makes it crash-consistent and verifiable:
+
+* :mod:`~repro.durability.checksum` — CRC32C computed at compression
+  time and verified end to end on load;
+* :mod:`~repro.durability.atomic` — :class:`DurableFile` temp + fsync +
+  rename replacement so readers never observe a torn file;
+* :mod:`~repro.durability.journal` — the write-ahead campaign journal
+  behind ``repro campaign --journal/--resume``;
+* :mod:`~repro.durability.crashpoints` — named, seeded kill points for
+  the chaos harness;
+* :mod:`~repro.durability.verify` — the ``repro verify`` scrubber
+  (imported lazily: it pulls in the compression and io stacks, which
+  themselves checksum through this package).
+"""
+
+from .atomic import (
+    DurableFile,
+    atomic_write_bytes,
+    atomic_write_text,
+    find_stale_temps,
+    fsync_dir,
+    temp_path_for,
+)
+from .checksum import crc32c, crc32c_combine, crc32c_hex
+from .crashpoints import (
+    CRASH_EXIT_CODE,
+    CRASH_POINTS,
+    set_crash_handler,
+    trigger_crash,
+)
+from .journal import (
+    CampaignJournal,
+    JournalError,
+    canonical_json,
+    decode_record,
+    encode_record,
+    read_journal,
+)
+
+__all__ = [
+    "crc32c",
+    "crc32c_combine",
+    "crc32c_hex",
+    "DurableFile",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
+    "find_stale_temps",
+    "temp_path_for",
+    "CRASH_POINTS",
+    "CRASH_EXIT_CODE",
+    "set_crash_handler",
+    "trigger_crash",
+    "CampaignJournal",
+    "JournalError",
+    "canonical_json",
+    "read_journal",
+    "encode_record",
+    "decode_record",
+    # lazy (see __getattr__): the scrubber imports io + compression
+    "VerifyReport",
+    "verify_snapshot",
+    "verify_journal",
+    "verify_path",
+]
+
+_LAZY = {"VerifyReport", "verify_snapshot", "verify_journal", "verify_path"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import verify
+
+        return getattr(verify, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

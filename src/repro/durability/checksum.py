@@ -1,0 +1,178 @@
+"""CRC32C (Castagnoli) checksums for end-to-end write-path integrity.
+
+Every compressed block and snapshot section gets a CRC32C computed at
+compression time and verified on load, so a bit flip anywhere between
+the compressor's output buffer and a reader years later is detected and
+named.  CRC32C is the polynomial used by iSCSI, ext4 metadata, and most
+object stores — chosen here over zlib's CRC-32 so stored checksums are
+directly comparable with external tooling (``crc32c`` on most systems).
+
+Three entry points:
+
+* :func:`crc32c` — checksum of a bytes-like object, chainable through a
+  running ``value`` exactly like :func:`zlib.crc32`.
+* :func:`crc32c_combine` — CRC of a concatenation from the CRCs of its
+  parts (zlib's ``crc32_combine`` for the Castagnoli polynomial); lets
+  the compressed-data buffer derive a write-unit checksum from its
+  blocks' checksums without touching the payload bytes again.
+* :func:`crc32c_hex` — fixed-width hex form used in journal records.
+
+The implementation is pure Python + numpy: a table-driven bytewise
+reference, and a fast path that splits large buffers into equal chunks,
+advances all chunk CRC states in lockstep with vectorized table
+gathers, then folds the per-chunk CRCs with a GF(2) zero-advance
+operator.  Both paths are exact; the property tests drive one against
+the other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["crc32c", "crc32c_combine", "crc32c_hex"]
+
+# Castagnoli polynomial, reflected representation.
+_POLY = 0x82F63B78
+
+# Fast-path tuning: buffers of at least _VECTOR_MIN bytes are split into
+# _CHUNK-byte chunks whose CRC states advance in lockstep.
+_CHUNK = 8192
+_VECTOR_MIN = 3 * _CHUNK
+
+
+def _build_table() -> list[int]:
+    table = []
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+_TABLE_NP = np.array(_TABLE, dtype=np.uint32)
+
+
+def _bytewise(data, state: int) -> int:
+    """Advance the internal (pre-inverted) CRC state over ``data``."""
+    table = _TABLE
+    for byte in data:
+        state = table[(state ^ byte) & 0xFF] ^ (state >> 8)
+    return state
+
+
+# ----------------------------------------------------------------------
+# GF(2) zero-advance operators (the zlib crc32_combine construction).
+# A CRC register advanced over k zero bits is a linear map of the
+# register; composing the one-bit map gives the operator for any length.
+# ----------------------------------------------------------------------
+def _gf2_times(mat, vec: int) -> int:
+    total = 0
+    index = 0
+    while vec:
+        if vec & 1:
+            total ^= mat[index]
+        vec >>= 1
+        index += 1
+    return total
+
+
+def _gf2_matmul(a, b) -> list[int]:
+    return [_gf2_times(a, column) for column in b]
+
+
+def _one_byte_operator() -> list[int]:
+    # Operator for a single zero bit in the reflected domain …
+    odd = [_POLY] + [1 << n for n in range(31)]
+    # … squared three times: 1 -> 2 -> 4 -> 8 zero bits.
+    for _ in range(3):
+        odd = _gf2_matmul(odd, odd)
+    return odd
+
+
+_BYTE_OP = _one_byte_operator()
+_IDENTITY = [1 << n for n in range(32)]
+_ZERO_OPS: dict[int, list[int]] = {}
+
+
+def _zero_operator(nbytes: int) -> list[int]:
+    """Operator advancing a CRC over ``nbytes`` zero bytes (cached)."""
+    cached = _ZERO_OPS.get(nbytes)
+    if cached is not None:
+        return cached
+    result, base, n = _IDENTITY, _BYTE_OP, nbytes
+    while n:
+        if n & 1:
+            result = _gf2_matmul(base, result)
+        n >>= 1
+        if n:
+            base = _gf2_matmul(base, base)
+    if len(_ZERO_OPS) > 64:  # unbounded lengths must not leak memory
+        _ZERO_OPS.clear()
+    _ZERO_OPS[nbytes] = result
+    return result
+
+
+def crc32c_combine(crc1: int, crc2: int, len2: int) -> int:
+    """CRC32C of ``A + B`` given ``crc1 = crc32c(A)``, ``crc2 = crc32c(B)``.
+
+    ``len2`` is ``len(B)`` in bytes.  O(log len2) after a cached
+    operator build; never touches the data.
+    """
+    if len2 < 0:
+        raise ValueError(f"len2 must be non-negative, got {len2}")
+    if len2 == 0:
+        return crc1 & 0xFFFFFFFF
+    return _gf2_times(_zero_operator(len2), crc1 & 0xFFFFFFFF) ^ (
+        crc2 & 0xFFFFFFFF
+    )
+
+
+def _vectorized(buf: memoryview, state: int) -> int:
+    """Lockstep chunked CRC for large buffers.
+
+    Splits ``buf`` into equal chunks, advances one CRC register per
+    chunk simultaneously (a table gather per byte position across all
+    chunks), and folds the per-chunk CRCs left to right with the
+    zero-advance operator.  The first chunk's register is seeded with
+    the caller's running state so chaining is exact.
+    """
+    arr = np.frombuffer(buf, dtype=np.uint8)
+    num = arr.size // _CHUNK
+    body = arr[: num * _CHUNK].reshape(num, _CHUNK).T.copy()
+    states = np.full(num, 0xFFFFFFFF, dtype=np.uint32)
+    states[0] = np.uint32(state)
+    mask = np.uint32(0xFF)
+    shift = np.uint32(8)
+    for i in range(_CHUNK):
+        states = _TABLE_NP[(states ^ body[i]) & mask] ^ (states >> shift)
+    crcs = (states ^ np.uint32(0xFFFFFFFF)).tolist()
+    op = _zero_operator(_CHUNK)
+    total = crcs[0]
+    for crc in crcs[1:]:
+        total = _gf2_times(op, total) ^ crc
+    # Trailing partial chunk continues bytewise from the folded CRC.
+    return _bytewise(arr[num * _CHUNK :].tobytes(), total ^ 0xFFFFFFFF)
+
+
+def crc32c(data, value: int = 0) -> int:
+    """CRC32C of ``data``; pass a previous result as ``value`` to chain.
+
+    Accepts any bytes-like object (``bytes``, ``bytearray``,
+    ``memoryview``, contiguous numpy arrays).  ``crc32c(b"") == 0`` and
+    ``crc32c(b, crc32c(a)) == crc32c(a + b)``, mirroring
+    :func:`zlib.crc32`.
+    """
+    buf = memoryview(data)
+    if buf.ndim != 1 or buf.itemsize != 1:
+        buf = buf.cast("B")
+    state = (value & 0xFFFFFFFF) ^ 0xFFFFFFFF
+    if buf.nbytes >= _VECTOR_MIN:
+        return _vectorized(buf, state) ^ 0xFFFFFFFF
+    return _bytewise(buf.tobytes(), state) ^ 0xFFFFFFFF
+
+
+def crc32c_hex(data, value: int = 0) -> str:
+    """``crc32c`` as a fixed-width hex string (journal record form)."""
+    return f"{crc32c(data, value):08x}"

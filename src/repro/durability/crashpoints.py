@@ -1,0 +1,78 @@
+"""Named crash points for fail-stop chaos testing.
+
+The write-ahead journal's correctness argument is "whatever instant the
+process dies, a resume converges to the uninterrupted run".  Rather than
+kill at random instants (unreproducible), the chaos harness kills at the
+*interesting* instants — the boundaries of the journal protocol — each
+named here and armed through a seeded
+:class:`~repro.resilience.faults.ProcessKillFault`:
+
+``plan``
+    after the iteration's intent record was appended, before execution;
+``pre-commit``
+    after the iteration executed, before its commit record;
+``torn-commit``
+    halfway through appending the commit record (a torn journal tail —
+    the record must be discarded on resume, not trusted);
+``post-commit``
+    after the commit record was appended and fsynced;
+``report``
+    after the final report's temp file was written, before the rename
+    publishing it.
+
+The default handler exits hard with status 137 (the SIGKILL convention)
+via :func:`os._exit` so no ``finally:`` blocks, ``atexit`` hooks, or
+buffered writes soften the crash.  Tests swap the handler for an
+exception via :func:`set_crash_handler`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Callable
+
+__all__ = [
+    "CRASH_POINTS",
+    "CRASH_EXIT_CODE",
+    "trigger_crash",
+    "set_crash_handler",
+]
+
+CRASH_POINTS = ("plan", "pre-commit", "torn-commit", "post-commit", "report")
+CRASH_EXIT_CODE = 137
+
+
+def _default_handler(point: str, iteration: int) -> None:
+    sys.stderr.write(
+        f"chaos: killing process at crash point {point!r} "
+        f"(iteration {iteration})\n"
+    )
+    sys.stderr.flush()
+    os._exit(CRASH_EXIT_CODE)
+
+
+_handler: Callable[[str, int], None] = _default_handler
+
+
+def set_crash_handler(
+    handler: Callable[[str, int], None] | None,
+) -> Callable[[str, int], None]:
+    """Replace the crash handler (None restores the hard-exit default).
+
+    Returns the previous handler so tests can restore it.
+    """
+    global _handler
+    previous = _handler
+    _handler = handler if handler is not None else _default_handler
+    return previous
+
+
+def trigger_crash(point: str, iteration: int) -> None:
+    """Fire the crash handler for ``point`` (does not return by default)."""
+    if point not in CRASH_POINTS:
+        raise ValueError(
+            f"unknown crash point {point!r} "
+            f"(valid: {', '.join(CRASH_POINTS)})"
+        )
+    _handler(point, iteration)

@@ -1,0 +1,357 @@
+"""Write-ahead campaign journal: crash-consistent, resumable runs.
+
+The orchestrator appends one *plan* (intent) record before each
+iteration runs and one *commit* record after it completes, each a single
+canonical-JSON line carrying its own CRC32C.  Appends are flushed and
+fsynced before execution proceeds, so at any crash instant the journal
+holds every committed iteration plus at most one torn tail line.
+
+Resume (``repro campaign --resume journal.jsonl``) exploits that the
+whole campaign simulation is a pure function of its seeds: the fault
+injector draws from key-addressed generators and the noise models replay
+identically from scratch.  So a resumed run rebuilds the runner from the
+journal header and **re-executes** the committed iterations in memory,
+cross-checking every regenerated record byte-for-byte against the
+journaled one (JSON floats round-trip exactly, so equality is exact) —
+then switches to live mode at the first incomplete iteration and
+continues appending.  A divergence means the journal, the code, or the
+seeds changed; it is a hard error naming the iteration, never a silent
+wrong continuation.
+
+Tail handling: the final line may be torn (crash mid-append).  A torn
+tail is *expected* damage — it is truncated away on resume.  A corrupt
+record anywhere earlier is *unexpected* damage and raises
+:class:`JournalError` naming the line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..telemetry import NULL_TRACER
+from .atomic import fsync_dir
+from .checksum import crc32c_hex
+from .crashpoints import trigger_crash
+
+__all__ = [
+    "JournalError",
+    "CampaignJournal",
+    "canonical_json",
+    "read_journal",
+    "encode_record",
+    "decode_record",
+]
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """A journal that cannot be trusted (corrupt or diverged)."""
+
+
+def canonical_json(obj) -> str:
+    """The byte-stable JSON form CRCs and comparisons are defined over."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def encode_record(seq: int, type: str, data: dict) -> bytes:
+    """One journal line: canonical JSON with an embedded self-CRC."""
+    record = {"seq": seq, "type": type, "data": data}
+    record["crc"] = crc32c_hex(canonical_json(record).encode())
+    return (canonical_json(record) + "\n").encode()
+
+
+def decode_record(line: bytes, lineno: int) -> dict:
+    """Parse and CRC-check one journal line; raises :class:`JournalError`."""
+    try:
+        record = json.loads(line.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise JournalError(
+            f"journal line {lineno}: not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(record, dict):
+        raise JournalError(
+            f"journal line {lineno}: record must be an object, "
+            f"got {type(record).__name__}"
+        )
+    for field in ("seq", "type", "data", "crc"):
+        if field not in record:
+            raise JournalError(
+                f"journal line {lineno}: missing field {field!r}"
+            )
+    stored = record.pop("crc")
+    actual = crc32c_hex(canonical_json(record).encode())
+    if stored != actual:
+        raise JournalError(
+            f"journal line {lineno}: checksum mismatch "
+            f"(stored {stored}, computed {actual})"
+        )
+    return record
+
+
+def read_journal(path: str | os.PathLike) -> tuple[list[dict], int, bool]:
+    """Read every trustworthy record of a journal.
+
+    Returns ``(records, good_bytes, torn)`` where ``good_bytes`` is the
+    file length up to and including the last valid line and ``torn``
+    says whether a damaged tail line was discarded.  Damage anywhere
+    before the final line raises :class:`JournalError`.
+    """
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    lines = blob.split(b"\n")
+    # A well-formed journal ends with "\n", so the final split element
+    # is empty; anything else is an unterminated (torn) tail.
+    tail = lines.pop()
+    torn = bool(tail)
+    records: list[dict] = []
+    good_bytes = 0
+    for index, line in enumerate(lines):
+        try:
+            record = decode_record(line, index + 1)
+        except JournalError:
+            if index == len(lines) - 1:
+                torn = True  # fsync boundary: last line may be garbage
+                break
+            raise
+        if record["seq"] != index:
+            raise JournalError(
+                f"journal line {index + 1}: sequence gap "
+                f"(expected seq {index}, got {record['seq']!r})"
+            )
+        records.append(record)
+        good_bytes += len(line) + 1
+    return records, good_bytes, torn
+
+
+def _validate_structure(records: list[dict], path) -> None:
+    """Enforce the begin, (plan, commit)*, [plan,] [end] protocol shape."""
+    if not records:
+        raise JournalError(f"journal {path}: no intact records")
+    if records[0]["type"] != "begin":
+        raise JournalError(
+            f"journal {path}: first record must be 'begin', "
+            f"got {records[0]['type']!r}"
+        )
+    expected_iter = 0
+    expect = "plan"
+    for record in records[1:]:
+        kind = record["type"]
+        if kind == "end":
+            if expect != "plan":
+                raise JournalError(
+                    f"journal {path}: 'end' record interrupts "
+                    f"iteration {expected_iter}"
+                )
+            expect = "done"
+            continue
+        if expect == "done":
+            raise JournalError(
+                f"journal {path}: record after 'end' record"
+            )
+        if kind != expect:
+            raise JournalError(
+                f"journal {path}: expected a {expect!r} record for "
+                f"iteration {expected_iter}, got {kind!r}"
+            )
+        iteration = record["data"].get("iteration")
+        if iteration != expected_iter:
+            raise JournalError(
+                f"journal {path}: {kind!r} record out of order "
+                f"(expected iteration {expected_iter}, got {iteration!r})"
+            )
+        if kind == "plan":
+            expect = "commit"
+        else:
+            expect = "plan"
+            expected_iter += 1
+
+
+class CampaignJournal:
+    """Append-only write-ahead log for one campaign run.
+
+    Use :meth:`create` for a fresh run and :meth:`resume` to continue
+    from an interrupted one.  The orchestrator calls
+    :meth:`record_plan` / :meth:`record_commit` / :meth:`record_end`
+    with plain-JSON payload dicts; in resume mode the calls covering
+    already-committed iterations verify instead of append.  An armed
+    fault injector (create mode only) makes :meth:`maybe_crash` and the
+    torn-append path fire at the seeded crash points.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        fsync: bool = True,
+        injector=None,
+        tracer=NULL_TRACER,
+    ) -> None:
+        self.path = os.fspath(path)
+        self._fsync = fsync
+        self._injector = injector
+        self._tracer = tracer
+        self._fh = None
+        self._seq = 0
+        self._header: dict = {}
+        self._replay_plans: dict[int, dict] = {}
+        self._replay_commits: dict[int, dict] = {}
+        self._replay_end: dict | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str | os.PathLike,
+        header: dict,
+        *,
+        fsync: bool = True,
+        injector=None,
+        tracer=NULL_TRACER,
+    ) -> "CampaignJournal":
+        """Start a fresh journal (truncating any previous file)."""
+        journal = cls(path, fsync=fsync, injector=injector, tracer=tracer)
+        journal._header = dict(header, journal_version=JOURNAL_VERSION)
+        journal._fh = open(journal.path, "wb")
+        if fsync:
+            fsync_dir(os.path.dirname(journal.path))
+        journal._append("begin", journal._header)
+        return journal
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | os.PathLike,
+        *,
+        fsync: bool = True,
+        injector=None,
+        tracer=NULL_TRACER,
+    ) -> "CampaignJournal":
+        """Open an interrupted journal: trusted prefix in, torn tail out."""
+        journal = cls(path, fsync=fsync, injector=injector, tracer=tracer)
+        records, good_bytes, torn = read_journal(path)
+        _validate_structure(records, path)
+        journal._header = records[0]["data"]
+        for record in records[1:]:
+            data = record["data"]
+            if record["type"] == "plan":
+                journal._replay_plans[data["iteration"]] = data
+            elif record["type"] == "commit":
+                journal._replay_commits[data["iteration"]] = data
+            else:
+                journal._replay_end = data
+        journal._seq = len(records)
+        journal._fh = open(path, "r+b")
+        if torn:
+            journal._fh.truncate(good_bytes)
+        journal._fh.seek(good_bytes)
+        return journal
+
+    # ------------------------------------------------------------------
+    @property
+    def header(self) -> dict:
+        return self._header
+
+    @property
+    def committed_iterations(self) -> int:
+        """Count of fully committed iterations in the trusted prefix."""
+        return len(self._replay_commits)
+
+    @property
+    def is_complete(self) -> bool:
+        return self._replay_end is not None
+
+    # ------------------------------------------------------------------
+    def record_plan(self, iteration: int, data: dict) -> None:
+        """Journal the intent to run ``iteration`` (write-ahead)."""
+        data = dict(data, iteration=int(iteration))
+        replayed = self._replay_plans.get(iteration)
+        if replayed is not None:
+            self._verify(iteration, "plan", data, replayed)
+            return
+        self._append("plan", data)
+        self.maybe_crash("plan", iteration)
+
+    def record_commit(self, iteration: int, data: dict) -> None:
+        """Journal ``iteration``'s completion, durably, crash points live."""
+        data = dict(data, iteration=int(iteration))
+        replayed = self._replay_commits.get(iteration)
+        if replayed is not None:
+            self._verify(iteration, "commit", data, replayed)
+            return
+        self.maybe_crash("pre-commit", iteration)
+        self._append("commit", data, torn_at_iteration=iteration)
+        self.maybe_crash("post-commit", iteration)
+
+    def record_end(self, data: dict) -> None:
+        """Journal the campaign's aggregate metrics (final record)."""
+        if self._replay_end is not None:
+            self._verify(-1, "end", data, self._replay_end)
+            return
+        self._append("end", data)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def maybe_crash(self, point: str, iteration: int) -> None:
+        """Fire the crash handler if the injector armed this point."""
+        if self._injector is not None and self._injector.process_kill_fires(
+            point, iteration
+        ):
+            trigger_crash(point, iteration)
+
+    def _verify(
+        self, iteration: int, kind: str, data: dict, replayed: dict
+    ) -> None:
+        """Re-executed state must match the journal byte for byte."""
+        regenerated = canonical_json(data)
+        journaled = canonical_json(replayed)
+        if regenerated != journaled:
+            raise JournalError(
+                f"journal {self.path}: replay diverged at {kind} record "
+                f"of iteration {iteration}: journaled {journaled} != "
+                f"re-executed {regenerated}"
+            )
+        if self._tracer.enabled:
+            self._tracer.counter("durability.journal.verified").inc()
+
+    def _append(
+        self, type: str, data: dict, torn_at_iteration: int | None = None
+    ) -> None:
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is closed")
+        line = encode_record(self._seq, type, data)
+        if (
+            torn_at_iteration is not None
+            and self._injector is not None
+            and self._injector.process_kill_fires(
+                "torn-commit", torn_at_iteration
+            )
+        ):
+            # Simulate dying mid-append: half the record reaches the
+            # file (durably, worst case), then the process is gone.
+            self._fh.write(line[: max(1, len(line) // 2)])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            trigger_crash("torn-commit", torn_at_iteration)
+            return  # only reached when a test handler swallowed the kill
+        self._fh.write(line)
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+        self._seq += 1
+        if self._tracer.enabled:
+            self._tracer.event(
+                "durability.journal.append", type=type, seq=self._seq - 1
+            )
+            self._tracer.counter("durability.journal.append").inc()

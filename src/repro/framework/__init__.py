@@ -7,10 +7,12 @@ from .config import FrameworkConfig
 from .orchestrator import CampaignResult, CampaignRunner, IterationRecord
 from .report import (
     Comparison,
+    campaign_result_to_dict,
     campaign_summary_table,
     compare,
     format_table,
     iteration_table,
+    write_campaign_report,
 )
 from .runtime import BlockPlan, DumpOutcome, DumpPlan, ProcessRuntime
 from .snapshot import SnapshotStats, load_snapshot, save_snapshot
@@ -34,6 +36,8 @@ __all__ = [
     "format_table",
     "campaign_summary_table",
     "iteration_table",
+    "campaign_result_to_dict",
+    "write_campaign_report",
     "save_snapshot",
     "load_snapshot",
     "SnapshotStats",

@@ -42,6 +42,10 @@ class FrameworkConfig:
             the Section 5.2 evaluation mode used to isolate algorithm
             quality from prediction error.
         dump_period: dump data every ``l`` iterations (Section 3.1).
+        journal_fsync: fsync the write-ahead campaign journal after
+            every record (crash-consistent, the default).  Disable only
+            for throughput experiments where losing the journal tail on
+            power failure is acceptable.
         overrun_deadline_frac: under fault injection, a dump whose
             replay exceeds ``T_n * (1 + frac)`` triggers the graceful
             degradation path (trailing writes deferred to the next
@@ -64,6 +68,7 @@ class FrameworkConfig:
     oracle_scheduling: bool = False
     dump_period: int = 1
     overrun_deadline_frac: float = 0.5
+    journal_fsync: bool = True
     compression_model: CompressionThroughputModel = field(
         default_factory=CompressionThroughputModel
     )
@@ -107,3 +112,5 @@ class FrameworkConfig:
             raise bad("num_subfiles", "must be >= 1")
         if self.overrun_deadline_frac < 0:
             raise bad("overrun_deadline_frac", "must be non-negative")
+        if not isinstance(self.journal_fsync, bool):
+            raise bad("journal_fsync", "must be a bool")

@@ -158,11 +158,23 @@ class CampaignRunner:
         self._deferred: list[tuple[int, int]] = []
 
     # ------------------------------------------------------------------
-    def run(self, num_iterations: int) -> CampaignResult:
+    def run(self, num_iterations: int, journal=None) -> CampaignResult:
         """Simulate ``num_iterations``; dumps start at iteration 1 so the
-        first iteration seeds the history predictor."""
+        first iteration seeds the history predictor.
+
+        With a :class:`~repro.durability.CampaignJournal`, every
+        iteration is bracketed by a write-ahead *plan* record and a
+        post-iteration *commit* record.  The campaign is a pure function
+        of its seeds, so a resumed journal re-executes the committed
+        prefix and the journal cross-checks each regenerated record
+        byte-for-byte against what the crashed run logged.
+        """
         result = CampaignResult(solution=self.solution)
         for iteration in range(num_iterations):
+            if journal is not None:
+                journal.record_plan(
+                    iteration, self._journal_plan_data(iteration)
+                )
             t0 = self.simulation.now
             record = self._run_iteration(iteration)
             result.records.append(record)
@@ -175,8 +187,66 @@ class CampaignRunner:
                 overhead_s=record.overhead_s,
                 solution=self.solution,
             )
+            if journal is not None:
+                journal.record_commit(
+                    iteration,
+                    self._journal_commit_data(record),
+                )
         self._aggregate_metrics(result)
+        if journal is not None:
+            journal.record_end(
+                {
+                    "iterations": int(num_iterations),
+                    "total_time_s": float(result.total_time),
+                    "total_overhead_s": float(result.total_overhead),
+                }
+            )
         return result
+
+    def _journal_plan_data(self, iteration: int) -> dict:
+        """The write-ahead view of one iteration, before it executes."""
+        is_dump = iteration >= 1 and (
+            (iteration - 1) % self.config.dump_period == 0
+        )
+        return {
+            "solution": self.solution,
+            "dump": bool(is_dump),
+            "deferred": [
+                [int(rank), int(nbytes)] for rank, nbytes in self._deferred
+            ],
+        }
+
+    def _journal_commit_data(self, record: IterationRecord) -> dict:
+        """What actually happened, as plain JSON-safe Python values."""
+        data: dict = {
+            "record": {
+                "dumped": bool(record.dumped),
+                "computation_s": float(record.computation_s),
+                "overall_s": float(record.overall_s),
+                "per_rank_overhead": [
+                    float(v) for v in record.per_rank_overhead
+                ],
+            },
+            "state": {
+                "sim_now": float(self.simulation.now),
+                "deferred": [
+                    [int(rank), int(nbytes)]
+                    for rank, nbytes in self._deferred
+                ],
+            },
+        }
+        if record.dumped and self.last_outcomes is not None:
+            data["ranks"] = [
+                {
+                    "planned_bytes": int(
+                        sum(b.predicted_bytes for b in o.plan.blocks)
+                    ),
+                    "actual_bytes": int(sum(o.actual_sizes)),
+                    "jobs": int(len(o.plan.blocks)),
+                }
+                for o in self.last_outcomes
+            ]
+        return data
 
     def _aggregate_metrics(self, result: CampaignResult) -> None:
         """Fill ``result.metrics`` and mirror the values into gauges."""

@@ -37,6 +37,7 @@ from ..compression import (
     slice_field,
 )
 from ..compression.huffman import Codebook
+from ..durability.checksum import crc32c
 from ..io import (
     AsyncWriter,
     SharedFileReader,
@@ -107,17 +108,23 @@ def save_snapshot(
     raw_total = 0
     compressed_total = 0
     num_blocks = 0
-    payloads: list[tuple[str, bytes]] = []
+    payloads: list[tuple[str, bytes, int]] = []
 
     for name, data in fields.items():
         if data.dtype not in (np.float32, np.float64):
             raise TypeError(f"field {name!r} has dtype {data.dtype}")
         specs = plan_blocks(name, data.shape, data.itemsize, block_bytes)
+        # Per-block CRC32C, computed here at compression time and
+        # declared in the manifest — the end-to-end integrity anchor
+        # every later layer (async writer, container, loader) checks
+        # the payload against.
+        block_crcs: list[int] = []
         manifest[name] = {
             "shape": list(data.shape),
             "dtype": data.dtype.name,
             "error_bound": bounds[name],
             "num_blocks": len(specs),
+            "block_crc32c": block_crcs,
         }
         for spec in specs:
             block_data = np.ascontiguousarray(slice_field(data, spec))
@@ -125,7 +132,11 @@ def save_snapshot(
                 block_data, bounds[name], shared_codebook=shared_codebook
             )
             payload = block.to_bytes()
-            payloads.append((f"{name}/{spec.block_index}", payload))
+            checksum = crc32c(payload)
+            block_crcs.append(checksum)
+            payloads.append(
+                (f"{name}/{spec.block_index}", payload, checksum)
+            )
             raw_total += block_data.nbytes
             compressed_total += len(payload)
             num_blocks += 1
@@ -153,22 +164,22 @@ def save_snapshot(
                 predicted[f"{name}/{spec.block_index}"] = (
                     estimate.compressed_nbytes
                 )
-        for dataset, _ in payloads:
+        for dataset, _, _ in payloads:
             writer.reserve(dataset, predicted[dataset])
 
         if async_io:
             with AsyncWriter(writer) as background:
                 jobs = [
-                    background.submit(dataset, payload)
-                    for dataset, payload in payloads
+                    background.submit(dataset, payload, checksum=checksum)
+                    for dataset, payload, checksum in payloads
                 ]
                 background.drain()
             overflow_blocks = sum(
                 1 for j in jobs if j.fit_reservation is False
             )
         else:
-            for dataset, payload in payloads:
-                if not writer.write(dataset, payload):
+            for dataset, payload, checksum in payloads:
+                if not writer.write(dataset, payload, checksum=checksum):
                     overflow_blocks += 1
 
         if shared_codebook is not None:
@@ -209,23 +220,67 @@ def load_snapshot(
     with reader_cm as reader:
         if _MANIFEST not in reader.entries:
             raise ValueError(f"{path} has no snapshot manifest")
-        manifest = json.loads(reader.read(_MANIFEST).decode())
+        try:
+            manifest = json.loads(reader.read(_MANIFEST).decode())
+        except ValueError as exc:
+            raise ValueError(
+                f"snapshot {path}: manifest is corrupt: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise ValueError(
+                f"snapshot {path}: manifest is corrupt: expected a JSON "
+                f"object, got {type(manifest).__name__}"
+            )
         shared = None
         if _CODEBOOK in reader.entries:
-            shared = codebook_from_bytes(reader.read(_CODEBOOK))
+            try:
+                shared = codebook_from_bytes(reader.read(_CODEBOOK))
+            except ValueError as exc:
+                raise ValueError(
+                    f"snapshot {path}: shared codebook is corrupt: {exc}"
+                ) from exc
 
         fields: dict[str, np.ndarray] = {}
         for name, meta in manifest.items():
+            try:
+                block_bytes = _infer_block_bytes(meta, reader, name)
+            except ValueError as exc:
+                entry = reader.entries.get(f"{name}/0")
+                offset = getattr(entry, "offset", None)
+                raise ValueError(
+                    f"snapshot {path}: field {name!r} block 0"
+                    + (f" (offset {offset})" if offset is not None else "")
+                    + f": {exc}"
+                ) from exc
             specs = plan_blocks(
                 name,
                 tuple(meta["shape"]),
                 np.dtype(meta["dtype"]).itemsize,
-                _infer_block_bytes(meta, reader, name),
+                block_bytes,
             )
+            declared_crcs = meta.get("block_crc32c")
             blocks = []
             for spec in specs:
-                payload = reader.read(f"{name}/{spec.block_index}")
-                block = CompressedBlock.from_bytes(payload)
+                index = spec.block_index
+                key = f"{name}/{index}"
+                entry = reader.entries.get(key)
+                offset = getattr(entry, "offset", None)
+                where = (
+                    f"snapshot {path}: field {name!r} block {index}"
+                    + (f" (offset {offset})" if offset is not None else "")
+                )
+                if entry is None:
+                    raise ValueError(f"{where}: missing from container")
+                expected = None
+                if declared_crcs is not None and index < len(declared_crcs):
+                    expected = declared_crcs[index]
+                try:
+                    payload = reader.read(key)
+                    block = CompressedBlock.from_bytes(
+                        payload, expected_crc32c=expected
+                    )
+                except ValueError as exc:
+                    raise ValueError(f"{where}: {exc}") from exc
                 if verify_bounds:
                     if block.shape != spec.shape:
                         raise ValueError(

@@ -14,6 +14,12 @@ A :class:`~repro.resilience.retry.RetryPolicy` makes the worker retry
 transiently failing writes with (wall-clock) exponential backoff before
 surfacing the error at ``wait()`` — the real-file counterpart of the
 simulated retry loop in :class:`~repro.io.filesystem.SimulatedFileSystem`.
+
+Shutdown never hangs: the worker is a daemon thread, ``close()`` and
+``drain()`` take optional timeouts, and if the worker dies every queued
+job fails with a clear error instead of blocking its waiter forever.
+Jobs submitted with a ``checksum`` re-verify their payload's CRC32C in
+the worker, so corruption while queued is detected before the write.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..durability.checksum import crc32c
 from ..resilience.retry import RetryPolicy
 from .hdf5like import SharedFileWriter
 
@@ -35,6 +42,7 @@ class WriteJob:
 
     name: str
     payload: bytes
+    checksum: int | None = None
     _done: threading.Event = field(default_factory=threading.Event)
     fit_reservation: bool | None = None
     error: BaseException | None = None
@@ -63,29 +71,57 @@ class AsyncWriter:
             target=self._drain, name="repro-async-io", daemon=True
         )
         self._closed = False
+        self._worker_exited = threading.Event()
         self._thread.start()
 
-    def submit(self, name: str, payload: bytes) -> WriteJob:
-        """Queue one write; returns immediately."""
+    def submit(
+        self, name: str, payload: bytes, checksum: int | None = None
+    ) -> WriteJob:
+        """Queue one write; returns immediately.
+
+        ``checksum`` is the payload's CRC32C from compression time; the
+        worker re-verifies it just before writing.
+        """
         if self._closed:
             raise ValueError("writer is closed")
-        job = WriteJob(name=name, payload=payload)
+        job = WriteJob(name=name, payload=payload, checksum=checksum)
         self._queue.put(job)
+        if self._worker_exited.is_set():
+            self._fail_pending()  # lost race with a dying worker
         return job
 
-    def drain(self) -> None:
-        """Block until every queued job has completed."""
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every queued job has completed.
+
+        Raises ``TimeoutError`` if the queue did not empty in time and
+        ``RuntimeError`` if the worker thread is gone.
+        """
         barrier = WriteJob(name="", payload=b"")
         self._queue.put(barrier)
-        barrier.wait()
+        if self._worker_exited.is_set():
+            self._fail_pending()
+        if not barrier.wait(timeout):
+            raise TimeoutError(
+                f"async writer did not drain within {timeout}s"
+            )
 
-    def close(self) -> None:
-        """Finish outstanding work and stop the worker thread."""
+    def close(self, timeout: float | None = None) -> None:
+        """Finish outstanding work and stop the worker thread.
+
+        With a ``timeout``, raises ``TimeoutError`` if outstanding jobs
+        (e.g. one wedged in a retry loop) outlast it; the worker is a
+        daemon thread, so a timed-out close never prevents interpreter
+        exit.
+        """
         if self._closed:
             return
         self._closed = True
         self._queue.put(None)
-        self._thread.join()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(
+                f"async writer worker still busy after {timeout}s"
+            )
 
     def __enter__(self) -> "AsyncWriter":
         return self
@@ -94,19 +130,54 @@ class AsyncWriter:
         self.close()
 
     def _drain(self) -> None:
+        try:
+            while True:
+                job = self._queue.get()
+                if job is None:
+                    return
+                if job.name == "" and not job.payload:
+                    job._done.set()  # drain barrier
+                    continue
+                try:
+                    self._verify_payload(job)
+                    job.fit_reservation = self._write_with_retry(job)
+                except BaseException as exc:  # surfaced at wait()
+                    job.error = exc
+                finally:
+                    job._done.set()
+        finally:
+            # Normal shutdown or a crashed worker: either way nothing
+            # will service the queue again, so fail whatever is left
+            # rather than letting its waiters block forever.
+            self._worker_exited.set()
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
         while True:
-            job = self._queue.get()
-            if job is None:
-                return
-            if job.name == "" and not job.payload:
-                job._done.set()  # drain barrier
-                continue
             try:
-                job.fit_reservation = self._write_with_retry(job)
-            except BaseException as exc:  # surfaced at wait()
-                job.error = exc
-            finally:
-                job._done.set()
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if job is None:
+                continue
+            if job.name == "" and not job.payload:
+                job._done.set()  # unblock drain barriers too
+                continue
+            job.error = RuntimeError(
+                f"async writer worker exited before job {job.name!r} "
+                f"ran; the write never happened"
+            )
+            job._done.set()
+
+    def _verify_payload(self, job: WriteJob) -> None:
+        if job.checksum is None:
+            return
+        actual = crc32c(job.payload)
+        if actual != job.checksum:
+            raise ValueError(
+                f"job {job.name!r}: payload corrupted while queued "
+                f"(declared {job.checksum:#010x}, computed {actual:#010x})"
+            )
 
     def _write_with_retry(self, job: WriteJob) -> bool:
         """One write, retried per the policy with wall-clock backoff."""
@@ -116,6 +187,10 @@ class AsyncWriter:
         while True:
             job.attempts += 1
             try:
+                if job.checksum is not None:
+                    return self._writer.write(
+                        job.name, job.payload, checksum=job.checksum
+                    )
                 return self._writer.write(job.name, job.payload)
             except Exception:
                 if policy is None or job.attempts >= attempts:

@@ -16,6 +16,15 @@ mechanics the paper's implementation relies on (Section 4.4):
 
 Writes go through :func:`os.pwrite`-style positioned I/O so multiple
 threads (the async-I/O layer) can write concurrently to one descriptor.
+
+Durability (format v2, magic ``RPIO0002``): the writer builds the
+container at a same-directory temp path (:attr:`SharedFileWriter.data_path`)
+and only fsyncs + renames it to the final name at :meth:`close`, so a
+reader at the final path never observes a file without its footer.
+Every dataset written through the writer carries a CRC32C, and the
+footer JSON itself is covered by a CRC32C in the tail record.  v1
+containers (``RPIO0001``, zlib CRC-32 entries, unchecksummed footer)
+still read.
 """
 
 from __future__ import annotations
@@ -27,19 +36,25 @@ import threading
 import zlib
 from dataclasses import dataclass
 
+from ..durability.atomic import fsync_dir, temp_path_for
+from ..durability.checksum import crc32c
+
 __all__ = ["DatasetEntry", "SharedFileWriter", "SharedFileReader"]
 
-_MAGIC = b"RPIO0001"
-_FOOTER_STRUCT = "<Q8s"  # footer length + magic, at the very end
+_MAGIC_V1 = b"RPIO0001"
+_MAGIC = b"RPIO0002"
+_FOOTER_STRUCT_V1 = "<Q8s"  # footer length + magic, at the very end
+_FOOTER_STRUCT = "<QI8s"  # footer length + footer CRC32C + magic
 
 
 @dataclass
 class DatasetEntry:
     """Location of one stored dataset (block) in the shared file.
 
-    ``crc32`` is the zlib CRC of the payload, or None when the data was
-    written externally (the parallel-dump path) and never passed through
-    this writer.
+    ``crc32c`` is the Castagnoli CRC of the payload (v2 containers);
+    ``crc32`` is the zlib CRC older v1 containers recorded.  Both are
+    None when the data was written externally (the parallel-dump path)
+    and never passed through this writer.
     """
 
     name: str
@@ -48,21 +63,41 @@ class DatasetEntry:
     reserved: int
     overflowed: bool
     crc32: int | None = None
+    crc32c: int | None = None
 
 
 class SharedFileWriter:
     """Writer for the shared container; thread-safe positioned writes."""
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(
+        self, path: str | os.PathLike, durable: bool = True
+    ) -> None:
         self._path = os.fspath(path)
+        self._data_path = temp_path_for(self._path)
+        self._durable = durable
         self._fd = os.open(
-            self._path, os.O_CREAT | os.O_RDWR | os.O_TRUNC, 0o644
+            self._data_path, os.O_CREAT | os.O_RDWR | os.O_TRUNC, 0o644
         )
         os.write(self._fd, _MAGIC)
         self._cursor = len(_MAGIC)  # next free reservation offset
         self._entries: dict[str, DatasetEntry] = {}
         self._lock = threading.Lock()
         self._closed = False
+
+    @property
+    def path(self) -> str:
+        """The final (published) container path."""
+        return self._path
+
+    @property
+    def data_path(self) -> str:
+        """Where the bytes physically live *right now*.
+
+        The in-progress temp file while open; the final path once
+        closed.  External writers (the parallel-dump workers pwriting
+        reserved slots from other processes) must target this path.
+        """
+        return self._path if self._closed else self._data_path
 
     def reserve(self, name: str, predicted_nbytes: int) -> int:
         """Reserve ``predicted_nbytes`` for ``name``; returns its offset."""
@@ -83,14 +118,28 @@ class SharedFileWriter:
             )
             return offset
 
-    def write(self, name: str, payload: bytes) -> bool:
+    def write(
+        self, name: str, payload: bytes, checksum: int | None = None
+    ) -> bool:
         """Write a dataset into its reservation, or overflow if too big.
 
         Returns True when the payload fit its reservation, False when it
         was appended to the overflow region instead (the caller then
         queues the write as the paper's extra trailing I/O task — timing
         is the caller's concern; the data lands correctly either way).
+
+        ``checksum`` is the payload's CRC32C as computed upstream (at
+        compression time); when given, the write re-checks it so a
+        payload corrupted between compression and I/O is rejected here
+        instead of poisoning the file.
         """
+        actual = crc32c(payload)
+        if checksum is not None and checksum != actual:
+            raise ValueError(
+                f"dataset {name!r}: payload failed its end-to-end "
+                f"checksum before write (declared {checksum:#010x}, "
+                f"computed {actual:#010x})"
+            )
         with self._lock:
             self._check_open()
             entry = self._entries.get(name)
@@ -108,15 +157,19 @@ class SharedFileWriter:
             entry.offset = offset
             entry.nbytes = len(payload)
             entry.overflowed = overflowed
-            entry.crc32 = zlib.crc32(payload)
+            entry.crc32c = actual
         os.pwrite(self._fd, payload, offset)
         return not overflowed
 
-    def commit_external(self, name: str, nbytes: int) -> None:
+    def commit_external(
+        self, name: str, nbytes: int, checksum: int | None = None
+    ) -> None:
         """Record that ``nbytes`` were written into ``name``'s reservation
-        by someone else (another process pwriting the same file — the
+        by someone else (another process pwriting :attr:`data_path` — the
         parallel-dump path).  The payload must fit the reservation; the
         overflow path needs the writer's own cursor and stays in-process.
+        ``checksum`` (CRC32C, when the external writer computed one) is
+        recorded in the footer so readers can still verify the bytes.
         """
         with self._lock:
             self._check_open()
@@ -131,9 +184,19 @@ class SharedFileWriter:
                     f"{entry.reserved} for {name!r}"
                 )
             entry.nbytes = nbytes
+            entry.crc32c = checksum
 
-    def write_unreserved(self, name: str, payload: bytes) -> None:
+    def write_unreserved(
+        self, name: str, payload: bytes, checksum: int | None = None
+    ) -> None:
         """Append a dataset that never had a reservation."""
+        actual = crc32c(payload)
+        if checksum is not None and checksum != actual:
+            raise ValueError(
+                f"dataset {name!r}: payload failed its end-to-end "
+                f"checksum before write (declared {checksum:#010x}, "
+                f"computed {actual:#010x})"
+            )
         with self._lock:
             self._check_open()
             if name in self._entries:
@@ -146,7 +209,7 @@ class SharedFileWriter:
                 nbytes=len(payload),
                 reserved=0,
                 overflowed=False,
-                crc32=zlib.crc32(payload),
+                crc32c=actual,
             )
         os.pwrite(self._fd, payload, offset)
 
@@ -158,7 +221,7 @@ class SharedFileWriter:
             )
 
     def close(self) -> None:
-        """Write the footer index and close the descriptor."""
+        """Write the footer index, fsync, and publish under the final name."""
         with self._lock:
             if self._closed:
                 return
@@ -168,22 +231,44 @@ class SharedFileWriter:
                     "nbytes": e.nbytes,
                     "reserved": e.reserved,
                     "overflowed": e.overflowed,
-                    "crc32": e.crc32,
+                    "crc32c": e.crc32c,
                 }
                 for name, e in self._entries.items()
             }
             footer = json.dumps(index).encode()
             os.pwrite(self._fd, footer, self._cursor)
-            tail = struct.pack(_FOOTER_STRUCT, len(footer), _MAGIC)
+            tail = struct.pack(
+                _FOOTER_STRUCT, len(footer), crc32c(footer), _MAGIC
+            )
             os.pwrite(self._fd, tail, self._cursor + len(footer))
+            if self._durable:
+                os.fsync(self._fd)
             os.close(self._fd)
+            os.replace(self._data_path, self._path)
+            if self._durable:
+                fsync_dir(os.path.dirname(self._path))
+            self._closed = True
+
+    def abort(self) -> None:
+        """Drop the in-progress temp file without publishing anything."""
+        with self._lock:
+            if self._closed:
+                return
+            os.close(self._fd)
+            try:
+                os.unlink(self._data_path)
+            except OSError:
+                pass
             self._closed = True
 
     def __enter__(self) -> "SharedFileWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -196,22 +281,61 @@ class SharedFileReader:
     def __init__(self, path: str | os.PathLike) -> None:
         self._path = os.fspath(path)
         self._fd = os.open(self._path, os.O_RDONLY)
+        try:
+            self.entries = self._load_index()
+        except Exception:
+            os.close(self._fd)
+            raise
+
+    def _load_index(self) -> dict[str, DatasetEntry]:
         size = os.fstat(self._fd).st_size
-        tail_size = struct.calcsize(_FOOTER_STRUCT)
-        if size < len(_MAGIC) + tail_size:
-            os.close(self._fd)
-            raise ValueError("file too small to be a shared container")
+        min_tail = struct.calcsize(_FOOTER_STRUCT_V1)
+        if size < len(_MAGIC) + min_tail:
+            raise ValueError(
+                f"{self._path}: file too small to be a shared container"
+            )
         head = os.pread(self._fd, len(_MAGIC), 0)
-        tail = os.pread(self._fd, tail_size, size - tail_size)
-        footer_len, magic = struct.unpack(_FOOTER_STRUCT, tail)
-        if head != _MAGIC or magic != _MAGIC:
-            os.close(self._fd)
-            raise ValueError("not a shared container file")
+        magic = os.pread(self._fd, 8, size - 8)
+        if head not in (_MAGIC, _MAGIC_V1) or magic not in (
+            _MAGIC,
+            _MAGIC_V1,
+        ):
+            raise ValueError(f"{self._path}: not a shared container file")
+        if magic == _MAGIC:
+            tail_size = struct.calcsize(_FOOTER_STRUCT)
+            if size < len(_MAGIC) + tail_size:
+                raise ValueError(
+                    f"{self._path}: file too small to be a shared container"
+                )
+            tail = os.pread(self._fd, tail_size, size - tail_size)
+            footer_len, footer_crc, _ = struct.unpack(_FOOTER_STRUCT, tail)
+        else:
+            tail_size = struct.calcsize(_FOOTER_STRUCT_V1)
+            tail = os.pread(self._fd, tail_size, size - tail_size)
+            footer_len, _ = struct.unpack(_FOOTER_STRUCT_V1, tail)
+            footer_crc = None
+        if footer_len > size - tail_size - len(_MAGIC):
+            raise ValueError(
+                f"{self._path}: footer length {footer_len} exceeds "
+                f"file size {size}"
+            )
         footer = os.pread(
             self._fd, footer_len, size - tail_size - footer_len
         )
-        raw = json.loads(footer.decode())
-        self.entries = {
+        if footer_crc is not None:
+            actual = crc32c(footer)
+            if actual != footer_crc:
+                raise ValueError(
+                    f"{self._path}: container footer failed its checksum "
+                    f"(stored {footer_crc:#010x}, read {actual:#010x})"
+                )
+        try:
+            raw = json.loads(footer.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(
+                f"{self._path}: container footer is not valid JSON: {exc}"
+            ) from exc
+        return {
             name: DatasetEntry(name=name, **info)
             for name, info in raw.items()
         }
@@ -220,16 +344,31 @@ class SharedFileReader:
         return sorted(self.entries)
 
     def read(self, name: str, verify: bool = True) -> bytes:
-        """Read one dataset; with ``verify`` (default) the stored CRC32,
+        """Read one dataset; with ``verify`` (default) the stored CRC,
         when present, is checked and corruption raises ``ValueError``."""
         entry = self.entries[name]
         payload = os.pread(self._fd, entry.nbytes, entry.offset)
-        if verify and entry.crc32 is not None:
+        if len(payload) != entry.nbytes:
+            raise ValueError(
+                f"dataset {name!r} truncated: footer declares "
+                f"{entry.nbytes} bytes at offset {entry.offset}, "
+                f"file holds {len(payload)}"
+            )
+        if verify and entry.crc32c is not None:
+            actual = crc32c(payload)
+            if actual != entry.crc32c:
+                raise ValueError(
+                    f"dataset {name!r} failed its checksum at offset "
+                    f"{entry.offset} (stored {entry.crc32c:#010x}, "
+                    f"read {actual:#010x})"
+                )
+        elif verify and entry.crc32 is not None:
             actual = zlib.crc32(payload)
             if actual != entry.crc32:
                 raise ValueError(
-                    f"dataset {name!r} failed its checksum "
-                    f"(stored {entry.crc32:#x}, read {actual:#x})"
+                    f"dataset {name!r} failed its checksum at offset "
+                    f"{entry.offset} (stored {entry.crc32:#x}, "
+                    f"read {actual:#x})"
                 )
         return payload
 

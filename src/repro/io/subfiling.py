@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 
+from ..durability.atomic import DurableFile
 from .hdf5like import SharedFileReader, SharedFileWriter
 
 __all__ = ["SubfileWriter", "SubfileReader"]
@@ -58,27 +59,35 @@ class SubfileWriter:
         self._assignment[name] = subfile
         return self._writers[subfile].reserve(name, predicted_nbytes)
 
-    def write(self, name: str, payload: bytes) -> bool:
+    def write(
+        self, name: str, payload: bytes, checksum: int | None = None
+    ) -> bool:
         subfile = self._assignment.get(name)
         if subfile is None:
             raise KeyError(f"dataset {name!r} was never reserved")
-        return self._writers[subfile].write(name, payload)
+        return self._writers[subfile].write(name, payload, checksum=checksum)
 
-    def write_unreserved(self, name: str, payload: bytes) -> None:
+    def write_unreserved(
+        self, name: str, payload: bytes, checksum: int | None = None
+    ) -> None:
         if name in self._assignment:
             raise ValueError(f"dataset {name!r} already exists")
         subfile = self._next
         self._next = (self._next + 1) % len(self._writers)
         self._assignment[name] = subfile
-        self._writers[subfile].write_unreserved(name, payload)
+        self._writers[subfile].write_unreserved(
+            name, payload, checksum=checksum
+        )
 
     def close(self) -> None:
         if self._closed:
             return
         for writer in self._writers:
             writer.close()
+        # The index is the directory's commit point: written atomically
+        # last, so a crash mid-dump leaves no readable-but-torn layout.
         index_path = os.path.join(self._directory, _INDEX_NAME)
-        with open(index_path, "w", encoding="utf-8") as fh:
+        with DurableFile(index_path, "w") as fh:
             json.dump(
                 {
                     "num_subfiles": len(self._writers),
@@ -121,11 +130,11 @@ class SubfileReader:
     def names(self) -> list[str]:
         return sorted(self._assignment)
 
-    def read(self, name: str) -> bytes:
+    def read(self, name: str, verify: bool = True) -> bytes:
         subfile = self._assignment.get(name)
         if subfile is None:
             raise KeyError(f"dataset {name!r} not in index")
-        return self._readers[subfile].read(name)
+        return self._readers[subfile].read(name, verify=verify)
 
     def close(self) -> None:
         for reader in self._readers:

@@ -40,6 +40,7 @@ from ..compression import (
     reassemble_field,
     slice_field,
 )
+from ..durability.checksum import crc32c
 from ..io import SharedFileReader, SharedFileWriter
 
 __all__ = ["ParallelDumpStats", "parallel_dump", "parallel_verify"]
@@ -70,7 +71,7 @@ def _compress_rank(args):
     app, rank, iteration, fields, block_bytes, spool_dir = args
     compressor = SZCompressor()
     spool_path = os.path.join(spool_dir, f"rank{rank}.spool")
-    manifest = []  # (dataset, spool_offset, nbytes)
+    manifest = []  # (dataset, spool_offset, nbytes, crc32c)
     raw_bytes = 0
     offset = 0
     with open(spool_path, "wb") as spool:
@@ -88,6 +89,7 @@ def _compress_rank(args):
                         _dataset_name(rank, field_name, spec.block_index),
                         offset,
                         len(payload),
+                        crc32c(payload),
                     )
                 )
                 offset += len(payload)
@@ -149,16 +151,18 @@ def parallel_dump(
         spool_paths[rank] = spool_path
         raw_bytes += rank_raw
         placements = []
-        for dataset, spool_offset, nbytes in manifest:
+        for dataset, spool_offset, nbytes, _ in manifest:
             file_offset = writer.reserve(dataset, nbytes)
             placements.append((spool_offset, nbytes, file_offset))
             compressed_bytes += nbytes
             num_blocks += 1
         placements_per_rank[rank] = placements
 
+    # Workers pwrite the writer's in-progress temp file; the container
+    # only appears at the final path once close() publishes it whole.
     t0 = time.perf_counter()
     write_jobs = [
-        (spool_paths[rank], os.fspath(path), placements_per_rank[rank])
+        (spool_paths[rank], writer.data_path, placements_per_rank[rank])
         for rank in range(ranks)
     ]
     with ctx.Pool(num_workers) as pool:
@@ -166,8 +170,8 @@ def parallel_dump(
     write_wall = time.perf_counter() - t0
 
     for rank, _, manifest, _ in compressed:
-        for dataset, _, nbytes in manifest:
-            writer.commit_external(dataset, nbytes)
+        for dataset, _, nbytes, payload_crc in manifest:
+            writer.commit_external(dataset, nbytes, checksum=payload_crc)
     writer.close()
     for spool_path in spool_paths.values():
         os.unlink(spool_path)

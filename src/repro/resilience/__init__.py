@@ -22,13 +22,19 @@ from .faults import (
     CompressionFault,
     FaultInjector,
     FaultPlan,
+    ProcessKillFault,
     StallFault,
     StragglerFault,
     WriteErrorFault,
 )
 from .report import ResilienceLog, ResilienceReport
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, WriteFailedError
-from .spec import FaultSpec, load_fault_spec, parse_fault_spec
+from .spec import (
+    FaultSpec,
+    load_fault_spec,
+    load_spec_data,
+    parse_fault_spec,
+)
 
 __all__ = [
     "FaultPlan",
@@ -38,6 +44,7 @@ __all__ = [
     "BandwidthFault",
     "CompressionFault",
     "StragglerFault",
+    "ProcessKillFault",
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
     "WriteFailedError",
@@ -46,4 +53,5 @@ __all__ = [
     "FaultSpec",
     "parse_fault_spec",
     "load_fault_spec",
+    "load_spec_data",
 ]

@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..durability.crashpoints import CRASH_POINTS
 from .report import ResilienceLog
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "BandwidthFault",
     "CompressionFault",
     "StragglerFault",
+    "ProcessKillFault",
     "FaultPlan",
     "FaultInjector",
 ]
@@ -162,6 +164,34 @@ class StragglerFault:
 
 
 @dataclass(frozen=True)
+class ProcessKillFault:
+    """Kill the whole process at a durability crash point.
+
+    The chaos-testing fault: when the campaign journal passes crash
+    point ``point`` during ``iteration`` (``-1`` = any iteration), the
+    process dies via ``os._exit`` — no cleanup, no atexit, exactly like
+    a node loss.  A resumed run must recover every committed iteration.
+    """
+
+    iteration: int = -1
+    point: str = "post-commit"
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.point not in CRASH_POINTS:
+            raise ValueError(
+                f"fault spec: process_kill.point must be one of "
+                f"{list(CRASH_POINTS)}, got {self.point!r}"
+            )
+        if self.iteration < -1:
+            raise ValueError(
+                "fault spec: process_kill.iteration must be >= -1 "
+                f"(-1 = any iteration), got {self.iteration!r}"
+            )
+        _check_probability("process_kill", self.probability)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Which fault classes a campaign injects, with their parameters."""
 
@@ -170,6 +200,7 @@ class FaultPlan:
     bandwidth: BandwidthFault | None = None
     compression: CompressionFault | None = None
     straggler: StragglerFault | None = None
+    process_kill: ProcessKillFault | None = None
 
     @property
     def any_faults(self) -> bool:
@@ -183,6 +214,8 @@ class FaultPlan:
                 self.compression is not None
                 and self.compression.probability > 0,
                 self.straggler is not None and bool(self.straggler.ranks),
+                self.process_kill is not None
+                and self.process_kill.probability > 0,
             )
         )
 
@@ -196,6 +229,7 @@ _SALTS = {
     "compression": 19,
     "straggler": 23,
     "retry": 29,
+    "process_kill": 31,
 }
 
 
@@ -218,6 +252,9 @@ class FaultInjector:
     ) -> None:
         self.plan = plan
         self.seed = seed
+        # Resumed runs disarm process-kill injection so a crash point
+        # that fired in the original run cannot re-fire during replay.
+        self.crash_enabled = True
         self.log = log if log is not None else ResilienceLog()
         if plan.straggler is not None:
             self.log.straggler_ranks = tuple(plan.straggler.ranks)
@@ -321,6 +358,43 @@ class FaultInjector:
             self._cached(
                 "compression",
                 (rank, iteration, job),
+                draw,
+                lambda v: bool(v),
+            )
+        )
+
+    def process_kill_fires(self, point: str, iteration: int) -> bool:
+        """Whether the process dies at this crash point, this iteration.
+
+        ``iteration`` matching is exact unless the fault declares ``-1``
+        (any); the ``"report"`` point fires regardless of iteration since
+        report writing happens after the loop.  Deterministic: the draw
+        is keyed by the point alone, so asking twice cannot flip the
+        answer.
+        """
+        fault = self.plan.process_kill
+        if (
+            fault is None
+            or fault.probability <= 0
+            or not self.crash_enabled
+        ):
+            return False
+        if point != fault.point:
+            return False
+        if point != "report" and fault.iteration not in (-1, iteration):
+            return False
+
+        def draw(rng: np.random.Generator) -> bool:
+            return bool(rng.random() < fault.probability)
+
+        # Seed tuples must be non-negative; the "report" point's -1
+        # sentinel maps to 0 (no real iteration shares the report key
+        # because the point index disambiguates).
+        point_key = CRASH_POINTS.index(point)
+        return bool(
+            self._cached(
+                "process_kill",
+                (point_key, max(0, iteration)),
                 draw,
                 lambda v: bool(v),
             )

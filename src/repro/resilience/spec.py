@@ -26,13 +26,19 @@ from .faults import (
     BandwidthFault,
     CompressionFault,
     FaultPlan,
+    ProcessKillFault,
     StallFault,
     StragglerFault,
     WriteErrorFault,
 )
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
-__all__ = ["FaultSpec", "parse_fault_spec", "load_fault_spec"]
+__all__ = [
+    "FaultSpec",
+    "parse_fault_spec",
+    "load_fault_spec",
+    "load_spec_data",
+]
 
 _SECTIONS = {
     "stall": StallFault,
@@ -40,6 +46,7 @@ _SECTIONS = {
     "bandwidth": BandwidthFault,
     "compression": CompressionFault,
     "straggler": StragglerFault,
+    "process_kill": ProcessKillFault,
 }
 _TOP_LEVEL = set(_SECTIONS) | {"retry", "seed"}
 
@@ -67,16 +74,39 @@ def _build_section(name: str, cls: type, data: object):
                 f"(allowed: {', '.join(sorted(allowed))})"
             )
     kwargs = dict(data)
-    if name == "straggler" and "ranks" in kwargs:
-        ranks = kwargs["ranks"]
-        if not isinstance(ranks, (list, tuple)) or not all(
-            isinstance(r, int) and not isinstance(r, bool) for r in ranks
+    # Scalar type checks up front, naming the offending key — a string
+    # probability must not surface as a TypeError from a comparison deep
+    # inside the dataclass.
+    for key, value in kwargs.items():
+        if key == "ranks":
+            if not isinstance(value, (list, tuple)) or not all(
+                isinstance(r, int) and not isinstance(r, bool)
+                for r in value
+            ):
+                raise ValueError(
+                    f"fault spec: {name}.ranks must be a list of ints, "
+                    f"got {value!r}"
+                )
+            kwargs["ranks"] = tuple(value)
+        elif key == "point":
+            if not isinstance(value, str):
+                raise ValueError(
+                    f"fault spec: {name}.point must be a string, "
+                    f"got {value!r}"
+                )
+        elif key == "iteration":
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"fault spec: {name}.iteration must be an integer, "
+                    f"got {value!r}"
+                )
+        elif not isinstance(value, (int, float)) or isinstance(
+            value, bool
         ):
             raise ValueError(
-                "fault spec: straggler.ranks must be a list of ints, "
-                f"got {ranks!r}"
+                f"fault spec: {name}.{key} must be a number, "
+                f"got {value!r}"
             )
-        kwargs["ranks"] = tuple(ranks)
     try:
         return cls(**kwargs)
     except TypeError as exc:
@@ -93,8 +123,8 @@ def parse_fault_spec(data: dict) -> FaultSpec:
     for key in data:
         if key not in _TOP_LEVEL:
             raise ValueError(
-                f"fault spec: unknown top-level field {key!r} "
-                f"(allowed: {', '.join(sorted(_TOP_LEVEL))})"
+                f"fault spec: unknown fault kind {key!r} "
+                f"(valid kinds: {', '.join(sorted(_TOP_LEVEL))})"
             )
 
     sections = {
@@ -131,8 +161,13 @@ def parse_fault_spec(data: dict) -> FaultSpec:
     return FaultSpec(plan=plan, retry=retry, seed=seed)
 
 
-def load_fault_spec(path: str | Path) -> FaultSpec:
-    """Load and validate a fault-spec file (YAML, or JSON as fallback)."""
+def load_spec_data(path: str | Path):
+    """Read a fault-spec file into its raw mapping (no validation).
+
+    The raw form is what a campaign journal embeds in its header, so a
+    resumed run reproduces the exact fault plan even if the original
+    spec file moved or changed.
+    """
     text = Path(path).read_text()
     try:
         import yaml
@@ -153,6 +188,12 @@ def load_fault_spec(path: str | Path) -> FaultSpec:
             raise ValueError(f"fault spec {path}: invalid YAML: {exc}") from exc
     if data is None:
         raise ValueError(f"fault spec {path}: file is empty")
+    return data
+
+
+def load_fault_spec(path: str | Path) -> FaultSpec:
+    """Load and validate a fault-spec file (YAML, or JSON as fallback)."""
+    data = load_spec_data(path)
     try:
         return parse_fault_spec(data)
     except ValueError as exc:

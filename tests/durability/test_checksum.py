@@ -1,0 +1,119 @@
+"""CRC32C: known vectors, chaining, combination, vectorized kernel."""
+
+import numpy as np
+import pytest
+
+from repro.durability import checksum as cs
+from repro.durability.checksum import crc32c, crc32c_combine, crc32c_hex
+
+
+class TestVectors:
+    """The standard Castagnoli check values (RFC 3720 / iSCSI)."""
+
+    def test_check_string(self):
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_zeros(self):
+        assert crc32c(bytes(32)) == 0x8A9136AA
+
+    def test_ones(self):
+        assert crc32c(b"\xff" * 32) == 0x62A8AB43
+
+    def test_incrementing(self):
+        assert crc32c(bytes(range(32))) == 0x46DD794E
+
+    def test_empty(self):
+        assert crc32c(b"") == 0
+
+    def test_hex_form(self):
+        assert crc32c_hex(b"123456789") == "e3069283"
+
+
+class TestChaining:
+    def test_running_value_matches_one_shot(self, rng):
+        data = rng.integers(0, 256, size=10_000, dtype=np.uint8).tobytes()
+        split = 3_333
+        running = crc32c(data[split:], crc32c(data[:split]))
+        assert running == crc32c(data)
+
+    def test_byte_at_a_time(self, rng):
+        data = rng.integers(0, 256, size=100, dtype=np.uint8).tobytes()
+        state = 0
+        for i in range(len(data)):
+            state = crc32c(data[i : i + 1], state)
+        assert state == crc32c(data)
+
+    def test_memoryview_and_ndarray_inputs(self, rng):
+        arr = rng.integers(0, 256, size=512, dtype=np.uint8)
+        blob = arr.tobytes()
+        assert crc32c(memoryview(blob)) == crc32c(blob)
+        assert crc32c(arr) == crc32c(blob)
+
+
+class TestVectorizedKernel:
+    """The numpy lockstep path must agree with the bytewise reference."""
+
+    @pytest.mark.parametrize(
+        "length",
+        [
+            0,
+            1,
+            cs._CHUNK - 1,
+            cs._CHUNK,
+            cs._VECTOR_MIN - 1,
+            cs._VECTOR_MIN,
+            cs._VECTOR_MIN + 1,
+            cs._VECTOR_MIN + cs._CHUNK // 2,
+            4 * cs._VECTOR_MIN + 17,
+        ],
+    )
+    def test_matches_bytewise(self, length, rng):
+        data = rng.integers(0, 256, size=length, dtype=np.uint8).tobytes()
+        reference = cs._bytewise(memoryview(data), 0xFFFFFFFF) ^ 0xFFFFFFFF
+        assert crc32c(data) == reference
+
+    def test_matches_bytewise_with_seed(self, rng):
+        data = rng.integers(
+            0, 256, size=cs._VECTOR_MIN + 5, dtype=np.uint8
+        ).tobytes()
+        seed = crc32c(b"prefix")
+        reference = (
+            cs._bytewise(memoryview(data), seed ^ 0xFFFFFFFF) ^ 0xFFFFFFFF
+        )
+        assert crc32c(data, seed) == reference
+
+    def test_random_lengths_property(self, rng):
+        for _ in range(20):
+            length = int(rng.integers(0, 4 * cs._VECTOR_MIN))
+            data = rng.integers(
+                0, 256, size=length, dtype=np.uint8
+            ).tobytes()
+            reference = (
+                cs._bytewise(memoryview(data), 0xFFFFFFFF) ^ 0xFFFFFFFF
+            )
+            assert crc32c(data) == reference
+
+
+class TestCombine:
+    def test_combine_equals_concatenation(self, rng):
+        for _ in range(20):
+            n1 = int(rng.integers(0, 2_000))
+            n2 = int(rng.integers(0, 2_000))
+            a = rng.integers(0, 256, size=n1, dtype=np.uint8).tobytes()
+            b = rng.integers(0, 256, size=n2, dtype=np.uint8).tobytes()
+            assert crc32c_combine(crc32c(a), crc32c(b), len(b)) == crc32c(
+                a + b
+            )
+
+    def test_combine_zero_length(self):
+        assert crc32c_combine(0x12345678, crc32c(b""), 0) == 0x12345678
+
+    def test_combine_associates_with_three_parts(self, rng):
+        parts = [
+            rng.integers(0, 256, size=500, dtype=np.uint8).tobytes()
+            for _ in range(3)
+        ]
+        total = crc32c(parts[0])
+        for part in parts[1:]:
+            total = crc32c_combine(total, crc32c(part), len(part))
+        assert total == crc32c(b"".join(parts))

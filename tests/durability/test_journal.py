@@ -1,0 +1,277 @@
+"""Campaign journal: record integrity, torn tails, replay verification."""
+
+import json
+
+import pytest
+
+from repro.durability import (
+    CRASH_POINTS,
+    CampaignJournal,
+    JournalError,
+    canonical_json,
+    decode_record,
+    encode_record,
+    read_journal,
+    set_crash_handler,
+    trigger_crash,
+)
+
+HEADER = {"app": "nyx", "seed": 3, "iterations": 2}
+
+
+class Killed(Exception):
+    """Test stand-in for os._exit at a crash point."""
+
+
+class FakeInjector:
+    """Arms exactly one crash point, at most once."""
+
+    def __init__(self, point: str, iteration: int = -1) -> None:
+        self.point = point
+        self.iteration = iteration
+        self.fired = False
+
+    def process_kill_fires(self, point: str, iteration: int) -> bool:
+        if self.fired or point != self.point:
+            return False
+        if self.iteration not in (-1, iteration):
+            return False
+        self.fired = True
+        return True
+
+
+@pytest.fixture
+def crash_to_exception():
+    def handler(point, iteration):
+        raise Killed(f"{point}@{iteration}")
+
+    previous = set_crash_handler(handler)
+    yield
+    set_crash_handler(previous)
+
+
+def _write_run(path, iterations=2):
+    journal = CampaignJournal.create(path, HEADER, fsync=False)
+    for i in range(iterations):
+        journal.record_plan(i, {"dump": i > 0})
+        journal.record_commit(i, {"overall_s": float(i)})
+    journal.record_end({"iterations": iterations})
+    journal.close()
+
+
+class TestRecords:
+    def test_encode_decode_roundtrip(self):
+        line = encode_record(0, "begin", {"a": 1})
+        record = decode_record(line.rstrip(b"\n"), 1)
+        assert record == {"seq": 0, "type": "begin", "data": {"a": 1}}
+
+    def test_decode_rejects_flipped_byte(self):
+        line = bytearray(encode_record(0, "begin", {"a": 1}).rstrip(b"\n"))
+        # Flip inside the data, keeping the JSON parseable.
+        line[line.index(b"1")] = ord("2")
+        with pytest.raises(JournalError, match="checksum mismatch"):
+            decode_record(bytes(line), 4)
+
+    def test_decode_rejects_missing_field(self):
+        with pytest.raises(JournalError, match="missing field 'crc'"):
+            decode_record(b'{"seq": 0, "type": "x", "data": {}}', 1)
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(JournalError, match="not valid JSON"):
+            decode_record(b"\xff\xfe", 1)
+
+    def test_canonical_json_is_byte_stable(self):
+        assert canonical_json({"b": 1, "a": [1.5, "x"]}) == (
+            '{"a":[1.5,"x"],"b":1}'
+        )
+
+
+class TestReadJournal:
+    def test_full_run_reads_clean(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_run(path)
+        records, good_bytes, torn = read_journal(path)
+        assert [r["type"] for r in records] == [
+            "begin", "plan", "commit", "plan", "commit", "end",
+        ]
+        assert good_bytes == path.stat().st_size
+        assert not torn
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_run(path)
+        size = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq": 6, "type":')  # crashed mid-append
+        records, good_bytes, torn = read_journal(path)
+        assert torn
+        assert good_bytes == size
+        assert len(records) == 6
+
+    def test_corrupt_middle_record_is_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_run(path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[2] = lines[2][:10] + b"X" + lines[2][11:]
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalError, match="line 3"):
+            read_journal(path)
+
+    def test_sequence_gap_is_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "wb") as fh:
+            fh.write(encode_record(0, "begin", HEADER))
+            fh.write(encode_record(2, "plan", {"iteration": 0}))
+            fh.write(encode_record(3, "x", {}))  # gap is not the tail
+        with pytest.raises(JournalError, match="sequence gap"):
+            read_journal(path)
+
+
+class TestResume:
+    def test_resume_complete_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_run(path)
+        journal = CampaignJournal.resume(path)
+        assert journal.header["app"] == "nyx"
+        assert journal.committed_iterations == 2
+        assert journal.is_complete
+        journal.close()
+
+    def test_resume_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_run(path)
+        size = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b"torn garbage")
+        CampaignJournal.resume(path).close()
+        assert path.stat().st_size == size
+
+    def test_replay_verifies_identical_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_run(path)
+        journal = CampaignJournal.resume(path)
+        journal.record_plan(0, {"dump": False})
+        journal.record_commit(0, {"overall_s": 0.0})
+        journal.close()
+
+    def test_replay_divergence_is_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_run(path)
+        journal = CampaignJournal.resume(path)
+        with pytest.raises(JournalError, match="diverged.*iteration 0"):
+            journal.record_commit(0, {"overall_s": 999.0})
+        journal.close()
+
+    def test_resume_continues_appending(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal.create(path, HEADER, fsync=False)
+        journal.record_plan(0, {"dump": False})
+        journal.record_commit(0, {"overall_s": 0.0})
+        journal.record_plan(1, {"dump": True})
+        journal.close()  # crashed before commit 1
+
+        resumed = CampaignJournal.resume(path, fsync=False)
+        assert resumed.committed_iterations == 1
+        assert not resumed.is_complete
+        resumed.record_plan(0, {"dump": False})  # replay
+        resumed.record_commit(0, {"overall_s": 0.0})  # replay
+        resumed.record_plan(1, {"dump": True})  # replay
+        resumed.record_commit(1, {"overall_s": 1.0})  # live append
+        resumed.record_end({"iterations": 2})
+        resumed.close()
+        records, _, torn = read_journal(path)
+        assert not torn
+        assert [r["type"] for r in records] == [
+            "begin", "plan", "commit", "plan", "commit", "end",
+        ]
+
+    def test_structure_violation_is_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "wb") as fh:
+            fh.write(encode_record(0, "begin", HEADER))
+            fh.write(encode_record(1, "commit", {"iteration": 0}))
+            fh.write(encode_record(2, "end", {}))
+        with pytest.raises(JournalError, match="expected a 'plan'"):
+            CampaignJournal.resume(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            CampaignJournal.resume(tmp_path / "absent.jsonl")
+
+
+class TestCrashPoints:
+    def test_crash_point_names_are_closed(self):
+        assert set(CRASH_POINTS) == {
+            "plan", "pre-commit", "torn-commit", "post-commit", "report",
+        }
+
+    def test_trigger_crash_validates_point(self, crash_to_exception):
+        with pytest.raises(ValueError, match="unknown crash point"):
+            trigger_crash("nonsense", 0)
+
+    @pytest.mark.parametrize("point", ["plan", "pre-commit", "post-commit"])
+    def test_injected_kill_fires_at_point(
+        self, tmp_path, crash_to_exception, point
+    ):
+        journal = CampaignJournal.create(
+            tmp_path / "j.jsonl",
+            HEADER,
+            fsync=False,
+            injector=FakeInjector(point, iteration=1),
+        )
+        journal.record_plan(0, {})
+        journal.record_commit(0, {})
+        with pytest.raises(Killed, match=f"{point}@1"):
+            journal.record_plan(1, {})
+            journal.record_commit(1, {})
+        journal.close()
+
+    def test_torn_commit_writes_half_a_line(
+        self, tmp_path, crash_to_exception
+    ):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal.create(
+            path,
+            HEADER,
+            fsync=False,
+            injector=FakeInjector("torn-commit", iteration=0),
+        )
+        journal.record_plan(0, {})
+        with pytest.raises(Killed):
+            journal.record_commit(0, {"overall_s": 0.0})
+        journal.close()
+        blob = path.read_bytes()
+        assert not blob.endswith(b"\n")  # genuinely torn
+        records, _, torn = read_journal(path)
+        assert torn
+        assert [r["type"] for r in records] == ["begin", "plan"]
+        # And the torn journal resumes: iteration 0 is uncommitted.
+        resumed = CampaignJournal.resume(path, fsync=False)
+        assert resumed.committed_iterations == 0
+        resumed.close()
+
+    def test_closed_journal_rejects_appends(self, tmp_path):
+        journal = CampaignJournal.create(
+            tmp_path / "j.jsonl", HEADER, fsync=False
+        )
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.record_plan(0, {})
+
+
+class TestHeaderIntegrity:
+    def test_header_round_trips_json_types(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = {"app": "nyx", "faults": {"stall": {"probability": 0.5}}}
+        CampaignJournal.create(path, header, fsync=False).close()
+        journal = CampaignJournal.resume(path)
+        assert journal.header["faults"] == {"stall": {"probability": 0.5}}
+        assert journal.header["journal_version"] == 1
+        journal.close()
+
+    def test_journal_lines_are_valid_jsonl(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_run(path)
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert {"seq", "type", "data", "crc"} <= set(record)

@@ -1,0 +1,207 @@
+"""The ``repro verify`` scrubber: snapshots, journals, auto-sniffing."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.durability import (
+    CampaignJournal,
+    atomic_write_text,
+    encode_record,
+    verify_journal,
+    verify_path,
+    verify_snapshot,
+)
+from repro.framework import save_snapshot
+from repro.io import SharedFileReader
+
+
+def _make_snapshot(path, rng):
+    fields = {
+        "rho": np.cumsum(rng.normal(size=(16, 16, 16)), axis=0),
+        "energy": np.cumsum(rng.normal(size=(400,))),
+    }
+    save_snapshot(path, fields, error_bounds=0.01, block_bytes=16_384)
+    return fields
+
+
+def _make_journal(path, iterations=3):
+    journal = CampaignJournal.create(
+        path, {"app": "nyx", "seed": 1}, fsync=False
+    )
+    for i in range(iterations):
+        journal.record_plan(i, {"dump": False})
+        journal.record_commit(i, {"overall_s": float(i)})
+    journal.record_end({"iterations": iterations})
+    journal.close()
+
+
+class TestVerifySnapshot:
+    def test_clean_snapshot(self, tmp_path, rng):
+        path = tmp_path / "snap.rpio"
+        _make_snapshot(path, rng)
+        report = verify_snapshot(path)
+        assert report.ok
+        assert report.kind == "snapshot"
+        assert report.checked > 2
+        assert "clean" in report.format()
+
+    def test_corrupt_block_names_field_and_index(self, tmp_path, rng):
+        path = tmp_path / "snap.rpio"
+        _make_snapshot(path, rng)
+        with SharedFileReader(path) as reader:
+            entry = reader.entries["rho/0"]
+            offset = entry.offset + entry.nbytes // 2
+        blob = bytearray(path.read_bytes())
+        blob[offset] ^= 0x10
+        path.write_bytes(bytes(blob))
+        report = verify_snapshot(path)
+        assert not report.ok
+        assert any("rho" in issue for issue in report.issues)
+        assert "CORRUPT" in report.format()
+
+    def test_garbage_file_is_unreadable_container(self, tmp_path):
+        path = tmp_path / "junk.rpio"
+        path.write_bytes(b"RPIO????not a container at all")
+        report = verify_snapshot(path)
+        assert not report.ok
+        assert any("container" in issue for issue in report.issues)
+
+    def test_stale_temp_noted(self, tmp_path, rng):
+        path = tmp_path / "snap.rpio"
+        _make_snapshot(path, rng)
+        (tmp_path / "snap.rpio.tmp.999.0").write_bytes(b"half written")
+        report = verify_snapshot(path)
+        assert report.ok  # a stale temp is a note, not corruption
+        assert any("stale temp" in note for note in report.notes)
+
+    def test_subfiled_snapshot(self, tmp_path, rng):
+        target = tmp_path / "snapdir"
+        fields = {"a": np.cumsum(rng.normal(size=(8, 8)), axis=0)}
+        save_snapshot(
+            target,
+            fields,
+            error_bounds=0.1,
+            layout="subfiled",
+            num_subfiles=2,
+        )
+        report = verify_snapshot(target)
+        assert report.ok
+
+
+class TestVerifyJournal:
+    def test_clean_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _make_journal(path)
+        report = verify_journal(path)
+        assert report.ok
+        assert report.kind == "journal"
+        assert any("3 committed" in note for note in report.notes)
+        assert any("complete" in note for note in report.notes)
+
+    def test_resumable_journal_noted(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal.create(path, {"app": "nyx"}, fsync=False)
+        journal.record_plan(0, {})
+        journal.record_commit(0, {})
+        journal.close()
+        report = verify_journal(path)
+        assert report.ok
+        assert any("resumable" in note for note in report.notes)
+
+    def test_torn_tail_is_a_note_not_an_issue(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _make_journal(path)
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq": 99, "ty')
+        report = verify_journal(path)
+        assert report.ok
+        assert any("torn tail" in note for note in report.notes)
+
+    def test_corrupt_middle_record_is_an_issue(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _make_journal(path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1][:12] + b"Z" + lines[1][13:]
+        path.write_bytes(b"".join(lines))
+        report = verify_journal(path)
+        assert not report.ok
+        assert any("line 2" in issue for issue in report.issues)
+
+    def test_protocol_violation_is_an_issue(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "wb") as fh:
+            fh.write(encode_record(0, "begin", {}))
+            fh.write(encode_record(1, "commit", {"iteration": 0}))
+            fh.write(encode_record(2, "end", {}))
+        report = verify_journal(path)
+        assert not report.ok
+        assert any("expected a 'plan'" in issue for issue in report.issues)
+
+    def test_missing_file_is_an_issue(self, tmp_path):
+        report = verify_journal(tmp_path / "absent.jsonl")
+        assert not report.ok
+        assert any("unreadable" in issue for issue in report.issues)
+
+
+class TestVerifyPath:
+    def test_directory_sniffs_as_snapshot(self, tmp_path, rng):
+        target = tmp_path / "snapdir"
+        save_snapshot(
+            target,
+            {"a": np.cumsum(rng.normal(size=(8, 8)), axis=0)},
+            error_bounds=0.1,
+            layout="subfiled",
+        )
+        assert verify_path(target).kind == "snapshot"
+
+    def test_rpio_magic_sniffs_as_snapshot(self, tmp_path, rng):
+        path = tmp_path / "snap.rpio"
+        _make_snapshot(path, rng)
+        assert verify_path(path).kind == "snapshot"
+
+    def test_other_files_sniff_as_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _make_journal(path)
+        assert verify_path(path).kind == "journal"
+
+    def test_explicit_kind_overrides_sniffing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _make_journal(path)
+        report = verify_path(path, kind="snapshot")
+        assert report.kind == "snapshot"
+        assert not report.ok  # a journal is not a valid container
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "x"
+        atomic_write_text(path, "{}")
+        with pytest.raises(ValueError, match="unknown verify kind"):
+            verify_path(path, kind="tarball")
+
+
+class TestCliExitCodes:
+    def test_verify_clean_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "j.jsonl"
+        _make_journal(path)
+        assert main(["verify", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_verify_corrupt_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "j.jsonl"
+        _make_journal(path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1][:12] + b"Z" + lines[1][13:]
+        path.write_bytes(b"".join(lines))
+        assert main(["verify", str(path)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_verify_missing_target_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = os.path.join(str(tmp_path), "absent.rpio")
+        assert main(["verify", missing, "--kind", "auto"]) == 2

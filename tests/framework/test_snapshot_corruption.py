@@ -1,0 +1,152 @@
+"""Property tests: any single flipped bit in a snapshot is detected.
+
+Every region of a ``.rpio`` container — header magic, footer, manifest,
+shared codebook, block payloads — is covered by a checksum, so a random
+single-bit flip anywhere must surface as a :class:`ValueError` naming
+the damaged region (and, for payloads, the field and block index).
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.compression import SZCompressor, build_codebook
+from repro.framework import load_snapshot, save_snapshot
+from repro.io import SharedFileReader
+
+FLIPS_PER_REGION = 8
+
+
+def _write_snapshot(path, rng, shared_codebook=False):
+    fields = {
+        "rho": np.cumsum(rng.normal(size=(16, 16, 16)), axis=0),
+        "energy": np.cumsum(rng.normal(size=(600,))),
+    }
+    kwargs = {}
+    if shared_codebook:
+        compressor = SZCompressor()
+        hist = compressor.histogram(fields["rho"], 0.01)
+        kwargs["shared_codebook"] = build_codebook(
+            hist, force_symbols=(compressor.sentinel,)
+        )
+    save_snapshot(
+        path, fields, error_bounds=0.01, block_bytes=16_384, **kwargs
+    )
+    return fields
+
+
+def _entry_span(path, name):
+    with SharedFileReader(path) as reader:
+        entry = reader.entries[name]
+        return entry.offset, entry.nbytes
+
+
+def _flip_bit(path, offset, bit):
+    blob = bytearray(path.read_bytes())
+    blob[offset] ^= 1 << bit
+    path.write_bytes(bytes(blob))
+
+
+class TestHeaderAndFooter:
+    def test_header_magic_flip_rejected(self, tmp_path, rng):
+        path = tmp_path / "snap.rpio"
+        _write_snapshot(path, rng)
+        for _ in range(FLIPS_PER_REGION):
+            pristine = path.read_bytes()
+            _flip_bit(path, int(rng.integers(0, 8)), int(rng.integers(0, 8)))
+            with pytest.raises(ValueError, match="not a shared container"):
+                load_snapshot(path)
+            path.write_bytes(pristine)
+
+    def test_footer_flip_rejected(self, tmp_path, rng):
+        path = tmp_path / "snap.rpio"
+        _write_snapshot(path, rng)
+        pristine = path.read_bytes()
+        size = len(pristine)
+        tail_size = struct.calcsize("<QI8s")
+        footer_len = struct.unpack(
+            "<QI8s", pristine[size - tail_size :]
+        )[0]
+        footer_start = size - tail_size - footer_len
+        for _ in range(FLIPS_PER_REGION):
+            offset = int(rng.integers(footer_start, size - tail_size))
+            _flip_bit(path, offset, int(rng.integers(0, 8)))
+            with pytest.raises(
+                ValueError, match="footer (failed its checksum|is not valid)"
+            ):
+                load_snapshot(path)
+            path.write_bytes(pristine)
+
+
+class TestManifestAndCodebook:
+    def test_manifest_flip_rejected(self, tmp_path, rng):
+        path = tmp_path / "snap.rpio"
+        _write_snapshot(path, rng)
+        start, nbytes = _entry_span(path, "__manifest__")
+        pristine = path.read_bytes()
+        for _ in range(FLIPS_PER_REGION):
+            offset = int(rng.integers(start, start + nbytes))
+            _flip_bit(path, offset, int(rng.integers(0, 8)))
+            with pytest.raises(ValueError, match="manifest is corrupt"):
+                load_snapshot(path)
+            path.write_bytes(pristine)
+
+    def test_codebook_flip_rejected(self, tmp_path, rng):
+        path = tmp_path / "snap.rpio"
+        _write_snapshot(path, rng, shared_codebook=True)
+        start, nbytes = _entry_span(path, "__codebook__")
+        pristine = path.read_bytes()
+        for _ in range(FLIPS_PER_REGION):
+            offset = int(rng.integers(start, start + nbytes))
+            _flip_bit(path, offset, int(rng.integers(0, 8)))
+            with pytest.raises(
+                ValueError, match="shared codebook is corrupt"
+            ):
+                load_snapshot(path)
+            path.write_bytes(pristine)
+
+
+class TestBlockPayloads:
+    def test_flip_names_field_and_block_index(self, tmp_path, rng):
+        """The acceptance criterion: any single-bit payload corruption is
+        reported with the damaged field's name and block index."""
+        path = tmp_path / "snap.rpio"
+        _write_snapshot(path, rng)
+        with SharedFileReader(path) as reader:
+            blocks = {
+                name: (entry.offset, entry.nbytes)
+                for name, entry in reader.entries.items()
+                if not name.startswith("__")
+            }
+        assert len(blocks) >= 2
+        pristine = path.read_bytes()
+        for name, (start, nbytes) in sorted(blocks.items()):
+            field, index = name.rsplit("/", 1)
+            for _ in range(FLIPS_PER_REGION):
+                offset = int(rng.integers(start, start + nbytes))
+                _flip_bit(path, offset, int(rng.integers(0, 8)))
+                with pytest.raises(ValueError) as excinfo:
+                    load_snapshot(path)
+                message = str(excinfo.value)
+                assert f"field {field!r} block {index}" in message
+                assert str(start) in message  # names the offset too
+                path.write_bytes(pristine)
+
+    def test_truncated_container_rejected(self, tmp_path, rng):
+        path = tmp_path / "snap.rpio"
+        _write_snapshot(path, rng)
+        blob = path.read_bytes()
+        for keep in (4, len(blob) // 2, len(blob) - 3):
+            path.write_bytes(blob[:keep])
+            with pytest.raises(ValueError):
+                load_snapshot(path)
+        path.write_bytes(blob)
+        load_snapshot(path)  # restored file loads again
+
+    def test_clean_snapshot_still_loads(self, tmp_path, rng):
+        """Sanity: no false positives on an undamaged file."""
+        path = tmp_path / "snap.rpio"
+        fields = _write_snapshot(path, rng)
+        out = load_snapshot(path)
+        assert set(out) == set(fields)

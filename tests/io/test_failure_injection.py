@@ -132,7 +132,7 @@ class TestChecksums:
     def test_crc_recorded_and_verified(self, tmp_path):
         path = _container(tmp_path, [("a", b"payload bytes")])
         with SharedFileReader(path) as reader:
-            assert reader.entries["a"].crc32 is not None
+            assert reader.entries["a"].crc32c is not None
             assert reader.read("a") == b"payload bytes"
 
     def test_bitflip_detected_by_checksum(self, tmp_path):
@@ -154,9 +154,15 @@ class TestChecksums:
         path = tmp_path / "dump.rpio"
         writer = SharedFileWriter(path)
         writer.reserve("ext", 8)
-        os.pwrite(os.open(path, os.O_WRONLY), b"external", 8)
+        # External writers target the in-progress temp file; the final
+        # path only appears once close() publishes the container.
+        fd = os.open(writer.data_path, os.O_WRONLY)
+        try:
+            os.pwrite(fd, b"external", 8)
+        finally:
+            os.close(fd)
         writer.commit_external("ext", 8)
         writer.close()
         with SharedFileReader(path) as reader:
-            assert reader.entries["ext"].crc32 is None
+            assert reader.entries["ext"].crc32c is None
             assert reader.read("ext") == b"external"  # verify is a no-op

@@ -47,7 +47,7 @@ class TestParse:
         "data,fragment",
         [
             ([1, 2], "top level must be a mapping"),
-            ({"bogus": {}}, "unknown top-level field 'bogus'"),
+            ({"bogus": {}}, "unknown fault kind 'bogus'"),
             ({"stall": 3}, "stall must be a mapping"),
             ({"stall": {"probabilty": 0.1}},
              "unknown field stall.'probabilty'"),
