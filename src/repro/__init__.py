@@ -24,6 +24,9 @@ Public API tour:
 * :mod:`repro.bench` — benchmark harness and performance-regression
   gate: registered timed cases, robust statistics, versioned
   ``BENCH_*.json`` reports, and baseline comparison.
+* :mod:`repro.engines` — interchangeable execution backends behind one
+  `ExecutionEngine` protocol: the discrete-event simulator and a real
+  process-pool engine that overlaps compression with I/O on real cores.
 """
 
 from . import (
@@ -31,6 +34,7 @@ from . import (
     bench,
     compression,
     core,
+    engines,
     framework,
     io,
     parallel,
@@ -52,5 +56,6 @@ __all__ = [
     "telemetry",
     "resilience",
     "bench",
+    "engines",
     "__version__",
 ]

@@ -15,6 +15,9 @@ The commands expose the library without writing code:
   ZFP codec, and report ratio/error.
 * ``snapshot``  — write a real compressed snapshot of synthetic fields to
   a shared file (or subfiled directory) and verify it on read-back.
+* ``engines``   — list the registered execution engines (``--engine``
+  on ``schedule``/``campaign`` picks one; ``sim`` models in-process,
+  ``process`` really compresses on a worker pool with overlapped I/O).
 * ``experiments`` — list every reproduced table/figure and its bench.
 * ``bench``     — the performance-regression harness: ``run`` registered
   benchmark cases (serial or process-parallel) into a versioned
@@ -101,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record telemetry spans and write them as JSON lines",
     )
+    p.add_argument(
+        "--engine",
+        choices=["sim", "process"],
+        default="sim",
+        help=(
+            "execution backend the schedules target (recorded on each "
+            "SolveResult; see 'repro engines list')"
+        ),
+    )
 
     p = sub.add_parser("campaign", help="run an application campaign")
     p.add_argument("--app", choices=["nyx", "warpx", "hacc"], default="nyx")
@@ -130,6 +142,44 @@ def build_parser() -> argparse.ArgumentParser:
             "YAML/JSON fault spec (see examples/fault_specs/); injects "
             "stalls, write errors, bandwidth bursts, compression "
             "failures, and stragglers, then prints a resilience report"
+        ),
+    )
+    p.add_argument(
+        "--engine",
+        choices=["sim", "process"],
+        default="sim",
+        help=(
+            "execution backend: 'sim' models everything in-process; "
+            "'process' really compresses each rank's partition on a "
+            "worker-process pool with the writes overlapped "
+            "(journal records and reports are identical either way; "
+            "ignored with --resume, which follows the journal header)"
+        ),
+    )
+    p.add_argument(
+        "--data-out",
+        metavar="DIR",
+        default=None,
+        help=(
+            "directory for real compressed .rpio containers: every dump "
+            "iteration also generates, compresses, CRC32C-stamps, and "
+            "writes each rank's partition (the 'process' engine uses a "
+            "temp dir when omitted; 'sim' skips the data plane)"
+        ),
+    )
+    p.add_argument(
+        "--data-edge",
+        type=int,
+        default=16,
+        help="cubic partition edge of the real data-plane fields",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for --engine process "
+            "(default: min(ranks, cpu count))"
         ),
     )
     p.add_argument(
@@ -215,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("experiments", help="list the reproduced experiments")
+
+    p = sub.add_parser(
+        "engines", help="inspect the registered execution engines"
+    )
+    engines_sub = p.add_subparsers(dest="engines_command", required=True)
+    engines_sub.add_parser(
+        "list", help="list engine names with a one-line description"
+    )
 
     p = sub.add_parser(
         "bench", help="run/list/compare performance benchmark cases"
@@ -303,6 +361,7 @@ def main(argv: list[str] | None = None) -> int:
         "compress": _cmd_compress,
         "snapshot": _cmd_snapshot,
         "experiments": _cmd_experiments,
+        "engines": _cmd_engines,
         "bench": _cmd_bench,
         "verify": _cmd_verify,
     }[args.command]
@@ -356,7 +415,13 @@ def _cmd_schedule(args) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
-        result = solve(instance, name, tracer=tracer, time_limit=30.0)
+        result = solve(
+            instance,
+            name,
+            tracer=tracer,
+            time_limit=30.0,
+            engine=args.engine,
+        )
         if result.schedule is None:
             print(f"  {name:28s} {result.status}: no schedule")
             continue
@@ -371,7 +436,13 @@ def _cmd_schedule(args) -> int:
         if best is None or result.makespan < best.io_makespan:
             best_name, best = name, result.schedule
     if args.ilp and "ILP" not in names:
-        result = solve(instance, "ILP", tracer=tracer, time_limit=30.0)
+        result = solve(
+            instance,
+            "ILP",
+            tracer=tracer,
+            time_limit=30.0,
+            engine=args.engine,
+        )
         value = "-" if result.makespan is None else f"{result.makespan:7.3f}"
         print(f"  {'ILP (' + result.status + ')':28s} io makespan = {value}")
     if best is None:
@@ -425,18 +496,14 @@ def _make_instance(args):
 
 
 def _cmd_campaign(args) -> int:
-    from repro.apps import HaccModel, NyxModel, WarpXModel
-    from repro.durability import CampaignJournal, JournalError
-    from repro.framework import (
-        CampaignRunner,
-        async_io_config,
-        baseline_config,
-        format_table,
-        ours_config,
-        write_campaign_report,
+    from repro.durability import JournalError
+    from repro.engines import (
+        SOLUTIONS,
+        CampaignSpec,
+        EngineError,
+        run_campaign,
     )
-    from repro.resilience import parse_fault_spec
-    from repro.simulator import ClusterSpec
+    from repro.framework import format_table, write_campaign_report
 
     if args.journal and args.resume:
         print(
@@ -454,152 +521,147 @@ def _cmd_campaign(args) -> int:
         return 2
 
     spec_data = None
-    journal = None
-    if args.resume:
-        # Every campaign parameter comes from the journal header so the
-        # resumed run re-executes exactly what the crashed run planned.
-        try:
-            journal = CampaignJournal.resume(args.resume)
-        except (OSError, JournalError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        header = journal.header
-        app_name = header["app"]
-        num_nodes = header["nodes"]
-        ppn = header["ppn"]
-        iterations = header["iterations"]
-        solution = header["solution"]
-        master_seed = header["seed"]
-        spec_data = header.get("faults")
-        print(
-            f"resuming {solution} campaign from {args.resume}: "
-            f"{journal.committed_iterations}/{iterations} iterations "
-            "already committed"
-        )
-    else:
-        app_name = args.app
-        num_nodes = args.nodes
-        ppn = args.ppn
-        iterations = args.iterations
-        solution = args.solution
-        master_seed = args.seed
-        if args.faults:
-            from repro.resilience import load_spec_data
+    if args.faults and not args.resume:
+        from repro.resilience import load_spec_data
 
-            try:
-                spec_data = load_spec_data(args.faults)
-            except (OSError, ValueError) as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
-
-    spec = None
-    if spec_data is not None:
         try:
-            spec = parse_fault_spec(spec_data)
-        except ValueError as exc:
+            spec_data = load_spec_data(args.faults)
+        except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    app_class = {"nyx": NyxModel, "warpx": WarpXModel, "hacc": HaccModel}[
-        app_name
-    ]
-    app = app_class(seed=master_seed)
-    cluster = ClusterSpec(num_nodes=num_nodes, processes_per_node=ppn)
-    configs = {
-        "baseline": baseline_config(),
-        "previous": async_io_config(),
-        "ours": ours_config(),
-    }
-    wanted = configs if solution == "all" else {
-        solution: configs[solution]
-    }
     tracer = _make_tracer(args)
+
+    def on_resume(journal):
+        header = journal.header
+        print(
+            f"resuming {header['solution']} campaign from "
+            f"{args.resume}: {journal.committed_iterations}/"
+            f"{header['iterations']} iterations already committed"
+        )
+
+    runs = []
+    try:
+        if args.resume:
+            # Every campaign parameter comes from the journal header so
+            # the resumed run re-executes exactly what the crashed run
+            # planned; only the (unjournalled) data-plane knobs are ours.
+            data_spec = None
+            if args.data_out is not None or args.workers is not None:
+                data_spec = CampaignSpec(
+                    data_dir=args.data_out,
+                    data_edge=args.data_edge,
+                    workers=args.workers,
+                )
+            runs.append(
+                run_campaign(
+                    data_spec,
+                    resume_path=args.resume,
+                    tracer=tracer,
+                    on_resume=on_resume,
+                )
+            )
+        else:
+            solutions = (
+                SOLUTIONS
+                if args.solution == "all"
+                else (args.solution,)
+            )
+            for name in solutions:
+                spec = CampaignSpec(
+                    app=args.app,
+                    nodes=args.nodes,
+                    ppn=args.ppn,
+                    iterations=args.iterations,
+                    solution=name,
+                    seed=args.seed,
+                    engine=args.engine,
+                    faults=spec_data,
+                    data_dir=args.data_out,
+                    data_edge=args.data_edge,
+                    workers=args.workers,
+                )
+                runs.append(
+                    run_campaign(
+                        spec,
+                        journal_path=(
+                            args.journal
+                            if name == args.solution
+                            else None
+                        ),
+                        tracer=tracer,
+                    )
+                )
+    except (OSError, ValueError, JournalError, EngineError) as exc:
+        for run in runs:
+            run.close()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     rows = []
     reports = []
-    last_result = None
-    for name, config in wanted.items():
-        injector = None
-        retry = {}
-        if spec is not None:
-            from repro.resilience import FaultInjector
-
-            seed = spec.seed if spec.seed is not None else master_seed
-            injector = FaultInjector(spec.plan, seed=seed)
-            if args.resume:
-                # A crash point that killed the original run must not
-                # re-fire while the resumed run replays past it.
-                injector.crash_enabled = False
-            retry = {"retry": spec.retry}
-        if args.journal:
-            try:
-                journal = CampaignJournal.create(
-                    args.journal,
-                    {
-                        "app": app_name,
-                        "nodes": num_nodes,
-                        "ppn": ppn,
-                        "iterations": iterations,
-                        "solution": name,
-                        "seed": master_seed,
-                        "faults": spec_data,
-                    },
-                    fsync=config.journal_fsync,
-                    injector=injector,
-                    tracer=tracer,
-                )
-            except OSError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
-        runner = CampaignRunner(
-            app,
-            cluster,
-            config,
-            solution=name,
-            seed=master_seed,
-            tracer=tracer.bind(solution=name),
-            injector=injector,
-            **retry,
-        )
-        try:
-            result = runner.run(
-                iterations, journal=journal if name == solution else None
-            )
-        except JournalError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        last_result = result
+    for run in runs:
+        result = run.result
         rows.append(
             (
-                name,
+                result.solution,
                 f"{result.mean_relative_overhead * 100:.1f}%",
                 f"{result.total_time:.1f}s",
             )
         )
         if result.resilience is not None:
-            reports.append((name, result.resilience))
+            reports.append((result.solution, result.resilience))
     print(
         format_table(
             rows, headers=("solution", "I/O overhead", "total time")
         )
     )
+    for run in runs:
+        if run.data is not None:
+            data = run.data
+            print(
+                f"\ndata plane [{run.result.solution}/{run.engine}]: "
+                f"{data.num_blocks} blocks, "
+                f"{data.raw_bytes / 2**20:.2f} MiB -> "
+                f"{data.compressed_bytes / 2**20:.2f} MiB "
+                f"(ratio {data.compression_ratio:.1f}x), "
+                f"dump wall {data.dump_wall_s:.2f}s, "
+                f"{data.workers} worker(s)"
+            )
     for name, report in reports:
         print(f"\nresilience [{name}]:")
         print(report.format())
-    if args.report_out and last_result is not None:
+    final = runs[-1] if runs else None
+    if args.report_out and final is not None:
         before_commit = None
-        if journal is not None:
+        if final.journal is not None:
             # The "report" crash point: die after the temp file is
             # durable but before the rename publishes it.
-            def before_commit(j=journal):
+            def before_commit(j=final.journal):
                 j.maybe_crash("report", -1)
 
         write_campaign_report(
-            args.report_out, last_result, before_commit=before_commit
+            args.report_out, final.result, before_commit=before_commit
         )
         print(f"report -> {args.report_out}")
-    if journal is not None:
-        journal.close()
+    for run in runs:
+        run.close()
     _write_trace(tracer, args.trace_out)
+    return 0
+
+
+def _cmd_engines(args) -> int:
+    from repro.engines import get_engine, list_engines
+    from repro.framework import format_table
+
+    rows = []
+    for name in list_engines():
+        cls = get_engine(name)
+        doc = (cls.__doc__ or "").strip().splitlines()
+        rows.append((name, cls.__name__, doc[0] if doc else ""))
+    print(
+        format_table(rows, headers=("engine", "class", "description"))
+    )
     return 0
 
 

@@ -39,6 +39,14 @@ class SolveResult:
     access so the facade adds no overhead to tight benchmarking loops.
     ``detail`` carries solver-specific extras (the ILP fills objective
     and problem size); it is empty for the heuristics.
+
+    ``engine`` names the execution backend the schedule is destined for
+    (see :func:`repro.engines.list_engines`); ``wall_time`` is real
+    scheduling time on the clock while :attr:`modelled_time` is the
+    schedule's simulated I/O makespan — the wall/modelled split every
+    engine report makes.  ``telemetry`` is the tracer the solve ran
+    under, so callers can pull the emitted spans without threading the
+    handle separately.
     """
 
     schedule: Schedule | None
@@ -47,6 +55,10 @@ class SolveResult:
     wall_time: float
     status: str = "ok"
     detail: dict = field(default_factory=dict)
+    engine: str = "sim"
+    telemetry: NullTracer = field(
+        default=NULL_TRACER, repr=False, compare=False
+    )
     _stats: ScheduleStats | None = field(
         default=None, repr=False, compare=False
     )
@@ -58,6 +70,11 @@ class SolveResult:
             self._stats = schedule_stats(self.schedule)
         return self._stats
 
+    @property
+    def modelled_time(self) -> float | None:
+        """The schedule's modelled (simulated) I/O makespan."""
+        return self.makespan
+
 
 def solve(
     instance: ProblemInstance,
@@ -65,6 +82,7 @@ def solve(
     *,
     tracer: NullTracer = NULL_TRACER,
     time_limit: float | None = None,
+    engine: str = "sim",
 ) -> SolveResult:
     """Run ``algorithm`` on ``instance`` behind one uniform interface.
 
@@ -77,7 +95,17 @@ def solve(
             clock) plus the planned task layout as machine spans.
         time_limit: seconds budget for solvers that take one (the ILP);
             ignored by the heuristics.
+        engine: execution backend the schedule targets (a
+            :func:`repro.engines.list_engines` name); scheduling itself
+            is backend-independent, but the result records the engine so
+            downstream replay/runs know where it is headed.
     """
+    if engine != "sim":
+        # Lazy validation: repro.engines imports the framework, which
+        # imports this module — only the non-default path pays for it.
+        from ..engines import get_engine
+
+        get_engine(engine)
     info = get_algorithm_info(algorithm)
     t0 = time.perf_counter()
     status = "ok"
@@ -118,4 +146,6 @@ def solve(
         wall_time=wall_time,
         status=status,
         detail=detail,
+        engine=engine,
+        telemetry=tracer,
     )

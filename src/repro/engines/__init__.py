@@ -1,0 +1,53 @@
+"""Execution engines: interchangeable backends that run a campaign.
+
+One :class:`CampaignSpec` describes a campaign; :func:`run_campaign`
+executes it under whichever :class:`ExecutionEngine` the spec names
+(``prepare -> run_iteration -> finalize -> report``):
+
+* ``sim`` (:class:`SimulatorEngine`) — the historical single-process
+  discrete-event backend.
+* ``process`` (:class:`ProcessPoolEngine`) — real per-rank compression
+  in worker processes over shared memory, streamed to the wall-clock
+  async writer so compute, compression, and I/O genuinely overlap.
+
+Both run the identical modelled control plane, so journal records,
+resume, fault injection, and every report behave the same regardless of
+backend; see ``docs/architecture.md``.
+"""
+
+from .base import (
+    EngineError,
+    EngineReport,
+    ExecutionEngine,
+    get_engine,
+    list_engines,
+    register_engine,
+    run_campaign,
+)
+from .dataplane import DataPlaneStats, PoolDataPlane, SerialDataPlane
+from .process import ProcessPoolEngine
+from .shm import SHM_PREFIX, SegmentRegistry, active_segments, attach_view
+from .sim import SimulatorEngine
+from .spec import APP_NAMES, SOLUTIONS, CampaignSpec
+
+__all__ = [
+    "APP_NAMES",
+    "SOLUTIONS",
+    "SHM_PREFIX",
+    "CampaignSpec",
+    "DataPlaneStats",
+    "EngineError",
+    "EngineReport",
+    "ExecutionEngine",
+    "PoolDataPlane",
+    "ProcessPoolEngine",
+    "SegmentRegistry",
+    "SerialDataPlane",
+    "SimulatorEngine",
+    "active_segments",
+    "attach_view",
+    "get_engine",
+    "list_engines",
+    "register_engine",
+    "run_campaign",
+]

@@ -1,0 +1,413 @@
+"""The engines' real data plane: generate, compress, and write bytes.
+
+The campaign control plane (planning, scheduling, modelled replay,
+journalling) is identical under every engine; what an engine actually
+*executes* is this data plane.  On each dump iteration every rank's
+partition fields are generated, sliced into fine-grained blocks,
+compressed with the SZ codec, CRC32C-stamped, and written into one
+shared ``.rpio`` container through the wall-clock
+:class:`~repro.io.async_io.AsyncWriter`.
+
+Two implementations share one deterministic block pipeline, so the same
+spec + seed yields byte-identical compressed blocks (hence identical
+CRC32Cs) under both:
+
+* :class:`SerialDataPlane` — everything in the calling process, strictly
+  compress-then-write: the single-process reference.
+* :class:`PoolDataPlane` — per-rank compression fans out to worker
+  processes over zero-copy shared-memory views, payloads stream to the
+  async writer as each rank finishes, and the parent generates the next
+  rank's fields meanwhile — compute, compression, and I/O genuinely
+  overlap on real cores.
+
+Container layout *order* may differ between the two (workers finish in
+nondeterministic order) but the stored bytes per dataset are identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..compression import SZCompressor, plan_blocks, slice_field
+from ..durability.checksum import crc32c
+from ..io.async_io import AsyncWriter
+from ..io.hdf5like import SharedFileWriter
+from ..telemetry import NULL_TRACER, NullTracer
+from .shm import SegmentRegistry, attach_view
+from .spec import CampaignSpec
+
+__all__ = ["DataPlaneStats", "SerialDataPlane", "PoolDataPlane"]
+
+#: Seconds the engine waits for the async writer to drain one dump.
+_DRAIN_TIMEOUT_S = 120.0
+
+
+@dataclass
+class DataPlaneStats:
+    """Wall-clock outcome of a run's real compress+dump pipeline."""
+
+    workers: int = 1
+    num_blocks: int = 0
+    raw_bytes: int = 0
+    compressed_bytes: int = 0
+    generate_wall_s: float = 0.0
+    compress_wall_s: float = 0.0
+    write_wall_s: float = 0.0
+    dump_wall_s: float = 0.0
+    #: iteration -> published container path.
+    containers: dict[int, str] = field(default_factory=dict)
+    #: ``it<NNNN>/rank<R>/<field>/<block>`` -> payload CRC32C.
+    block_crc32c: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.raw_bytes / max(1, self.compressed_bytes)
+
+
+def _rank_tasks(app, rank: int, spec: CampaignSpec, field_specs):
+    """Deterministic (field, bound, array) work list for one rank."""
+    for fs in field_specs:
+        yield fs.name, fs.error_bound, app.generate_field(
+            fs.name, rank, iteration=0
+        )
+
+
+def _compress_field_blocks(
+    compressor: SZCompressor,
+    rank: int,
+    field_name: str,
+    values: np.ndarray,
+    bound: float,
+    block_bytes: int,
+) -> list[tuple[str, bytes, int]]:
+    """Compress one field into its blocks: the shared deterministic core.
+
+    Both data planes (and the pool worker below) call exactly this, so
+    cross-engine payloads are byte-identical.
+    """
+    out = []
+    for spec in plan_blocks(
+        field_name, values.shape, values.itemsize, block_bytes
+    ):
+        block = np.ascontiguousarray(slice_field(values, spec))
+        payload = compressor.compress(block, bound).to_bytes()
+        out.append(
+            (
+                f"rank{rank}/{field_name}/{spec.block_index}",
+                payload,
+                crc32c(payload),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# pool worker (runs in a forked child)
+# ----------------------------------------------------------------------
+_WORKER_COMPRESSOR: SZCompressor | None = None
+
+
+def _pool_compress_rank(args):
+    """Compress one rank's shared-memory fields; returns its payloads.
+
+    ``fields_meta`` rows are ``(name, shape, dtype_str, offset, bound)``
+    describing zero-copy views into the named segment.  Only the
+    compressed payloads (plus their CRC32Cs) travel back over the task
+    pipe.
+    """
+    seg_name, rank, fields_meta, block_bytes = args
+    global _WORKER_COMPRESSOR
+    if _WORKER_COMPRESSOR is None:
+        _WORKER_COMPRESSOR = SZCompressor()
+    segment = shared_memory.SharedMemory(name=seg_name)
+    try:
+        results: list[tuple[str, bytes, int]] = []
+        for name, shape, dtype_str, offset, bound in fields_meta:
+            view = attach_view(
+                segment, tuple(shape), np.dtype(dtype_str), offset
+            )
+            results.extend(
+                _compress_field_blocks(
+                    _WORKER_COMPRESSOR,
+                    rank,
+                    name,
+                    view,
+                    bound,
+                    block_bytes,
+                )
+            )
+        return rank, results
+    finally:
+        segment.close()
+
+
+# ----------------------------------------------------------------------
+class SerialDataPlane:
+    """Single-process reference: compress every block, then write."""
+
+    def __init__(
+        self, spec: CampaignSpec, tracer: NullTracer = NULL_TRACER
+    ) -> None:
+        self.spec = spec
+        self.tracer = tracer
+        self.app = spec.data_application()
+        self.field_specs = tuple(self.app.fields[: spec.data_fields])
+        self.ranks = spec.nodes * spec.ppn
+        self.stats = DataPlaneStats(workers=1)
+        self._compressor = SZCompressor()
+        self._open_writer: SharedFileWriter | None = None
+        self._open_async: AsyncWriter | None = None
+        os.makedirs(spec.data_dir, exist_ok=True)
+
+    def container_path(self, iteration: int) -> str:
+        return os.path.join(
+            self.spec.data_dir,
+            f"{self.spec.solution}-it{iteration:04d}.rpio",
+        )
+
+    # -- pipeline ------------------------------------------------------
+    def dump(self, iteration: int) -> None:
+        """Really compress and write every rank's partition."""
+        t_dump = time.perf_counter()
+        path = self.container_path(iteration)
+        writer = SharedFileWriter(path)
+        async_writer = AsyncWriter(writer)
+        self._open_writer, self._open_async = writer, async_writer
+        payloads: list[tuple[str, bytes, int]] = []
+        for rank in range(self.ranks):
+            for fs in self.field_specs:
+                t0 = time.perf_counter()
+                values = self.app.generate_field(fs.name, rank, iteration)
+                t1 = time.perf_counter()
+                self.stats.generate_wall_s += t1 - t0
+                payloads.extend(
+                    _compress_field_blocks(
+                        self._compressor,
+                        rank,
+                        fs.name,
+                        values,
+                        fs.error_bound,
+                        self.spec.data_block_bytes,
+                    )
+                )
+                self.stats.raw_bytes += values.nbytes
+                self.stats.compress_wall_s += time.perf_counter() - t1
+        t_write = time.perf_counter()
+        for dataset, payload, checksum in payloads:
+            writer.reserve(dataset, len(payload))
+            async_writer.submit(dataset, payload, checksum=checksum)
+            self._record_block(iteration, dataset, payload, checksum)
+        async_writer.drain(timeout=_DRAIN_TIMEOUT_S)
+        async_writer.close(timeout=_DRAIN_TIMEOUT_S)
+        writer.close()
+        self._open_writer = self._open_async = None
+        now = time.perf_counter()
+        self.stats.write_wall_s += now - t_write
+        self.stats.dump_wall_s += now - t_dump
+        self.stats.containers[iteration] = path
+        self._trace_dump(iteration, now - t_dump)
+
+    def _record_block(
+        self, iteration: int, dataset: str, payload: bytes, checksum: int
+    ) -> None:
+        self.stats.num_blocks += 1
+        self.stats.compressed_bytes += len(payload)
+        self.stats.block_crc32c[f"it{iteration:04d}/{dataset}"] = checksum
+
+    def _trace_dump(self, iteration: int, wall_s: float) -> None:
+        if self.tracer.enabled:
+            self.tracer.event(
+                "engine.dump",
+                iteration=iteration,
+                wall_s=wall_s,
+                blocks=self.stats.num_blocks,
+            )
+            self.tracer.counter("engine.dump").inc()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Orderly shutdown (idempotent)."""
+        self._abort_open_container()
+
+    def abort(self) -> None:
+        """Abnormal shutdown: never publish a half-written container."""
+        self._abort_open_container()
+
+    def _abort_open_container(self) -> None:
+        async_writer, self._open_async = self._open_async, None
+        writer, self._open_writer = self._open_writer, None
+        if async_writer is not None:
+            try:
+                async_writer.close(timeout=5.0)
+            except (TimeoutError, RuntimeError):  # pragma: no cover
+                pass
+        if writer is not None:
+            writer.abort()
+
+
+class PoolDataPlane(SerialDataPlane):
+    """Per-rank compression on real worker processes, I/O overlapped.
+
+    For each dump iteration the parent fills one shared-memory segment
+    per rank with that rank's generated fields and hands workers a
+    zero-copy view descriptor.  As each rank's compressed payloads come
+    back (pool callback thread) they are reserved and queued on the
+    async writer immediately, so the tail of compression overlaps the
+    writes — and the parent meanwhile generates the next rank's fields.
+    """
+
+    def __init__(
+        self, spec: CampaignSpec, tracer: NullTracer = NULL_TRACER
+    ) -> None:
+        super().__init__(spec, tracer)
+        self.workers = spec.workers or min(
+            self.ranks, os.cpu_count() or 1
+        )
+        self.stats.workers = self.workers
+        self.registry = SegmentRegistry()
+        self._pool = None
+        self._stats_lock = threading.Lock()
+
+    def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._pool is None:
+            # The resource tracker must exist *before* the fork so the
+            # workers inherit it: attach-time registrations then dedupe
+            # against the parent's create-time ones and the parent's
+            # unlink settles the account.  Forked-after-the-fact workers
+            # would each spawn a private tracker that complains at exit
+            # about segments the parent already unlinked.
+            resource_tracker.ensure_running()
+            ctx = multiprocessing.get_context("fork")
+            self._pool = ctx.Pool(self.workers)
+
+    # -- pipeline ------------------------------------------------------
+    def dump(self, iteration: int) -> None:
+        self.start()
+        t_dump = time.perf_counter()
+        path = self.container_path(iteration)
+        writer = SharedFileWriter(path)
+        async_writer = AsyncWriter(writer)
+        self._open_writer, self._open_async = writer, async_writer
+        callback_errors: list[BaseException] = []
+        pending = []
+        try:
+            for rank in range(self.ranks):
+                t0 = time.perf_counter()
+                segment, fields_meta = self._publish_rank(
+                    rank, iteration
+                )
+                self.stats.generate_wall_s += time.perf_counter() - t0
+
+                def _on_done(
+                    result,
+                    seg_name=segment.name,
+                    iteration=iteration,
+                    writer=writer,
+                    async_writer=async_writer,
+                ):
+                    # Pool result-handler thread: stream payloads to the
+                    # async writer the moment this rank finishes, then
+                    # drop its segment.
+                    try:
+                        _, blocks = result
+                        for dataset, payload, checksum in blocks:
+                            writer.reserve(dataset, len(payload))
+                            async_writer.submit(
+                                dataset, payload, checksum=checksum
+                            )
+                            with self._stats_lock:
+                                self._record_block(
+                                    iteration, dataset, payload, checksum
+                                )
+                    except BaseException as exc:  # surfaced below
+                        callback_errors.append(exc)
+                    finally:
+                        self.registry.release(seg_name)
+
+                def _on_error(exc, seg_name=segment.name):
+                    self.registry.release(seg_name)
+
+                pending.append(
+                    self._pool.apply_async(
+                        _pool_compress_rank,
+                        (
+                            (
+                                segment.name,
+                                rank,
+                                fields_meta,
+                                self.spec.data_block_bytes,
+                            ),
+                        ),
+                        callback=_on_done,
+                        error_callback=_on_error,
+                    )
+                )
+            for result in pending:
+                result.get()  # re-raises worker exceptions here
+            if callback_errors:
+                raise callback_errors[0]
+            self.stats.compress_wall_s += time.perf_counter() - t_dump
+            t_write = time.perf_counter()
+            async_writer.drain(timeout=_DRAIN_TIMEOUT_S)
+            async_writer.close(timeout=_DRAIN_TIMEOUT_S)
+            writer.close()
+            self._open_writer = self._open_async = None
+            now = time.perf_counter()
+            self.stats.write_wall_s += now - t_write
+            self.stats.dump_wall_s += now - t_dump
+            self.stats.containers[iteration] = path
+            self._trace_dump(iteration, now - t_dump)
+        except BaseException:
+            self._abort_open_container()
+            raise
+
+    def _publish_rank(self, rank: int, iteration: int):
+        """Generate one rank's fields into a fresh shared segment."""
+        arrays = [
+            (fs, self.app.generate_field(fs.name, rank, iteration))
+            for fs in self.field_specs
+        ]
+        total = sum(data.nbytes for _, data in arrays)
+        segment = self.registry.create(total)
+        fields_meta = []
+        offset = 0
+        for fs, data in arrays:
+            view = attach_view(segment, data.shape, data.dtype, offset)
+            view[...] = data
+            fields_meta.append(
+                (
+                    fs.name,
+                    tuple(int(d) for d in data.shape),
+                    data.dtype.str,
+                    offset,
+                    fs.error_bound,
+                )
+            )
+            offset += data.nbytes
+            self.stats.raw_bytes += data.nbytes
+        return segment, fields_meta
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        super().close()
+        self.registry.release_all()
+
+    def abort(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        super().abort()
+        self.registry.release_all()

@@ -1,0 +1,114 @@
+"""Shared-memory segment management for the process-pool engine.
+
+The parent publishes each rank's freshly generated fields into one
+``multiprocessing.shared_memory`` segment; compression workers attach and
+build zero-copy numpy views over it, so field bytes never cross the task
+pipe — only the (much smaller) compressed payloads come back.
+
+Every segment this module creates carries the ``repro-shm-`` name prefix
+and is tracked by a :class:`SegmentRegistry`, whose :meth:`release_all`
+is wired into the engine's ``finalize()`` — including the abnormal
+shutdown path — so a crashed or interrupted campaign never leaks
+``/dev/shm`` entries.  :func:`active_segments` scans the system for
+leftovers; the test suite uses it as a leak check after every test.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SHM_PREFIX",
+    "SegmentRegistry",
+    "active_segments",
+    "attach_view",
+]
+
+#: Name prefix of every segment this package creates — the contract the
+#: leak check (and operators inspecting /dev/shm) relies on.
+SHM_PREFIX = "repro-shm-"
+
+_SHM_DIR = "/dev/shm"
+
+
+def active_segments() -> list[str]:
+    """Names of live ``repro-shm-*`` segments on this machine.
+
+    POSIX shared memory appears under ``/dev/shm`` on Linux; on
+    platforms without that directory the scan returns ``[]`` (the leak
+    check is then a no-op rather than a false alarm).
+    """
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    return sorted(n for n in names if n.startswith(SHM_PREFIX))
+
+
+class SegmentRegistry:
+    """Tracks every segment an engine created; guarantees unlinking.
+
+    Thread-safe: the process-pool engine releases segments from the pool
+    result thread while the main thread may be creating the next one.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._counter = 0
+
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Create and track one uniquely named segment."""
+        with self._lock:
+            self._counter += 1
+            name = (
+                f"{SHM_PREFIX}{os.getpid()}-{self._counter}-"
+                f"{secrets.token_hex(4)}"
+            )
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, nbytes)
+        )
+        with self._lock:
+            self._segments[segment.name] = segment
+        return segment
+
+    def release(self, name: str) -> None:
+        """Close and unlink one segment; unknown names are a no-op."""
+        with self._lock:
+            segment = self._segments.pop(name, None)
+        if segment is None:
+            return
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def release_all(self) -> None:
+        """Unlink everything still tracked (abnormal-shutdown path)."""
+        with self._lock:
+            names = list(self._segments)
+        for name in names:
+            self.release(name)
+
+    @property
+    def live(self) -> list[str]:
+        with self._lock:
+            return sorted(self._segments)
+
+
+def attach_view(
+    segment: shared_memory.SharedMemory,
+    shape: tuple[int, ...],
+    dtype: np.dtype,
+    offset: int,
+) -> np.ndarray:
+    """A zero-copy numpy view over ``segment`` at ``offset``."""
+    return np.ndarray(
+        shape, dtype=dtype, buffer=segment.buf, offset=offset
+    )

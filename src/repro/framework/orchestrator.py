@@ -169,41 +169,66 @@ class CampaignRunner:
         prefix and the journal cross-checks each regenerated record
         byte-for-byte against what the crashed run logged.
         """
-        result = CampaignResult(solution=self.solution)
+        result = self.start_result()
         for iteration in range(num_iterations):
             if journal is not None:
                 journal.record_plan(
-                    iteration, self._journal_plan_data(iteration)
+                    iteration, self.journal_plan_data(iteration)
                 )
-            t0 = self.simulation.now
-            record = self._run_iteration(iteration)
+            record = self.run_one(iteration)
             result.records.append(record)
-            self.tracer.span(
-                "iteration",
-                t0=t0,
-                t1=self.simulation.now,
-                iteration=iteration,
-                dumped=record.dumped,
-                overhead_s=record.overhead_s,
-                solution=self.solution,
-            )
             if journal is not None:
                 journal.record_commit(
                     iteration,
-                    self._journal_commit_data(record),
+                    self.journal_commit_data(record),
                 )
-        self._aggregate_metrics(result)
+        self.finish(result)
         if journal is not None:
             journal.record_end(
-                {
-                    "iterations": int(num_iterations),
-                    "total_time_s": float(result.total_time),
-                    "total_overhead_s": float(result.total_overhead),
-                }
+                self.journal_end_data(result, num_iterations)
             )
         return result
 
-    def _journal_plan_data(self, iteration: int) -> dict:
+    # ------------------------------------------------------------------
+    # engine hooks: the execution engines (repro.engines) drive the same
+    # control plane one iteration at a time through these, so journal
+    # records and results stay byte-identical with a plain run().
+    # ------------------------------------------------------------------
+    def start_result(self) -> CampaignResult:
+        """A fresh result for this runner's solution."""
+        return CampaignResult(solution=self.solution)
+
+    def run_one(self, iteration: int) -> IterationRecord:
+        """Execute one iteration (with its telemetry span)."""
+        t0 = self.simulation.now
+        record = self._run_iteration(iteration)
+        self.tracer.span(
+            "iteration",
+            t0=t0,
+            t1=self.simulation.now,
+            iteration=iteration,
+            dumped=record.dumped,
+            overhead_s=record.overhead_s,
+            solution=self.solution,
+        )
+        return record
+
+    def finish(self, result: CampaignResult) -> CampaignResult:
+        """Aggregate metrics after the last iteration."""
+        self._aggregate_metrics(result)
+        return result
+
+    def journal_end_data(
+        self, result: CampaignResult, num_iterations: int
+    ) -> dict:
+        """The campaign-complete journal payload."""
+        return {
+            "iterations": int(num_iterations),
+            "total_time_s": float(result.total_time),
+            "total_overhead_s": float(result.total_overhead),
+        }
+
+    def journal_plan_data(self, iteration: int) -> dict:
         """The write-ahead view of one iteration, before it executes."""
         is_dump = iteration >= 1 and (
             (iteration - 1) % self.config.dump_period == 0
@@ -216,7 +241,7 @@ class CampaignRunner:
             ],
         }
 
-    def _journal_commit_data(self, record: IterationRecord) -> dict:
+    def journal_commit_data(self, record: IterationRecord) -> dict:
         """What actually happened, as plain JSON-safe Python values."""
         data: dict = {
             "record": {

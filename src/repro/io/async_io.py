@@ -72,7 +72,22 @@ class AsyncWriter:
         )
         self._closed = False
         self._worker_exited = threading.Event()
-        self._thread.start()
+        self._start_lock = threading.Lock()
+        self._started = False
+
+    def start(self) -> None:
+        """Start the worker thread; safe to call any number of times.
+
+        ``submit()`` and ``drain()`` call this lazily, so constructing an
+        :class:`AsyncWriter` that is never used costs no thread — and
+        engine code that calls ``start()`` again on an already-running
+        writer is a no-op rather than a crash.
+        """
+        with self._start_lock:
+            if self._started:
+                return
+            self._started = True
+            self._thread.start()
 
     def submit(
         self, name: str, payload: bytes, checksum: int | None = None
@@ -84,6 +99,7 @@ class AsyncWriter:
         """
         if self._closed:
             raise ValueError("writer is closed")
+        self.start()
         job = WriteJob(name=name, payload=payload, checksum=checksum)
         self._queue.put(job)
         if self._worker_exited.is_set():
@@ -96,6 +112,7 @@ class AsyncWriter:
         Raises ``TimeoutError`` if the queue did not empty in time and
         ``RuntimeError`` if the worker thread is gone.
         """
+        self.start()
         barrier = WriteJob(name="", payload=b"")
         self._queue.put(barrier)
         if self._worker_exited.is_set():
@@ -116,6 +133,9 @@ class AsyncWriter:
         if self._closed:
             return
         self._closed = True
+        with self._start_lock:
+            if not self._started:
+                return  # never started: nothing to stop
         self._queue.put(None)
         self._thread.join(timeout)
         if self._thread.is_alive():

@@ -69,6 +69,22 @@ def random_instance(
     )
 
 
+@pytest.fixture(autouse=True)
+def no_leaked_shared_memory():
+    """Fail any test that leaves a repro-shm-* segment in /dev/shm.
+
+    The process-pool engine promises to unlink every shared-memory
+    segment it creates, even on abnormal shutdown; this fixture holds
+    the whole suite to that contract.
+    """
+    from repro.engines.shm import active_segments
+
+    before = set(active_segments())
+    yield
+    leaked = sorted(set(active_segments()) - before)
+    assert not leaked, f"leaked /dev/shm segments: {leaked}"
+
+
 @pytest.fixture
 def figure1() -> ProblemInstance:
     return figure1_instance()

@@ -1,0 +1,107 @@
+"""Engine registry, shared-memory registry, and driver basics."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.engines import (
+    CampaignSpec,
+    EngineError,
+    ProcessPoolEngine,
+    SegmentRegistry,
+    SimulatorEngine,
+    attach_view,
+    get_engine,
+    list_engines,
+    register_engine,
+    run_campaign,
+)
+from repro.engines.shm import SHM_PREFIX, active_segments
+
+
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        assert list_engines() == ["process", "sim"]
+        assert get_engine("sim") is SimulatorEngine
+        assert get_engine("process") is ProcessPoolEngine
+
+    def test_unknown_engine(self):
+        with pytest.raises(EngineError, match="unknown engine 'mpi'"):
+            get_engine("mpi")
+
+    def test_reregistering_same_class_is_idempotent(self):
+        assert register_engine(SimulatorEngine) is SimulatorEngine
+
+    def test_name_collision_rejected(self):
+        class Impostor(SimulatorEngine):
+            name = "sim"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine(Impostor)
+
+    def test_unnamed_engine_rejected(self):
+        class Nameless(SimulatorEngine):
+            name = ""
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register_engine(Nameless)
+
+
+class TestSegmentRegistry:
+    def test_create_release_cycle(self):
+        registry = SegmentRegistry()
+        segment = registry.create(256)
+        assert segment.name.startswith(SHM_PREFIX)
+        assert segment.name in active_segments()
+        assert registry.live == [segment.name]
+        view = attach_view(segment, (32,), np.dtype("<f8"), 0)
+        view[:] = np.arange(32, dtype=np.float64)
+        assert float(view.sum()) == float(np.arange(32).sum())
+        del view  # views pin the mapping; drop before unlinking
+        registry.release(segment.name)
+        assert registry.live == []
+        assert segment.name not in active_segments()
+
+    def test_release_unknown_name_is_noop(self):
+        SegmentRegistry().release("repro-shm-never-existed")
+
+    def test_release_all(self):
+        registry = SegmentRegistry()
+        names = [registry.create(64).name for _ in range(3)]
+        registry.release_all()
+        assert registry.live == []
+        assert not set(names) & set(active_segments())
+
+
+class TestRunCampaignDriver:
+    def test_spec_and_legacy_kwargs_are_exclusive(self):
+        with pytest.raises(EngineError, match="not both"):
+            run_campaign(CampaignSpec(), nodes=2)
+
+    def test_journal_and_resume_are_exclusive(self, tmp_path):
+        with pytest.raises(EngineError, match="mutually exclusive"):
+            run_campaign(
+                CampaignSpec(),
+                journal_path=str(tmp_path / "j"),
+                resume_path=str(tmp_path / "j"),
+            )
+
+    def test_legacy_kwargs_run(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            report = run_campaign(
+                num_nodes=1, processes_per_node=2, num_iterations=3
+            )
+        assert report.engine == "sim"
+        assert len(report.result.records) == 3
+        assert report.data is None
+        assert report.block_crc32c == {}
+        report.close()
+
+    def test_report_carries_wall_and_modelled_time(self):
+        report = run_campaign(CampaignSpec(nodes=1, ppn=2, iterations=3))
+        assert report.wall_time_s > 0.0
+        assert report.modelled_time_s == pytest.approx(
+            report.result.total_time
+        )

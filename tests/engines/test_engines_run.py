@@ -1,0 +1,131 @@
+"""Each engine end to end: data plane, shutdown, cleanup."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.compression import SZCompressor
+from repro.engines import (
+    CampaignSpec,
+    PoolDataPlane,
+    ProcessPoolEngine,
+    run_campaign,
+)
+from repro.engines.shm import active_segments
+from repro.io.hdf5like import SharedFileReader
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    base = dict(
+        nodes=1,
+        ppn=2,
+        iterations=3,
+        seed=5,
+        data_edge=8,
+        data_fields=1,
+        data_block_bytes=2048,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestSimulatorEngineDataPlane:
+    def test_dump_iterations_write_containers(self, tmp_path):
+        spec = small_spec(engine="sim", data_dir=str(tmp_path))
+        report = run_campaign(spec)
+        dumped = [r.iteration for r in report.result.records if r.dumped]
+        assert sorted(report.data.containers) == dumped
+        for path in report.data.containers.values():
+            assert os.path.exists(path)
+        assert report.data.num_blocks == len(report.block_crc32c)
+        assert report.data.workers == 1
+
+    def test_containers_decompress_within_bound(self, tmp_path):
+        spec = small_spec(engine="sim", data_dir=str(tmp_path))
+        report = run_campaign(spec)
+        app = spec.data_application()
+        field = app.fields[0]
+        iteration, path = sorted(report.data.containers.items())[0]
+        compressor = SZCompressor()
+        with SharedFileReader(path) as reader:
+            names = [
+                n for n in reader.names() if n.startswith("rank0/")
+            ]
+            assert names
+            payload = reader.read(names[0])
+        from repro.compression import CompressedBlock
+
+        block = CompressedBlock.from_bytes(payload)
+        values = compressor.decompress(block)
+        original = app.generate_field(field.name, 0, iteration)
+        sliced = original[: values.shape[0]]
+        assert abs(values - sliced).max() <= field.error_bound * (
+            1 + 1e-9
+        )
+
+
+class TestProcessPoolEngine:
+    def test_runs_with_temp_data_dir(self):
+        spec = small_spec(engine="process", workers=2)
+        report = run_campaign(spec)
+        assert report.engine == "process"
+        assert report.data is not None
+        assert report.data.num_blocks > 0
+        # The temp directory is removed at finalize.
+        for path in report.data.containers.values():
+            assert not os.path.exists(path)
+        assert active_segments() == []
+
+    def test_explicit_data_dir_is_kept(self, tmp_path):
+        spec = small_spec(
+            engine="process", data_dir=str(tmp_path), workers=2
+        )
+        report = run_campaign(spec)
+        for path in report.data.containers.values():
+            assert os.path.exists(path)
+        assert report.data.workers == 2
+
+    def test_worker_count_defaults_to_ranks_or_cpus(self, tmp_path):
+        spec = small_spec(engine="process")
+        plane = PoolDataPlane(
+            dataclasses.replace(spec, data_dir=str(tmp_path))
+        )
+        assert plane.workers == min(2, os.cpu_count() or 1)
+        plane.close()
+
+    def test_abort_unlinks_segments_and_temp_dir(self, tmp_path):
+        spec = small_spec(engine="process", workers=2)
+        engine = ProcessPoolEngine(spec)
+        engine.prepare()
+        # Simulate a crash mid-campaign: segments may be live.
+        engine.dataplane.registry.create(1024)
+        engine.abort()
+        assert active_segments() == []
+        assert engine.dataplane.registry.live == []
+        # abort() is idempotent.
+        engine.abort()
+
+    def test_dump_failure_aborts_container(self, tmp_path, monkeypatch):
+        spec = small_spec(
+            engine="process", data_dir=str(tmp_path), workers=2
+        )
+        engine = ProcessPoolEngine(spec)
+        engine.prepare()
+
+        def boom(*a, **k):
+            raise RuntimeError("worker dispatch failed")
+
+        monkeypatch.setattr(
+            engine.dataplane._pool, "apply_async", boom
+        )
+        with pytest.raises(RuntimeError, match="worker dispatch"):
+            for iteration in range(spec.iterations):
+                engine.run_iteration(iteration)
+        engine.abort()
+        # No half-written container was published and nothing leaked.
+        assert all(
+            not name.endswith(".rpio")
+            for name in os.listdir(tmp_path)
+        )
+        assert active_segments() == []

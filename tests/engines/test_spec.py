@@ -1,0 +1,126 @@
+"""CampaignSpec: validation, canonical fingerprint, legacy shim."""
+
+import dataclasses
+import json
+import warnings
+
+import pytest
+
+import repro.engines.spec as spec_module
+from repro.durability import canonical_json
+from repro.engines import CampaignSpec
+from repro.framework import ours_config
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = CampaignSpec()
+        assert spec.app == "nyx"
+        assert spec.engine == "sim"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("app", "lammps"),
+            ("nodes", 0),
+            ("nodes", 2.5),
+            ("ppn", -1),
+            ("iterations", -3),
+            ("solution", "theirs"),
+            ("seed", "one"),
+            ("engine", ""),
+            ("faults", [1, 2]),
+            ("config", "ours"),
+            ("data_edge", 1),
+            ("data_fields", 0),
+            ("data_block_bytes", 0),
+            ("workers", 0),
+        ],
+    )
+    def test_bad_value_names_the_field(self, field, value):
+        with pytest.raises(ValueError, match=f"CampaignSpec.{field}"):
+            CampaignSpec(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CampaignSpec().nodes = 8
+
+
+class TestFingerprint:
+    def test_canonical_json_serializable(self):
+        spec = CampaignSpec(config=ours_config(), data_dir="/tmp/x")
+        text = canonical_json(spec.to_json_dict())
+        assert json.loads(text)["app"] == "nyx"
+
+    def test_fingerprint_stable_and_sensitive(self):
+        a = CampaignSpec(seed=3)
+        b = CampaignSpec(seed=3)
+        c = CampaignSpec(seed=4)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_data_dir_location_not_in_fingerprint(self):
+        # The data plane's *shape* is identity; its directory is not.
+        a = CampaignSpec(data_dir="/tmp/a")
+        b = CampaignSpec(data_dir="/tmp/b")
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestJournalHeader:
+    def test_round_trip(self):
+        spec = CampaignSpec(
+            app="warpx", nodes=2, ppn=3, iterations=4, seed=9,
+            engine="process",
+        )
+        header = spec.journal_header()
+        assert header["spec_crc32c"] == spec.fingerprint()
+        rebuilt = CampaignSpec.from_journal_header(header)
+        assert rebuilt == spec
+
+    def test_legacy_header_defaults_to_sim(self):
+        # Pre-engine journals have no "engine" key.
+        header = CampaignSpec(app="hacc").journal_header()
+        del header["engine"]
+        assert CampaignSpec.from_journal_header(header).engine == "sim"
+
+
+class TestLegacyKwargsShim:
+    def test_aliases_map(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            spec = CampaignSpec.from_kwargs(
+                app_name="warpx",
+                num_nodes=2,
+                processes_per_node=8,
+                num_iterations=5,
+                master_seed=11,
+            )
+        assert spec == CampaignSpec(
+            app="warpx", nodes=2, ppn=8, iterations=5, seed=11
+        )
+
+    def test_unknown_kwarg_rejected(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="unknown campaign kwarg"):
+                CampaignSpec.from_kwargs(frobnicate=3)
+
+    def test_conflicting_alias_rejected(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="conflicts"):
+                CampaignSpec.from_kwargs(nodes=2, num_nodes=3)
+
+    def test_warns_exactly_once_per_process(self, monkeypatch):
+        monkeypatch.setattr(
+            spec_module, "_warned_legacy_kwargs", False
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            CampaignSpec.from_kwargs(num_nodes=2)
+            CampaignSpec.from_kwargs(num_nodes=3)
+        deprecations = [
+            w for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1

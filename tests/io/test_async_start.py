@@ -1,0 +1,47 @@
+"""AsyncWriter startup semantics: lazy, idempotent, safe to skip."""
+
+import threading
+
+from repro.io import AsyncWriter, SharedFileReader, SharedFileWriter
+
+
+class TestIdempotentStart:
+    def test_constructor_starts_no_thread(self, tmp_path):
+        before = threading.active_count()
+        writer = SharedFileWriter(tmp_path / "c.rpio")
+        async_writer = AsyncWriter(writer)
+        assert threading.active_count() == before
+        async_writer.close()
+        writer.abort()
+
+    def test_start_is_idempotent(self, tmp_path):
+        writer = SharedFileWriter(tmp_path / "c.rpio")
+        async_writer = AsyncWriter(writer)
+        async_writer.start()
+        thread = async_writer._thread
+        for _ in range(5):
+            async_writer.start()  # must not try to start it twice
+        assert async_writer._thread is thread
+        assert thread.is_alive()
+        async_writer.close()
+        writer.abort()
+
+    def test_submit_and_drain_start_lazily(self, tmp_path):
+        path = tmp_path / "c.rpio"
+        writer = SharedFileWriter(path)
+        async_writer = AsyncWriter(writer)
+        writer.reserve("x", 3)
+        job = async_writer.submit("x", b"abc")
+        async_writer.drain(timeout=10.0)
+        assert job.wait(0.0)
+        async_writer.close(timeout=10.0)
+        writer.close()
+        with SharedFileReader(path) as reader:
+            assert reader.read("x") == b"abc"
+
+    def test_close_unstarted_writer_is_clean(self, tmp_path):
+        writer = SharedFileWriter(tmp_path / "c.rpio")
+        async_writer = AsyncWriter(writer)
+        async_writer.close(timeout=1.0)  # no thread ever ran
+        async_writer.close(timeout=1.0)  # and close stays idempotent
+        writer.abort()

@@ -19,6 +19,7 @@ _PACKAGES = [
     "repro.telemetry",
     "repro.resilience",
     "repro.bench",
+    "repro.engines",
 ]
 
 
@@ -58,6 +59,46 @@ class TestApiSurface:
 
     def test_version_string(self):
         assert repro.__version__.count(".") == 2
+
+    def test_solve_result_surface(self):
+        """SolveResult carries the engine name, wall/modelled timings,
+        and a telemetry handle (PR 6 API)."""
+        import dataclasses
+        import inspect
+
+        from repro.core import SolveResult, solve
+
+        names = {f.name for f in dataclasses.fields(SolveResult)}
+        assert {
+            "schedule",
+            "makespan",
+            "algorithm",
+            "wall_time",
+            "status",
+            "detail",
+            "engine",
+            "telemetry",
+        } <= names
+        assert isinstance(SolveResult.modelled_time, property)
+        assert "engine" in inspect.signature(solve).parameters
+
+    def test_engine_protocol_surface(self):
+        """Every registered engine implements the four-phase protocol."""
+        from repro.engines import ExecutionEngine, get_engine, list_engines
+
+        assert {"sim", "process"} <= set(list_engines())
+        for name in list_engines():
+            cls = get_engine(name)
+            assert issubclass(cls, ExecutionEngine)
+            assert cls.name == name
+            for phase in (
+                "prepare",
+                "run_iteration",
+                "finish",
+                "finalize",
+                "report",
+            ):
+                assert callable(getattr(cls, phase)), (name, phase)
 
     def test_cli_importable_without_side_effects(self):
         from repro.cli import build_parser

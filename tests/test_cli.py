@@ -215,3 +215,86 @@ class TestSnapshotCommand:
             == 0
         )
         assert "verified" in capsys.readouterr().out
+
+
+class TestEnginesCli:
+    def test_engines_list(self, capsys):
+        assert main(["engines", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "sim" in out
+        assert "process" in out
+        assert "SimulatorEngine" in out
+
+    def test_campaign_engine_flag_default(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.engine == "sim"
+        assert args.data_out is None
+        assert args.workers is None
+
+    def test_campaign_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--engine", "mpi"])
+
+    def test_campaign_process_engine(self, tmp_path, capsys):
+        data_dir = tmp_path / "data"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--nodes", "1",
+                    "--ppn", "2",
+                    "--iterations", "3",
+                    "--solution", "ours",
+                    "--engine", "process",
+                    "--data-out", str(data_dir),
+                    "--data-edge", "8",
+                    "--workers", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "data plane [ours/process]" in out
+        assert any(data_dir.glob("*.rpio"))
+
+    def test_campaign_engines_agree_on_overheads(self, capsys):
+        common = [
+            "campaign",
+            "--nodes", "1",
+            "--ppn", "2",
+            "--iterations", "3",
+            "--solution", "ours",
+        ]
+        assert main(common + ["--engine", "sim"]) == 0
+        sim_out = capsys.readouterr().out
+        assert main(common + ["--engine", "process"]) == 0
+        process_out = capsys.readouterr().out
+        # The modelled overhead table is engine-independent.
+        assert sim_out.splitlines()[:3] == process_out.splitlines()[:3]
+
+    def test_campaign_journal_resume_under_process_engine(
+        self, tmp_path, capsys
+    ):
+        journal = tmp_path / "run.journal"
+        args = [
+            "campaign",
+            "--nodes", "1",
+            "--ppn", "2",
+            "--iterations", "3",
+            "--solution", "ours",
+            "--engine", "process",
+            "--journal", str(journal),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Chop the journal after one committed iteration and resume.
+        lines = journal.read_bytes().splitlines(keepends=True)
+        journal.write_bytes(b"".join(lines[:3]))
+        assert main(["campaign", "--resume", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming ours campaign" in out
+        assert "1/3 iterations already committed" in out
+
+    def test_schedule_engine_flag(self, capsys):
+        assert main(["schedule", "--engine", "process"]) == 0
+        assert "ExtJohnson+BF" in capsys.readouterr().out
