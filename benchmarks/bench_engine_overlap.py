@@ -99,3 +99,39 @@ def bench_pipeline_speedup(edge=32, workers=4):
     overlapped = _run("process", edge, workers)
     assert serial.block_crc32c == overlapped.block_crc32c
     assert serial.data.compressed_bytes == overlapped.data.compressed_bytes
+
+
+@bench_case(
+    "engine.supervised_recovery",
+    group="engine",
+    params={"edge": 32, "workers": 4},
+    warmup=0,
+    repeats=2,
+    timeout_s=300.0,
+)
+def bench_supervised_recovery(edge=32, workers=4):
+    """Worker-kill recovery cost: a SIGKILLed rank retried to completion.
+
+    Times the process data plane while rank 1's first attempt at
+    iteration 1 is killed, so the measurement includes death detection,
+    relaunch, and result dedup on top of the clean pipeline — compare
+    against ``engine.pipeline_overlap.process`` for the overhead.  Full
+    runs only (no ``quick`` variant), so the committed quick baseline is
+    untouched.
+    """
+    from repro.engines import CampaignSpec, run_campaign
+
+    faults = {"worker": {"kind": "kill", "rank": 1, "iteration": 1}}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sup-") as tmp:
+        report = run_campaign(CampaignSpec(
+            engine="process",
+            data_dir=tmp,
+            data_edge=edge,
+            workers=workers,
+            faults=faults,
+            task_deadline_s=30.0,
+            speculative_frac=0.0,
+            **_BASE,
+        ))
+    sup = report.data.supervisor
+    assert sup is not None and sup.recovered and sup.retries >= 1

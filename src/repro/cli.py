@@ -183,6 +183,38 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument(
+        "--task-deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "wall-clock deadline for one attempt of a rank compression "
+            "task under --engine process; past it the attempt is "
+            "abandoned and the task retried (0 disables deadlines)"
+        ),
+    )
+    p.add_argument(
+        "--max-task-retries",
+        type=int,
+        default=2,
+        help=(
+            "re-executions of a failed/timed-out rank task before the "
+            "parent compresses that rank serially (bytes identical "
+            "either way)"
+        ),
+    )
+    p.add_argument(
+        "--speculative-frac",
+        type=float,
+        default=0.9,
+        metavar="FRAC",
+        help=(
+            "fraction of a dump's rank tasks that must complete before "
+            "a straggling task gets one speculative duplicate launch "
+            "(0 disables speculation)"
+        ),
+    )
+    p.add_argument(
         "--trace-out",
         metavar="FILE",
         default=None,
@@ -520,6 +552,10 @@ def _cmd_campaign(args) -> int:
         )
         return 2
 
+    def _task_deadline(args):
+        # `--task-deadline 0` is the CLI spelling of "no deadline".
+        return args.task_deadline if args.task_deadline > 0 else None
+
     spec_data = None
     if args.faults and not args.resume:
         from repro.resilience import load_spec_data
@@ -546,13 +582,14 @@ def _cmd_campaign(args) -> int:
             # Every campaign parameter comes from the journal header so
             # the resumed run re-executes exactly what the crashed run
             # planned; only the (unjournalled) data-plane knobs are ours.
-            data_spec = None
-            if args.data_out is not None or args.workers is not None:
-                data_spec = CampaignSpec(
-                    data_dir=args.data_out,
-                    data_edge=args.data_edge,
-                    workers=args.workers,
-                )
+            data_spec = CampaignSpec(
+                data_dir=args.data_out,
+                data_edge=args.data_edge,
+                workers=args.workers,
+                task_deadline_s=_task_deadline(args),
+                max_task_retries=args.max_task_retries,
+                speculative_frac=args.speculative_frac,
+            )
             runs.append(
                 run_campaign(
                     data_spec,
@@ -580,6 +617,9 @@ def _cmd_campaign(args) -> int:
                     data_dir=args.data_out,
                     data_edge=args.data_edge,
                     workers=args.workers,
+                    task_deadline_s=_task_deadline(args),
+                    max_task_retries=args.max_task_retries,
+                    speculative_frac=args.speculative_frac,
                 )
                 runs.append(
                     run_campaign(
@@ -628,6 +668,19 @@ def _cmd_campaign(args) -> int:
                 f"dump wall {data.dump_wall_s:.2f}s, "
                 f"{data.workers} worker(s)"
             )
+            sup = data.supervisor
+            if sup is not None and sup.recovered:
+                print(
+                    f"supervisor [{run.result.solution}]: "
+                    f"{sup.attempts} attempts for {sup.tasks} tasks, "
+                    f"{sup.retries} retries, "
+                    f"{sup.deadline_misses} deadline misses, "
+                    f"{sup.worker_deaths} worker deaths, "
+                    f"{sup.worker_errors} worker errors, "
+                    f"{sup.speculative_launches} speculative "
+                    f"({sup.speculative_wins} won), "
+                    f"{len(sup.fallback_ranks)} serial fallbacks"
+                )
     for name, report in reports:
         print(f"\nresilience [{name}]:")
         print(report.format())

@@ -13,6 +13,11 @@ executes it under whichever :class:`ExecutionEngine` the spec names
 Both run the identical modelled control plane, so journal records,
 resume, fault injection, and every report behave the same regardless of
 backend; see ``docs/architecture.md``.
+
+The process engine's rank tasks run under a :class:`WorkerSupervisor`
+(deadlines, bounded retries, straggler speculation, serial fallback), so
+a killed or hung pool worker degrades the run instead of wedging it; see
+``docs/resilience.md``.
 """
 
 from .base import (
@@ -29,6 +34,7 @@ from .process import ProcessPoolEngine
 from .shm import SHM_PREFIX, SegmentRegistry, active_segments, attach_view
 from .sim import SimulatorEngine
 from .spec import APP_NAMES, SOLUTIONS, CampaignSpec
+from .supervisor import SupervisorStats, WorkerSupervisor
 
 __all__ = [
     "APP_NAMES",
@@ -44,6 +50,8 @@ __all__ = [
     "SegmentRegistry",
     "SerialDataPlane",
     "SimulatorEngine",
+    "SupervisorStats",
+    "WorkerSupervisor",
     "active_segments",
     "attach_view",
     "get_engine",

@@ -275,6 +275,9 @@ def run_campaign(
                 data_fields=spec.data_fields,
                 data_block_bytes=spec.data_block_bytes,
                 workers=spec.workers,
+                task_deadline_s=spec.task_deadline_s,
+                max_task_retries=spec.max_task_retries,
+                speculative_frac=spec.speculative_frac,
             )
         spec = header_spec
         if on_resume is not None:

@@ -20,14 +20,25 @@ CRC32Cs) under both:
   rank's fields meanwhile — compute, compression, and I/O genuinely
   overlap on real cores.
 
+The pool plane is *supervised*: every rank task runs under the
+:class:`~repro.engines.supervisor.WorkerSupervisor`, which bounds each
+attempt with a deadline, detects killed/replaced pool workers, retries
+within the campaign's backoff policy, speculates on stragglers, and —
+once the budget is gone — compresses the poisoned rank serially in the
+parent through the very same deterministic core.  A rank therefore
+yields identical bytes whether it succeeded first try, after a retry,
+or via the fallback.
+
 Container layout *order* may differ between the two (workers finish in
 nondeterministic order) but the stored bytes per dataset are identical.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -39,9 +50,13 @@ from ..compression import SZCompressor, plan_blocks, slice_field
 from ..durability.checksum import crc32c
 from ..io.async_io import AsyncWriter
 from ..io.hdf5like import SharedFileWriter
+from ..resilience.faults import FaultInjector
+from ..resilience.report import ResilienceLog
+from ..resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from ..telemetry import NULL_TRACER, NullTracer
 from .shm import SegmentRegistry, attach_view
 from .spec import CampaignSpec
+from .supervisor import SupervisorStats, WorkerSupervisor
 
 __all__ = ["DataPlaneStats", "SerialDataPlane", "PoolDataPlane"]
 
@@ -65,18 +80,12 @@ class DataPlaneStats:
     containers: dict[int, str] = field(default_factory=dict)
     #: ``it<NNNN>/rank<R>/<field>/<block>`` -> payload CRC32C.
     block_crc32c: dict[str, int] = field(default_factory=dict)
+    #: Recovery tallies of the supervised pool plane (None when serial).
+    supervisor: SupervisorStats | None = None
 
     @property
     def compression_ratio(self) -> float:
         return self.raw_bytes / max(1, self.compressed_bytes)
-
-
-def _rank_tasks(app, rank: int, spec: CampaignSpec, field_specs):
-    """Deterministic (field, bound, array) work list for one rank."""
-    for fs in field_specs:
-        yield fs.name, fs.error_bound, app.generate_field(
-            fs.name, rank, iteration=0
-        )
 
 
 def _compress_field_blocks(
@@ -114,15 +123,40 @@ def _compress_field_blocks(
 _WORKER_COMPRESSOR: SZCompressor | None = None
 
 
+def _apply_worker_fault(fault) -> None:
+    """Execute one injected real-plane fault inside the pool worker.
+
+    ``fault`` is ``None`` or ``(kind, stall_s)`` drawn deterministically
+    by the parent's :meth:`~repro.resilience.faults.FaultInjector.
+    worker_fault` and shipped with the task args — the worker executes
+    the decision but never draws randomness itself.
+    """
+    if fault is None:
+        return
+    kind, stall_s = fault
+    if kind == "kill":
+        # The real thing: SIGKILL this pool child.  The pool silently
+        # respawns a replacement, but the in-flight task never resolves
+        # — exactly the hang the supervisor exists to catch.
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "stall":
+        time.sleep(stall_s)
+    elif kind == "error":
+        raise RuntimeError("injected worker fault: task raised")
+
+
 def _pool_compress_rank(args):
     """Compress one rank's shared-memory fields; returns its payloads.
 
     ``fields_meta`` rows are ``(name, shape, dtype_str, offset, bound)``
     describing zero-copy views into the named segment.  Only the
     compressed payloads (plus their CRC32Cs) travel back over the task
-    pipe.
+    pipe.  ``fault`` (see :func:`_apply_worker_fault`) fires before the
+    segment is attached so an injected kill never strands a child-side
+    handle.
     """
-    seg_name, rank, fields_meta, block_bytes = args
+    seg_name, rank, fields_meta, block_bytes, fault = args
+    _apply_worker_fault(fault)
     global _WORKER_COMPRESSOR
     if _WORKER_COMPRESSOR is None:
         _WORKER_COMPRESSOR = SZCompressor()
@@ -153,7 +187,12 @@ class SerialDataPlane:
     """Single-process reference: compress every block, then write."""
 
     def __init__(
-        self, spec: CampaignSpec, tracer: NullTracer = NULL_TRACER
+        self,
+        spec: CampaignSpec,
+        tracer: NullTracer = NULL_TRACER,
+        *,
+        injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.spec = spec
         self.tracer = tracer
@@ -161,6 +200,11 @@ class SerialDataPlane:
         self.field_specs = tuple(self.app.fields[: spec.data_fields])
         self.ranks = spec.nodes * spec.ppn
         self.stats = DataPlaneStats(workers=1)
+        self.injector = injector
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self._log: ResilienceLog | None = (
+            injector.log if injector is not None else None
+        )
         self._compressor = SZCompressor()
         self._open_writer: SharedFileWriter | None = None
         self._open_async: AsyncWriter | None = None
@@ -178,27 +222,11 @@ class SerialDataPlane:
         t_dump = time.perf_counter()
         path = self.container_path(iteration)
         writer = SharedFileWriter(path)
-        async_writer = AsyncWriter(writer)
+        async_writer = self._make_async_writer(writer)
         self._open_writer, self._open_async = writer, async_writer
         payloads: list[tuple[str, bytes, int]] = []
         for rank in range(self.ranks):
-            for fs in self.field_specs:
-                t0 = time.perf_counter()
-                values = self.app.generate_field(fs.name, rank, iteration)
-                t1 = time.perf_counter()
-                self.stats.generate_wall_s += t1 - t0
-                payloads.extend(
-                    _compress_field_blocks(
-                        self._compressor,
-                        rank,
-                        fs.name,
-                        values,
-                        fs.error_bound,
-                        self.spec.data_block_bytes,
-                    )
-                )
-                self.stats.raw_bytes += values.nbytes
-                self.stats.compress_wall_s += time.perf_counter() - t1
+            payloads.extend(self._rank_payloads(iteration, rank))
         t_write = time.perf_counter()
         for dataset, payload, checksum in payloads:
             writer.reserve(dataset, len(payload))
@@ -213,6 +241,47 @@ class SerialDataPlane:
         self.stats.dump_wall_s += now - t_dump
         self.stats.containers[iteration] = path
         self._trace_dump(iteration, now - t_dump)
+
+    def _rank_payloads(
+        self, iteration: int, rank: int, *, count_raw: bool = True
+    ) -> list[tuple[str, bytes, int]]:
+        """Generate + compress one rank in this process.
+
+        The serial dump's per-rank body — and the pool plane's
+        ``rank-serial`` fallback, which is what makes fallback bytes
+        identical to the pool path.  ``count_raw=False`` skips the
+        raw-byte tally for ranks already counted at publish time.
+        """
+        payloads: list[tuple[str, bytes, int]] = []
+        for fs in self.field_specs:
+            t0 = time.perf_counter()
+            values = self.app.generate_field(fs.name, rank, iteration)
+            t1 = time.perf_counter()
+            self.stats.generate_wall_s += t1 - t0
+            payloads.extend(
+                _compress_field_blocks(
+                    self._compressor,
+                    rank,
+                    fs.name,
+                    values,
+                    fs.error_bound,
+                    self.spec.data_block_bytes,
+                )
+            )
+            if count_raw:
+                self.stats.raw_bytes += values.nbytes
+            self.stats.compress_wall_s += time.perf_counter() - t1
+        return payloads
+
+    def _make_async_writer(self, writer: SharedFileWriter) -> AsyncWriter:
+        return AsyncWriter(
+            writer, retry=self.retry, on_retry=self._on_io_retry
+        )
+
+    def _on_io_retry(self, job, exc: BaseException) -> None:
+        """Count one wall-clock write retry in the campaign log."""
+        if self._log is not None:
+            self._log.record_retry()
 
     def _record_block(
         self, iteration: int, dataset: str, payload: bytes, checksum: int
@@ -257,23 +326,38 @@ class PoolDataPlane(SerialDataPlane):
 
     For each dump iteration the parent fills one shared-memory segment
     per rank with that rank's generated fields and hands workers a
-    zero-copy view descriptor.  As each rank's compressed payloads come
-    back (pool callback thread) they are reserved and queued on the
-    async writer immediately, so the tail of compression overlaps the
-    writes — and the parent meanwhile generates the next rank's fields.
+    zero-copy view descriptor.  Each rank task runs under the
+    :class:`~repro.engines.supervisor.WorkerSupervisor`: finished ranks
+    stream their compressed payloads onto the async writer while the
+    parent is still generating later ranks, killed or hung workers are
+    detected and the task re-executed within the campaign's retry
+    budget, and an unsalvageable rank is compressed serially in the
+    parent — so a dump completes (with identical bytes) even when the
+    pool misbehaves.
     """
 
     def __init__(
-        self, spec: CampaignSpec, tracer: NullTracer = NULL_TRACER
+        self,
+        spec: CampaignSpec,
+        tracer: NullTracer = NULL_TRACER,
+        *,
+        injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
-        super().__init__(spec, tracer)
+        super().__init__(spec, tracer, injector=injector, retry=retry)
         self.workers = spec.workers or min(
             self.ranks, os.cpu_count() or 1
         )
         self.stats.workers = self.workers
+        self.stats.supervisor = SupervisorStats()
+        # Same backoff shape as the write policy, but the attempt cap is
+        # the spec's task knob: first launch + max_task_retries re-runs.
+        self._task_retry = dataclasses.replace(
+            self.retry, max_attempts=spec.max_task_retries + 1
+        )
         self.registry = SegmentRegistry()
         self._pool = None
-        self._stats_lock = threading.Lock()
+        self._lifecycle_lock = threading.Lock()
 
     def start(self) -> None:
         """Spawn the worker pool (idempotent)."""
@@ -288,72 +372,91 @@ class PoolDataPlane(SerialDataPlane):
             ctx = multiprocessing.get_context("fork")
             self._pool = ctx.Pool(self.workers)
 
+    def _worker_pids(self) -> tuple[int, ...]:
+        """Current pool-child PIDs (empty once the pool is gone)."""
+        pool = self._pool
+        if pool is None:
+            return ()
+        return tuple(
+            proc.pid
+            for proc in getattr(pool, "_pool", ())
+            if proc.pid is not None
+        )
+
     # -- pipeline ------------------------------------------------------
     def dump(self, iteration: int) -> None:
         self.start()
         t_dump = time.perf_counter()
         path = self.container_path(iteration)
         writer = SharedFileWriter(path)
-        async_writer = AsyncWriter(writer)
+        async_writer = self._make_async_writer(writer)
         self._open_writer, self._open_async = writer, async_writer
-        callback_errors: list[BaseException] = []
-        pending = []
+        published: dict[int, tuple] = {}
+
+        def launch(rank: int, attempt: int):
+            segment, fields_meta = published[rank]
+            fault = None
+            if self.injector is not None:
+                fault = self.injector.worker_fault(
+                    rank, iteration, attempt
+                )
+            return self._pool.apply_async(
+                _pool_compress_rank,
+                (
+                    (
+                        segment.name,
+                        rank,
+                        fields_meta,
+                        self.spec.data_block_bytes,
+                        fault,
+                    ),
+                ),
+            )
+
+        def ingest(rank: int, result) -> None:
+            _, blocks = result
+            for dataset, payload, checksum in blocks:
+                writer.reserve(dataset, len(payload))
+                async_writer.submit(dataset, payload, checksum=checksum)
+                self._record_block(iteration, dataset, payload, checksum)
+
+        def fallback(rank: int):
+            # Regenerate + compress in the parent through the shared
+            # deterministic core: bytes identical to the pool path.
+            return rank, self._rank_payloads(
+                iteration, rank, count_raw=False
+            )
+
+        def on_resolved(rank: int) -> None:
+            segment, _ = published.pop(rank)
+            self.registry.release(segment.name)
+
+        supervisor = WorkerSupervisor(
+            launch=launch,
+            ingest=ingest,
+            fallback=fallback,
+            retry=self._task_retry,
+            deadline_s=self.spec.task_deadline_s,
+            speculative_frac=self.spec.speculative_frac,
+            worker_pids=self._worker_pids,
+            on_resolved=on_resolved,
+            stats=self.stats.supervisor,
+            log=self._log,
+            tracer=self.tracer,
+            iteration=iteration,
+        )
         try:
             for rank in range(self.ranks):
                 t0 = time.perf_counter()
-                segment, fields_meta = self._publish_rank(
-                    rank, iteration
-                )
+                published[rank] = self._publish_rank(rank, iteration)
                 self.stats.generate_wall_s += time.perf_counter() - t0
-
-                def _on_done(
-                    result,
-                    seg_name=segment.name,
-                    iteration=iteration,
-                    writer=writer,
-                    async_writer=async_writer,
-                ):
-                    # Pool result-handler thread: stream payloads to the
-                    # async writer the moment this rank finishes, then
-                    # drop its segment.
-                    try:
-                        _, blocks = result
-                        for dataset, payload, checksum in blocks:
-                            writer.reserve(dataset, len(payload))
-                            async_writer.submit(
-                                dataset, payload, checksum=checksum
-                            )
-                            with self._stats_lock:
-                                self._record_block(
-                                    iteration, dataset, payload, checksum
-                                )
-                    except BaseException as exc:  # surfaced below
-                        callback_errors.append(exc)
-                    finally:
-                        self.registry.release(seg_name)
-
-                def _on_error(exc, seg_name=segment.name):
-                    self.registry.release(seg_name)
-
-                pending.append(
-                    self._pool.apply_async(
-                        _pool_compress_rank,
-                        (
-                            (
-                                segment.name,
-                                rank,
-                                fields_meta,
-                                self.spec.data_block_bytes,
-                            ),
-                        ),
-                        callback=_on_done,
-                        error_callback=_on_error,
-                    )
-                )
-            for result in pending:
-                result.get()  # re-raises worker exceptions here
-            if callback_errors:
-                raise callback_errors[0]
+                supervisor.submit(rank)
+                # One state-machine pass between publishes streams
+                # already-finished ranks to the writer while the parent
+                # keeps generating — the overlap the pool plane exists
+                # for.
+                supervisor.poll()
+            supervisor.wait_all()
             self.stats.compress_wall_s += time.perf_counter() - t_dump
             t_write = time.perf_counter()
             async_writer.drain(timeout=_DRAIN_TIMEOUT_S)
@@ -368,6 +471,12 @@ class PoolDataPlane(SerialDataPlane):
         except BaseException:
             self._abort_open_container()
             raise
+        finally:
+            # Error paths leave unresolved ranks' segments behind; a
+            # clean run leaves nothing (each rank released on resolve).
+            for segment, _ in published.values():
+                self.registry.release(segment.name)
+            published.clear()
 
     def _publish_rank(self, rank: int, iteration: int):
         """Generate one rank's fields into a fresh shared segment."""
@@ -397,17 +506,33 @@ class PoolDataPlane(SerialDataPlane):
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-        super().close()
-        self.registry.release_all()
+        # Serialized against abort(): engine teardown may race a signal
+        # handler or watchdog aborting the same plane, and pool.close()
+        # on a terminated pool (or vice versa) is undefined.
+        with self._lifecycle_lock:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                sup = self.stats.supervisor
+                if sup is not None and sup.recovered:
+                    # A task whose worker died never resolves, so its
+                    # entry sits in the pool's result cache forever and
+                    # a graceful close() would join() until the end of
+                    # time.  Every result was already ingested per dump
+                    # (the async writer drained), so once the supervisor
+                    # recovered *anything* there is nothing left a
+                    # graceful shutdown could flush — terminate.
+                    pool.terminate()
+                else:
+                    pool.close()
+                pool.join()
+            super().close()
+            self.registry.release_all()
 
     def abort(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        super().abort()
-        self.registry.release_all()
+        with self._lifecycle_lock:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            super().abort()
+            self.registry.release_all()

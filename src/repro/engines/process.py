@@ -54,7 +54,12 @@ class ProcessPoolEngine(SimulatorEngine):
         return dataclasses.replace(self.spec, data_dir=self._tmpdir)
 
     def _make_dataplane(self) -> PoolDataPlane:
-        return PoolDataPlane(self._dataplane_spec(), tracer=self.tracer)
+        return PoolDataPlane(
+            self._dataplane_spec(),
+            tracer=self.tracer,
+            injector=self.injector,
+            retry=self.retry,
+        )
 
     def prepare(self) -> None:
         """Bring up the worker pool eagerly so startup cost is paid once."""

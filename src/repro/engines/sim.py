@@ -66,7 +66,12 @@ class SimulatorEngine(ExecutionEngine):
         return self.spec
 
     def _make_dataplane(self) -> SerialDataPlane:
-        return SerialDataPlane(self._dataplane_spec(), tracer=self.tracer)
+        return SerialDataPlane(
+            self._dataplane_spec(),
+            tracer=self.tracer,
+            injector=self.injector,
+            retry=self.retry,
+        )
 
     # -- protocol ------------------------------------------------------
     def prepare(self) -> None:

@@ -1,0 +1,447 @@
+"""`WorkerSupervisor`: fault-tolerant execution of per-rank pool tasks.
+
+The process-pool data plane used to wait on each rank task with an
+unbounded ``result.get()``.  That is exactly wrong for the one failure
+``multiprocessing.Pool`` does not surface: a SIGKILLed worker is
+silently respawned by the pool, but the task it was running never
+resolves — the campaign hangs forever.  The supervisor replaces the
+blind wait with a small state machine, polled from the dispatching
+thread, that makes the real data plane survive worker death, hangs,
+and stragglers:
+
+* **deadline** — every launch attempt of a rank task has a wall-clock
+  deadline (:class:`~repro.engines.spec.CampaignSpec.task_deadline_s`);
+  an attempt past it is abandoned (but still harvested if it finishes
+  late, so a slow-but-alive worker can win).
+* **worker watch** — the pool's worker PIDs are snapshotted every poll;
+  when one disappears the in-flight attempts are abandoned and retried
+  immediately instead of waiting out the full deadline.
+* **retry** — failed/abandoned tasks are re-launched through the
+  campaign's :class:`~repro.resilience.retry.RetryPolicy` backoff, up
+  to ``max_task_retries`` re-executions.
+* **speculation** — once most tasks of the dump have completed, a
+  straggler running far past the median completion time gets one
+  speculative duplicate; whichever attempt finishes first wins.
+* **fallback** — a task that exhausts its budget is handed to the
+  caller's ``fallback`` (the parent compresses the rank serially
+  through the same deterministic block core, so bytes stay identical)
+  and the campaign keeps going.
+
+Exactly one result per rank is ever ingested (the first to arrive), so
+duplicate attempts — retries racing their abandoned predecessors,
+speculative copies — are always safe: the compression pipeline is a
+pure function of the (seeded) field bytes, every attempt produces the
+same payloads, and dedup just discards the copies.
+
+The supervisor is engine-agnostic: it only needs a ``launch`` callable
+returning ``multiprocessing.pool.AsyncResult``-shaped handles
+(``ready()`` / ``get(timeout)``), which is what makes the state machine
+unit-testable without a real pool.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..resilience.report import ResilienceLog
+from ..resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from ..telemetry import NULL_TRACER, NullTracer
+
+__all__ = ["SupervisorStats", "WorkerSupervisor"]
+
+#: Default sleep between state-machine polls in :meth:`wait_all`.
+POLL_INTERVAL_S = 0.02
+
+#: A straggler is speculated on once it runs longer than
+#: ``max(SPECULATIVE_FACTOR * median completion, SPECULATIVE_MIN_S)``.
+SPECULATIVE_FACTOR = 2.0
+SPECULATIVE_MIN_S = 0.1
+
+
+@dataclass
+class SupervisorStats:
+    """Wall-clock recovery tallies of the supervised data plane.
+
+    One instance accumulates across every dump of a campaign; it rides
+    on :class:`~repro.engines.dataplane.DataPlaneStats` so the engine
+    report can name what the supervisor had to absorb even when no
+    fault injector (hence no resilience report) is attached.
+    """
+
+    tasks: int = 0
+    attempts: int = 0
+    retries: int = 0
+    deadline_misses: int = 0
+    worker_deaths: int = 0
+    worker_errors: int = 0
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    #: ``it<N>/rank<R>`` keys of tasks that needed >1 attempt.
+    retried_ranks: list[str] = field(default_factory=list)
+    #: ``it<N>/rank<R>`` keys of tasks compressed serially in the parent.
+    fallback_ranks: list[str] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        """Whether any recovery action fired at all."""
+        return bool(
+            self.retries
+            or self.deadline_misses
+            or self.worker_deaths
+            or self.worker_errors
+            or self.speculative_launches
+            or self.fallback_ranks
+        )
+
+
+class _Attempt:
+    """One launch of a rank task."""
+
+    __slots__ = ("handle", "started_at", "speculative", "abandoned", "finished")
+
+    def __init__(self, handle, started_at: float, speculative: bool) -> None:
+        self.handle = handle
+        self.started_at = started_at
+        self.speculative = speculative
+        #: Past its deadline or suspected dead — no longer counts as
+        #: active, but still harvested if it completes late.
+        self.abandoned = False
+        self.finished = False
+
+
+class _Task:
+    """Supervision state of one rank's compression task."""
+
+    __slots__ = ("rank", "attempts", "launches", "resolved", "next_retry_at")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.attempts: list[_Attempt] = []
+        self.launches = 0
+        self.resolved = False
+        self.next_retry_at: float | None = None
+
+
+class WorkerSupervisor:
+    """Deadline/retry/speculation state machine over pool rank tasks.
+
+    Args:
+        launch: ``launch(rank, attempt) -> handle``; dispatches launch
+            number ``attempt`` (0-based) of the rank's task and returns
+            an ``AsyncResult``-shaped handle.
+        ingest: ``ingest(rank, result)``; called exactly once per rank
+            with the winning attempt's (or the fallback's) result.
+        fallback: ``fallback(rank) -> result``; synchronous last resort
+            once the retry budget is exhausted.  Must be deterministic
+            w.r.t. the pool path — the bytes-identical guarantee.
+        retry: backoff shape *and* attempt cap for re-executions
+            (``max_attempts`` counts every launch, the first included).
+        deadline_s: per-attempt wall-clock deadline; None disables.
+        speculative_frac: completed fraction of submitted tasks after
+            which stragglers become eligible for one speculative
+            duplicate; 0 disables speculation.
+        worker_pids: optional ``() -> iterable of pids`` of the live
+            pool workers, used to detect killed/replaced workers early.
+        on_resolved: optional ``on_resolved(rank)``, called exactly once
+            per task right after its result was ingested (the data
+            plane releases the rank's shared-memory segment here).
+        stats: accumulating :class:`SupervisorStats` (shared across
+            dumps); a fresh one is created when omitted.
+        log: optional campaign :class:`ResilienceLog` mirror.
+        iteration: dump iteration, used for ``it<N>/rank<R>`` keys.
+    """
+
+    def __init__(
+        self,
+        *,
+        launch: Callable[[int, int], object],
+        ingest: Callable[[int, object], None],
+        fallback: Callable[[int], object],
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
+        deadline_s: float | None = None,
+        speculative_frac: float = 0.0,
+        worker_pids: Callable[[], object] | None = None,
+        on_resolved: Callable[[int], None] | None = None,
+        stats: SupervisorStats | None = None,
+        log: ResilienceLog | None = None,
+        tracer: NullTracer = NULL_TRACER,
+        iteration: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        poll_interval_s: float = POLL_INTERVAL_S,
+    ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive or None, got {deadline_s!r}"
+            )
+        if not 0.0 <= speculative_frac <= 1.0:
+            raise ValueError(
+                f"speculative_frac must be in [0, 1], got {speculative_frac!r}"
+            )
+        self._launch = launch
+        self._ingest = ingest
+        self._fallback = fallback
+        self._retry = retry
+        self._deadline = deadline_s
+        self._spec_frac = speculative_frac
+        self._worker_pids = worker_pids
+        self._on_resolved = on_resolved
+        self.stats = stats if stats is not None else SupervisorStats()
+        self._log = log
+        self._tracer = tracer
+        self._iteration = iteration
+        self._clock = clock
+        self._sleep = sleep
+        self._poll_interval = poll_interval_s
+        self._tasks: list[_Task] = []
+        self._completions: list[float] = []
+        self._last_pids: frozenset | None = None
+
+    # -- public API ----------------------------------------------------
+    def submit(self, rank: int) -> None:
+        """Register a rank task and launch its first attempt."""
+        task = _Task(rank)
+        self._tasks.append(task)
+        self.stats.tasks += 1
+        self._launch_attempt(task, speculative=False)
+
+    def poll(self) -> int:
+        """One pass of the state machine; returns unresolved task count.
+
+        Call this between submissions to stream finished ranks while the
+        dispatcher is still generating later ones.
+        """
+        now = self._clock()
+        self._check_workers(now)
+        unresolved = 0
+        for task in self._tasks:
+            if not task.resolved:
+                self._poll_task(task, now)
+            if not task.resolved:
+                unresolved += 1
+        return unresolved
+
+    def wait_all(self, timeout: float | None = None) -> None:
+        """Poll until every submitted task resolved.
+
+        Progress is guaranteed whenever a deadline is set: every task
+        either completes, retries within its budget, or falls back — so
+        ``timeout`` is a belt-and-braces bound, not the primary guard.
+        """
+        start = self._clock()
+        while True:
+            remaining = self.poll()
+            if not remaining:
+                return
+            if (
+                timeout is not None
+                and self._clock() - start > timeout
+            ):
+                raise TimeoutError(
+                    f"{remaining} rank task(s) unresolved after {timeout}s"
+                )
+            self._sleep(self._poll_interval)
+
+    # -- state machine -------------------------------------------------
+    def _poll_task(self, task: _Task, now: float) -> None:
+        # 1. Harvest every finished attempt (abandoned ones included: a
+        #    late success still wins if nothing else resolved the task).
+        for attempt in task.attempts:
+            if attempt.finished or not self._ready(attempt.handle):
+                continue
+            attempt.finished = True
+            try:
+                result = attempt.handle.get(0)
+            except BaseException as exc:
+                if not task.resolved:
+                    self.stats.worker_errors += 1
+                    if self._log is not None:
+                        self._log.record_worker_error()
+                    self._emit(
+                        "supervisor.worker_error",
+                        rank=task.rank,
+                        error=repr(exc),
+                    )
+                continue
+            if not task.resolved:
+                self._resolve(task, result, attempt)
+        if task.resolved:
+            return
+
+        # 2. Expire attempts past the per-attempt deadline.
+        if self._deadline is not None:
+            for attempt in task.attempts:
+                if attempt.finished or attempt.abandoned:
+                    continue
+                if now - attempt.started_at > self._deadline:
+                    attempt.abandoned = True
+                    self.stats.deadline_misses += 1
+                    if self._log is not None:
+                        self._log.record_task_deadline_miss()
+                    self._emit(
+                        "supervisor.deadline_miss",
+                        rank=task.rank,
+                        deadline_s=self._deadline,
+                    )
+
+        active = [
+            a
+            for a in task.attempts
+            if not a.finished and not a.abandoned
+        ]
+        if not active:
+            # 3. Nothing live: retry within budget, else degrade.
+            if task.launches >= self._retry.max_attempts:
+                self._fallback_task(task)
+                return
+            if task.next_retry_at is None:
+                task.next_retry_at = now + self._retry.backoff_s(
+                    task.launches
+                )
+            if now >= task.next_retry_at:
+                task.next_retry_at = None
+                self._launch_attempt(task, speculative=False)
+            return
+
+        # 4. Speculation: duplicate a straggler once the bulk finished.
+        if (
+            self._spec_frac > 0.0
+            and task.launches < self._retry.max_attempts
+            and task.next_retry_at is None
+            and not any(a.speculative for a in task.attempts)
+            and self._speculation_ready()
+        ):
+            threshold = self._speculation_threshold()
+            if threshold is not None and all(
+                now - a.started_at > threshold for a in active
+            ):
+                self._launch_attempt(task, speculative=True)
+
+    def _launch_attempt(self, task: _Task, *, speculative: bool) -> None:
+        index = task.launches
+        handle = self._launch(task.rank, index)
+        task.launches += 1
+        task.attempts.append(
+            _Attempt(handle, self._clock(), speculative)
+        )
+        self.stats.attempts += 1
+        if index == 0:
+            return
+        key = self._key(task.rank)
+        if speculative:
+            self.stats.speculative_launches += 1
+            if self._log is not None:
+                self._log.record_speculative_launch()
+            self._emit("supervisor.speculative", rank=task.rank)
+        else:
+            self.stats.retries += 1
+            if key not in self.stats.retried_ranks:
+                self.stats.retried_ranks.append(key)
+            if self._log is not None:
+                self._log.record_task_retry(key)
+            self._emit(
+                "supervisor.retry", rank=task.rank, attempt=index
+            )
+
+    def _resolve(self, task: _Task, result, attempt: _Attempt | None) -> None:
+        self._ingest(task.rank, result)
+        task.resolved = True
+        if attempt is not None:
+            self._completions.append(
+                self._clock() - attempt.started_at
+            )
+            if attempt.speculative:
+                self.stats.speculative_wins += 1
+                if self._log is not None:
+                    self._log.record_speculative_win()
+                self._emit(
+                    "supervisor.speculative_win", rank=task.rank
+                )
+        if self._on_resolved is not None:
+            self._on_resolved(task.rank)
+
+    def _fallback_task(self, task: _Task) -> None:
+        key = self._key(task.rank)
+        self.stats.fallback_ranks.append(key)
+        if self._log is not None:
+            self._log.record_rank_fallback(key)
+        self._emit(
+            "runtime.fallback",
+            kind="rank-serial",
+            rank=task.rank,
+            iteration=self._iteration,
+        )
+        self._resolve(task, self._fallback(task.rank), attempt=None)
+
+    def _check_workers(self, now: float) -> None:
+        """Detect killed/replaced pool workers and fast-path the retry.
+
+        A SIGKILLed pool child is silently respawned and its in-flight
+        task never resolves; waiting out the full deadline would stall
+        the dump.  We cannot attribute tasks to workers, so every
+        in-flight attempt becomes suspect: abandon them and retry
+        immediately — duplicates are safe because results dedupe.
+        """
+        if self._worker_pids is None:
+            return
+        try:
+            pids = frozenset(self._worker_pids())
+        except Exception:  # pool mid-teardown: skip this round
+            return
+        previous, self._last_pids = self._last_pids, pids
+        if previous is None:
+            return
+        dead = previous - pids
+        if not dead:
+            return
+        self.stats.worker_deaths += len(dead)
+        if self._log is not None:
+            self._log.record_worker_death(len(dead))
+        self._emit("supervisor.worker_death", dead=len(dead))
+        for task in self._tasks:
+            if task.resolved:
+                continue
+            suspect = False
+            for attempt in task.attempts:
+                if not attempt.finished and not attempt.abandoned:
+                    attempt.abandoned = True
+                    suspect = True
+            if suspect:
+                task.next_retry_at = now  # retry without backoff
+
+    # -- speculation helpers -------------------------------------------
+    def _speculation_ready(self) -> bool:
+        done = len(self._completions)
+        if done < 1:
+            return False
+        return done >= max(
+            1, math.ceil(self._spec_frac * self.stats.tasks)
+        )
+
+    def _speculation_threshold(self) -> float | None:
+        if not self._completions:
+            return None
+        return max(
+            SPECULATIVE_FACTOR * statistics.median(self._completions),
+            SPECULATIVE_MIN_S,
+        )
+
+    # -- misc ----------------------------------------------------------
+    @staticmethod
+    def _ready(handle) -> bool:
+        try:
+            return bool(handle.ready())
+        except Exception:  # pragma: no cover - defensive
+            return False
+
+    def _key(self, rank: int) -> str:
+        return f"it{self._iteration:04d}/rank{rank}"
+
+    def _emit(self, name: str, **fields) -> None:
+        if self._tracer.enabled:
+            self._tracer.event(name, **fields)
+            self._tracer.counter(name).inc()

@@ -63,9 +63,16 @@ class AsyncWriter:
         self,
         writer: SharedFileWriter,
         retry: RetryPolicy | None = None,
+        on_retry=None,
     ) -> None:
         self._writer = writer
         self._retry = retry
+        #: ``on_retry(job, exc)`` — observer invoked from the worker
+        #: thread each time a failed write is about to be retried, so
+        #: callers (the data planes) can tally real-I/O retries in the
+        #: campaign's resilience log.  Observer errors are swallowed:
+        #: accounting must never turn a recoverable write into a failure.
+        self._on_retry = on_retry
         self._queue: queue.SimpleQueue[WriteJob | None] = queue.SimpleQueue()
         self._thread = threading.Thread(
             target=self._drain, name="repro-async-io", daemon=True
@@ -212,9 +219,19 @@ class AsyncWriter:
                         job.name, job.payload, checksum=job.checksum
                     )
                 return self._writer.write(job.name, job.payload)
-            except Exception:
+            except Exception as exc:
                 if policy is None or job.attempts >= attempts:
                     raise
-                time.sleep(policy.backoff_s(job.attempts))
-                if policy.past_deadline(time.monotonic() - started):
+                # Check the deadline *before* sleeping: a backoff that
+                # would land past it is pointless — give up now instead
+                # of waiting out the sleep just to discover that.
+                backoff = policy.backoff_s(job.attempts)
+                elapsed = time.monotonic() - started
+                if policy.past_deadline(elapsed + backoff):
                     raise
+                if self._on_retry is not None:
+                    try:
+                        self._on_retry(job, exc)
+                    except Exception:  # pragma: no cover - observer bug
+                        pass
+                time.sleep(backoff)

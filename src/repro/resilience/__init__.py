@@ -18,6 +18,7 @@ filesystem?  It provides
 """
 
 from .faults import (
+    WORKER_FAULT_KINDS,
     BandwidthFault,
     CompressionFault,
     FaultInjector,
@@ -25,6 +26,7 @@ from .faults import (
     ProcessKillFault,
     StallFault,
     StragglerFault,
+    WorkerFault,
     WriteErrorFault,
 )
 from .report import ResilienceLog, ResilienceReport
@@ -45,6 +47,8 @@ __all__ = [
     "CompressionFault",
     "StragglerFault",
     "ProcessKillFault",
+    "WorkerFault",
+    "WORKER_FAULT_KINDS",
     "RetryPolicy",
     "DEFAULT_RETRY_POLICY",
     "WriteFailedError",

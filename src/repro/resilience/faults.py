@@ -36,6 +36,8 @@ __all__ = [
     "CompressionFault",
     "StragglerFault",
     "ProcessKillFault",
+    "WorkerFault",
+    "WORKER_FAULT_KINDS",
     "FaultPlan",
     "FaultInjector",
 ]
@@ -191,6 +193,73 @@ class ProcessKillFault:
         _check_probability("process_kill", self.probability)
 
 
+#: Real-plane worker fault kinds (see :class:`WorkerFault`).
+WORKER_FAULT_KINDS = ("kill", "stall", "error")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """Real-plane worker faults: break the pool, not the model.
+
+    Unlike every other fault class, this one is executed by the
+    *physical* data plane (``--engine process``): the parent attaches
+    the decision to the rank task it dispatches, and the worker carries
+    it out before touching the shared-memory fields.
+
+    Kinds:
+
+    * ``kill`` — the worker SIGKILLs itself (``worker-kill``): the pool
+      silently respawns the child and the task's result never resolves,
+      which is exactly the permanent-hang scenario the supervisor's
+      deadline loop must catch.
+    * ``stall`` — the worker sleeps ``stall_s`` seconds before
+      compressing (``worker-stall``): a straggler that trips the task
+      deadline or speculative re-execution.
+    * ``error`` — the worker raises (``callback-error``): the failure
+      path that used to vanish inside the pool's error callback.
+
+    ``attempts`` bounds how many launch attempts per task are affected:
+    the default 1 faults only the first attempt (exercising retry);
+    a large value faults every retry too (exercising the serial
+    fallback).  ``rank``/``iteration`` of ``-1`` match any.
+    """
+
+    kind: str = "kill"
+    rank: int = -1
+    iteration: int = -1
+    attempts: int = 1
+    stall_s: float = 2.0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"fault spec: worker.kind must be one of "
+                f"{', '.join(WORKER_FAULT_KINDS)}, got {self.kind!r}"
+            )
+        if self.rank < -1:
+            raise ValueError(
+                "fault spec: worker.rank must be >= -1 (-1 = any rank), "
+                f"got {self.rank!r}"
+            )
+        if self.iteration < -1:
+            raise ValueError(
+                "fault spec: worker.iteration must be >= -1 "
+                f"(-1 = any iteration), got {self.iteration!r}"
+            )
+        if self.attempts < 1:
+            raise ValueError(
+                "fault spec: worker.attempts must be >= 1, "
+                f"got {self.attempts!r}"
+            )
+        if self.stall_s <= 0:
+            raise ValueError(
+                "fault spec: worker.stall_s must be positive, "
+                f"got {self.stall_s!r}"
+            )
+        _check_probability("worker", self.probability)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """Which fault classes a campaign injects, with their parameters."""
@@ -201,6 +270,7 @@ class FaultPlan:
     compression: CompressionFault | None = None
     straggler: StragglerFault | None = None
     process_kill: ProcessKillFault | None = None
+    worker: WorkerFault | None = None
 
     @property
     def any_faults(self) -> bool:
@@ -216,6 +286,7 @@ class FaultPlan:
                 self.straggler is not None and bool(self.straggler.ranks),
                 self.process_kill is not None
                 and self.process_kill.probability > 0,
+                self.worker is not None and self.worker.probability > 0,
             )
         )
 
@@ -230,6 +301,9 @@ _SALTS = {
     "straggler": 23,
     "retry": 29,
     "process_kill": 31,
+    "worker-kill": 37,
+    "worker-stall": 41,
+    "worker-error": 43,
 }
 
 
@@ -399,6 +473,42 @@ class FaultInjector:
                 lambda v: bool(v),
             )
         )
+
+    def worker_fault(
+        self, rank: int, iteration: int, attempt: int
+    ) -> tuple[str, float] | None:
+        """The real-plane fault launch ``attempt`` of this rank task
+        carries, or None.
+
+        Returns ``(kind, stall_s)`` — the parent attaches it to the
+        dispatched task, so the decision is drawn (and recorded) exactly
+        once per ``(rank, iteration, attempt)`` in the parent and the
+        worker only executes it.  Attempts at or past the fault's
+        ``attempts`` budget are clean, which is what lets a retried task
+        eventually succeed.
+        """
+        fault = self.plan.worker
+        if fault is None or fault.probability <= 0:
+            return None
+        if fault.rank not in (-1, rank):
+            return None
+        if fault.iteration not in (-1, iteration):
+            return None
+        if attempt >= fault.attempts:
+            return None
+
+        def draw(rng: np.random.Generator) -> bool:
+            return bool(rng.random() < fault.probability)
+
+        fired = self._cached(
+            f"worker-{fault.kind}",
+            (rank, iteration, attempt),
+            draw,
+            lambda v: bool(v),
+        )
+        if not fired:
+            return None
+        return fault.kind, fault.stall_s
 
     def straggler_io_factor(self, rank: int) -> float:
         """I/O slow-down multiplier for ``rank`` (1.0 = healthy)."""

@@ -31,6 +31,15 @@ class ResilienceLog:
     deferred_writes: int = 0
     pending_deferred_bytes: int = 0
     straggler_ranks: tuple[int, ...] = ()
+    # -- real-plane supervisor tallies (wall-clock facts) --------------
+    task_retries: int = 0
+    task_deadline_misses: int = 0
+    worker_errors: int = 0
+    worker_deaths: int = 0
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    retried_ranks: list[str] = field(default_factory=list)
+    fallback_ranks: list[str] = field(default_factory=list)
 
     def record_injection(self, kind: str, n: int = 1) -> None:
         """Count ``n`` injected faults of ``kind``."""
@@ -55,6 +64,40 @@ class ResilienceLog:
             self.deferred_writes += 1
             self.deferred_bytes += nbytes
 
+    # -- real-plane supervisor events ----------------------------------
+    def record_task_retry(self, key: str) -> None:
+        """Count one re-executed rank task (``key``: ``it<N>/rank<R>``)."""
+        self.task_retries += 1
+        if key not in self.retried_ranks:
+            self.retried_ranks.append(key)
+
+    def record_task_deadline_miss(self) -> None:
+        """Count one rank task that blew its per-task deadline."""
+        self.task_deadline_misses += 1
+
+    def record_worker_error(self) -> None:
+        """Count one rank task that failed with a worker exception."""
+        self.worker_errors += 1
+
+    def record_worker_death(self, n: int = 1) -> None:
+        """Count ``n`` pool workers that died (killed or crashed)."""
+        self.worker_deaths += n
+
+    def record_speculative_launch(self) -> None:
+        """Count one speculative duplicate of a straggling rank task."""
+        self.speculative_launches += 1
+
+    def record_speculative_win(self) -> None:
+        """Count one straggler whose speculative duplicate finished first."""
+        self.speculative_wins += 1
+
+    def record_rank_fallback(self, key: str) -> None:
+        """Count one rank compressed serially in the parent after its
+        retry budget was exhausted (the ``rank-serial`` fallback)."""
+        self.record_fallback("rank-serial")
+        if key not in self.fallback_ranks:
+            self.fallback_ranks.append(key)
+
     def report(self) -> "ResilienceReport":
         """Freeze the current tallies into an immutable report."""
         return ResilienceReport(
@@ -69,6 +112,14 @@ class ResilienceLog:
             deferred_writes=self.deferred_writes,
             pending_deferred_bytes=self.pending_deferred_bytes,
             straggler_ranks=self.straggler_ranks,
+            task_retries=self.task_retries,
+            task_deadline_misses=self.task_deadline_misses,
+            worker_errors=self.worker_errors,
+            worker_deaths=self.worker_deaths,
+            speculative_launches=self.speculative_launches,
+            speculative_wins=self.speculative_wins,
+            retried_ranks=tuple(sorted(self.retried_ranks)),
+            fallback_ranks=tuple(sorted(self.fallback_ranks)),
         )
 
 
@@ -87,6 +138,21 @@ class ResilienceReport:
     deferred_writes: int = 0
     pending_deferred_bytes: int = 0
     straggler_ranks: tuple[int, ...] = ()
+    #: Real-plane supervisor tallies.  These are *wall-clock* facts —
+    #: how many real retries, deadline misses, and worker deaths the
+    #: physical data plane absorbed — so they are reported and formatted
+    #: but deliberately kept out of :meth:`as_metrics`: the metric dict
+    #: feeds the modelled campaign report, whose byte-identical
+    #: resumed-vs-uninterrupted guarantee only holds for deterministic
+    #: values.
+    task_retries: int = 0
+    task_deadline_misses: int = 0
+    worker_errors: int = 0
+    worker_deaths: int = 0
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    retried_ranks: tuple[str, ...] = ()
+    fallback_ranks: tuple[str, ...] = ()
 
     @property
     def total_injected(self) -> int:
@@ -144,4 +210,30 @@ class ResilienceReport:
         if self.straggler_ranks:
             ranks = ", ".join(str(r) for r in self.straggler_ranks)
             lines.append(f"straggler ranks:     {ranks}")
+        # Real-plane supervisor lines appear only when the supervised
+        # data plane actually had to recover something, so modelled-only
+        # campaigns keep their historical output byte-for-byte.
+        if self.task_retries or self.task_deadline_misses:
+            lines.append(
+                f"task retries:        {self.task_retries} "
+                f"({self.task_deadline_misses} deadline misses)"
+            )
+        if self.worker_errors or self.worker_deaths:
+            lines.append(
+                f"worker failures:     {self.worker_errors} errors, "
+                f"{self.worker_deaths} deaths"
+            )
+        if self.speculative_launches:
+            lines.append(
+                f"speculative tasks:   {self.speculative_launches} "
+                f"launched, {self.speculative_wins} won"
+            )
+        if self.retried_ranks:
+            lines.append(
+                "retried ranks:       " + ", ".join(self.retried_ranks)
+            )
+        if self.fallback_ranks:
+            lines.append(
+                "fallback ranks:      " + ", ".join(self.fallback_ranks)
+            )
         return "\n".join(lines)

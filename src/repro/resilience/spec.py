@@ -9,7 +9,13 @@ optional ``retry`` policy and ``seed``::
     bandwidth:    {probability: 0.2, min_factor: 0.25}
     compression:  {probability: 0.1}
     straggler:    {ranks: [0], io_factor: 3.0}
+    worker:       {kind: kill, rank: 1, iteration: 1}
     retry:        {max_attempts: 4, base_backoff_s: 0.02}
+
+The ``worker`` section is the *real-plane* fault class: under
+``--engine process`` it SIGKILLs (``kind: kill``), stalls
+(``kind: stall``), or crashes (``kind: error``) the pool worker that
+executes the matching rank task; the modelled plane ignores it.
 
 Validation happens at load time with errors naming the exact bad field
 (``fault spec: stall.probability must be in [0, 1]``) instead of failing
@@ -29,6 +35,7 @@ from .faults import (
     ProcessKillFault,
     StallFault,
     StragglerFault,
+    WorkerFault,
     WriteErrorFault,
 )
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -47,6 +54,7 @@ _SECTIONS = {
     "compression": CompressionFault,
     "straggler": StragglerFault,
     "process_kill": ProcessKillFault,
+    "worker": WorkerFault,
 }
 _TOP_LEVEL = set(_SECTIONS) | {"retry", "seed"}
 
@@ -88,16 +96,16 @@ def _build_section(name: str, cls: type, data: object):
                     f"got {value!r}"
                 )
             kwargs["ranks"] = tuple(value)
-        elif key == "point":
+        elif key in ("point", "kind"):
             if not isinstance(value, str):
                 raise ValueError(
-                    f"fault spec: {name}.point must be a string, "
+                    f"fault spec: {name}.{key} must be a string, "
                     f"got {value!r}"
                 )
-        elif key == "iteration":
+        elif key in ("iteration", "rank", "attempts"):
             if not isinstance(value, int) or isinstance(value, bool):
                 raise ValueError(
-                    f"fault spec: {name}.iteration must be an integer, "
+                    f"fault spec: {name}.{key} must be an integer, "
                     f"got {value!r}"
                 )
         elif not isinstance(value, (int, float)) or isinstance(

@@ -35,6 +35,12 @@ class TestValidation:
             ("data_fields", 0),
             ("data_block_bytes", 0),
             ("workers", 0),
+            ("task_deadline_s", 0.0),
+            ("task_deadline_s", -1.0),
+            ("max_task_retries", -1),
+            ("max_task_retries", 1.5),
+            ("speculative_frac", -0.1),
+            ("speculative_frac", 1.1),
         ],
     )
     def test_bad_value_names_the_field(self, field, value):
@@ -64,6 +70,25 @@ class TestFingerprint:
         a = CampaignSpec(data_dir="/tmp/a")
         b = CampaignSpec(data_dir="/tmp/b")
         assert a.fingerprint() == b.fingerprint()
+
+    def test_supervision_knobs_not_in_fingerprint(self):
+        # Deadlines/retries/speculation shape *how* the data plane runs,
+        # never *what* bytes it produces: not campaign identity.
+        a = CampaignSpec()
+        b = CampaignSpec(
+            task_deadline_s=None,
+            max_task_retries=9,
+            speculative_frac=0.0,
+        )
+        assert a.fingerprint() == b.fingerprint()
+        assert "task_deadline_s" not in json.dumps(a.to_json_dict())
+
+    def test_supervision_knob_defaults(self):
+        spec = CampaignSpec()
+        assert spec.task_deadline_s == 30.0
+        assert spec.max_task_retries == 2
+        assert spec.speculative_frac == 0.9
+        assert CampaignSpec(task_deadline_s=None).task_deadline_s is None
 
 
 class TestJournalHeader:

@@ -1,0 +1,262 @@
+"""Real-plane fault injection: the supervised pool under actual failures.
+
+These tests SIGKILL, stall, and crash real pool workers and check the
+three guarantees the supervisor exists for: the campaign never hangs,
+the compressed bytes stay identical to a clean run, and shared-memory
+segments never leak — even when a worker dies mid-rank or a dump is
+abandoned halfway.
+"""
+
+import threading
+
+import pytest
+
+from repro.engines import CampaignSpec, PoolDataPlane, run_campaign
+from repro.engines.shm import active_segments
+from repro.io.async_io import AsyncWriter
+from repro.resilience import FaultInjector, FaultPlan, WorkerFault
+
+#: Generous wall-clock bound for one faulted campaign; a supervision bug
+#: (the pre-supervisor code hung forever on a SIGKILLed worker) fails
+#: the test instead of wedging the suite.
+_CAMPAIGN_TIMEOUT_S = 90.0
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    base = dict(
+        nodes=1,
+        ppn=2,
+        iterations=3,
+        seed=5,
+        engine="process",
+        workers=2,
+        data_edge=8,
+        data_fields=1,
+        data_block_bytes=2048,
+        task_deadline_s=10.0,
+        speculative_frac=0.0,  # keep 1-core CI timing-independent
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def run_bounded(fn, timeout=_CAMPAIGN_TIMEOUT_S):
+    """Run ``fn`` on a thread; fail (don't hang) if it never returns."""
+    outcome = {}
+
+    def target():
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # re-raised on the test thread
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        pytest.fail(
+            f"campaign did not finish within {timeout}s — the "
+            f"supervisor failed to bound a faulted task"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+def worker_faults(kind, **overrides):
+    fault = dict(kind=kind, rank=1, iteration=1, **overrides)
+    return {"worker": fault}
+
+
+@pytest.fixture(scope="module")
+def clean_crc(tmp_path_factory):
+    """Block CRC32C map of an unfaulted process-engine campaign."""
+    data_dir = str(tmp_path_factory.mktemp("clean"))
+    report = run_bounded(
+        lambda: run_campaign(small_spec(data_dir=data_dir))
+    )
+    assert report.data.block_crc32c
+    return report.data.block_crc32c
+
+
+class TestWorkerKill:
+    def test_sigkilled_worker_never_hangs_the_campaign(
+        self, tmp_path, clean_crc
+    ):
+        # Regression: before supervision, the pool silently respawned
+        # the killed child and dump() blocked forever on result.get().
+        spec = small_spec(
+            data_dir=str(tmp_path), faults=worker_faults("kill")
+        )
+        report = run_bounded(lambda: run_campaign(spec))
+        sup = report.data.supervisor
+        assert sup.worker_deaths >= 1
+        assert sup.retries >= 1
+        assert "it0001/rank1" in sup.retried_ranks
+        assert report.data.block_crc32c == clean_crc
+
+    def test_report_names_retried_rank(self, tmp_path):
+        spec = small_spec(
+            data_dir=str(tmp_path), faults=worker_faults("kill")
+        )
+        report = run_bounded(lambda: run_campaign(spec))
+        resilience = report.result.resilience
+        assert resilience.task_retries >= 1
+        assert "it0001/rank1" in resilience.retried_ranks
+        assert ("worker-kill", 1) in resilience.injected
+        assert "retried ranks:       it0001/rank1" in resilience.format()
+
+    def test_recovery_does_not_leak_into_metrics(self, tmp_path):
+        # Wall-clock supervisor tallies must stay out of as_metrics():
+        # the metric dict feeds the byte-compared campaign report.
+        spec = small_spec(
+            data_dir=str(tmp_path), faults=worker_faults("kill")
+        )
+        report = run_bounded(lambda: run_campaign(spec))
+        metrics = report.result.resilience.as_metrics()
+        assert not any("task" in key or "worker_" in key for key in metrics)
+
+
+class TestWorkerStall:
+    def test_stalled_worker_blows_deadline_and_retries(
+        self, tmp_path, clean_crc
+    ):
+        spec = small_spec(
+            data_dir=str(tmp_path),
+            task_deadline_s=0.5,
+            faults=worker_faults("stall", stall_s=4.0),
+        )
+        report = run_bounded(lambda: run_campaign(spec))
+        sup = report.data.supervisor
+        assert sup.deadline_misses >= 1
+        assert report.data.block_crc32c == clean_crc
+
+    def test_short_stall_within_deadline_is_absorbed(
+        self, tmp_path, clean_crc
+    ):
+        spec = small_spec(
+            data_dir=str(tmp_path),
+            task_deadline_s=30.0,
+            faults=worker_faults("stall", stall_s=0.3),
+        )
+        report = run_bounded(lambda: run_campaign(spec))
+        sup = report.data.supervisor
+        assert sup.deadline_misses == 0
+        assert sup.retries == 0
+        assert report.data.block_crc32c == clean_crc
+
+
+class TestWorkerError:
+    def test_raised_task_is_recorded_and_retried(
+        self, tmp_path, clean_crc
+    ):
+        # Regression: the old error callback swallowed the exception
+        # without a trace; now it is counted and the task re-executed.
+        spec = small_spec(
+            data_dir=str(tmp_path), faults=worker_faults("error")
+        )
+        report = run_bounded(lambda: run_campaign(spec))
+        sup = report.data.supervisor
+        assert sup.worker_errors >= 1
+        assert sup.retries >= 1
+        assert report.result.resilience.worker_errors >= 1
+        assert report.data.block_crc32c == clean_crc
+
+
+class TestSerialFallback:
+    def test_exhausted_budget_compresses_rank_in_parent(
+        self, tmp_path, clean_crc
+    ):
+        # Every launch of it0001/rank1 errors out (attempts=99 covers
+        # the whole budget), so the parent must compress it serially —
+        # with identical bytes.
+        spec = small_spec(
+            data_dir=str(tmp_path),
+            max_task_retries=1,
+            faults=worker_faults("error", attempts=99),
+        )
+        report = run_bounded(lambda: run_campaign(spec))
+        sup = report.data.supervisor
+        assert sup.fallback_ranks == ["it0001/rank1"]
+        resilience = report.result.resilience
+        assert resilience.fallback_ranks == ("it0001/rank1",)
+        assert ("rank-serial", 1) in resilience.fallbacks
+        assert "fallback ranks:      it0001/rank1" in resilience.format()
+        assert report.data.block_crc32c == clean_crc
+
+    def test_killed_every_time_still_completes(self, tmp_path, clean_crc):
+        spec = small_spec(
+            data_dir=str(tmp_path),
+            max_task_retries=1,
+            task_deadline_s=5.0,
+            faults=worker_faults("kill", attempts=99),
+        )
+        report = run_bounded(lambda: run_campaign(spec))
+        sup = report.data.supervisor
+        assert sup.fallback_ranks == ["it0001/rank1"]
+        assert report.data.block_crc32c == clean_crc
+
+
+class TestShmHygieneUnderFailure:
+    """Satellite: no repro-shm-* leaks on any failure path.
+
+    The suite-wide autouse leak fixture re-checks after every test; the
+    assertions here additionally pin down *when* the segments are gone.
+    """
+
+    def _plane(self, tmp_path, fault=None, **overrides):
+        spec = small_spec(data_dir=str(tmp_path), **overrides)
+        injector = None
+        if fault is not None:
+            injector = FaultInjector(FaultPlan(worker=fault), seed=3)
+        return PoolDataPlane(spec, injector=injector)
+
+    def test_worker_death_mid_rank_releases_segments(self, tmp_path):
+        plane = self._plane(
+            tmp_path, fault=WorkerFault(kind="kill", rank=0, iteration=0)
+        )
+        try:
+            run_bounded(lambda: plane.dump(0))
+            assert plane.registry.live == []
+        finally:
+            plane.close()
+        assert active_segments() == []
+
+    def test_timed_out_dump_releases_segments(self, tmp_path, monkeypatch):
+        def stuck_drain(self, timeout=None):
+            raise TimeoutError("injected: writer never drained")
+
+        monkeypatch.setattr(AsyncWriter, "drain", stuck_drain)
+        plane = self._plane(tmp_path)
+        try:
+            with pytest.raises(TimeoutError, match="never drained"):
+                run_bounded(lambda: plane.dump(0))
+            assert plane.registry.live == []
+            assert plane.stats.containers == {}  # nothing published
+        finally:
+            plane.abort()
+        assert active_segments() == []
+
+    def test_abort_racing_close_is_safe(self, tmp_path):
+        plane = self._plane(tmp_path)
+        run_bounded(lambda: plane.dump(0))
+        errors = []
+
+        def call(fn):
+            try:
+                fn()
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=call, args=(plane.abort,)),
+            threading.Thread(target=call, args=(plane.close,)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(_CAMPAIGN_TIMEOUT_S)
+            assert not thread.is_alive()
+        assert errors == []
+        assert plane.registry.live == []
+        assert active_segments() == []

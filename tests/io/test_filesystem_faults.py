@@ -216,3 +216,58 @@ class TestBandwidthBursts:
         assert "fault.injected" in names
         assert "io.retry" in names
         assert tracer.recorder.counters["io.retry"] == injector.log.retries
+
+
+class TestAsyncWriterRetryObserver:
+    def test_on_retry_called_per_retry(self):
+        from repro.io import AsyncWriter
+
+        target = _FlakyWriter(failures=2)
+        policy = RetryPolicy(
+            max_attempts=4, base_backoff_s=0.001, jitter_frac=0.0
+        )
+        seen = []
+        with AsyncWriter(
+            target,
+            retry=policy,
+            on_retry=lambda job, exc: seen.append((job.name, str(exc))),
+        ) as writer:
+            job = writer.submit("a", b"payload")
+            assert job.wait(timeout=5.0)
+        assert seen == [("a", "transient"), ("a", "transient")]
+
+    def test_observer_error_does_not_fail_the_write(self):
+        from repro.io import AsyncWriter
+
+        target = _FlakyWriter(failures=1)
+        policy = RetryPolicy(
+            max_attempts=3, base_backoff_s=0.001, jitter_frac=0.0
+        )
+
+        def broken_observer(job, exc):
+            raise RuntimeError("observer bug")
+
+        with AsyncWriter(
+            target, retry=policy, on_retry=broken_observer
+        ) as writer:
+            job = writer.submit("a", b"payload")
+            assert job.wait(timeout=5.0)
+        assert job.error is None
+
+    def test_deadline_checked_before_sleeping(self):
+        # A backoff that would land past the deadline gives up now
+        # instead of sleeping the whole backoff first.
+        from repro.io import AsyncWriter
+
+        target = _FlakyWriter(failures=100)
+        policy = RetryPolicy(
+            max_attempts=50,
+            base_backoff_s=30.0,  # would sleep 30s without the check
+            jitter_frac=0.0,
+            deadline_s=0.5,
+        )
+        with AsyncWriter(target, retry=policy) as writer:
+            job = writer.submit("a", b"payload")
+            with pytest.raises(OSError, match="transient"):
+                job.wait(timeout=5.0)  # must fail fast, not in 30s
+        assert job.attempts == 1

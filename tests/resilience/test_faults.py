@@ -161,3 +161,78 @@ class TestPlanValidation:
         assert FaultPlan(
             straggler=StragglerFault(ranks=(0,), io_factor=2.0)
         ).any_faults
+
+
+class TestWorkerFault:
+    def _injector(self, seed=3, **kwargs):
+        from repro.resilience import WorkerFault
+
+        return FaultInjector(
+            FaultPlan(worker=WorkerFault(**kwargs)), seed=seed
+        )
+
+    def test_deterministic_and_cached(self):
+        a = self._injector(kind="kill")
+        b = self._injector(kind="kill")
+        for rank in range(3):
+            for attempt in range(2):
+                assert a.worker_fault(rank, 1, attempt) == b.worker_fault(
+                    rank, 1, attempt
+                )
+        # Re-querying the same key counts the injection exactly once.
+        a.worker_fault(0, 1, 0)
+        a.worker_fault(0, 1, 0)
+        assert a.log.injected.get("worker-kill") == b.log.injected.get(
+            "worker-kill"
+        )
+
+    def test_rank_and_iteration_filters(self):
+        inj = self._injector(kind="kill", rank=1, iteration=2)
+        assert inj.worker_fault(0, 2, 0) is None
+        assert inj.worker_fault(1, 1, 0) is None
+        assert inj.worker_fault(1, 2, 0) == ("kill", 2.0)
+
+    def test_wildcards_match_everything(self):
+        inj = self._injector(kind="error", rank=-1, iteration=-1)
+        assert inj.worker_fault(0, 0, 0) == ("error", 2.0)
+        assert inj.worker_fault(7, 9, 0) == ("error", 2.0)
+
+    def test_attempt_budget_spares_retries(self):
+        inj = self._injector(kind="kill", attempts=2)
+        assert inj.worker_fault(0, 0, 0) is not None
+        assert inj.worker_fault(0, 0, 1) is not None
+        assert inj.worker_fault(0, 0, 2) is None
+
+    def test_stall_carries_duration(self):
+        inj = self._injector(kind="stall", stall_s=7.5)
+        assert inj.worker_fault(0, 0, 0) == ("stall", 7.5)
+
+    def test_zero_probability_never_fires(self):
+        inj = self._injector(kind="kill", probability=0.0)
+        assert inj.worker_fault(0, 0, 0) is None
+        assert "worker-kill" not in inj.log.injected
+
+    def test_any_faults_includes_worker(self):
+        from repro.resilience import WorkerFault
+
+        assert FaultPlan(worker=WorkerFault()).any_faults
+        assert not FaultPlan(
+            worker=WorkerFault(probability=0.0)
+        ).any_faults
+
+    @pytest.mark.parametrize(
+        "kwargs,field",
+        [
+            ({"kind": "explode"}, "worker.kind"),
+            ({"rank": -2}, "worker.rank"),
+            ({"iteration": -5}, "worker.iteration"),
+            ({"attempts": 0}, "worker.attempts"),
+            ({"stall_s": 0.0}, "worker.stall_s"),
+            ({"probability": 1.5}, "worker.probability"),
+        ],
+    )
+    def test_bad_field_named_in_error(self, kwargs, field):
+        from repro.resilience import WorkerFault
+
+        with pytest.raises(ValueError, match=field.replace(".", r"\.")):
+            WorkerFault(**kwargs)

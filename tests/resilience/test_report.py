@@ -71,3 +71,73 @@ class TestReportViews:
 
     def test_format_omits_stragglers_when_none(self):
         assert "straggler" not in ResilienceLog().report().format()
+
+
+def _supervised_log() -> ResilienceLog:
+    log = ResilienceLog()
+    log.record_task_retry("it0001/rank1")
+    log.record_task_retry("it0001/rank1")  # second retry, same task
+    log.record_task_retry("it0000/rank0")
+    log.record_task_deadline_miss()
+    log.record_worker_error()
+    log.record_worker_death(2)
+    log.record_speculative_launch()
+    log.record_speculative_win()
+    log.record_rank_fallback("it0002/rank1")
+    return log
+
+
+class TestSupervisorTallies:
+    def test_record_methods_accumulate(self):
+        log = _supervised_log()
+        assert log.task_retries == 3
+        assert log.retried_ranks == ["it0001/rank1", "it0000/rank0"]
+        assert log.task_deadline_misses == 1
+        assert log.worker_errors == 1
+        assert log.worker_deaths == 2
+        assert log.speculative_launches == 1
+        assert log.speculative_wins == 1
+        assert log.fallback_ranks == ["it0002/rank1"]
+        # A rank fallback is also a counted graceful degradation.
+        assert log.fallbacks == {"rank-serial": 1}
+
+    def test_report_sorts_rank_keys(self):
+        report = _supervised_log().report()
+        assert report.retried_ranks == ("it0000/rank0", "it0001/rank1")
+        assert report.fallback_ranks == ("it0002/rank1",)
+        assert report.task_retries == 3
+        assert report.worker_deaths == 2
+
+    def test_format_includes_supervisor_lines(self):
+        text = _supervised_log().report().format()
+        for fragment in (
+            "task retries:        3 (1 deadline misses)",
+            "worker failures:     1 errors, 2 deaths",
+            "speculative tasks:   1 launched, 1 won",
+            "retried ranks:       it0000/rank0, it0001/rank1",
+            "fallback ranks:      it0002/rank1",
+        ):
+            assert fragment in text
+
+    def test_format_omits_supervisor_lines_when_clean(self):
+        # Modelled-only campaigns keep their historical output intact.
+        text = _populated_log().report().format()
+        for fragment in (
+            "task retries",
+            "worker failures",
+            "speculative tasks",
+            "retried ranks",
+            "fallback ranks",
+        ):
+            assert fragment not in text
+
+    def test_supervisor_tallies_stay_out_of_metrics(self):
+        # Wall-clock recovery facts must not perturb the metric dict:
+        # it feeds the byte-compared resumed-vs-uninterrupted reports.
+        clean = _populated_log().report().as_metrics()
+        log = _populated_log()
+        log.record_task_retry("it0001/rank1")
+        log.record_worker_death()
+        log.record_task_deadline_miss()
+        supervised = log.report().as_metrics()
+        assert supervised == clean

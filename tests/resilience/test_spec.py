@@ -98,3 +98,60 @@ class TestLoad:
     def test_missing_file_raises_oserror(self, tmp_path):
         with pytest.raises(OSError):
             load_fault_spec(tmp_path / "nope.yaml")
+
+
+class TestWorkerSection:
+    def test_worker_section_parses(self):
+        spec = parse_fault_spec(
+            {
+                "worker": {
+                    "kind": "stall",
+                    "rank": 1,
+                    "iteration": 2,
+                    "attempts": 3,
+                    "stall_s": 1.5,
+                }
+            }
+        )
+        worker = spec.plan.worker
+        assert worker.kind == "stall"
+        assert worker.rank == 1
+        assert worker.iteration == 2
+        assert worker.attempts == 3
+        assert worker.stall_s == 1.5
+        assert spec.plan.any_faults
+
+    def test_worker_defaults(self):
+        worker = parse_fault_spec({"worker": {}}).plan.worker
+        assert worker.kind == "kill"
+        assert worker.rank == -1 and worker.iteration == -1
+
+    @pytest.mark.parametrize(
+        "data,fragment",
+        [
+            ({"worker": {"kind": 3}}, "worker.kind must be a string"),
+            ({"worker": {"kind": "explode"}},
+             "worker.kind must be one of"),
+            ({"worker": {"rank": "one"}},
+             "worker.rank must be an integer"),
+            ({"worker": {"rank": True}},
+             "worker.rank must be an integer"),
+            ({"worker": {"attempts": 1.5}},
+             "worker.attempts must be an integer"),
+            ({"worker": {"stall_s": "long"}},
+             "worker.stall_s must be a number"),
+            ({"worker": {"bogus": 1}}, "unknown field worker.'bogus'"),
+        ],
+    )
+    def test_bad_worker_field_named(self, data, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            parse_fault_spec(data)
+
+    def test_example_worker_specs_load(self):
+        base = _EXAMPLE.parent
+        kill = load_fault_spec(base / "worker_kill.yaml")
+        assert kill.plan.worker.kind == "kill"
+        assert kill.seed == 7
+        stall = load_fault_spec(base / "worker_stall.yaml")
+        assert stall.plan.worker.kind == "stall"
+        assert stall.plan.worker.stall_s == 5.0
