@@ -18,6 +18,11 @@ The commands expose the library without writing code:
 * ``engines``   — list the registered execution engines (``--engine``
   on ``schedule``/``campaign`` picks one; ``sim`` models in-process,
   ``process`` really compresses on a worker pool with overlapped I/O).
+* ``serve``     — run the scheduling service: a long-lived JSON-over-
+  HTTP server with exact solution memoization, request batching, and
+  per-tenant admission quotas (``docs/service.md``).
+* ``submit``    — client for a running service: submit solve/campaign
+  requests, poll status/health, or ask it to drain and shut down.
 * ``experiments`` — list every reproduced table/figure and its bench.
 * ``bench``     — the performance-regression harness: ``run`` registered
   benchmark cases (serial or process-parallel) into a versioned
@@ -296,6 +301,163 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser(
+        "serve", help="run the scheduling service (JSON over HTTP)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8742,
+        help="listening port (0 picks a free ephemeral port)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="solver worker threads behind the batching dispatcher",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="bounded dispatch-queue depth (beyond it: 429 queue_full)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="most compatible requests one coalesced dispatch may carry",
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="how long the batcher waits to coalesce compatible requests",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="memo-cache capacity in solutions (0 disables memoization)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist the memo cache here as atomically-published "
+            "fingerprint-named JSON entries (survives restarts)"
+        ),
+    )
+    p.add_argument(
+        "--quota-rate",
+        type=float,
+        default=50.0,
+        help="per-tenant token refill, requests/second (0 = no refill)",
+    )
+    p.add_argument(
+        "--quota-burst",
+        type=float,
+        default=20.0,
+        help="per-tenant token-bucket capacity",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help=(
+            "record service.request/service.batch/solve telemetry spans "
+            "and write them as JSON lines on shutdown"
+        ),
+    )
+
+    p = sub.add_parser(
+        "submit", help="talk to a running scheduling service"
+    )
+    submit_sub = p.add_subparsers(dest="submit_command", required=True)
+
+    def _client_flags(q):
+        q.add_argument("--host", default="127.0.0.1")
+        q.add_argument("--port", type=int, default=8742)
+        q.add_argument(
+            "--timeout",
+            type=float,
+            default=60.0,
+            help="HTTP timeout per request, seconds",
+        )
+
+    q = submit_sub.add_parser("solve", help="submit one solve request")
+    _client_flags(q)
+    q.add_argument(
+        "--instance",
+        choices=["figure1", "random"],
+        default="figure1",
+        help="which instance to submit",
+    )
+    q.add_argument("--jobs", type=int, default=6, help="random-instance job count")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--algorithm",
+        default=None,
+        help="algorithm name (default: the service's default)",
+    )
+    q.add_argument("--engine", choices=["sim", "process"], default="sim")
+    q.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS"
+    )
+    q.add_argument("--tenant", default="default")
+    q.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="dispatch priority (higher runs first)",
+    )
+    q.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire the request if still queued after this long",
+    )
+    q.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the service's memo cache for this request",
+    )
+
+    q = submit_sub.add_parser(
+        "campaign", help="submit one campaign request"
+    )
+    _client_flags(q)
+    q.add_argument("--app", choices=["nyx", "warpx", "hacc"], default="nyx")
+    q.add_argument("--nodes", type=int, default=4)
+    q.add_argument("--ppn", type=int, default=4)
+    q.add_argument("--iterations", type=int, default=6)
+    q.add_argument(
+        "--solution",
+        choices=["baseline", "previous", "ours"],
+        default="ours",
+    )
+    q.add_argument("--seed", type=int, default=1)
+    q.add_argument("--engine", choices=["sim", "process"], default="sim")
+    q.add_argument("--tenant", default="default")
+    q.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="server-side write-ahead journal path for the campaign",
+    )
+
+    for name, help_text in (
+        ("status", "print the service's counter snapshot"),
+        ("health", "print the service's liveness/drain state"),
+        ("shutdown", "ask the service to drain and exit"),
+    ):
+        q = submit_sub.add_parser(name, help=help_text)
+        _client_flags(q)
+
     sub.add_parser("experiments", help="list the reproduced experiments")
 
     p = sub.add_parser(
@@ -396,6 +558,8 @@ def main(argv: list[str] | None = None) -> int:
         "engines": _cmd_engines,
         "bench": _cmd_bench,
         "verify": _cmd_verify,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }[args.command]
     return handler(args)
 
@@ -701,6 +865,144 @@ def _cmd_campaign(args) -> int:
         run.close()
     _write_trace(tracer, args.trace_out)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import SchedulingService, ServiceConfig, serve_forever
+
+    tracer = _make_tracer(args)
+    try:
+        config = ServiceConfig(
+            workers=args.workers,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            batch_window_s=args.batch_window,
+            cache_size=args.cache_size,
+            cache_dir=args.cache_dir,
+            quota_rate=args.quota_rate,
+            quota_burst=args.quota_burst,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = SchedulingService(config, tracer=tracer)
+
+    def on_bound(host, port):
+        print(f"repro service listening on http://{host}:{port}", flush=True)
+        print(
+            f"  workers={config.workers} cache={config.cache_size}"
+            f"{' (persistent)' if config.cache_dir else ''} "
+            f"quota={config.quota_rate:g}/s burst={config.quota_burst:g}",
+            flush=True,
+        )
+
+    try:
+        serve_forever(
+            service,
+            host=args.host,
+            port=args.port,
+            on_bound=on_bound,
+            install_signal_handlers=True,
+        )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        # Signal-triggered exits land here too: always drain.
+        service.shutdown()
+    print("repro service drained and stopped")
+    _write_trace(tracer, args.trace_out)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json as json_module
+
+    from repro.core import instance_json_dict
+    from repro.service import ServiceClient, ServiceUnavailableError
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.submit_command == "solve":
+            instance = _make_instance(args)
+            payload = {
+                "instance": instance_json_dict(instance),
+                "engine": args.engine,
+                "tenant": args.tenant,
+                "priority": args.priority,
+            }
+            if args.algorithm is not None:
+                payload["algorithm"] = args.algorithm
+            if args.time_limit is not None:
+                payload["time_limit"] = args.time_limit
+            if args.deadline is not None:
+                payload["deadline_s"] = args.deadline
+            if args.no_cache:
+                payload["cache"] = False
+            status, body = client.solve(payload)
+            if status == 200:
+                solution = body["solution"]
+                timing = body.get("timing", {})
+                print(
+                    f"{solution['algorithm']}: io makespan = "
+                    f"{solution['makespan']:.3f} "
+                    f"[{body['cache']}, key {body['key']}]"
+                )
+                if timing:
+                    print(
+                        f"  queue {timing['queue_wait_s'] * 1e3:.2f} ms, "
+                        f"solve {timing['solve_s'] * 1e3:.2f} ms, "
+                        f"batch of {timing['batch_size']}"
+                    )
+                return 0
+        elif args.submit_command == "campaign":
+            payload = {
+                "app": args.app,
+                "nodes": args.nodes,
+                "ppn": args.ppn,
+                "iterations": args.iterations,
+                "solution": args.solution,
+                "seed": args.seed,
+                "engine": args.engine,
+                "tenant": args.tenant,
+            }
+            if args.journal is not None:
+                payload["journal"] = args.journal
+            status, body = client.campaign(payload)
+            if status == 200:
+                campaign = body["campaign"]
+                print(
+                    f"{campaign['solution']}: "
+                    f"{campaign['iterations']} iterations, "
+                    f"I/O overhead "
+                    f"{campaign['mean_relative_overhead'] * 100:.1f}%, "
+                    f"total {campaign['total_time']:.1f}s "
+                    f"(wall {campaign['wall_time_s']:.2f}s, "
+                    f"engine {campaign['engine']})"
+                )
+                if campaign.get("journal"):
+                    print(f"  journal -> {campaign['journal']}")
+                return 0
+        elif args.submit_command in ("status", "health"):
+            status, body = getattr(client, args.submit_command)()
+            print(json_module.dumps(body, indent=2, sort_keys=True))
+            return 0 if status == 200 else 1
+        else:  # shutdown
+            status, body = client.shutdown()
+            print("service draining" if status == 200 else f"HTTP {status}")
+            return 0 if status == 200 else 1
+    except ServiceUnavailableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # A structured non-200 reply (rejection / bad request / failure).
+    error = body.get("error", {})
+    code = error.get("code", f"http_{status}")
+    message = error.get("message", "request failed")
+    line = f"rejected [{code}]: {message}"
+    if "retry_after_s" in error:
+        line += f" (retry after {error['retry_after_s']:g}s)"
+    print(line, file=sys.stderr)
+    return 3
 
 
 def _cmd_engines(args) -> int:

@@ -42,10 +42,14 @@ from .registry import (
     get_algorithm,
     get_algorithm_info,
     list_algorithms,
+    register_algorithm,
+    unregister_algorithm,
 )
 from .solve import SolveResult, solve
 from .serialization import (
+    instance_fingerprint,
     instance_from_json,
+    instance_json_dict,
     instance_to_json,
     schedule_from_json,
     schedule_to_json,
@@ -77,8 +81,10 @@ __all__ = [
     "ResumableSchedule",
     "resumable_schedule",
     "preemption_cost",
+    "instance_json_dict",
     "instance_to_json",
     "instance_from_json",
+    "instance_fingerprint",
     "schedule_to_json",
     "schedule_from_json",
     "ilp_schedule",
@@ -95,6 +101,8 @@ __all__ = [
     "get_algorithm",
     "get_algorithm_info",
     "list_algorithms",
+    "register_algorithm",
+    "unregister_algorithm",
     "SolveResult",
     "solve",
     "trace_schedule",

@@ -7,10 +7,20 @@ one call.  The historical surface is preserved: ``ALGORITHMS`` still maps
 the six heuristic names to their bare callables, ``get_algorithm`` still
 returns the callable itself, and ``list_algorithms()`` still returns the
 six heuristics in the paper's presentation order.
+
+The registry is safe under concurrent callers: the scheduling service
+dispatches ``solve()`` from a worker pool while tests (or plugins)
+register experimental algorithms, so every mutation and every read of
+the shared tables happens under one lock, and the query functions return
+snapshots rather than live views.  ``ALGORITHMS`` and ``REGISTRY``
+remain importable module-level dicts for backward compatibility; mutate
+them only through :func:`register_algorithm` /
+:func:`unregister_algorithm`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -32,6 +42,8 @@ __all__ = [
     "get_algorithm",
     "get_algorithm_info",
     "list_algorithms",
+    "register_algorithm",
+    "unregister_algorithm",
 ]
 
 Scheduler = Callable[[ProblemInstance], Schedule]
@@ -53,6 +65,9 @@ class AlgorithmInfo:
     exact: bool = False
     needs_time_limit: bool = False
 
+
+#: Guards every mutation and read of the shared registry tables.
+_LOCK = threading.RLock()
 
 #: Every registered algorithm, heuristics first in the paper's
 #: presentation order, then the exact solvers.
@@ -81,36 +96,101 @@ ALGORITHMS: dict[str, Scheduler] = {
     if not info.exact
 }
 
+#: Names of the built-in (paper) algorithms, protected from removal.
+_BUILTIN_NAMES = frozenset(REGISTRY)
+
 #: The algorithm the paper adopts after Table 1.
 DEFAULT_ALGORITHM = "ExtJohnson+BF"
+
+
+def register_algorithm(
+    info: AlgorithmInfo, *, replace: bool = False
+) -> AlgorithmInfo:
+    """Add an algorithm to the registry (thread-safe).
+
+    Raises ``ValueError`` when the name is already taken, unless
+    ``replace=True``; the paper's built-in entries can never be
+    replaced.  Returns ``info`` so it can be used as a decorator
+    helper's tail call.
+    """
+    if not isinstance(info, AlgorithmInfo):
+        raise TypeError(
+            f"register_algorithm takes an AlgorithmInfo, got {info!r}"
+        )
+    if not info.name:
+        raise ValueError("AlgorithmInfo.name must be non-empty")
+    with _LOCK:
+        existing = REGISTRY.get(info.name)
+        if existing is not None:
+            if info.name in _BUILTIN_NAMES:
+                raise ValueError(
+                    f"algorithm {info.name!r} is a paper built-in and "
+                    "cannot be replaced"
+                )
+            if not replace:
+                raise ValueError(
+                    f"algorithm {info.name!r} already registered; pass "
+                    "replace=True to override"
+                )
+        REGISTRY[info.name] = info
+        if not info.exact:
+            ALGORITHMS[info.name] = info.func
+        else:
+            ALGORITHMS.pop(info.name, None)
+    return info
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a previously registered algorithm (thread-safe).
+
+    Raises ``KeyError`` for unknown names and ``ValueError`` for the
+    paper's built-in entries.
+    """
+    with _LOCK:
+        if name in _BUILTIN_NAMES:
+            raise ValueError(
+                f"algorithm {name!r} is a paper built-in and cannot be "
+                "unregistered"
+            )
+        if name not in REGISTRY:
+            known = ", ".join(sorted(REGISTRY))
+            raise KeyError(
+                f"unknown algorithm {name!r}; known: {known}"
+            )
+        del REGISTRY[name]
+        ALGORITHMS.pop(name, None)
 
 
 def get_algorithm(name: str) -> Scheduler:
     """Look up a heuristic's callable by its paper name; raises
     ``KeyError`` (exact solvers are reachable via
     :func:`get_algorithm_info` or :func:`~repro.core.solve.solve`)."""
-    try:
-        return ALGORITHMS[name]
-    except KeyError:
-        known = ", ".join(sorted(ALGORITHMS))
-        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    with _LOCK:
+        try:
+            return ALGORITHMS[name]
+        except KeyError:
+            known = ", ".join(sorted(ALGORITHMS))
+    raise KeyError(f"unknown algorithm {name!r}; known: {known}")
 
 
 def get_algorithm_info(name: str) -> AlgorithmInfo:
     """Look up any registered algorithm's metadata entry by name."""
-    try:
-        return REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(REGISTRY))
-        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    with _LOCK:
+        try:
+            return REGISTRY[name]
+        except KeyError:
+            known = ", ".join(sorted(REGISTRY))
+    raise KeyError(f"unknown algorithm {name!r}; known: {known}")
 
 
 def list_algorithms(include_exact: bool = False) -> list[str]:
     """Registered algorithm names, in the paper's presentation order.
 
     By default only the six heuristics (the historical behaviour);
-    ``include_exact=True`` appends the exact solvers.
+    ``include_exact=True`` appends the exact solvers.  Returns a
+    snapshot: later registry mutations do not affect the list.
     """
-    if include_exact:
-        return list(REGISTRY)
-    return list(ALGORITHMS)
+    with _LOCK:
+        if include_exact:
+            return list(REGISTRY)
+        return list(ALGORITHMS)

@@ -10,6 +10,9 @@ instant.  This package makes it crash-consistent and verifiable:
   rename replacement so readers never observe a torn file;
 * :mod:`~repro.durability.journal` — the write-ahead campaign journal
   behind ``repro campaign --journal/--resume``;
+* :mod:`~repro.durability.fingerprint` — the shared canonical-JSON +
+  CRC32C content fingerprint (journal identity stamps, the scheduling
+  service's memo-cache keys);
 * :mod:`~repro.durability.crashpoints` — named, seeded kill points for
   the chaos harness;
 * :mod:`~repro.durability.verify` — the ``repro verify`` scrubber
@@ -26,6 +29,7 @@ from .atomic import (
     temp_path_for,
 )
 from .checksum import crc32c, crc32c_combine, crc32c_hex
+from .fingerprint import fingerprint_json
 from .crashpoints import (
     CRASH_EXIT_CODE,
     CRASH_POINTS,
@@ -45,6 +49,7 @@ __all__ = [
     "crc32c",
     "crc32c_combine",
     "crc32c_hex",
+    "fingerprint_json",
     "DurableFile",
     "atomic_write_bytes",
     "atomic_write_text",

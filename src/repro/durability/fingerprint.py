@@ -1,0 +1,29 @@
+"""Content fingerprints: canonical JSON + CRC32C, defined once.
+
+Several subsystems need a short, stable identity for a JSON-shaped
+value: the write-ahead journal stamps each campaign with its spec's
+fingerprint, the resume path cross-checks that stamp before re-executing
+anything, and the scheduling service's memo cache keys solutions by the
+fingerprint of the request that produced them.  They must all agree on
+the same definition — *CRC32C of the canonical-JSON encoding* — or a
+cache hit and a journal check could disagree about whether two values
+are "the same".  This module is that single definition.
+"""
+
+from __future__ import annotations
+
+from .checksum import crc32c_hex
+from .journal import canonical_json
+
+__all__ = ["fingerprint_json"]
+
+
+def fingerprint_json(obj) -> str:
+    """Fixed-width hex CRC32C of ``obj``'s canonical-JSON encoding.
+
+    ``obj`` must be JSON-safe (dicts with string keys, lists, strings,
+    numbers, bools, None).  Two objects fingerprint equal exactly when
+    their canonical JSON is byte-identical, so dict ordering never
+    matters but numeric types do (``1`` and ``1.0`` differ).
+    """
+    return crc32c_hex(canonical_json(obj).encode())

@@ -30,7 +30,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, ClassVar
 
-from ..durability.journal import CampaignJournal
+from ..durability.journal import CampaignJournal, JournalError
 from ..framework.orchestrator import CampaignResult, IterationRecord
 from ..resilience.faults import FaultInjector
 from ..resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -265,6 +265,17 @@ def run_campaign(
     if resume_path is not None:
         journal = CampaignJournal.resume(resume_path, tracer=tracer)
         header_spec = CampaignSpec.from_journal_header(journal.header)
+        stored = journal.header.get("spec_crc32c")
+        if stored is not None and stored != header_spec.control_fingerprint():
+            journal.close()
+            raise JournalError(
+                f"journal {resume_path}: header spec fingerprint "
+                f"{stored} does not match the rebuilt spec "
+                f"({header_spec.control_fingerprint()}); the journalled "
+                "campaign used parameters the header cannot express "
+                "(e.g. an explicit config override) or the journal "
+                "was edited — refusing to resume"
+            )
         if spec is not None:
             # Campaign identity comes from the header; only data-plane
             # knobs (not journalled) carry over from the caller's spec.

@@ -24,8 +24,7 @@ import dataclasses
 import warnings
 from dataclasses import dataclass
 
-from ..durability.checksum import crc32c_hex
-from ..durability.journal import canonical_json
+from ..durability.fingerprint import fingerprint_json
 from ..framework.baselines import (
     async_io_config,
     baseline_config,
@@ -263,9 +262,25 @@ class CampaignSpec:
         return doc
 
     def fingerprint(self) -> str:
-        """CRC32C (hex) of the canonical-JSON spec — the journal's
-        campaign identity."""
-        return crc32c_hex(canonical_json(self.to_json_dict()).encode())
+        """CRC32C (hex) of the canonical-JSON spec — the campaign's
+        content identity (:func:`repro.durability.fingerprint_json`).
+
+        The memo cache, the journal header, and the resume cross-check
+        all derive identity from this one definition.
+        """
+        return fingerprint_json(self.to_json_dict())
+
+    def control_fingerprint(self) -> str:
+        """Fingerprint of the *control-plane* identity: the spec with
+        the data plane stripped.
+
+        This is what the write-ahead journal stamps in its header.  The
+        journal records only the modelled control plane, and resume
+        deliberately lets the (unjournalled) data-plane knobs differ
+        between the crashed and the resuming invocation, so the identity
+        the resume check verifies must exclude them.
+        """
+        return dataclasses.replace(self, data_dir=None).fingerprint()
 
     # ------------------------------------------------------------------
     # runtime object builders
@@ -322,7 +337,7 @@ class CampaignSpec:
             "seed": self.seed,
             "faults": self.faults,
             "engine": self.engine,
-            "spec_crc32c": self.fingerprint(),
+            "spec_crc32c": self.control_fingerprint(),
         }
 
     @classmethod

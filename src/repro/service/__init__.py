@@ -1,0 +1,68 @@
+"""Scheduling-as-a-service: the solver stack behind a long-running server.
+
+Where the rest of the package answers "solve this instance" as a library
+call, this subpackage keeps a solver warm and shares it: a long-running
+service with exact memoization, request batching, and per-tenant
+admission control in front of :func:`repro.core.solve` and
+:func:`repro.engines.run_campaign`.
+
+Layered, innermost first:
+
+* :mod:`~repro.service.protocol` — wire shapes: request validation,
+  the canonical solve-request fingerprint (memo key), deterministic
+  solution payloads, structured rejections;
+* :mod:`~repro.service.cache` — the fingerprint-keyed LRU memo cache
+  with an optional crash-consistent disk tier;
+* :mod:`~repro.service.admission` — per-tenant token-bucket quotas;
+* :mod:`~repro.service.dispatch` — the bounded priority queue and
+  batching worker dispatch with per-request deadlines;
+* :mod:`~repro.service.service` — :class:`SchedulingService`, the
+  HTTP-free core wiring the above plus per-request telemetry spans;
+* :mod:`~repro.service.server` — the stdlib-asyncio JSON-over-HTTP
+  front (``repro serve``);
+* :mod:`~repro.service.client` — the blocking client
+  (``repro submit``).
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .cache import MemoCache
+from .client import ServiceClient, ServiceUnavailableError
+from .dispatch import DispatchOutcome, SolveDispatcher
+from .protocol import (
+    REJECT_DEADLINE,
+    REJECT_QUEUE_FULL,
+    REJECT_QUOTA,
+    REJECT_SHUTTING_DOWN,
+    BadRequestError,
+    Rejection,
+    SolveWork,
+    parse_solve_payload,
+    solution_json_dict,
+    solve_request_key,
+)
+from .server import ServiceServer, serve_forever
+from .service import SchedulingService, ServiceConfig
+
+__all__ = [
+    "AdmissionController",
+    "BadRequestError",
+    "DispatchOutcome",
+    "MemoCache",
+    "REJECT_DEADLINE",
+    "REJECT_QUEUE_FULL",
+    "REJECT_QUOTA",
+    "REJECT_SHUTTING_DOWN",
+    "Rejection",
+    "SchedulingService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceUnavailableError",
+    "SolveDispatcher",
+    "SolveWork",
+    "TokenBucket",
+    "parse_solve_payload",
+    "serve_forever",
+    "solution_json_dict",
+    "solve_request_key",
+]

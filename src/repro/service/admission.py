@@ -1,0 +1,148 @@
+"""Admission control: per-tenant token buckets with structured refusals.
+
+A service shared by many tenants needs back-pressure that is *fair*
+(one tenant's burst must not starve the others), *bounded* (the queue
+may not grow without limit), and *explicit* (an overloaded server says
+"try again in 0.2s", it does not stack-trace).  The classic mechanism
+is the token bucket: each tenant owns a bucket of ``burst`` tokens that
+refills at ``rate`` tokens/second; a request costs one token (campaigns
+cost more), and an empty bucket yields a 429-style
+:class:`~repro.service.protocol.Rejection` carrying the refill estimate
+as ``retry_after_s``.  Queue-depth bounding lives in the dispatcher —
+this module only answers "may this tenant submit right now?".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .protocol import REJECT_QUOTA, Rejection
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+class TokenBucket:
+    """A continuously refilling token bucket (monotonic-clock based).
+
+    ``rate`` is tokens per second (0 disables refill: the burst is all
+    the tenant ever gets — useful for tests and hard caps); ``burst``
+    is the bucket capacity and initial fill.
+    """
+
+    def __init__(
+        self, rate: float, burst: float, clock=time.monotonic
+    ) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate!r}")
+        if burst <= 0:
+            raise ValueError(f"burst must be > 0, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        if now > self._updated:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._updated) * self.rate
+            )
+        self._updated = now
+
+    def try_take(self, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; never blocks."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens + 1e-12 >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+    def retry_after_s(self, cost: float = 1.0) -> float | None:
+        """Seconds until ``cost`` tokens will be available (None: never)."""
+        self._refill(self._clock())
+        missing = cost - self._tokens
+        if missing <= 0:
+            return 0.0
+        if self.rate <= 0:
+            return None
+        return missing / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current fill (after refill), for status reporting."""
+        self._refill(self._clock())
+        return self._tokens
+
+
+class AdmissionController:
+    """Per-tenant token buckets behind one lock, with counters.
+
+    Tenants are created on first sight with the default ``rate`` /
+    ``burst``; ``tenant_quotas`` overrides both for named tenants.  All
+    methods are thread-safe.
+    """
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        burst: float = 20.0,
+        tenant_quotas: dict[str, tuple[float, float]] | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._overrides = dict(tenant_quotas or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._admitted: dict[str, int] = {}
+        self._rejected: dict[str, int] = {}
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            rate, burst = self._overrides.get(
+                tenant, (self.rate, self.burst)
+            )
+            bucket = TokenBucket(rate, burst, clock=self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, cost: float = 1.0) -> Rejection | None:
+        """None when admitted; a quota :class:`Rejection` otherwise."""
+        with self._lock:
+            bucket = self._bucket(tenant)
+            if bucket.try_take(cost):
+                self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+                return None
+            self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
+            retry = bucket.retry_after_s(cost)
+            return Rejection(
+                code=REJECT_QUOTA,
+                message=(
+                    f"tenant {tenant!r} is over its quota "
+                    f"({bucket.rate:g} req/s, burst {bucket.burst:g})"
+                ),
+                http_status=429,
+                retry_after_s=retry,
+            )
+
+    def stats(self) -> dict:
+        """Per-tenant admission counters for the ``/status`` endpoint."""
+        with self._lock:
+            tenants = {}
+            for tenant, bucket in sorted(self._buckets.items()):
+                tenants[tenant] = {
+                    "admitted": self._admitted.get(tenant, 0),
+                    "rejected": self._rejected.get(tenant, 0),
+                    "tokens": round(bucket.tokens, 6),
+                    "rate": bucket.rate,
+                    "burst": bucket.burst,
+                }
+            return {
+                "default_rate": self.rate,
+                "default_burst": self.burst,
+                "tenants": tenants,
+            }

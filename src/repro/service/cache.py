@@ -1,0 +1,155 @@
+"""Solution memo cache: fingerprint-keyed, LRU, optionally durable.
+
+The whole campaign stack is deterministic by construction (that is what
+makes journal resume possible), so a solve request's canonical
+fingerprint fully determines its solution — memoization is *exact*, not
+heuristic.  The cache holds JSON-safe solution payloads keyed by
+:func:`~repro.service.protocol.solve_request_key`:
+
+* in memory: a bounded LRU (``capacity`` entries, least-recently-*used*
+  eviction) guarded by one lock, with hit/miss/eviction counters;
+* optionally on disk: every store is also published atomically through
+  :class:`~repro.durability.DurableFile` as
+  ``<cache_dir>/<key>.json`` carrying a self-fingerprint, so a cache
+  directory survives restarts, is crash-consistent (a killed writer
+  leaves only a stale temp file, never a torn entry), and a corrupt or
+  tampered entry is detected and ignored rather than served.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+
+from ..durability.atomic import DurableFile
+from ..durability.fingerprint import fingerprint_json
+
+__all__ = ["MemoCache"]
+
+
+class MemoCache:
+    """LRU memo cache for solution payloads, with an optional disk tier.
+
+    ``capacity=0`` disables caching entirely (every ``get`` misses and
+    ``put`` is a no-op) while keeping the counters live, so a service
+    configured cache-less still reports meaningful statistics.
+    """
+
+    def __init__(
+        self, capacity: int = 256, cache_dir: str | None = None
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(
+                f"MemoCache.capacity must be >= 0, got {capacity!r}"
+            )
+        self.capacity = capacity
+        self.cache_dir = cache_dir
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._disk_hits = 0
+        self._evictions = 0
+        self._stores = 0
+        self._disk_rejects = 0
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The cached solution for ``key``, or None on a miss.
+
+        A memory hit refreshes the entry's LRU position.  On a memory
+        miss with a disk tier configured, a valid disk entry is promoted
+        into memory and counted as both a miss (of the memory tier) and
+        a ``disk_hit``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry
+            self._misses += 1
+        value = self._load_disk(key)
+        if value is not None:
+            with self._lock:
+                self._disk_hits += 1
+                self._insert(key, value)
+        return value
+
+    def put(self, key: str, value: dict) -> None:
+        """Store ``value`` under ``key`` (and durably, with a disk tier)."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._stores += 1
+            self._insert(key, value)
+        self._store_disk(key, value)
+
+    def _insert(self, key: str, value: dict) -> None:
+        """Insert under the lock, evicting the least recently used."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _store_disk(self, key: str, value: dict) -> None:
+        if self.cache_dir is None:
+            return
+        document = {
+            "key": key,
+            "solution": value,
+            "crc32c": fingerprint_json(value),
+        }
+        with DurableFile(self._disk_path(key), "w") as fh:
+            json.dump(document, fh, sort_keys=True)
+
+    def _load_disk(self, key: str) -> dict | None:
+        if self.cache_dir is None:
+            return None
+        try:
+            with open(self._disk_path(key), encoding="utf-8") as fh:
+                document = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        solution = document.get("solution") if isinstance(document, dict) else None
+        if (
+            not isinstance(solution, dict)
+            or document.get("key") != key
+            or document.get("crc32c") != fingerprint_json(solution)
+        ):
+            # Corrupt or tampered entry: never serve it, count it.
+            with self._lock:
+                self._disk_rejects += 1
+            return None
+        return solution
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Counters for the ``/status`` endpoint (a JSON-safe snapshot)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "disk_hits": self._disk_hits,
+                "disk_rejects": self._disk_rejects,
+                "stores": self._stores,
+                "evictions": self._evictions,
+                "persistent": self.cache_dir is not None,
+            }

@@ -1,0 +1,127 @@
+"""Blocking client for the scheduling service (stdlib only).
+
+:class:`ServiceClient` speaks the service's JSON-over-HTTP protocol via
+``http.client`` — one short-lived connection per call, which keeps the
+client trivially thread-safe and robust against a draining server.  It
+is what ``repro submit`` uses, and the natural handle for tests:
+
+    with ServiceClient("127.0.0.1", 8742) as client:
+        client.wait_healthy()
+        reply = client.solve({"instance": {...}})
+
+Every call returns the decoded ``(http_status, body)`` pair — including
+rejections, which arrive as structured bodies, not exceptions.  Only
+transport-level failures (connection refused, timeouts, non-JSON
+responses) raise :class:`ServiceUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+__all__ = ["ServiceClient", "ServiceUnavailableError"]
+
+
+class ServiceUnavailableError(ConnectionError):
+    """The service could not be reached or spoke something unexpected."""
+
+
+class ServiceClient:
+    """A blocking JSON-over-HTTP client bound to one service address."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8742,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict]:
+        body = None if payload is None else json.dumps(payload)
+        try:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request(
+                    method,
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                raw = response.read()
+                status = response.status
+            finally:
+                conn.close()
+        except OSError as exc:
+            raise ServiceUnavailableError(
+                f"scheduling service at {self.host}:{self.port} "
+                f"unreachable: {exc}"
+            ) from exc
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceUnavailableError(
+                f"scheduling service at {self.host}:{self.port} sent a "
+                f"non-JSON response (HTTP {status})"
+            ) from exc
+        return status, decoded
+
+    # ------------------------------------------------------------------
+    def health(self) -> tuple[int, dict]:
+        """``GET /health`` — liveness and drain state."""
+        return self._request("GET", "/health")
+
+    def status(self) -> tuple[int, dict]:
+        """``GET /status`` — the full counter snapshot."""
+        return self._request("GET", "/status")
+
+    def solve(self, payload: dict) -> tuple[int, dict]:
+        """``POST /solve`` — one scheduling request."""
+        return self._request("POST", "/solve", payload)
+
+    def campaign(self, payload: dict) -> tuple[int, dict]:
+        """``POST /campaign`` — one campaign request."""
+        return self._request("POST", "/campaign", payload)
+
+    def shutdown(self) -> tuple[int, dict]:
+        """``POST /shutdown`` — ask the server to drain and exit."""
+        return self._request("POST", "/shutdown")
+
+    def wait_healthy(self, timeout: float = 10.0) -> dict:
+        """Poll ``/health`` until the service answers; raises on timeout.
+
+        The bridge between "the serve process was spawned" and "the
+        socket accepts requests" — used by tests and scripted drivers.
+        """
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                status, body = self.health()
+            except ServiceUnavailableError as exc:
+                last = exc
+            else:
+                if status == 200 and body.get("ok"):
+                    return body
+            time.sleep(0.05)
+        raise ServiceUnavailableError(
+            f"scheduling service at {self.host}:{self.port} did not "
+            f"become healthy within {timeout:g}s"
+        ) from last
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None

@@ -1,0 +1,239 @@
+"""Wire shapes of the scheduling service: requests, solutions, rejections.
+
+Everything the service speaks is plain JSON.  This module owns the
+translation between wire payloads and typed objects:
+
+* :func:`parse_solve_payload` — a ``POST /solve`` body into a validated
+  :class:`SolveWork`, with errors that name the offending field;
+* :func:`solve_request_key` — the memo-cache key: the canonical-JSON +
+  CRC32C fingerprint of *everything that determines the solution*
+  (instance, algorithm, engine, time limit), built on
+  :func:`repro.core.instance_fingerprint`'s canonical instance form;
+* :func:`solution_json_dict` — a :class:`~repro.core.SolveResult` into
+  the JSON-safe solution payload the cache stores and responses embed
+  (deterministic: no wall-clock fields, so a cache hit is byte-identical
+  to the miss that filled it);
+* :class:`Rejection` — the structured refusal every overload path
+  returns instead of an exception trace (429-style for quota/queue
+  pressure, 504-style for expired deadlines, 503 while draining).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..core.model import ProblemInstance
+from ..core.registry import DEFAULT_ALGORITHM, get_algorithm_info
+from ..core.serialization import (
+    instance_from_json,
+    instance_json_dict,
+    schedule_to_json,
+)
+from ..core.solve import SolveResult
+from ..durability.fingerprint import fingerprint_json
+
+__all__ = [
+    "BadRequestError",
+    "Rejection",
+    "SolveWork",
+    "REJECT_QUOTA",
+    "REJECT_QUEUE_FULL",
+    "REJECT_DEADLINE",
+    "REJECT_SHUTTING_DOWN",
+    "parse_solve_payload",
+    "solve_request_key",
+    "solution_json_dict",
+]
+
+#: Per-tenant token bucket is empty — retry after ``retry_after_s``.
+REJECT_QUOTA = "quota_exhausted"
+#: The bounded admission queue is at capacity.
+REJECT_QUEUE_FULL = "queue_full"
+#: The request's deadline expired while it waited in the queue.
+REJECT_DEADLINE = "deadline_exceeded"
+#: The service is draining for shutdown and admits nothing new.
+REJECT_SHUTTING_DOWN = "shutting_down"
+
+
+class BadRequestError(ValueError):
+    """A malformed request body; the message names the bad field."""
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """A structured refusal: machine-readable code, human message.
+
+    ``http_status`` is what the HTTP layer sends (429 for pressure, 504
+    for expired deadlines, 503 while draining); ``retry_after_s`` is the
+    token-bucket refill estimate when one exists.
+    """
+
+    code: str
+    message: str
+    http_status: int = 429
+    retry_after_s: float | None = None
+
+    def to_json_dict(self) -> dict:
+        """The ``error`` object embedded in a rejection response."""
+        error: dict = {"code": self.code, "message": self.message}
+        if self.retry_after_s is not None:
+            error["retry_after_s"] = round(self.retry_after_s, 6)
+        return error
+
+
+@dataclass(frozen=True)
+class SolveWork:
+    """One validated solve request, ready for admission and dispatch.
+
+    ``key`` is the memo-cache identity (see :func:`solve_request_key`);
+    ``batch_key`` groups requests the batching layer may coalesce into
+    one dispatch — same solver configuration, different instances.
+    """
+
+    instance: ProblemInstance
+    algorithm: str
+    engine: str
+    time_limit: float | None
+    tenant: str
+    priority: int
+    deadline_s: float | None
+    use_cache: bool
+    key: str
+
+    @property
+    def batch_key(self) -> tuple:
+        """Requests sharing this key may run in one coalesced batch."""
+        return (self.algorithm, self.engine, self.time_limit)
+
+
+def solve_request_key(
+    instance: ProblemInstance,
+    algorithm: str,
+    engine: str = "sim",
+    time_limit: float | None = None,
+) -> str:
+    """The memo-cache key of a solve request.
+
+    Fingerprints the canonical instance form together with every knob
+    that can change the produced schedule, via the same canonical-JSON +
+    CRC32C definition the durability journal uses — so "identical
+    request" means exactly "byte-identical canonical serialization".
+    """
+    return fingerprint_json(
+        {
+            "instance": instance_json_dict(instance),
+            "algorithm": algorithm,
+            "engine": engine,
+            "time_limit": time_limit,
+        }
+    )
+
+
+def _field(payload: dict, name: str, types, default, *, required=False):
+    if name not in payload or payload[name] is None:
+        if required:
+            raise BadRequestError(f"request field {name!r} is required")
+        return default
+    value = payload[name]
+    # bool is an int subclass; only accept it where bool is asked for.
+    if types is bool:
+        ok = isinstance(value, bool)
+    else:
+        ok = isinstance(value, types) and not isinstance(value, bool)
+    if not ok:
+        raise BadRequestError(
+            f"request field {name!r} has the wrong type: {value!r}"
+        )
+    return value
+
+
+def parse_solve_payload(payload: dict) -> SolveWork:
+    """Validate a ``POST /solve`` body into a :class:`SolveWork`.
+
+    Raises :class:`BadRequestError` naming the offending field for any
+    malformed input — the HTTP layer turns that into a 400 with a
+    structured error body, never a traceback.
+    """
+    if not isinstance(payload, dict):
+        raise BadRequestError(
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    raw_instance = _field(payload, "instance", dict, None, required=True)
+    try:
+        instance = instance_from_json(json.dumps(raw_instance))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BadRequestError(f"request field 'instance': {exc}") from exc
+
+    algorithm = _field(payload, "algorithm", str, DEFAULT_ALGORITHM)
+    try:
+        get_algorithm_info(algorithm)
+    except KeyError as exc:
+        raise BadRequestError(
+            f"request field 'algorithm': {exc.args[0]}"
+        ) from exc
+
+    engine = _field(payload, "engine", str, "sim")
+    if engine != "sim":
+        from ..engines import EngineError, get_engine
+
+        try:
+            get_engine(engine)
+        except EngineError as exc:
+            raise BadRequestError(
+                f"request field 'engine': {exc}"
+            ) from exc
+
+    time_limit = _field(payload, "time_limit", (int, float), None)
+    if time_limit is not None and not time_limit > 0:
+        raise BadRequestError(
+            f"request field 'time_limit' must be positive, got {time_limit!r}"
+        )
+    deadline_s = _field(payload, "deadline_s", (int, float), None)
+    if deadline_s is not None and not deadline_s > 0:
+        raise BadRequestError(
+            f"request field 'deadline_s' must be positive, got {deadline_s!r}"
+        )
+    priority = _field(payload, "priority", int, 0)
+    tenant = _field(payload, "tenant", str, "default")
+    if not tenant:
+        raise BadRequestError("request field 'tenant' must be non-empty")
+    use_cache = _field(payload, "cache", bool, True)
+
+    time_limit = None if time_limit is None else float(time_limit)
+    return SolveWork(
+        instance=instance,
+        algorithm=algorithm,
+        engine=engine,
+        time_limit=time_limit,
+        tenant=tenant,
+        priority=int(priority),
+        deadline_s=None if deadline_s is None else float(deadline_s),
+        use_cache=bool(use_cache),
+        key=solve_request_key(instance, algorithm, engine, time_limit),
+    )
+
+
+def solution_json_dict(result: SolveResult) -> dict:
+    """The JSON-safe solution payload of one solve.
+
+    Deliberately deterministic — no wall-clock or per-run fields — so
+    the byte-identity guarantee holds: a cached copy of this dict is
+    indistinguishable from re-solving.  The schedule embeds its instance
+    (the :func:`~repro.core.schedule_from_json` shape), so a client can
+    re-validate the solution locally.
+    """
+    schedule = result.schedule
+    return {
+        "algorithm": result.algorithm,
+        "engine": result.engine,
+        "status": result.status,
+        "makespan": result.makespan,
+        "schedule": (
+            None
+            if schedule is None
+            else json.loads(schedule_to_json(schedule))
+        ),
+        "detail": result.detail,
+    }

@@ -1,0 +1,289 @@
+"""The JSON-over-HTTP face of the scheduling service (stdlib asyncio).
+
+A deliberately small HTTP/1.1 server built on ``asyncio`` streams — no
+web framework, no new dependencies — that adapts wire requests onto the
+thread-based :class:`~repro.service.service.SchedulingService` core.
+The split matters: all scheduling logic (cache, admission, batching,
+telemetry) lives in the core and is fully testable in-process; this
+module only parses requests, awaits the core's
+``concurrent.futures.Future`` results via :func:`asyncio.wrap_future`,
+and serializes responses.
+
+Routes:
+
+========  ============  ====================================================
+method    path          handled by
+========  ============  ====================================================
+POST      ``/solve``    :meth:`SchedulingService.begin_solve`
+POST      ``/campaign``  :meth:`SchedulingService.begin_campaign`
+GET       ``/status``   :meth:`SchedulingService.status_payload`
+GET       ``/health``   :meth:`SchedulingService.health_payload`
+POST      ``/shutdown``  graceful drain, then the server exits
+========  ============  ====================================================
+
+Every response body is a JSON object; errors use the same structured
+``{"ok": false, "error": {"code", "message"}}`` shape the service core
+produces, so clients never parse a traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from concurrent.futures import Future
+
+from .protocol import BadRequestError
+from .service import SchedulingService
+
+__all__ = ["ServiceServer", "serve_forever"]
+
+#: Largest accepted request body — a schedule instance is small; this
+#: mostly guards against accidental garbage on the port.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+class ServiceServer:
+    """One listening scheduling service: asyncio front, threaded core.
+
+    Usage::
+
+        server = ServiceServer(service, host="127.0.0.1", port=8742)
+        asyncio.run(server.run())          # serves until shutdown
+
+    or, from synchronous code (tests, the CLI), via
+    :func:`serve_forever`.
+    """
+
+    def __init__(
+        self,
+        service: SchedulingService,
+        host: str = "127.0.0.1",
+        port: int = 8742,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        #: Set once the listening socket is bound; carries the actual
+        #: (host, port) — useful with ``port=0``.
+        self.bound: tuple[str, int] | None = None
+        self._shutdown_requested = asyncio.Event()
+        self._on_bound: list = []
+
+    def add_bound_callback(self, callback) -> None:
+        """``callback(host, port)`` runs once the socket is listening."""
+        self._on_bound.append(callback)
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to drain and exit (signal-handler safe)."""
+        self._shutdown_requested.set()
+
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Bind, serve until shutdown is requested, then drain and exit."""
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = server.sockets[0].getsockname()
+        self.bound = (sock[0], sock[1])
+        for callback in self._on_bound:
+            callback(*self.bound)
+        async with server:
+            await self._shutdown_requested.wait()
+        # Socket closed: drain the core off the event loop so queued
+        # solves and in-flight campaigns finish (journals flush).
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.service.shutdown
+        )
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._respond(
+                        writer,
+                        exc.status,
+                        {
+                            "ok": False,
+                            "error": {
+                                "code": exc.code,
+                                "message": str(exc),
+                            },
+                        },
+                    )
+                    return
+                if request is None:
+                    return  # client closed the connection
+                method, path, body = request
+                status, payload = await self._route(method, path, body)
+                await self._respond(writer, status, payload)
+                if self._shutdown_requested.is_set():
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise _HttpError(
+                400, "bad_request", "truncated HTTP request"
+            ) from exc
+        except asyncio.LimitOverrunError as exc:
+            raise _HttpError(
+                431, "bad_request", "request headers too large"
+            ) from exc
+        if len(header_blob) > _MAX_HEADER_BYTES:
+            raise _HttpError(431, "bad_request", "request headers too large")
+        head, *header_lines = header_blob.decode(
+            "latin-1"
+        ).rstrip("\r\n").split("\r\n")
+        parts = head.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(
+                400, "bad_request", f"malformed request line: {head!r}"
+            )
+        method, path = parts[0].upper(), parts[1]
+        headers = {}
+        for line in header_lines:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _HttpError(
+                400, "bad_request", f"bad Content-Length: {length_text!r}"
+            ) from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _HttpError(
+                413,
+                "body_too_large",
+                f"request body of {length} bytes exceeds "
+                f"{MAX_BODY_BYTES} limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _route(self, method: str, path: str, body: bytes):
+        path = path.split("?", 1)[0]
+        if method == "GET" and path == "/health":
+            return 200, self.service.health_payload()
+        if method == "GET" and path == "/status":
+            return 200, self.service.status_payload()
+        if method == "POST" and path == "/shutdown":
+            self._shutdown_requested.set()
+            return 200, {"ok": True, "draining": True}
+        if method == "POST" and path in ("/solve", "/campaign"):
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": f"request body is not valid JSON: {exc}",
+                    },
+                }
+            begin = (
+                self.service.begin_solve
+                if path == "/solve"
+                else self.service.begin_campaign
+            )
+            try:
+                pending = begin(payload)
+            except BadRequestError as exc:
+                return 400, {
+                    "ok": False,
+                    "error": {"code": "bad_request", "message": str(exc)},
+                }
+            if isinstance(pending, Future):
+                return await asyncio.wrap_future(pending)
+            return pending
+        return 404, {
+            "ok": False,
+            "error": {
+                "code": "not_found",
+                "message": f"no route for {method} {path}",
+            },
+        }
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            413: "Payload Too Large",
+            429: "Too Many Requests",
+            431: "Request Header Fields Too Large",
+            500: "Internal Server Error",
+            503: "Service Unavailable",
+            504: "Gateway Timeout",
+        }.get(status, "OK")
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            + body
+        )
+        await writer.drain()
+
+
+def serve_forever(
+    service: SchedulingService,
+    host: str = "127.0.0.1",
+    port: int = 8742,
+    *,
+    on_bound=None,
+    install_signal_handlers: bool = False,
+) -> None:
+    """Blocking entry point: serve until a shutdown request, then drain.
+
+    ``on_bound(host, port)`` fires once the socket listens (the CLI
+    prints the listening line from it; tests grab the ephemeral port).
+    With ``install_signal_handlers`` SIGINT/SIGTERM trigger the same
+    graceful drain as ``POST /shutdown``.
+    """
+    server = ServiceServer(service, host=host, port=port)
+    if on_bound is not None:
+        server.add_bound_callback(on_bound)
+
+    async def _main() -> None:
+        if install_signal_handlers:
+            import signal
+
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError):
+                    loop.add_signal_handler(
+                        signum, server.request_shutdown
+                    )
+        await server.run()
+
+    asyncio.run(_main())

@@ -1,0 +1,599 @@
+"""The scheduling service core: solve/campaign handling, HTTP-free.
+
+:class:`SchedulingService` is the whole request path minus the wire
+protocol: parse -> memo cache -> admission -> batching dispatch ->
+solution, plus campaign execution, status aggregation, and graceful
+drain.  The asyncio HTTP server (:mod:`repro.service.server`) is a thin
+adapter over it, and benchmarks/tests drive it in-process so cache-hit
+latency can be measured without a socket in the loop.
+
+Request lifecycle for ``solve``:
+
+1. parse + validate (:func:`~repro.service.protocol.parse_solve_payload`);
+2. memo-cache lookup by canonical fingerprint — a hit returns the stored
+   payload immediately: no admission token is spent, no queue wait, and
+   *no solver span is emitted*, only the ``service.request`` span with
+   ``cache="hit"``;
+3. admission: the tenant's token bucket (429 + ``retry_after_s`` when
+   empty), then the bounded dispatch queue (429 ``queue_full``);
+4. batching dispatch; the completed solution is stored in the cache and
+   returned.
+
+Every request — hit, miss, or rejection — emits one ``service.request``
+span carrying tenant, cache outcome, queue wait, and solve time, so a
+``--trace-out`` recording of a serving session is a complete request
+log.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.solve import solve
+from ..telemetry import NULL_TRACER, NullTracer
+from .admission import AdmissionController
+from .cache import MemoCache
+from .dispatch import DispatchOutcome, SolveDispatcher
+from .protocol import (
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTTING_DOWN,
+    BadRequestError,
+    Rejection,
+    SolveWork,
+    parse_solve_payload,
+    solution_json_dict,
+)
+
+__all__ = ["ServiceConfig", "SchedulingService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance (all validated on construction).
+
+    Attributes:
+        workers: solver worker threads behind the batching dispatcher.
+        max_queue: bounded dispatch-queue depth; requests beyond it get
+            a structured ``queue_full`` rejection.
+        max_batch: most requests one coalesced dispatch may carry.
+        batch_window_s: how long the batcher waits for compatible
+            requests to arrive before dispatching a partial batch.
+        cache_size: memo-cache capacity in entries (0 disables).
+        cache_dir: optional directory for the durable cache tier
+            (atomically published ``<fingerprint>.json`` entries).
+        quota_rate: default per-tenant token refill, requests/second.
+        quota_burst: default per-tenant bucket capacity.
+        tenant_quotas: per-tenant ``(rate, burst)`` overrides.
+        campaign_workers: threads for campaign requests (they bypass
+            the solve batcher — campaigns do not batch).
+        campaign_cost: admission tokens one campaign request costs.
+    """
+
+    workers: int = 2
+    max_queue: int = 64
+    max_batch: int = 8
+    batch_window_s: float = 0.002
+    cache_size: int = 256
+    cache_dir: str | None = None
+    quota_rate: float = 50.0
+    quota_burst: float = 20.0
+    tenant_quotas: dict = field(default_factory=dict)
+    campaign_workers: int = 1
+    campaign_cost: float = 4.0
+
+    def __post_init__(self) -> None:
+        def bad(name: str, requirement: str) -> ValueError:
+            return ValueError(
+                f"ServiceConfig.{name} {requirement}, got "
+                f"{getattr(self, name)!r}"
+            )
+
+        if self.workers < 1:
+            raise bad("workers", "must be >= 1")
+        if self.max_queue < 1:
+            raise bad("max_queue", "must be >= 1")
+        if self.max_batch < 1:
+            raise bad("max_batch", "must be >= 1")
+        if self.batch_window_s < 0:
+            raise bad("batch_window_s", "must be >= 0")
+        if self.cache_size < 0:
+            raise bad("cache_size", "must be >= 0")
+        if self.quota_rate < 0:
+            raise bad("quota_rate", "must be >= 0")
+        if self.quota_burst <= 0:
+            raise bad("quota_burst", "must be > 0")
+        if self.campaign_workers < 1:
+            raise bad("campaign_workers", "must be >= 1")
+        if self.campaign_cost <= 0:
+            raise bad("campaign_cost", "must be > 0")
+
+
+class SchedulingService:
+    """Scheduling-as-a-service: memoized, batched, quota-guarded.
+
+    ``begin_solve`` / ``begin_campaign`` return either an immediate
+    ``(http_status, body)`` pair (cache hit, rejection, bad request) or
+    a :class:`concurrent.futures.Future` resolving to one — the asyncio
+    server awaits the future, synchronous callers use the blocking
+    :meth:`solve` / :meth:`campaign` conveniences.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        tracer: NullTracer = NULL_TRACER,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.tracer = tracer
+        self._clock = clock
+        self.cache = MemoCache(
+            capacity=self.config.cache_size,
+            cache_dir=self.config.cache_dir,
+        )
+        self.admission = AdmissionController(
+            rate=self.config.quota_rate,
+            burst=self.config.quota_burst,
+            tenant_quotas=self.config.tenant_quotas,
+            clock=clock,
+        )
+        self.dispatcher = SolveDispatcher(
+            self._solve_work,
+            workers=self.config.workers,
+            max_queue=self.config.max_queue,
+            max_batch=self.config.max_batch,
+            batch_window_s=self.config.batch_window_s,
+            tracer=tracer,
+            clock=clock,
+        )
+        self._campaign_pool = ThreadPoolExecutor(
+            max_workers=self.config.campaign_workers,
+            thread_name_prefix="repro-campaign",
+        )
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._counts = {
+            "solve": 0,
+            "campaign": 0,
+            "cache_hits": 0,
+            "rejected": 0,
+            "errors": 0,
+        }
+        self._draining = False
+        self._started_at = clock()
+
+    # ------------------------------------------------------------------
+    # solve path
+    # ------------------------------------------------------------------
+    def _solve_work(self, work: SolveWork) -> dict:
+        """Run one solver call on a dispatcher worker (thread-safe)."""
+        result = solve(
+            work.instance,
+            work.algorithm,
+            tracer=self.tracer,
+            time_limit=work.time_limit,
+            engine=work.engine,
+        )
+        return solution_json_dict(result)
+
+    def begin_solve(self, payload: dict):
+        """Handle a solve request; immediate pair or pending future."""
+        t0 = time.perf_counter()
+        request_id = self._next_request_id("solve")
+        try:
+            work = parse_solve_payload(payload)
+        except BadRequestError as exc:
+            return self._bad_request(request_id, t0, str(exc))
+
+        if work.use_cache:
+            cached = self.cache.get(work.key)
+            if cached is not None:
+                with self._lock:
+                    self._counts["cache_hits"] += 1
+                self._request_span(
+                    t0,
+                    endpoint="solve",
+                    request_id=request_id,
+                    tenant=work.tenant,
+                    cache="hit",
+                    status=200,
+                    key=work.key,
+                )
+                return 200, self._solve_body(
+                    request_id, work, cached, cache="hit"
+                )
+        cache_outcome = "miss" if work.use_cache else "bypass"
+
+        rejection = self._admit(work.tenant, cost=1.0)
+        if rejection is None:
+            try:
+                future = self.dispatcher.try_submit(work)
+            except RuntimeError:
+                rejection = self._draining_rejection()
+            else:
+                if future is None:
+                    rejection = Rejection(
+                        code=REJECT_QUEUE_FULL,
+                        message=(
+                            "dispatch queue is at capacity "
+                            f"({self.dispatcher.max_queue} requests)"
+                        ),
+                        http_status=429,
+                        retry_after_s=0.05,
+                    )
+        if rejection is not None:
+            return self._rejected(
+                request_id, t0, work.tenant, cache_outcome, rejection
+            )
+
+        # Pending: translate the dispatch outcome into a response once
+        # the worker completes it.
+        response: Future = Future()
+
+        def _complete(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                with self._lock:
+                    self._counts["errors"] += 1
+                self._request_span(
+                    t0,
+                    endpoint="solve",
+                    request_id=request_id,
+                    tenant=work.tenant,
+                    cache=cache_outcome,
+                    status=500,
+                    key=work.key,
+                )
+                response.set_result(
+                    (
+                        500,
+                        {
+                            "ok": False,
+                            "request_id": request_id,
+                            "tenant": work.tenant,
+                            "error": {
+                                "code": "internal_error",
+                                "message": f"{type(exc).__name__}: {exc}",
+                            },
+                        },
+                    )
+                )
+                return
+            outcome: DispatchOutcome = done.result()
+            if outcome.rejection is not None:
+                response.set_result(
+                    self._rejected(
+                        request_id,
+                        t0,
+                        work.tenant,
+                        cache_outcome,
+                        outcome.rejection,
+                        queue_wait_s=outcome.queue_wait_s,
+                    )
+                )
+                return
+            if work.use_cache:
+                self.cache.put(work.key, outcome.solution)
+            self._request_span(
+                t0,
+                endpoint="solve",
+                request_id=request_id,
+                tenant=work.tenant,
+                cache=cache_outcome,
+                status=200,
+                key=work.key,
+                queue_wait_s=outcome.queue_wait_s,
+                solve_s=outcome.solve_s,
+                batch_size=outcome.batch_size,
+            )
+            response.set_result(
+                (
+                    200,
+                    self._solve_body(
+                        request_id,
+                        work,
+                        outcome.solution,
+                        cache=cache_outcome,
+                        timing={
+                            "queue_wait_s": round(outcome.queue_wait_s, 6),
+                            "solve_s": round(outcome.solve_s, 6),
+                            "batch_size": outcome.batch_size,
+                        },
+                    ),
+                )
+            )
+
+        future.add_done_callback(_complete)
+        return response
+
+    def solve(self, payload: dict, timeout: float | None = 60.0):
+        """Blocking convenience: the ``(status, body)`` of one request."""
+        pending = self.begin_solve(payload)
+        if isinstance(pending, Future):
+            return pending.result(timeout=timeout)
+        return pending
+
+    def _solve_body(
+        self,
+        request_id: str,
+        work: SolveWork,
+        solution: dict,
+        cache: str,
+        timing: dict | None = None,
+    ) -> dict:
+        body = {
+            "ok": True,
+            "request_id": request_id,
+            "tenant": work.tenant,
+            "cache": cache,
+            "key": work.key,
+            "solution": solution,
+        }
+        if timing is not None:
+            body["timing"] = timing
+        return body
+
+    # ------------------------------------------------------------------
+    # campaign path
+    # ------------------------------------------------------------------
+    def begin_campaign(self, payload: dict):
+        """Handle a campaign request; immediate pair or pending future."""
+        t0 = time.perf_counter()
+        request_id = self._next_request_id("campaign")
+        if not isinstance(payload, dict):
+            return self._bad_request(
+                request_id, t0, "request body must be a JSON object"
+            )
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            return self._bad_request(
+                request_id, t0, "request field 'tenant' must be a non-empty string"
+            )
+        try:
+            spec, journal_path = self._campaign_spec(payload)
+        except (TypeError, ValueError) as exc:
+            return self._bad_request(request_id, t0, str(exc))
+
+        if self._draining:
+            return self._rejected(
+                request_id, t0, tenant, "bypass", self._draining_rejection()
+            )
+        rejection = self._admit(tenant, cost=self.config.campaign_cost)
+        if rejection is not None:
+            return self._rejected(request_id, t0, tenant, "bypass", rejection)
+
+        response: Future = Future()
+
+        def _run() -> None:
+            from ..engines import run_campaign
+
+            try:
+                report = run_campaign(
+                    spec, journal_path=journal_path, tracer=self.tracer
+                )
+            except BaseException as exc:
+                with self._lock:
+                    self._counts["errors"] += 1
+                self._request_span(
+                    t0,
+                    endpoint="campaign",
+                    request_id=request_id,
+                    tenant=tenant,
+                    cache="bypass",
+                    status=500,
+                )
+                response.set_result(
+                    (
+                        500,
+                        {
+                            "ok": False,
+                            "request_id": request_id,
+                            "tenant": tenant,
+                            "error": {
+                                "code": "campaign_failed",
+                                "message": f"{type(exc).__name__}: {exc}",
+                            },
+                        },
+                    )
+                )
+                return
+            summary = self._campaign_summary(report, journal_path)
+            # Flushes and closes the write-ahead journal: after this,
+            # every record is durable on disk.
+            report.close()
+            self._request_span(
+                t0,
+                endpoint="campaign",
+                request_id=request_id,
+                tenant=tenant,
+                cache="bypass",
+                status=200,
+                solve_s=report.wall_time_s,
+            )
+            response.set_result(
+                (
+                    200,
+                    {
+                        "ok": True,
+                        "request_id": request_id,
+                        "tenant": tenant,
+                        "campaign": summary,
+                    },
+                )
+            )
+
+        self._campaign_pool.submit(_run)
+        return response
+
+    def campaign(self, payload: dict, timeout: float | None = 300.0):
+        """Blocking convenience around :meth:`begin_campaign`."""
+        pending = self.begin_campaign(payload)
+        if isinstance(pending, Future):
+            return pending.result(timeout=timeout)
+        return pending
+
+    def _campaign_spec(self, payload: dict):
+        from ..engines import CampaignSpec
+
+        known = {
+            "app",
+            "nodes",
+            "ppn",
+            "iterations",
+            "solution",
+            "seed",
+            "engine",
+            "faults",
+            "data_dir",
+            "data_edge",
+            "workers",
+        }
+        fields = {
+            k: v
+            for k, v in payload.items()
+            if k in known and v is not None
+        }
+        unknown = (
+            set(payload) - known - {"tenant", "journal"}
+        )
+        if unknown:
+            raise ValueError(
+                "unknown campaign request fields: "
+                + ", ".join(sorted(unknown))
+            )
+        journal = payload.get("journal")
+        if journal is not None and (
+            not isinstance(journal, str) or not journal
+        ):
+            raise ValueError(
+                f"request field 'journal' must be a path, got {journal!r}"
+            )
+        return CampaignSpec(**fields), journal
+
+    def _campaign_summary(self, report, journal_path) -> dict:
+        result = report.result
+        summary = {
+            "solution": result.solution,
+            "engine": report.engine,
+            "spec_crc32c": report.spec.fingerprint(),
+            "iterations": len(result.records),
+            "mean_relative_overhead": result.mean_relative_overhead,
+            "total_time": result.total_time,
+            "wall_time_s": round(report.wall_time_s, 6),
+            "journal": journal_path,
+        }
+        if report.data is not None:
+            data = report.data
+            summary["data"] = {
+                "num_blocks": data.num_blocks,
+                "raw_bytes": data.raw_bytes,
+                "compressed_bytes": data.compressed_bytes,
+                "workers": data.workers,
+            }
+        return summary
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    def _admit(self, tenant: str, cost: float) -> Rejection | None:
+        if self._draining:
+            return self._draining_rejection()
+        return self.admission.admit(tenant, cost=cost)
+
+    def _draining_rejection(self) -> Rejection:
+        return Rejection(
+            code=REJECT_SHUTTING_DOWN,
+            message="service is draining and admits no new requests",
+            http_status=503,
+        )
+
+    def _next_request_id(self, endpoint: str) -> str:
+        with self._lock:
+            self._requests += 1
+            self._counts[endpoint] += 1
+            return f"req-{self._requests:06d}"
+
+    def _bad_request(self, request_id: str, t0: float, message: str):
+        with self._lock:
+            self._counts["errors"] += 1
+        self._request_span(
+            t0, endpoint="bad_request", request_id=request_id, status=400
+        )
+        return 400, {
+            "ok": False,
+            "request_id": request_id,
+            "error": {"code": "bad_request", "message": message},
+        }
+
+    def _rejected(
+        self,
+        request_id: str,
+        t0: float,
+        tenant: str,
+        cache_outcome: str,
+        rejection: Rejection,
+        queue_wait_s: float = 0.0,
+    ):
+        with self._lock:
+            self._counts["rejected"] += 1
+        self._request_span(
+            t0,
+            endpoint="solve",
+            request_id=request_id,
+            tenant=tenant,
+            cache=cache_outcome,
+            status=rejection.http_status,
+            rejection=rejection.code,
+            queue_wait_s=queue_wait_s,
+        )
+        return rejection.http_status, {
+            "ok": False,
+            "request_id": request_id,
+            "tenant": tenant,
+            "error": rejection.to_json_dict(),
+        }
+
+    def _request_span(self, t0: float, **attrs) -> None:
+        if self.tracer.enabled:
+            self.tracer.span(
+                "service.request", t0=t0, t1=time.perf_counter(), **attrs
+            )
+            self.tracer.counter("service.requests").inc()
+
+    # ------------------------------------------------------------------
+    # status / lifecycle
+    # ------------------------------------------------------------------
+    def health_payload(self) -> dict:
+        """The ``/health`` body: liveness plus drain state."""
+        return {"ok": True, "draining": self._draining}
+
+    def status_payload(self) -> dict:
+        """The ``/status`` body: every counter the service keeps."""
+        with self._lock:
+            counts = dict(self._counts)
+            requests = self._requests
+        return {
+            "ok": True,
+            "uptime_s": round(self._clock() - self._started_at, 3),
+            "draining": self._draining,
+            "requests": dict(counts, total=requests),
+            "cache": self.cache.stats(),
+            "admission": self.admission.stats(),
+            "queue": self.dispatcher.stats(),
+        }
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the service; with ``drain`` the queue empties first.
+
+        Graceful shutdown admits nothing new (503 ``shutting_down``),
+        lets queued solves and in-flight campaigns finish, and — because
+        campaign completion closes each write-ahead journal — leaves
+        every journal flushed and durable.  Idempotent.
+        """
+        self._draining = True
+        self.dispatcher.shutdown(drain=drain)
+        self._campaign_pool.shutdown(wait=drain)

@@ -98,9 +98,23 @@ class TestJournalHeader:
             engine="process",
         )
         header = spec.journal_header()
-        assert header["spec_crc32c"] == spec.fingerprint()
+        assert header["spec_crc32c"] == spec.control_fingerprint()
+        # No data plane configured, so the control identity is the
+        # full identity — and the rebuilt spec passes the resume check.
+        assert spec.control_fingerprint() == spec.fingerprint()
         rebuilt = CampaignSpec.from_journal_header(header)
         assert rebuilt == spec
+        assert rebuilt.control_fingerprint() == header["spec_crc32c"]
+
+    def test_data_plane_excluded_from_control_identity(self):
+        spec = CampaignSpec(app="nyx", seed=3)
+        with_data = dataclasses.replace(spec, data_dir="/tmp/out")
+        assert with_data.fingerprint() != spec.fingerprint()
+        assert with_data.control_fingerprint() == spec.control_fingerprint()
+        assert (
+            with_data.journal_header()["spec_crc32c"]
+            == spec.journal_header()["spec_crc32c"]
+        )
 
     def test_legacy_header_defaults_to_sim(self):
         # Pre-engine journals have no "engine" key.

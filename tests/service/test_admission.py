@@ -1,0 +1,129 @@
+"""Token-bucket admission: refill math and structured quota refusals."""
+
+import pytest
+
+from repro.service import REJECT_QUOTA, AdmissionController, TokenBucket
+
+
+class FakeClock:
+    """A hand-advanced monotonic clock for deterministic refill math."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_refill_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.try_take(2.0)
+        assert not bucket.try_take()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token back
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_retry_after_estimate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+        assert bucket.try_take()
+        # 1 missing token at 4 tokens/s -> 0.25s.
+        assert bucket.retry_after_s() == pytest.approx(0.25)
+
+    def test_retry_after_is_none_without_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=clock)
+        assert bucket.try_take()
+        assert bucket.retry_after_s() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmissionController:
+    def test_quota_rejection_is_structured(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=2.0, burst=1.0, clock=clock
+        )
+        assert controller.admit("alice") is None
+        rejection = controller.admit("alice")
+        assert rejection is not None
+        assert rejection.code == REJECT_QUOTA
+        assert rejection.http_status == 429
+        assert rejection.retry_after_s == pytest.approx(0.5)
+        assert "alice" in rejection.message
+        error = rejection.to_json_dict()
+        assert error["code"] == REJECT_QUOTA
+        assert error["retry_after_s"] == pytest.approx(0.5)
+
+    def test_tenants_are_isolated(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=0.0, burst=1.0, clock=clock
+        )
+        assert controller.admit("alice") is None
+        assert controller.admit("alice") is not None
+        # Alice's exhaustion does not touch Bob's bucket.
+        assert controller.admit("bob") is None
+
+    def test_per_tenant_overrides(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=0.0,
+            burst=1.0,
+            tenant_quotas={"big": (0.0, 3.0)},
+            clock=clock,
+        )
+        assert [controller.admit("big") is None for _ in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+        assert controller.admit("small") is None
+        assert controller.admit("small") is not None
+
+    def test_campaign_cost_drains_faster(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=0.0, burst=4.0, clock=clock
+        )
+        assert controller.admit("alice", cost=4.0) is None
+        assert controller.admit("alice") is not None
+
+    def test_stats_shape(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=0.0, burst=1.0, clock=clock
+        )
+        controller.admit("alice")
+        controller.admit("alice")
+        stats = controller.stats()
+        assert stats["tenants"]["alice"]["admitted"] == 1
+        assert stats["tenants"]["alice"]["rejected"] == 1
+        assert stats["tenants"]["alice"]["tokens"] == 0.0

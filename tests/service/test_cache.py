@@ -1,0 +1,102 @@
+"""The memo cache: LRU behaviour, counters, and the durable disk tier."""
+
+import json
+
+from repro.durability import fingerprint_json
+from repro.service import MemoCache
+
+SOLUTION_A = {"algorithm": "a", "makespan": 1.0}
+SOLUTION_B = {"algorithm": "b", "makespan": 2.0}
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = MemoCache(capacity=4)
+        assert cache.get("k1") is None
+        cache.put("k1", SOLUTION_A)
+        assert cache.get("k1") == SOLUTION_A
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = MemoCache(capacity=2)
+        cache.put("k1", SOLUTION_A)
+        cache.put("k2", SOLUTION_B)
+        # Touch k1 so k2 becomes the least recently used.
+        assert cache.get("k1") == SOLUTION_A
+        cache.put("k3", SOLUTION_A)
+        assert cache.get("k2") is None  # evicted
+        assert cache.get("k1") == SOLUTION_A
+        assert cache.get("k3") == SOLUTION_A
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 2
+
+    def test_capacity_zero_disables(self):
+        cache = MemoCache(capacity=0)
+        cache.put("k1", SOLUTION_A)
+        assert cache.get("k1") is None
+        assert len(cache) == 0
+        assert cache.stats()["stores"] == 0
+
+    def test_negative_capacity_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="capacity"):
+            MemoCache(capacity=-1)
+
+
+class TestDiskTier:
+    def test_survives_restart(self, tmp_path):
+        first = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        first.put("k1", SOLUTION_A)
+        # A fresh instance over the same directory serves the entry.
+        second = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        assert second.get("k1") == SOLUTION_A
+        stats = second.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["misses"] == 1  # the memory tier still missed
+        # The promoted entry now hits in memory.
+        assert second.get("k1") == SOLUTION_A
+        assert second.stats()["hits"] == 1
+
+    def test_entry_is_self_fingerprinted(self, tmp_path):
+        cache = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        cache.put("k1", SOLUTION_A)
+        document = json.loads((tmp_path / "k1.json").read_text())
+        assert document["key"] == "k1"
+        assert document["crc32c"] == fingerprint_json(document["solution"])
+
+    def test_corrupt_entry_rejected_not_served(self, tmp_path):
+        cache = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        cache.put("k1", SOLUTION_A)
+        path = tmp_path / "k1.json"
+        document = json.loads(path.read_text())
+        document["solution"]["makespan"] = 99.0  # tamper, keep old crc
+        path.write_text(json.dumps(document))
+        fresh = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        assert fresh.get("k1") is None
+        assert fresh.stats()["disk_rejects"] == 1
+
+    def test_garbage_entry_rejected(self, tmp_path):
+        (tmp_path / "k1.json").write_text("{not json")
+        cache = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        assert cache.get("k1") is None
+
+    def test_wrong_key_rejected(self, tmp_path):
+        """A renamed entry (key/filename mismatch) is never served."""
+        cache = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        cache.put("k1", SOLUTION_A)
+        (tmp_path / "k1.json").rename(tmp_path / "k2.json")
+        fresh = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        assert fresh.get("k2") is None
+        assert fresh.stats()["disk_rejects"] == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        from repro.durability import find_stale_temps
+
+        cache = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        for i in range(5):
+            cache.put(f"k{i}", SOLUTION_A)
+        assert find_stale_temps(tmp_path) == []

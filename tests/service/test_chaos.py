@@ -1,0 +1,196 @@
+"""Crash consistency of the service: SIGKILL mid-campaign, then recover.
+
+The service inherits the durability stack's guarantees: a campaign
+submitted over HTTP with a server-side journal can lose its server to
+``SIGKILL`` at any moment, and what remains on disk is never torn —
+the journal scrubs clean, holds only committed iterations, and
+``repro campaign --resume`` finishes the run offline.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.durability import find_stale_temps, read_journal, verify_journal
+from repro.service import ServiceClient, ServiceUnavailableError
+
+SRC_DIR = str(
+    os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+)
+
+
+def _spawn_server(tmp_path):
+    """Start ``repro serve`` on an ephemeral port; return (proc, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        cwd=tmp_path,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 20.0
+    port = None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if "listening on http://" in line:
+            port = int(line.rsplit(":", 1)[1])
+            break
+    if port is None:
+        proc.kill()
+        pytest.fail("repro serve never printed its listening line")
+    return proc, port
+
+
+def test_sigkill_mid_campaign_leaves_no_torn_files(tmp_path):
+    proc, port = _spawn_server(tmp_path)
+    journal = tmp_path / "campaign.jsonl"
+    try:
+        client = ServiceClient("127.0.0.1", port, timeout=120.0)
+        client.wait_healthy()
+
+        # A long campaign so the kill lands mid-run; the request rides
+        # a helper thread because the server dies before answering.
+        def submit():
+            try:
+                client.campaign(
+                    {
+                        "app": "nyx",
+                        "nodes": 2,
+                        "ppn": 2,
+                        "iterations": 500,
+                        "seed": 3,
+                        "journal": str(journal),
+                    }
+                )
+            except ServiceUnavailableError:
+                pass  # expected: the server was killed under us
+
+        request = threading.Thread(target=submit, daemon=True)
+        request.start()
+
+        # Wait until the campaign has really committed work...
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if journal.exists() and journal.read_bytes().count(
+                b'"commit"'
+            ) >= 2:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("campaign never started committing iterations")
+
+        # ...then kill the server dead, no cleanup handlers.
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=20.0)
+        request.join(timeout=20.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=20.0)
+
+    # Nothing torn anywhere: every temp file was renamed or abandoned
+    # in a way the stale-temp sweep identifies.
+    assert find_stale_temps(tmp_path) == []
+
+    # The journal's committed prefix survived intact.
+    records, _, _ = read_journal(journal)
+    commits = [
+        r["data"]["iteration"] for r in records if r["type"] == "commit"
+    ]
+    assert commits == list(range(len(commits)))
+    assert len(commits) >= 2
+    assert verify_journal(journal).ok
+
+    # The interrupted campaign resumes to completion offline.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    resumed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "campaign",
+            "--resume",
+            str(journal),
+        ],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    scrub = verify_journal(journal)
+    assert scrub.ok
+    records, _, torn = read_journal(journal)
+    assert not torn
+    assert any(r["type"] == "end" for r in records)
+
+
+def test_sigkill_with_persistent_cache_leaves_no_torn_entries(tmp_path):
+    """Killing the server right after cached solves leaves the on-disk
+    cache tier readable or absent — never torn."""
+    cache_dir = tmp_path / "cache"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--cache-dir",
+            str(cache_dir),
+        ],
+        cwd=tmp_path,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = None
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            if "listening on http://" in line:
+                port = int(line.rsplit(":", 1)[1])
+                break
+        assert port is not None, "serve never bound"
+        client = ServiceClient("127.0.0.1", port, timeout=60.0)
+        client.wait_healthy()
+        from repro.core import instance_json_dict
+        from tests.conftest import figure1_instance
+
+        status, body = client.solve(
+            {"instance": instance_json_dict(figure1_instance())}
+        )
+        assert status == 200
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=20.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=20.0)
+
+    assert find_stale_temps(tmp_path) == []
+    # The published cache entry is valid: a fresh cache serves it.
+    from repro.service import MemoCache
+
+    cache = MemoCache(capacity=8, cache_dir=str(cache_dir))
+    assert cache.get(body["key"]) == body["solution"]

@@ -1,0 +1,315 @@
+"""The batching dispatcher: coalescing, bounds, deadlines, priorities.
+
+Every test injects its own ``solve_fn`` — the dispatcher never sees a
+real solver here, so the behaviours (batch composition, queue pushback,
+deadline expiry) are asserted deterministically.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.model import Interval, Job, ProblemInstance
+from repro.service import REJECT_DEADLINE, SolveDispatcher, SolveWork
+
+
+def make_work(
+    algorithm="alg-a",
+    priority=0,
+    deadline_s=None,
+    seed=0,
+):
+    """A SolveWork whose batch_key is controlled by ``algorithm``."""
+    instance = ProblemInstance(
+        begin=0.0,
+        end=10.0,
+        jobs=(Job(0, 1.0, 1.0 + seed * 0.001),),
+        main_obstacles=(Interval(3.0, 4.0),),
+        background_obstacles=(),
+    )
+    return SolveWork(
+        instance=instance,
+        algorithm=algorithm,
+        engine="sim",
+        time_limit=None,
+        tenant="default",
+        priority=priority,
+        deadline_s=deadline_s,
+        use_cache=True,
+        key=f"key-{algorithm}-{seed}",
+    )
+
+
+class TestBatching:
+    def test_compatible_requests_coalesce(self):
+        release = threading.Event()
+        sizes = []
+
+        def solve_fn(work):
+            release.wait(5.0)
+            return {"key": work.key}
+
+        dispatcher = SolveDispatcher(
+            solve_fn,
+            workers=1,
+            max_batch=8,
+            batch_window_s=0.25,
+        )
+        try:
+            # All three arrive within the batch window and share a
+            # batch_key, so they run as one dispatch.
+            futures = [
+                dispatcher.try_submit(make_work(seed=i)) for i in range(3)
+            ]
+            release.set()
+            outcomes = [f.result(timeout=5.0) for f in futures]
+            sizes = [o.batch_size for o in outcomes]
+            assert sizes == [3, 3, 3]
+            assert [o.solution["key"] for o in outcomes] == [
+                "key-alg-a-0",
+                "key-alg-a-1",
+                "key-alg-a-2",
+            ]
+            stats = dispatcher.stats()
+            assert stats["batches"] == 1
+            assert stats["dispatched"] == 3
+            assert stats["coalesced"] == 3
+            assert stats["largest_batch"] == 3
+        finally:
+            dispatcher.shutdown()
+
+    def test_incompatible_requests_do_not_coalesce(self):
+        def solve_fn(work):
+            return {"key": work.key}
+
+        dispatcher = SolveDispatcher(
+            solve_fn, workers=1, max_batch=8, batch_window_s=0.05
+        )
+        try:
+            f1 = dispatcher.try_submit(make_work(algorithm="alg-a"))
+            f2 = dispatcher.try_submit(make_work(algorithm="alg-b"))
+            assert f1.result(5.0).batch_size == 1
+            assert f2.result(5.0).batch_size == 1
+            assert dispatcher.stats()["batches"] == 2
+        finally:
+            dispatcher.shutdown()
+
+    def test_max_batch_is_respected(self):
+        started = threading.Event()
+
+        def solve_fn(work):
+            started.set()
+            return {"key": work.key}
+
+        dispatcher = SolveDispatcher(
+            solve_fn, workers=1, max_batch=2, batch_window_s=0.2
+        )
+        try:
+            futures = [
+                dispatcher.try_submit(make_work(seed=i)) for i in range(4)
+            ]
+            outcomes = [f.result(timeout=5.0) for f in futures]
+            assert all(o.batch_size <= 2 for o in outcomes)
+            assert dispatcher.stats()["largest_batch"] <= 2
+        finally:
+            dispatcher.shutdown()
+
+    def test_priority_runs_before_fifo(self):
+        """With the worker busy, a later high-priority arrival is
+        dispatched before an earlier low-priority one."""
+        order = []
+        head_running = threading.Event()
+        head_release = threading.Event()
+
+        def solve_fn(work):
+            order.append(work.algorithm)
+            if work.algorithm == "head":
+                head_running.set()
+                head_release.wait(5.0)
+            return {}
+
+        dispatcher = SolveDispatcher(
+            solve_fn, workers=1, max_batch=1, batch_window_s=0.0
+        )
+        try:
+            first = dispatcher.try_submit(make_work(algorithm="head"))
+            assert head_running.wait(5.0)
+            # Both wait in the queue while the single worker is busy.
+            low = dispatcher.try_submit(
+                make_work(algorithm="low", priority=0)
+            )
+            high = dispatcher.try_submit(
+                make_work(algorithm="high", priority=5)
+            )
+            head_release.set()
+            for f in (first, low, high):
+                f.result(timeout=5.0)
+            assert order == ["head", "high", "low"]
+        finally:
+            head_release.set()
+            dispatcher.shutdown()
+
+
+class TestBounds:
+    def test_queue_full_returns_none(self):
+        release = threading.Event()
+        running = threading.Event()
+
+        def solve_fn(work):
+            running.set()
+            release.wait(5.0)
+            return {}
+
+        dispatcher = SolveDispatcher(
+            solve_fn,
+            workers=1,
+            max_queue=2,
+            max_batch=1,
+            batch_window_s=0.0,
+        )
+        try:
+            blocker = dispatcher.try_submit(make_work(algorithm="blocker"))
+            assert running.wait(5.0)
+            # The single worker is busy, so these stay queued...
+            q1 = dispatcher.try_submit(make_work(seed=1))
+            q2 = dispatcher.try_submit(make_work(seed=2))
+            assert q1 is not None and q2 is not None
+            assert dispatcher.depth == 2
+            # ...and the bounded queue pushes back on the next one.
+            assert dispatcher.try_submit(make_work(seed=3)) is None
+            release.set()
+            for f in (blocker, q1, q2):
+                assert f.result(timeout=5.0).rejection is None
+        finally:
+            release.set()
+            dispatcher.shutdown()
+
+    def test_submit_after_shutdown_raises(self):
+        dispatcher = SolveDispatcher(lambda work: {}, workers=1)
+        dispatcher.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            dispatcher.try_submit(make_work())
+
+
+class TestDeadlines:
+    def test_deadline_expires_queued_request(self):
+        release = threading.Event()
+        running = threading.Event()
+
+        def solve_fn(work):
+            running.set()
+            release.wait(5.0)
+            return {}
+
+        dispatcher = SolveDispatcher(
+            solve_fn,
+            workers=1,
+            max_queue=8,
+            max_batch=1,
+            batch_window_s=0.0,
+        )
+        try:
+            blocker = dispatcher.try_submit(make_work(algorithm="blocker"))
+            assert running.wait(5.0)
+            doomed = dispatcher.try_submit(
+                make_work(seed=1, deadline_s=0.05)
+            )
+            time.sleep(0.15)  # let the deadline lapse while queued
+            release.set()
+            outcome = doomed.result(timeout=5.0)
+            assert outcome.solution is None
+            assert outcome.rejection is not None
+            assert outcome.rejection.code == REJECT_DEADLINE
+            assert outcome.rejection.http_status == 504
+            assert outcome.queue_wait_s >= 0.05
+            assert blocker.result(timeout=5.0).rejection is None
+            assert dispatcher.stats()["expired"] == 1
+        finally:
+            release.set()
+            dispatcher.shutdown()
+
+    def test_fresh_deadline_not_expired(self):
+        dispatcher = SolveDispatcher(
+            lambda work: {"ok": True}, workers=1, batch_window_s=0.0
+        )
+        try:
+            future = dispatcher.try_submit(make_work(deadline_s=30.0))
+            outcome = future.result(timeout=5.0)
+            assert outcome.rejection is None
+            assert outcome.solution == {"ok": True}
+        finally:
+            dispatcher.shutdown()
+
+
+class TestShutdown:
+    def test_drain_completes_queued_work(self):
+        done = []
+
+        def solve_fn(work):
+            time.sleep(0.01)
+            done.append(work.key)
+            return {}
+
+        dispatcher = SolveDispatcher(
+            solve_fn, workers=1, max_batch=1, batch_window_s=0.0
+        )
+        futures = [
+            dispatcher.try_submit(make_work(seed=i)) for i in range(5)
+        ]
+        dispatcher.shutdown(drain=True)
+        assert len(done) == 5
+        assert all(f.result(0.0).rejection is None for f in futures)
+
+    def test_no_drain_rejects_queued_work(self):
+        release = threading.Event()
+        running = threading.Event()
+
+        def solve_fn(work):
+            running.set()
+            release.wait(5.0)
+            return {}
+
+        dispatcher = SolveDispatcher(
+            solve_fn,
+            workers=1,
+            max_queue=8,
+            max_batch=1,
+            batch_window_s=0.0,
+        )
+        blocker = dispatcher.try_submit(make_work(algorithm="blocker"))
+        assert running.wait(5.0)
+        queued = dispatcher.try_submit(make_work(seed=1))
+        # Shut down while the worker is still busy: the queued entry
+        # must be rejected, not dispatched.  shutdown() blocks on the
+        # in-flight blocker, so it runs on a helper thread.
+        shutter = threading.Thread(
+            target=lambda: dispatcher.shutdown(drain=False)
+        )
+        shutter.start()
+        outcome = queued.result(timeout=5.0)
+        assert (
+            outcome.rejection is not None
+            and outcome.rejection.http_status == 503
+        )
+        release.set()
+        shutter.join(timeout=5.0)
+        assert not shutter.is_alive()
+        assert blocker.result(timeout=5.0).rejection is None
+
+    def test_shutdown_is_idempotent(self):
+        dispatcher = SolveDispatcher(lambda work: {}, workers=1)
+        dispatcher.shutdown()
+        dispatcher.shutdown()
+
+    def test_solver_exception_propagates_to_future(self):
+        def solve_fn(work):
+            raise RuntimeError("solver blew up")
+
+        dispatcher = SolveDispatcher(solve_fn, workers=1, batch_window_s=0.0)
+        try:
+            future = dispatcher.try_submit(make_work())
+            with pytest.raises(RuntimeError, match="blew up"):
+                future.result(timeout=5.0)
+        finally:
+            dispatcher.shutdown()

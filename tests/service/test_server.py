@@ -1,0 +1,159 @@
+"""The HTTP layer over localhost: routes, errors, graceful shutdown."""
+
+import threading
+
+import pytest
+
+from repro.core import instance_json_dict
+from repro.service import (
+    SchedulingService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceUnavailableError,
+    serve_forever,
+)
+from tests.conftest import figure1_instance
+
+
+@pytest.fixture
+def running_server():
+    """A service on an ephemeral port, torn down via /shutdown."""
+    service = SchedulingService(
+        ServiceConfig(workers=2, quota_rate=0.0, quota_burst=50.0)
+    )
+    bound = {}
+    ready = threading.Event()
+
+    def on_bound(host, port):
+        bound["port"] = port
+        ready.set()
+
+    thread = threading.Thread(
+        target=serve_forever,
+        args=(service,),
+        kwargs={"port": 0, "on_bound": on_bound},
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(10.0), "server never bound"
+    client = ServiceClient("127.0.0.1", bound["port"], timeout=30.0)
+    client.wait_healthy()
+    yield client, service
+    try:
+        client.shutdown()
+    except ServiceUnavailableError:
+        pass  # the test already shut it down
+    thread.join(timeout=20.0)
+    assert not thread.is_alive(), "server did not drain and exit"
+
+
+def solve_payload(**extra):
+    payload = {"instance": instance_json_dict(figure1_instance())}
+    payload.update(extra)
+    return payload
+
+
+class TestRoutes:
+    def test_health(self, running_server):
+        client, _ = running_server
+        status, body = client.health()
+        assert (status, body) == (200, {"ok": True, "draining": False})
+
+    def test_solve_cold_then_cached(self, running_server):
+        client, _ = running_server
+        status1, body1 = client.solve(solve_payload())
+        status2, body2 = client.solve(solve_payload())
+        assert (status1, body1["cache"]) == (200, "miss")
+        assert (status2, body2["cache"]) == (200, "hit")
+        assert body1["solution"] == body2["solution"]
+        assert body1["solution"]["makespan"] == pytest.approx(12.0)
+
+    def test_status_counters_track_requests(self, running_server):
+        client, _ = running_server
+        client.solve(solve_payload())
+        client.solve(solve_payload())
+        status, body = client.status()
+        assert status == 200
+        assert body["requests"]["solve"] == 2
+        assert body["requests"]["cache_hits"] == 1
+        assert body["cache"]["hits"] == 1
+        assert body["admission"]["tenants"]["default"]["admitted"] == 1
+
+    def test_campaign_over_http(self, running_server):
+        client, _ = running_server
+        status, body = client.campaign(
+            {"app": "nyx", "nodes": 2, "ppn": 2, "iterations": 2}
+        )
+        assert status == 200
+        assert body["campaign"]["iterations"] == 2
+
+    def test_solution_schedule_revalidates_client_side(
+        self, running_server
+    ):
+        """The wire solution is complete: the client can rebuild and
+        validate the schedule locally."""
+        import json
+
+        from repro.core import schedule_from_json
+
+        client, _ = running_server
+        _, body = client.solve(solve_payload())
+        schedule = schedule_from_json(
+            json.dumps(body["solution"]["schedule"])
+        )
+        schedule.validate()
+
+
+class TestErrors:
+    def test_not_found_is_structured(self, running_server):
+        client, _ = running_server
+        status, body = client._request("GET", "/nope")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_bad_json_body_is_a_400(self, running_server):
+        client, _ = running_server
+        import http.client
+
+        conn = http.client.HTTPConnection(
+            client.host, client.port, timeout=10.0
+        )
+        try:
+            conn.request(
+                "POST",
+                "/solve",
+                body="{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+    def test_bad_instance_is_a_400(self, running_server):
+        client, _ = running_server
+        status, body = client.solve({"instance": {"bogus": 1}})
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_unreachable_server_raises(self):
+        client = ServiceClient("127.0.0.1", 1, timeout=0.5)
+        with pytest.raises(ServiceUnavailableError, match="unreachable"):
+            client.health()
+
+
+class TestShutdown:
+    def test_shutdown_drains_and_exits(self, running_server):
+        client, service = running_server
+        client.solve(solve_payload())
+        status, body = client.shutdown()
+        assert (status, body.get("draining")) == (200, True)
+        # The fixture asserts the serve thread actually exits; here,
+        # assert the core drained: new work is refused.
+        import time
+
+        for _ in range(100):
+            if service._draining:
+                break
+            time.sleep(0.05)
+        assert service.health_payload()["draining"] is True

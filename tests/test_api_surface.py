@@ -20,6 +20,8 @@ _PACKAGES = [
     "repro.resilience",
     "repro.bench",
     "repro.engines",
+    "repro.durability",
+    "repro.service",
 ]
 
 
