@@ -273,9 +273,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--codec", choices=["sz", "zfp"], default="sz")
     p.add_argument(
         "--backend",
-        choices=["pure", "numpy"],
         default=None,
-        help="Huffman kernel backend (sz; default: $REPRO_CODEC_BACKEND "
+        help="codec kernel backend (sz; any registered backend — "
+        "pure, numpy, deflate, zlib; default: $REPRO_CODEC_BACKEND "
         "or numpy)",
     )
     p.add_argument("--field", default="temperature")
@@ -1050,12 +1050,23 @@ def _cmd_compress(args) -> int:
             if args.error_bound is not None
             else app.field(args.field).error_bound
         )
-        compressor = SZCompressor(backend=args.backend)
+        from repro.compression import available_backends
+
+        try:
+            compressor = SZCompressor(backend=args.backend)
+        except ValueError:
+            known = ", ".join(available_backends())
+            print(
+                f"error: unknown codec backend {args.backend!r} "
+                f"(available: {known})"
+            )
+            return 2
         block = compressor.compress(field, bound)
         recon = compressor.decompress(block)
         print(
             f"codec: SZ-style, absolute error bound {bound:g}, "
-            f"{compressor.backend.name} backend"
+            f"{compressor.backend.name} backend "
+            f"(stream format {block.codec})"
         )
         print(f"compression ratio: {block.compression_ratio:.1f}x")
     else:

@@ -6,20 +6,31 @@ from .autotuner import BlockSizeProfile, profile_block_sizes
 from .blocking import BlockSpec, plan_blocks, reassemble_field, slice_field
 from .buffer import BufferedBlock, CompressedDataBuffer, WriteUnit
 from .huffman import (
+    CODEBOOK_KIND_RAW,
+    CODEBOOK_KIND_RLE,
     Codebook,
     build_codebook,
+    codebook_blob_kind,
     codebook_from_bytes,
     codebook_to_bytes,
     decode,
     encode,
+    encode_reference,
     estimate_encoded_bits,
+    pack_bits,
+    unpack_bits,
 )
 from .kernels import (
     DEFAULT_CHUNK_SIZE,
+    FORMAT_DEFLATE,
+    FORMAT_HUFFMAN,
+    FORMAT_ZLIB,
     CodecBackend,
     EncodedStream,
     available_backends,
+    backend_for_format,
     get_backend,
+    register_backend,
     resolve_backend,
 )
 from .lossless import lossless_compress, lossless_decompress
@@ -57,9 +68,15 @@ __all__ = [
     "build_codebook",
     "codebook_to_bytes",
     "codebook_from_bytes",
+    "codebook_blob_kind",
+    "CODEBOOK_KIND_RAW",
+    "CODEBOOK_KIND_RLE",
     "encode",
+    "encode_reference",
     "decode",
     "estimate_encoded_bits",
+    "pack_bits",
+    "unpack_bits",
     "lossless_compress",
     "lossless_decompress",
     "compression_ratio",
@@ -78,10 +95,15 @@ __all__ = [
     "SharedTreeManager",
     "degradation_ratio",
     "DEFAULT_CHUNK_SIZE",
+    "FORMAT_HUFFMAN",
+    "FORMAT_DEFLATE",
+    "FORMAT_ZLIB",
     "CodecBackend",
     "EncodedStream",
     "available_backends",
+    "backend_for_format",
     "get_backend",
+    "register_backend",
     "resolve_backend",
     "CompressedBlock",
     "SZCompressor",

@@ -1,19 +1,33 @@
 """Canonical Huffman coding over the quantization-code alphabet.
 
-Encoding is fully vectorized with numpy (per-symbol code/length gather,
-bit expansion, ``np.packbits``).  Decoding walks the bit stream with a
-canonical first-code table, reading bits through a small integer buffer —
-adequate for the block sizes the experiments use.
+Encoding is vectorized with numpy and runs in bounded slabs: per-symbol
+code/length gathers, a cumulative-sum bit placement that ORs each code's
+(up to 25) bits into a preallocated output buffer through at most four
+``np.bincount`` passes per slab.  Working memory is a few arrays of
+``ENCODE_SLAB`` elements regardless of stream length — the earlier
+implementation materialized a dense ``(n, max_len)`` bit matrix (10-15x
+the symbol array, transiently) before ``np.packbits``.
+:func:`encode_reference` is the bit-identical per-symbol Python loop the
+vectorized path is tested against.
+
+Decoding walks the bit stream with a canonical first-code table, reading
+bits through a small integer buffer — adequate for the block sizes the
+experiments use; the chunk-parallel batch decoder lives in
+:mod:`repro.compression.kernels.vectorized`.
 
 Codebooks are canonical, so they serialize as just the per-symbol code
-*lengths*; this is also what makes the shared-tree comparison in Figure 6
-meaningful: two iterations with similar quantization-code histograms yield
-nearly identical length vectors, hence nearly identical bit costs.
+*lengths* — by default in a compact run-length form
+(:data:`CODEBOOK_KIND_RLE`); the flat legacy layout
+(:data:`CODEBOOK_KIND_RAW`) still reads.  Canonical books are also what
+makes the shared-tree comparison in Figure 6 meaningful: two iterations
+with similar quantization-code histograms yield nearly identical length
+vectors, hence nearly identical bit costs.
 """
 
 from __future__ import annotations
 
 import heapq
+import struct
 from dataclasses import dataclass
 
 import numpy as np
@@ -22,12 +36,20 @@ __all__ = [
     "Codebook",
     "build_codebook",
     "encode",
+    "encode_reference",
+    "encode_with_offsets",
+    "pack_bits",
+    "unpack_bits",
     "decode",
     "dense_decode_tables",
     "codebook_to_bytes",
     "codebook_from_bytes",
+    "codebook_blob_kind",
     "estimate_encoded_bits",
     "TABLE_DECODE_MAX_LEN",
+    "ENCODE_SLAB",
+    "CODEBOOK_KIND_RAW",
+    "CODEBOOK_KIND_RLE",
 ]
 
 
@@ -188,28 +210,270 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
     return codes
 
 
+#: Symbols per encoding slab.  Bounds the encoder's transient working
+#: memory to a few ``ENCODE_SLAB``-element arrays (~16 MB) no matter how
+#: long the symbol stream is.
+ENCODE_SLAB = 1 << 18
+
+#: Widest value the 32-bit placement window can hold: the value's bits
+#: plus up to 7 alignment bits must fit in 4 bytes.
+_PACK_MAX_WIDTH = 25
+
+
+def _place_bits(
+    values: np.ndarray,
+    widths: np.ndarray,
+    starts: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """OR each value's ``width`` low bits into ``out`` (a uint8 buffer),
+    MSB-first at absolute bit position ``starts``.
+
+    Core of the vectorized encoder: every value is left-aligned inside a
+    4-byte window beginning at its start byte and the whole windows are
+    summed per start byte with a single ``np.bincount`` pass.  Bits of
+    distinct values never overlap, so the per-byte-position sums equal
+    the bitwise OR, every sum stays below 2**32, and float64
+    accumulation is exact (windows carry at most 25 significant bits).
+    The summed windows are then split into their four byte lanes with
+    plain shifted ORs over the (much smaller) output span — the lane
+    split costs O(output bytes), not O(values).
+    """
+    if values.size == 0:
+        return
+    # Accumulate only over the byte span this call actually touches —
+    # bincount's result length must track the slab, not the whole output
+    # buffer, or encoding a large stream allocates a stream-sized float64
+    # array per call.
+    byte0 = starts >> 3
+    lo = int(byte0[0])
+    span = int(byte0[-1]) - lo + 4
+    window = (
+        values.astype(np.int64) << (32 - widths - (starts & 7))
+    ).astype(np.float64)
+    acc = np.bincount(byte0 - lo, weights=window, minlength=span)[:span]
+    words = acc.astype(np.uint64)
+    # The final value's window may poke past the buffer; those trailing
+    # lane bytes are zero by construction, so clamping is lossless.
+    hi = min(lo + span, out.size)
+    for lane in range(4):
+        n_lane = hi - lo - lane
+        if n_lane <= 0:
+            break
+        lane_bytes = (
+            (words >> np.uint64(8 * (3 - lane))) & np.uint64(0xFF)
+        ).astype(np.uint8)
+        np.bitwise_or(
+            out[lo + lane : hi], lane_bytes[:n_lane], out=out[lo + lane : hi]
+        )
+
+
+def pack_bits(
+    values: np.ndarray, widths: np.ndarray, slab: int = ENCODE_SLAB
+) -> tuple[bytes, int]:
+    """Pack ``values[i]`` into ``widths[i]`` bits, MSB-first.
+
+    The bit-placement primitive behind :func:`encode` (where the values
+    are canonical code words) and the deflate backend's extra-bits
+    section.  Zero-width entries contribute nothing.  Widths are capped
+    at 25 bits (the 32-bit placement window minus byte alignment).
+    """
+    values = np.asarray(values).reshape(-1)
+    widths = np.asarray(widths, dtype=np.int64).reshape(-1)
+    if values.size != widths.size:
+        raise ValueError("values and widths must have the same size")
+    if widths.size and int(widths.max()) > _PACK_MAX_WIDTH:
+        raise ValueError(
+            f"pack_bits supports widths up to {_PACK_MAX_WIDTH}, "
+            f"got {int(widths.max())}"
+        )
+    nbits = int(widths.sum())
+    out = np.zeros((nbits + 7) // 8, dtype=np.uint8)
+    bit_cursor = 0
+    for lo in range(0, widths.size, slab):
+        w = widths[lo : lo + slab]
+        starts = bit_cursor + np.concatenate(
+            ([0], np.cumsum(w[:-1]))
+        )
+        _place_bits(values[lo : lo + slab], w, starts, out)
+        bit_cursor += int(w.sum())
+    return out.tobytes(), nbits
+
+
+def unpack_bits(data: bytes, widths: np.ndarray) -> np.ndarray:
+    """Invert :func:`pack_bits`: read ``widths[i]`` bits per value.
+
+    Fully vectorized through a 32-bit sliding-window gather; used by the
+    deflate backend to read match-length extra bits.
+    """
+    widths = np.asarray(widths, dtype=np.int64).reshape(-1)
+    if widths.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if int(widths.max()) > _PACK_MAX_WIDTH:
+        raise ValueError(
+            f"unpack_bits supports widths up to {_PACK_MAX_WIDTH}, "
+            f"got {int(widths.max())}"
+        )
+    nbits = int(widths.sum())
+    if 8 * len(data) < nbits:
+        raise ValueError(
+            f"corrupt bit stream: {len(data)} bytes cannot hold the "
+            f"declared {nbits} bits"
+        )
+    starts = np.concatenate(([0], np.cumsum(widths[:-1])))
+    raw = np.frombuffer(data, dtype=np.uint8)
+    padded = np.concatenate([raw, np.zeros(4, dtype=np.uint8)]).astype(
+        np.uint64
+    )
+    w32 = (
+        (padded[:-3] << np.uint64(24))
+        | (padded[1:-2] << np.uint64(16))
+        | (padded[2:-1] << np.uint64(8))
+        | padded[3:]
+    )
+    shift = (32 - widths - (starts & 7)).astype(np.uint64)
+    mask = (np.uint64(1) << widths.astype(np.uint64)) - np.uint64(1)
+    picked = (w32[starts >> 3] >> shift) & mask
+    return picked.astype(np.int64)
+
+
 def encode(symbols: np.ndarray, codebook: Codebook) -> tuple[bytes, int]:
     """Encode a symbol array; returns (packed bytes, exact bit count).
 
     Every symbol must have a code (see :meth:`Codebook.can_encode`).
+    Vectorized and slab-bounded: peak transient memory is a few
+    ``ENCODE_SLAB``-element arrays plus the output buffer, independent of
+    the stream length.
     """
-    flat = symbols.reshape(-1)
+    data, nbits, _ = encode_with_offsets(symbols, codebook, chunk_size=0)
+    return data, nbits
+
+
+def encode_with_offsets(
+    symbols: np.ndarray,
+    codebook: Codebook,
+    chunk_size: int,
+    slab: int = ENCODE_SLAB,
+) -> tuple[bytes, int, np.ndarray]:
+    """Encode and (for ``chunk_size > 0``) record per-chunk bit offsets.
+
+    Returns ``(data, nbits, chunk_offsets)`` where ``chunk_offsets[c]``
+    is the start bit of symbol ``c * chunk_size`` — the index the
+    chunk-parallel decoder needs.  With ``chunk_size == 0`` the offsets
+    array is empty.  The stream is identical either way.
+
+    Two slab passes: the first sums bit counts (sizing the output buffer
+    exactly), the second places code bits with :func:`_place_bits`.
+    """
+    flat = np.ascontiguousarray(symbols).reshape(-1)
+    if chunk_size:
+        # Slabs aligned to chunk boundaries make every chunk start fall
+        # inside exactly one slab's local cumsum.
+        slab = max(chunk_size, slab - slab % chunk_size)
+    if flat.size == 0:
+        return b"", 0, np.zeros(0, dtype=np.uint64)
+    if codebook.max_length > _PACK_MAX_WIDTH:
+        # Pathologically deep book (never produced by the SZ layer, whose
+        # books are length-limited): take the reference path.
+        data, nbits = encode_reference(flat, codebook)
+        offsets = _offsets_reference(flat, codebook, chunk_size)
+        return data, nbits, offsets
+
+    # One alphabet-sized histogram both validates the stream (any used
+    # symbol without a code) and sizes the output exactly — no second
+    # full-stream gather pass.  Accumulated slab-wise: bincount widens
+    # its input to int64, so one full-stream call would transiently
+    # allocate a stream-sized copy.
+    lengths = codebook.lengths
+    hist = np.zeros(0, dtype=np.int64)
+    for lo in range(0, flat.size, slab):
+        part = np.bincount(flat[lo : lo + slab])
+        if part.size > hist.size:
+            part[: hist.size] += hist
+            hist = part
+        else:
+            hist[: part.size] += part
+    m = min(hist.size, lengths.size)
+    if hist.size > lengths.size or np.any(
+        (hist[:m] > 0) & (lengths[:m] == 0)
+    ):
+        coded = np.zeros(max(hist.size, lengths.size), dtype=bool)
+        coded[: lengths.size] = lengths > 0
+        bad = int(flat[np.flatnonzero(~coded[flat])[0]])
+        raise ValueError(f"symbol {bad} has no code in this codebook")
+    nbits = int((hist[:m] * lengths[:m].astype(np.int64)).sum())
+
+    out = np.zeros((nbits + 7) // 8, dtype=np.uint8)
+    num_chunks = -(-flat.size // chunk_size) if chunk_size else 0
+    offsets = np.zeros(num_chunks, dtype=np.uint64)
+
+    bit_cursor = 0
+    for lo in range(0, flat.size, slab):
+        hi = min(lo + slab, flat.size)
+        chunk = flat[lo:hi]
+        lens = lengths[chunk].astype(np.int64)
+        starts = bit_cursor + np.concatenate(
+            ([0], np.cumsum(lens[:-1]))
+        )
+        if chunk_size:
+            local = np.arange(0, hi - lo, chunk_size)
+            offsets[lo // chunk_size : lo // chunk_size + local.size] = (
+                starts[local].astype(np.uint64)
+            )
+        _place_bits(codebook.codes[chunk], lens, starts, out)
+        bit_cursor = int(starts[-1]) + int(lens[-1])
+    return out.tobytes(), nbits, offsets
+
+
+def encode_reference(
+    symbols: np.ndarray, codebook: Codebook
+) -> tuple[bytes, int]:
+    """Per-symbol Python reference encoder.
+
+    Bit-for-bit identical to :func:`encode` on every valid input and the
+    same ``ValueError`` on uncoded symbols — the behavioural baseline the
+    vectorized slab encoder is tested (and benchmarked) against.
+    """
+    flat = np.asarray(symbols).reshape(-1)
     if flat.size == 0:
         return b"", 0
-    lens = codebook.lengths[flat].astype(np.int64)
-    if not np.all(lens > 0):
-        bad = flat[lens == 0][0]
-        raise ValueError(f"symbol {int(bad)} has no code in this codebook")
-    codes = codebook.codes[flat]
-    max_len = int(lens.max())
-    # Expand each code to its bits, MSB first, then mask to actual length.
-    shifts = (lens[:, None] - 1 - np.arange(max_len)[None, :])
-    valid = shifts >= 0
-    shifts = np.where(valid, shifts, 0).astype(np.uint64)
-    bits = ((codes[:, None] >> shifts) & 1).astype(np.uint8)
-    stream = bits[valid]
-    nbits = int(lens.sum())
-    return np.packbits(stream).tobytes(), nbits
+    lengths = codebook.lengths.tolist()
+    codes = codebook.codes.tolist()
+    buf = bytearray()
+    acc = 0
+    acc_bits = 0
+    nbits = 0
+    for s in flat.tolist():
+        length = lengths[s]
+        if length == 0:
+            raise ValueError(f"symbol {int(s)} has no code in this codebook")
+        acc = (acc << length) | codes[s]
+        acc_bits += length
+        nbits += length
+        while acc_bits >= 8:
+            acc_bits -= 8
+            buf.append((acc >> acc_bits) & 0xFF)
+        acc &= (1 << acc_bits) - 1
+    if acc_bits:
+        buf.append((acc << (8 - acc_bits)) & 0xFF)
+    return bytes(buf), nbits
+
+
+def _offsets_reference(
+    flat: np.ndarray, codebook: Codebook, chunk_size: int
+) -> np.ndarray:
+    """Chunk start bits via a bounded cumulative walk (fallback path)."""
+    if not chunk_size:
+        return np.zeros(0, dtype=np.uint64)
+    num_chunks = -(-flat.size // chunk_size)
+    offsets = np.zeros(num_chunks, dtype=np.uint64)
+    bit = 0
+    lens = codebook.lengths
+    for c in range(num_chunks):
+        offsets[c] = bit
+        piece = flat[c * chunk_size : (c + 1) * chunk_size]
+        bit += int(lens[piece].astype(np.int64).sum())
+    return offsets
 
 
 #: Codes at or below this depth decode through a dense lookup table
@@ -371,28 +635,157 @@ def _canonical_decode_tables(codebook: Codebook):
     return first_code, order_arr
 
 
-def codebook_to_bytes(codebook: Codebook) -> bytes:
-    """Serialize a canonical codebook (just the length vector)."""
-    header = np.uint32(codebook.num_symbols).tobytes()
-    return header + codebook.lengths.tobytes()
+#: Codebook blob layouts: the flat legacy form (count + one length byte
+#: per symbol) and the compact run-length form new blocks write.
+CODEBOOK_KIND_RAW = 0
+CODEBOOK_KIND_RLE = 1
+
+_RLE_MAGIC = b"RCB2"
+#: One run: (code length uint8, run length uint16), packed.
+_RLE_RUN = np.dtype([("value", np.uint8), ("count", "<u2")])
+
+
+def _kraft_check(lengths: np.ndarray) -> None:
+    """Reject length vectors no prefix code can realize."""
+    coded = lengths[lengths > 0].astype(np.float64)
+    if coded.size and float(np.sum(2.0**-coded)) > 1.0 + 1e-12:
+        raise ValueError(
+            "corrupt codebook blob: code lengths violate the Kraft "
+            "inequality"
+        )
+
+
+def codebook_blob_kind(blob: bytes) -> int:
+    """Which serialized layout a codebook blob uses (by its magic)."""
+    return (
+        CODEBOOK_KIND_RLE if blob[:4] == _RLE_MAGIC else CODEBOOK_KIND_RAW
+    )
+
+
+def codebook_to_bytes(codebook: Codebook, kind: int | None = None) -> bytes:
+    """Serialize a canonical codebook (just the length vector).
+
+    ``CODEBOOK_KIND_RLE`` stores the lengths as (value, run) pairs — a
+    handful of bytes for the near-geometric quantization-code books
+    (long zero runs for unused symbols) instead of one byte per symbol.
+    ``CODEBOOK_KIND_RAW`` is the flat legacy layout.  The default
+    (``kind=None``) writes whichever is smaller; both layouts are
+    self-describing on read (:func:`codebook_blob_kind`).
+    """
+    if kind is None:
+        rle = codebook_to_bytes(codebook, CODEBOOK_KIND_RLE)
+        raw = codebook_to_bytes(codebook, CODEBOOK_KIND_RAW)
+        return rle if len(rle) <= len(raw) else raw
+    lengths = codebook.lengths
+    if kind == CODEBOOK_KIND_RAW:
+        header = np.uint32(codebook.num_symbols).tobytes()
+        return header + lengths.tobytes()
+    if kind != CODEBOOK_KIND_RLE:
+        raise ValueError(f"unknown codebook kind {kind}")
+    n = lengths.size
+    if n:
+        change = np.flatnonzero(np.diff(lengths)) + 1
+        starts = np.concatenate(([0], change))
+        run_lens = np.diff(np.concatenate((starts, [n])))
+        values = lengths[starts]
+    else:
+        run_lens = np.zeros(0, dtype=np.int64)
+        values = np.zeros(0, dtype=np.uint8)
+    runs = np.empty(0, dtype=_RLE_RUN)
+    pieces = []
+    for value, run in zip(values.tolist(), run_lens.tolist()):
+        while run > 0:
+            piece = min(run, 0xFFFF)
+            pieces.append((value, piece))
+            run -= piece
+    if pieces:
+        runs = np.array(pieces, dtype=_RLE_RUN)
+    return (
+        _RLE_MAGIC
+        + struct.pack("<II", n, runs.size)
+        + runs.tobytes()
+    )
 
 
 def codebook_from_bytes(blob: bytes) -> Codebook:
-    """Deserialize a codebook produced by :func:`codebook_to_bytes`."""
+    """Deserialize a codebook from either serialized layout.
+
+    The run-length form is self-describing (magic ``RCB2``); anything
+    else parses as the flat legacy layout.  Every declared size is
+    validated against the actual blob length — a truncated blob raises a
+    named ``ValueError`` instead of silently yielding a shorter lengths
+    vector (which would decode downstream blocks into garbage).
+    """
+    if len(blob) < 4:
+        raise ValueError(
+            f"truncated codebook blob: {len(blob)} bytes cannot hold a "
+            "codebook header"
+        )
+    if blob[:4] == _RLE_MAGIC:
+        return _codebook_from_rle(blob)
     num = int(np.frombuffer(blob[:4], dtype=np.uint32)[0])
+    got = len(blob) - 4
+    if got != num:
+        raise ValueError(
+            f"truncated codebook blob: declares {num} symbols but "
+            f"carries {got} length bytes"
+        )
+    if num == 0:
+        raise ValueError("corrupt codebook blob: zero symbols declared")
     lengths = np.frombuffer(blob[4 : 4 + num], dtype=np.uint8).copy()
+    _kraft_check(lengths)
+    return Codebook(lengths=lengths, codes=_canonical_codes(lengths))
+
+
+def _codebook_from_rle(blob: bytes) -> Codebook:
+    if len(blob) < 12:
+        raise ValueError(
+            f"truncated codebook blob: {len(blob)} bytes cannot hold a "
+            "run-length header"
+        )
+    num_symbols, num_runs = struct.unpack("<II", blob[4:12])
+    want = 12 + _RLE_RUN.itemsize * num_runs
+    if len(blob) != want:
+        raise ValueError(
+            f"truncated codebook blob: declares {num_runs} runs "
+            f"({want} bytes) but the blob has {len(blob)}"
+        )
+    if num_symbols == 0:
+        raise ValueError("corrupt codebook blob: zero symbols declared")
+    runs = np.frombuffer(blob[12:want], dtype=_RLE_RUN)
+    covered = int(runs["count"].astype(np.int64).sum())
+    if covered != num_symbols:
+        raise ValueError(
+            f"corrupt codebook blob: runs cover {covered} symbols but "
+            f"{num_symbols} are declared"
+        )
+    lengths = np.repeat(
+        runs["value"], runs["count"].astype(np.int64)
+    ).astype(np.uint8)
+    if lengths.size and int(lengths.max()) > 63:
+        raise ValueError(
+            "corrupt codebook blob: code length exceeds 63 bits"
+        )
+    _kraft_check(lengths)
     return Codebook(lengths=lengths, codes=_canonical_codes(lengths))
 
 
 def estimate_encoded_bits(
-    histogram: np.ndarray, codebook: Codebook
+    histogram: np.ndarray,
+    codebook: Codebook,
+    sentinel: int | None = None,
 ) -> tuple[int, int]:
     """Bit cost of coding ``histogram`` with ``codebook``.
 
     Returns ``(bits, escapes)`` where ``escapes`` counts occurrences of
-    symbols the codebook cannot encode (these become outliers at the SZ
-    layer and pay the outlier cost instead).  Used by the ratio model and
-    the shared-tree degradation analysis (Figure 6).
+    symbols the codebook cannot encode.  At the SZ layer those become
+    outliers: each is *rerouted to the sentinel symbol* (paying the
+    sentinel's code length in the Huffman stream) and additionally pays
+    the outlier-channel cost.  Pass ``sentinel`` to include the rerouted
+    code bits in ``bits`` — without it the estimate drifts low by
+    ``escapes * lengths[sentinel]`` exactly as ``encode`` would observe.
+    Used by the ratio model and the shared-tree degradation analysis
+    (Figure 6).
     """
     hist = np.asarray(histogram, dtype=np.int64)
     coded = codebook.lengths.astype(np.int64)
@@ -401,4 +794,6 @@ def estimate_encoded_bits(
     escapes = int(np.sum(hist[:n][coded[:n] == 0]))
     if hist.size > n:
         escapes += int(hist[n:].sum())
+    if sentinel is not None and escapes:
+        bits += escapes * int(coded[sentinel])
     return bits, escapes

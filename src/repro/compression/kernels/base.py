@@ -1,16 +1,19 @@
-"""Backend contract for the Huffman codec kernels.
+"""Backend contract for the codec kernels.
 
-A backend turns quantization-code symbol streams into packed Huffman bits
-and back.  Encoding is shared (it was already numpy-vectorized); what the
-backends differ on is *decoding*: the ``pure`` backend is the per-symbol
-reference loop, the ``numpy`` backend decodes all chunks of a block in
-lockstep with dense-table gathers (see :mod:`.vectorized`).
+A backend turns quantization-code symbol streams into a packed byte
+stream and back.  The two Huffman backends share one bit format and
+differ only in implementation — ``pure`` is the per-symbol reference
+loop, ``numpy`` the slab/lockstep vectorized path — while the ``deflate``
+and ``zlib`` backends define their own self-contained stream formats
+(each stream format has a :attr:`CodecBackend.format_id`; the block
+header records which one a block's payload uses, so any compressor can
+decode any block).
 
-To make batch decoding possible at all, the encoder splits the symbol
-stream into fixed-size chunks and records each chunk's start *bit* offset;
-the offsets ride in the v2 block header (`docs/formats.md`).  A chunk
-boundary never splits a code word, so each chunk is independently
-decodable.
+To make batch Huffman decoding possible at all, the encoder splits the
+symbol stream into fixed-size chunks and records each chunk's start
+*bit* offset; the offsets ride in the v2+ block header
+(``docs/formats.md``).  A chunk boundary never splits a code word, so
+each chunk is independently decodable.
 """
 
 from __future__ import annotations
@@ -24,6 +27,10 @@ from .. import huffman
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "FORMAT_HUFFMAN",
+    "FORMAT_DEFLATE",
+    "FORMAT_ZLIB",
+    "KNOWN_FORMATS",
     "EncodedStream",
     "CodecBackend",
     "encode_chunked",
@@ -35,10 +42,19 @@ __all__ = [
 #: uint32 bit offset in the header — stays at 0.125 bits/symbol.
 DEFAULT_CHUNK_SIZE = 256
 
+#: Stream-format identifiers recorded in the v3 block header.  Backends
+#: sharing a format id produce interchangeable (bit-identical) streams.
+FORMAT_HUFFMAN = 0  # chunked canonical-Huffman bits (pure/numpy)
+FORMAT_DEFLATE = 1  # LZ77 run tokens + embedded Huffman book (RLZ1)
+FORMAT_ZLIB = 2  # raw symbol bytes through zlib (RZL1)
+KNOWN_FORMATS = (FORMAT_HUFFMAN, FORMAT_DEFLATE, FORMAT_ZLIB)
+
 
 @dataclass(frozen=True)
 class EncodedStream:
-    """A chunked Huffman bit stream plus the offsets that index it."""
+    """A packed symbol stream plus the chunk index (when the format has
+    one — the non-Huffman formats are self-contained and carry empty
+    chunk metadata)."""
 
     data: bytes
     nbits: int
@@ -59,20 +75,15 @@ def encode_chunked(
     """Encode ``symbols`` and record per-chunk bit offsets.
 
     The bit stream is identical to :func:`repro.compression.huffman.encode`
-    output — chunking only adds the offset index, never padding.
+    output — chunking only adds the offset index, never padding.  Both
+    the stream and the offsets come out of the slab encoder, so working
+    memory stays bounded regardless of the symbol count.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be at least 1")
-    flat = symbols.reshape(-1)
-    data, nbits = huffman.encode(flat, codebook)
-    if flat.size == 0:
-        offsets = np.zeros(0, dtype=np.uint64)
-    else:
-        lens = codebook.lengths[flat].astype(np.int64)
-        starts = np.concatenate(([0], np.cumsum(lens)))
-        offsets = starts[np.arange(0, flat.size, chunk_size)].astype(
-            np.uint64
-        )
+    data, nbits, offsets = huffman.encode_with_offsets(
+        symbols.reshape(-1), codebook, chunk_size
+    )
     return EncodedStream(
         data=data, nbits=nbits, chunk_size=chunk_size, chunk_offsets=offsets
     )
@@ -99,23 +110,53 @@ def expected_num_chunks(
 
 
 class CodecBackend(abc.ABC):
-    """One Huffman encode/decode implementation."""
+    """One lossless-coding implementation for quantization-code streams.
+
+    Beyond encode/decode, a backend declares the cost-model inputs the
+    scheduler needs (:attr:`ratio_entropy_factor`,
+    :attr:`throughput_factor`, :attr:`fixed_overhead_bytes`) so the
+    RatioModel and CompressionThroughputModel price each backend's
+    genuinely different ratio/speed operating point.
+    """
 
     #: Registry key and telemetry label.
     name: str = "abstract"
+    #: Stream format this backend reads and writes (block header field).
+    format_id: int = FORMAT_HUFFMAN
+    #: Whether blocks need an external canonical codebook (native blob or
+    #: shared tree).  Formats that embed their own entropy coding
+    #: (deflate) or none (zlib) set this False and skip tree building.
+    uses_codebook: bool = True
     #: Deepest code length the backend's fast decode path handles; deeper
     #: codebooks fall back to the reference canonical walk.
     decode_max_length: int = 64
     #: Code-length limit handed to ``build_codebook`` so blocks written
     #: with this backend always decode on every backend's fast path.
     build_max_length: int = huffman.TABLE_DECODE_MAX_LEN
+    #: RatioModel: predicted code bits per symbol ≈ entropy × this factor
+    #: (coding inefficiency; deflate usually lands *below* entropy on
+    #: smooth fields because runs collapse).
+    ratio_entropy_factor: float = 1.03
+    #: Per-block serialization overhead beyond the coded symbols
+    #: (headers, embedded books), for the RatioModel.
+    fixed_overhead_bytes: int = 96
+    #: CompressionThroughputModel: relative end-to-end compression speed
+    #: versus the Huffman baseline (1.0).
+    throughput_factor: float = 1.0
+    #: Whether compression builds a per-block Huffman tree (the
+    #: throughput model's ``tree_build_s`` term).
+    builds_tree: bool = True
 
     def encode(
         self,
         symbols: np.ndarray,
-        codebook: huffman.Codebook,
+        codebook: huffman.Codebook | None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> EncodedStream:
+        if codebook is None:
+            raise ValueError(
+                f"backend {self.name!r} encodes against a codebook"
+            )
         return encode_chunked(symbols, codebook, chunk_size)
 
     @abc.abstractmethod
@@ -124,7 +165,7 @@ class CodecBackend(abc.ABC):
         data: bytes,
         nbits: int,
         count: int,
-        codebook: huffman.Codebook,
+        codebook: huffman.Codebook | None,
         chunk_size: int = 0,
         chunk_offsets: np.ndarray | None = None,
     ) -> np.ndarray:

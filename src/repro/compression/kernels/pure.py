@@ -1,9 +1,11 @@
-"""Reference backend: the per-symbol Python decode loop.
+"""Reference backend: the per-symbol Python encode/decode loops.
 
 This is the behavioural baseline the vectorized backend is tested
 against — bit-for-bit identical output on every valid stream, the same
 ``ValueError`` on every corrupt one.  It ignores the chunk index (the
-stream is one contiguous bit sequence) apart from sanity-checking it.
+stream is one contiguous bit sequence) apart from sanity-checking it,
+and its encoder is the per-symbol bit-accumulator loop the slab
+encoder's speedup is benchmarked against (``codec.encode.*``).
 """
 
 from __future__ import annotations
@@ -11,25 +13,56 @@ from __future__ import annotations
 import numpy as np
 
 from .. import huffman
-from .base import CodecBackend, expected_num_chunks
+from .base import (
+    DEFAULT_CHUNK_SIZE,
+    CodecBackend,
+    EncodedStream,
+    expected_num_chunks,
+)
 
 __all__ = ["PureBackend"]
 
 
 class PureBackend(CodecBackend):
-    """Sequential canonical/table decoder (no numpy in the hot loop)."""
+    """Sequential canonical/table codec (no numpy in the hot loops)."""
 
     name = "pure"
+
+    def encode(
+        self,
+        symbols: np.ndarray,
+        codebook: huffman.Codebook | None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> EncodedStream:
+        if codebook is None:
+            raise ValueError(
+                f"backend {self.name!r} encodes against a codebook"
+            )
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        flat = symbols.reshape(-1)
+        data, nbits = huffman.encode_reference(flat, codebook)
+        offsets = huffman._offsets_reference(flat, codebook, chunk_size)
+        return EncodedStream(
+            data=data,
+            nbits=nbits,
+            chunk_size=chunk_size,
+            chunk_offsets=offsets,
+        )
 
     def decode(
         self,
         data: bytes,
         nbits: int,
         count: int,
-        codebook: huffman.Codebook,
+        codebook: huffman.Codebook | None,
         chunk_size: int = 0,
         chunk_offsets: np.ndarray | None = None,
     ) -> np.ndarray:
+        if codebook is None:
+            raise ValueError(
+                f"backend {self.name!r} decodes against a codebook"
+            )
         if chunk_offsets is not None:
             expected_num_chunks(count, chunk_size, chunk_offsets)
         return huffman.decode(data, nbits, count, codebook)

@@ -1,4 +1,12 @@
-"""Numpy-vectorized batch Huffman decoder.
+"""Numpy-vectorized batch Huffman codec.
+
+Encoding comes from the slab encoder in :mod:`repro.compression.huffman`
+(inherited through :meth:`CodecBackend.encode` → ``encode_chunked``):
+per-slab length gathers, a cumulative-sum bit placement that ORs each
+code's bits into a preallocated buffer, and chunk offsets read straight
+off the slab-local cumsums.  Working memory is bounded by the slab size
+no matter how long the stream is, and the output is bit-identical to the
+``pure`` backend's per-symbol loop.
 
 The per-symbol decode loop is inherently sequential *within* a bit
 stream: a symbol's start position is only known once the previous symbol's
@@ -41,10 +49,14 @@ class NumpyBackend(CodecBackend):
         data: bytes,
         nbits: int,
         count: int,
-        codebook: huffman.Codebook,
+        codebook: huffman.Codebook | None,
         chunk_size: int = 0,
         chunk_offsets: np.ndarray | None = None,
     ) -> np.ndarray:
+        if codebook is None:
+            raise ValueError(
+                f"backend {self.name!r} decodes against a codebook"
+            )
         if count == 0:
             return np.zeros(0, dtype=np.uint16)
         depth = codebook.max_length

@@ -48,12 +48,14 @@ class RatioModel:
         compressor: SZCompressor,
         sample_limit: int = 65536,
         lossless_factor: float = 0.9,
-        header_bytes: int = 384,
+        header_bytes: int | None = None,
         safety_factor: float = 1.10,
     ) -> None:
-        # header_bytes covers the block header (~60 B) plus an embedded
-        # native-tree codebook (~260 B for the default radius); shared-
-        # tree blocks over-reserve slightly, which only costs slack.
+        # header_bytes overrides the per-block overhead estimate; by
+        # default it comes from the backend (its fixed_overhead_bytes)
+        # plus the actual serialized size of the codebook the sample
+        # histogram yields — the run-length books v3 blocks embed are a
+        # few dozen bytes, not the ~260 B the flat layout cost.
         self.compressor = compressor
         self.sample_limit = sample_limit
         self.lossless_factor = lossless_factor
@@ -90,39 +92,69 @@ class RatioModel:
         if total == 0:
             return RatioEstimate(1.0, values.nbytes, 8.0 * values.itemsize, 0.0)
 
+        backend = self.compressor.backend
         sentinel = self.compressor.sentinel
         outliers = int(hist[sentinel])
-        if shared_codebook is not None:
+        codebook_bytes = 0
+        if shared_codebook is not None and backend.uses_codebook:
+            # Escaped symbols are rerouted to the sentinel, so each pays
+            # the sentinel's code length *and* the outlier channel.
             bits, escapes = huffman.estimate_encoded_bits(
-                hist, shared_codebook
+                hist, shared_codebook, sentinel=sentinel
             )
             outliers += escapes
             coded_bits = float(bits)
+        elif backend.uses_codebook:
+            # Native tree: price the sample histogram with the codebook
+            # it would actually get, and the codebook blob at the size
+            # it actually serializes to.
+            codebook = huffman.build_codebook(
+                hist,
+                force_symbols=(sentinel,),
+                max_length=backend.build_max_length,
+            )
+            bits, _ = huffman.estimate_encoded_bits(hist, codebook)
+            # The full block's histogram drifts from the sample's, and
+            # its (slightly different) codebook prices it a bit worse
+            # than the sample's codebook prices the sample.
+            coded_bits = float(bits) * 1.03
+            codebook_bytes = len(huffman.codebook_to_bytes(codebook))
         else:
+            # Self-coding formats: entropy scaled by the backend's
+            # measured coding efficiency (deflate lands under the
+            # per-symbol bound on runs; zlib's coding is looser).
             probs = hist[hist > 0] / total
             entropy = float(-(probs * np.log2(probs)).sum())
-            # A real Huffman code pays a small rounding premium and at
-            # least one bit per symbol.
-            coded_bits = max(entropy, 1.0) * total * 1.03
+            coded_bits = (
+                max(entropy, 1.0) * total * backend.ratio_entropy_factor
+            )
 
         payload_bits = coded_bits + outliers * OUTLIER_BITS
         payload_bytes = payload_bits / 8.0 * self.lossless_factor
         bits_per_value = payload_bits / total
 
         original = values.nbytes
-        # v2 blocks carry one uint32 bit offset per chunk in the header.
-        chunk_bytes = 4 * -(
-            -values.size // self.compressor.chunk_size
+        # Huffman blocks carry one uint32 bit offset per chunk in the
+        # header; self-contained formats carry no chunk index.
+        chunk_bytes = (
+            4 * -(-values.size // self.compressor.chunk_size)
+            if backend.uses_codebook
+            else 0
+        )
+        overhead = (
+            self.header_bytes
+            if self.header_bytes is not None
+            else backend.fixed_overhead_bytes + codebook_bytes
         )
         predicted = int(
             (
                 original * (payload_bytes / (total * values.itemsize))
             )
             * self.safety_factor
-            + self.header_bytes
+            + overhead
             + chunk_bytes
         )
-        predicted = max(predicted, self.header_bytes)
+        predicted = max(predicted, overhead)
         ratio = original / predicted if predicted else 1.0
         return RatioEstimate(
             ratio=ratio,
@@ -147,6 +179,26 @@ class CompressionThroughputModel:
     throughput_bytes_per_s: float = 250e6
     setup_s: float = 0.0005
     tree_build_s: float = 0.004
+
+    @classmethod
+    def for_backend(
+        cls,
+        backend,
+        throughput_bytes_per_s: float = 250e6,
+        setup_s: float = 0.0005,
+        tree_build_s: float = 0.004,
+    ) -> "CompressionThroughputModel":
+        """Scale the baseline constants by a codec backend's declared
+        characteristics: relative throughput, and whether compression
+        builds a per-block tree at all (the zlib fast path never pays
+        ``tree_build_s``, shared tree or not)."""
+        return cls(
+            throughput_bytes_per_s=(
+                throughput_bytes_per_s * backend.throughput_factor
+            ),
+            setup_s=setup_s,
+            tree_build_s=tree_build_s if backend.builds_tree else 0.0,
+        )
 
     def compression_time(
         self, nbytes: int, shared_tree: bool = True

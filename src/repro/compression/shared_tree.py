@@ -91,6 +91,10 @@ class SharedTreeManager:
         """Close the current iteration; maybe rebuild.  Returns True if
         the tree was rebuilt."""
         self._iteration += 1
+        if not self.backend.uses_codebook:
+            # Self-coding backends (deflate/zlib) never consume a shared
+            # tree — building one would be pure waste.
+            return False
         due = (
             self._state is None
             or self.tree_age >= self.rebuild_period

@@ -24,8 +24,16 @@ import numpy as np
 from ..durability.checksum import crc32c
 from ..telemetry import NULL_TRACER, NullTracer
 from . import huffman
-from .kernels import CodecBackend, resolve_backend
-from .kernels.base import DEFAULT_CHUNK_SIZE
+from .kernels import (
+    CodecBackend,
+    backend_for_format,
+    resolve_backend,
+)
+from .kernels.base import (
+    DEFAULT_CHUNK_SIZE,
+    FORMAT_HUFFMAN,
+    KNOWN_FORMATS,
+)
 from .lossless import lossless_compress, lossless_decompress
 from .predictors import lorenzo_forward, lorenzo_inverse
 from .quantizer import (
@@ -45,6 +53,22 @@ _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 _DTYPES = {0: np.float32, 1: np.float64}
 _DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1}
 
+#: ``codebook_kind`` for blocks whose codec embeds its own entropy
+#: coding (or none) — there is no external codebook blob to describe.
+CODEBOOK_KIND_NONE = 255
+_KNOWN_KINDS = (
+    huffman.CODEBOOK_KIND_RAW,
+    huffman.CODEBOOK_KIND_RLE,
+    CODEBOOK_KIND_NONE,
+)
+
+
+def _infer_codebook_kind(codebook_blob: bytes) -> int:
+    """Codebook kind for pre-v3 blocks (and directly-built ones)."""
+    if not codebook_blob:
+        return CODEBOOK_KIND_NONE
+    return huffman.codebook_blob_kind(codebook_blob)
+
 
 @dataclass
 class CompressedBlock:
@@ -59,12 +83,23 @@ class CompressedBlock:
     num_outliers: int
     codebook_blob: bytes  # empty when a shared tree was used
     used_shared_tree: bool
-    #: v2 chunk index (None for v1 blocks, which predate chunking):
-    #: the Huffman stream is split into ``chunk_size``-symbol chunks and
+    #: Chunk index (None for v1 blocks, which predate chunking): the
+    #: Huffman stream is split into ``chunk_size``-symbol chunks and
     #: ``chunk_offsets[c]`` is chunk ``c``'s start bit — what lets the
-    #: vectorized backend decode all chunks in lockstep.
+    #: vectorized backend decode all chunks in lockstep.  Self-contained
+    #: stream formats (deflate/zlib) carry an empty index.
     chunk_size: int = 0
     chunk_offsets: tuple[int, ...] | None = None
+    #: Stream format of the payload's coded section (v3 header field);
+    #: any compressor decodes it via ``backend_for_format``.
+    codec: int = FORMAT_HUFFMAN
+    #: Serialized layout of ``codebook_blob`` (``CODEBOOK_KIND_*``;
+    #: ``None`` infers it from the blob itself).
+    codebook_kind: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.codebook_kind is None:
+            self.codebook_kind = _infer_codebook_kind(self.codebook_blob)
 
     @property
     def original_nbytes(self) -> int:
@@ -82,12 +117,17 @@ class CompressedBlock:
     def to_bytes(self) -> bytes:
         """Serialize for storage in the shared-file container.
 
-        Blocks carrying a chunk index serialize as format v2; a block
-        without one (``chunk_offsets is None``) falls back to the v1
+        Current blocks serialize as format v3 (codec + codebook-kind
+        fields, then the chunk index); a plain-Huffman block without a
+        chunk index (``chunk_offsets is None``) falls back to the v1
         layout, byte-identical to what pre-chunking versions wrote.
         """
         dtype_code = _DTYPE_CODES[self.dtype]
-        version = 1 if self.chunk_offsets is None else 2
+        version = (
+            1
+            if self.chunk_offsets is None and self.codec == FORMAT_HUFFMAN
+            else 3
+        )
         header = struct.pack(
             _HEADER_FMT,
             _MAGIC,
@@ -105,16 +145,24 @@ class CompressedBlock:
         flags = struct.pack("<B", 1 if self.used_shared_tree else 0)
         if version == 1:
             return header + dims + flags + self.codebook_blob + self.payload
-        if self.nbits >= 2**32:
+        offsets = self.chunk_offsets or ()
+        if offsets and self.nbits >= 2**32:
             raise ValueError(
                 "block too large: chunk offsets are stored as uint32 "
                 f"bit positions but the stream has {self.nbits} bits"
             )
+        codec_info = struct.pack("<BB", self.codec, self.codebook_kind)
         chunks = struct.pack(
-            "<II", self.chunk_size, len(self.chunk_offsets)
-        ) + np.asarray(self.chunk_offsets, dtype=np.uint32).tobytes()
+            "<II", self.chunk_size, len(offsets)
+        ) + np.asarray(offsets, dtype=np.uint32).tobytes()
         return (
-            header + dims + flags + chunks + self.codebook_blob + self.payload
+            header
+            + dims
+            + flags
+            + codec_info
+            + chunks
+            + self.codebook_blob
+            + self.payload
         )
 
     def checksum(self) -> int:
@@ -160,7 +208,7 @@ class CompressedBlock:
         ) = struct.unpack(_HEADER_FMT, take(0, _HEADER_SIZE, "header"))
         if magic != _MAGIC:
             raise ValueError("not a compressed block")
-        if version not in (1, 2):
+        if version not in (1, 2, 3):
             raise ValueError(
                 f"not a compressed block: unknown format version {version}"
             )
@@ -175,9 +223,27 @@ class CompressedBlock:
         offset += 8 * ndim
         (shared_flag,) = struct.unpack("<B", take(offset, 1, "flags"))
         offset += 1
+        codec = FORMAT_HUFFMAN
+        codebook_kind: int | None = None  # pre-v3: infer from the blob
+        if version == 3:
+            codec, codebook_kind = struct.unpack(
+                "<BB", take(offset, 2, "codec info")
+            )
+            offset += 2
+            if codec not in KNOWN_FORMATS:
+                known = ", ".join(str(f) for f in KNOWN_FORMATS)
+                raise ValueError(
+                    f"corrupt compressed block: unknown codec format "
+                    f"{codec} (known: {known})"
+                )
+            if codebook_kind not in _KNOWN_KINDS:
+                raise ValueError(
+                    f"corrupt compressed block: unknown codebook kind "
+                    f"{codebook_kind}"
+                )
         chunk_size = 0
         chunk_offsets: tuple[int, ...] | None = None
-        if version == 2:
+        if version >= 2:
             chunk_size, num_chunks = struct.unpack(
                 "<II", take(offset, 8, "chunk header")
             )
@@ -204,16 +270,21 @@ class CompressedBlock:
             used_shared_tree=bool(shared_flag),
             chunk_size=chunk_size,
             chunk_offsets=chunk_offsets,
+            codec=codec,
+            codebook_kind=codebook_kind,
         )
 
 
 class SZCompressor:
     """Error-bounded lossy compressor with optional shared Huffman tree.
 
-    ``backend`` selects the Huffman kernel (``"pure"`` reference loop or
-    ``"numpy"`` vectorized batch decode); ``None`` defers to the
-    ``REPRO_CODEC_BACKEND`` environment variable, then the ``numpy``
-    default.  Backends produce bit-identical blocks and decoded values.
+    ``backend`` selects the codec kernel — ``"pure"``/``"numpy"`` (one
+    shared canonical-Huffman bit format, bit-identical blocks),
+    ``"deflate"`` (run-collapsing LZ77+Huffman), or ``"zlib"`` (tree-free
+    fast path); ``None`` defers to the ``REPRO_CODEC_BACKEND``
+    environment variable, then the ``numpy`` default.  Every block
+    records its stream format, so blocks decode under any configured
+    backend.
     """
 
     def __init__(
@@ -299,7 +370,15 @@ class SZCompressor:
         outlier_positions = quantized.outlier_positions
         outlier_values = quantized.outlier_values
 
-        if shared_codebook is None:
+        if not self.backend.uses_codebook:
+            # Self-contained formats (deflate embeds its own token book;
+            # zlib has none): no tree work, and a shared tree — whose
+            # whole point is skipping per-block codebooks — does not
+            # apply, so a passed one is ignored.
+            codebook = None
+            codebook_blob = b""
+            used_shared = False
+        elif shared_codebook is None:
             hist = np.bincount(codes, minlength=2 * self.radius + 1)
             # Length-limited codes keep the decoder on its dense-table
             # fast path at a negligible (<0.1 %) ratio cost.
@@ -363,6 +442,7 @@ class SZCompressor:
             chunk_offsets=tuple(
                 int(o) for o in stream.chunk_offsets
             ),
+            codec=self.backend.format_id,
         )
 
     def decompress(
@@ -370,8 +450,21 @@ class SZCompressor:
         block: CompressedBlock,
         shared_codebook: huffman.Codebook | None = None,
     ) -> np.ndarray:
-        """Restore a block; needs the shared codebook if one was used."""
-        if block.used_shared_tree:
+        """Restore a block; needs the shared codebook if one was used.
+
+        The block header records which stream format the payload uses,
+        so any compressor decodes any block: the configured backend is
+        used when it speaks the block's format, otherwise the preferred
+        decoder for that format is looked up in the registry.
+        """
+        backend = (
+            self.backend
+            if self.backend.format_id == block.codec
+            else backend_for_format(block.codec)
+        )
+        if not backend.uses_codebook:
+            codebook = None
+        elif block.used_shared_tree:
             if shared_codebook is None:
                 raise ValueError(
                     "block was compressed with a shared tree; pass it"
@@ -399,11 +492,11 @@ class SZCompressor:
         )
         with self.tracer.timed(
             "codec.decode",
-            backend=self.backend.name,
+            backend=backend.name,
             nbytes=encoded_len,
             chunked=chunk_offsets is not None,
         ):
-            codes = self.backend.decode(
+            codes = backend.decode(
                 encoded,
                 block.nbits,
                 count,

@@ -1,5 +1,5 @@
-"""Codec kernel backends: cross-backend equivalence, the v2 chunked
-block format, and the silent-corruption fixes that shipped with it."""
+"""Codec kernel backends: cross-backend equivalence, the chunked block
+format versions, and the silent-corruption fixes that shipped with them."""
 
 import base64
 import json
@@ -45,9 +45,20 @@ def _smooth_field(rng, shape=(16, 16, 16), scale=100.0):
     return (base * scale / max(1.0, np.abs(base).max())).astype(np.float64)
 
 
+def _huffman_backends():
+    """Backends sharing the chunked canonical-Huffman bit format."""
+    from repro.compression.kernels import FORMAT_HUFFMAN
+
+    return tuple(
+        name
+        for name in available_backends()
+        if get_backend(name).format_id == FORMAT_HUFFMAN
+    )
+
+
 class TestBackendRegistry:
     def test_available(self):
-        assert available_backends() == ("numpy", "pure")
+        assert available_backends() == ("deflate", "numpy", "pure", "zlib")
 
     def test_get_backend_instances(self):
         assert isinstance(get_backend("pure"), PureBackend)
@@ -120,7 +131,7 @@ class TestCrossBackendEquivalence:
                 stream.chunk_size,
                 stream.chunk_offsets,
             )
-            for name in available_backends()
+            for name in _huffman_backends()
         }
         for name, out in results.items():
             assert np.array_equal(out, symbols), name
@@ -246,7 +257,7 @@ class TestCorruptionDetection:
             decode(b"\x00\x00", 9, 5, book)
 
 
-class TestBlockFormatV2:
+class TestBlockFormatVersions:
     def test_round_trip_preserves_chunk_index(self, rng):
         field = _smooth_field(rng)
         block = SZCompressor(chunk_size=64).compress(field, 0.1)
@@ -256,9 +267,9 @@ class TestBlockFormatV2:
         recon = SZCompressor().decompress(restored)
         assert np.max(np.abs(field - recon)) <= 0.1 * (1 + 1e-9)
 
-    def test_v2_blob_version_byte(self, rng):
+    def test_current_blob_version_byte(self, rng):
         blob = SZCompressor().compress(_smooth_field(rng), 0.1).to_bytes()
-        assert blob[:4] == b"RSZ1" and blob[4] == 2
+        assert blob[:4] == b"RSZ1" and blob[4] == 3
 
     def test_v1_write_path_still_available(self, rng):
         field = _smooth_field(rng)
@@ -312,9 +323,10 @@ class TestFromBytesValidation:
 
     def test_truncated_chunk_offsets_named(self, blob):
         head = struct.calcsize("<4sBBBdIQQQI")
-        # header + dims(3) + flags + chunk header + first offset only
+        # header + dims(3) + flags + codec info(2) + chunk header +
+        # first offset only
         with pytest.raises(ValueError, match="chunk offsets"):
-            CompressedBlock.from_bytes(blob[: head + 24 + 1 + 8 + 4])
+            CompressedBlock.from_bytes(blob[: head + 24 + 1 + 2 + 8 + 4])
 
     def test_garbage_rejected_with_value_error(self):
         # Arbitrary garbage must never surface a raw struct.error.
