@@ -261,10 +261,13 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="scrub a snapshot or journal for corruption (exit 1 if any)",
     )
-    p.add_argument("target", help="a .rpio snapshot, snapshot dir, or journal")
+    p.add_argument(
+        "target",
+        help="a .rpio snapshot, snapshot dir, journal, or request ledger",
+    )
     p.add_argument(
         "--kind",
-        choices=["auto", "snapshot", "journal"],
+        choices=["auto", "snapshot", "journal", "ledger"],
         default="auto",
         help="what the target is (default: sniff the file)",
     )
@@ -364,6 +367,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-tenant token-bucket capacity",
     )
     p.add_argument(
+        "--ledger",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write-ahead request ledger: admitted requests are "
+            "journaled and replayed after a crash"
+        ),
+    )
+    p.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "hard cap on graceful-drain time; queued requests past it "
+            "get a 503 draining rejection"
+        ),
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=float,
+        default=0.5,
+        help="circuit-breaker failure-rate threshold (engine + disk cache)",
+    )
+    p.add_argument(
+        "--breaker-window",
+        type=int,
+        default=8,
+        help="circuit-breaker sliding outcome window",
+    )
+    p.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="open-breaker cooldown before a half-open probe",
+    )
+    p.add_argument(
+        "--supervised",
+        action="store_true",
+        help=(
+            "run the server as a child process under a watchdog that "
+            "probes /health and a heartbeat file, and restarts it on "
+            "crash or hang with bounded exponential backoff"
+        ),
+    )
+    p.add_argument(
+        "--heartbeat-file",
+        metavar="FILE",
+        default=None,
+        help=(
+            "liveness file the server refreshes from its event loop "
+            "(default with --supervised: <tmp>/repro-serve-heartbeat)"
+        ),
+    )
+    p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="how often the heartbeat file is refreshed",
+    )
+    p.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "watchdog: kill + restart the child when neither heartbeat "
+            "nor /health shows life for this long"
+        ),
+    )
+    p.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        help="watchdog: give up (structured exit 1) after this many restarts",
+    )
+    p.add_argument(
+        "--restart-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="watchdog: first restart backoff (doubles per restart)",
+    )
+    p.add_argument(
         "--trace-out",
         metavar="FILE",
         default=None,
@@ -386,6 +475,27 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=60.0,
             help="HTTP timeout per request, seconds",
+        )
+        q.add_argument(
+            "--no-retry",
+            action="store_true",
+            help=(
+                "fail on the first connection error or 5xx instead of "
+                "retrying with backoff + an idempotency key"
+            ),
+        )
+        q.add_argument(
+            "--retries",
+            type=int,
+            default=5,
+            help="retry attempts per request (connection errors and 5xx)",
+        )
+        q.add_argument(
+            "--retry-deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="give up retrying a request after this long in total",
         )
 
     q = submit_sub.add_parser("solve", help="submit one solve request")
@@ -868,6 +978,9 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    if args.supervised:
+        return _cmd_serve_supervised(args)
+
     from repro.service import SchedulingService, ServiceConfig, serve_forever
 
     tracer = _make_tracer(args)
@@ -881,18 +994,39 @@ def _cmd_serve(args) -> int:
             cache_dir=args.cache_dir,
             quota_rate=args.quota_rate,
             quota_burst=args.quota_burst,
+            ledger_path=args.ledger,
+            drain_deadline_s=args.drain_deadline,
+            breaker_threshold=args.breaker_threshold,
+            breaker_window=args.breaker_window,
+            breaker_cooldown_s=args.breaker_cooldown,
         )
+        service = SchedulingService(config, tracer=tracer)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    service = SchedulingService(config, tracer=tracer)
+
+    # Replay admitted-but-unanswered requests from the ledger *before*
+    # the socket opens: a restarted server converges to the same
+    # memoized state as an uninterrupted one, then accepts traffic.
+    if service.ledger is not None:
+        recovered = service.recover()
+        if recovered["replayed"]:
+            print(
+                f"repro service recovered {recovered['replayed']} "
+                f"request(s) from the ledger "
+                f"({recovered['solve']} solve, "
+                f"{recovered['campaign']} campaign, "
+                f"{recovered['failed']} failed)",
+                flush=True,
+            )
 
     def on_bound(host, port):
         print(f"repro service listening on http://{host}:{port}", flush=True)
         print(
             f"  workers={config.workers} cache={config.cache_size}"
             f"{' (persistent)' if config.cache_dir else ''} "
-            f"quota={config.quota_rate:g}/s burst={config.quota_burst:g}",
+            f"quota={config.quota_rate:g}/s burst={config.quota_burst:g}"
+            f"{' ledger=' + config.ledger_path if config.ledger_path else ''}",
             flush=True,
         )
 
@@ -903,6 +1037,8 @@ def _cmd_serve(args) -> int:
             port=args.port,
             on_bound=on_bound,
             install_signal_handlers=True,
+            heartbeat_path=args.heartbeat_file,
+            heartbeat_interval_s=args.heartbeat_interval,
         )
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -915,13 +1051,68 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_serve_supervised(args) -> int:
+    """Run the server as a watchdog-supervised child process."""
+    import os
+    import signal as signal_module
+    import tempfile
+
+    from repro.resilience import RetryPolicy
+    from repro.service import Watchdog
+
+    heartbeat = args.heartbeat_file
+    if heartbeat is None:
+        heartbeat = os.path.join(
+            tempfile.gettempdir(), f"repro-serve-heartbeat-{os.getpid()}"
+        )
+    # The child runs the exact same serve command minus --supervised,
+    # plus the heartbeat file the watchdog will watch.
+    child_argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        *[a for a in sys.argv[1:] if a != "--supervised"],
+    ]
+    if args.heartbeat_file is None:
+        child_argv += ["--heartbeat-file", heartbeat]
+    watchdog = Watchdog(
+        child_argv,
+        heartbeat_path=heartbeat,
+        host=args.host,
+        port=args.port if args.port != 0 else None,
+        hang_timeout_s=args.hang_timeout,
+        max_restarts=args.max_restarts,
+        backoff=RetryPolicy(
+            max_attempts=max(args.max_restarts, 1) + 1,
+            base_backoff_s=args.restart_backoff,
+            backoff_multiplier=2.0,
+        ),
+    )
+    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+        signal_module.signal(
+            signum, lambda *_: watchdog.request_stop()
+        )
+    return watchdog.run()
+
+
 def _cmd_submit(args) -> int:
     import json as json_module
 
     from repro.core import instance_json_dict
+    from repro.resilience import RetryPolicy
     from repro.service import ServiceClient, ServiceUnavailableError
 
-    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    retry = None
+    if not args.no_retry and args.retries > 0:
+        retry = RetryPolicy(
+            max_attempts=args.retries,
+            base_backoff_s=0.2,
+            backoff_multiplier=2.0,
+            deadline_s=args.retry_deadline,
+        )
+    client = ServiceClient(
+        args.host, args.port, timeout=args.timeout, retry=retry
+    )
     try:
         if args.submit_command == "solve":
             instance = _make_instance(args)

@@ -33,6 +33,7 @@ from .fingerprint import fingerprint_json
 from .crashpoints import (
     CRASH_EXIT_CODE,
     CRASH_POINTS,
+    SERVICE_CRASH_POINTS,
     set_crash_handler,
     trigger_crash,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "find_stale_temps",
     "temp_path_for",
     "CRASH_POINTS",
+    "SERVICE_CRASH_POINTS",
     "CRASH_EXIT_CODE",
     "set_crash_handler",
     "trigger_crash",
@@ -70,10 +72,17 @@ __all__ = [
     "VerifyReport",
     "verify_snapshot",
     "verify_journal",
+    "verify_ledger",
     "verify_path",
 ]
 
-_LAZY = {"VerifyReport", "verify_snapshot", "verify_journal", "verify_path"}
+_LAZY = {
+    "VerifyReport",
+    "verify_snapshot",
+    "verify_journal",
+    "verify_ledger",
+    "verify_path",
+}
 
 
 def __getattr__(name: str):

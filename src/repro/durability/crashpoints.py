@@ -34,12 +34,21 @@ from typing import Callable
 
 __all__ = [
     "CRASH_POINTS",
+    "SERVICE_CRASH_POINTS",
     "CRASH_EXIT_CODE",
     "trigger_crash",
     "set_crash_handler",
 ]
 
 CRASH_POINTS = ("plan", "pre-commit", "torn-commit", "post-commit", "report")
+
+#: Request-ledger crash points of the scheduling service (see
+#: :mod:`repro.service.recovery`): after a request's *open* record is
+#: durable, while its work executes, and after the result exists but
+#: before its *close* record — the three instants whose recovery
+#: behaviour differs.
+SERVICE_CRASH_POINTS = ("post-admission", "mid-dispatch", "pre-completion")
+
 CRASH_EXIT_CODE = 137
 
 
@@ -70,9 +79,9 @@ def set_crash_handler(
 
 def trigger_crash(point: str, iteration: int) -> None:
     """Fire the crash handler for ``point`` (does not return by default)."""
-    if point not in CRASH_POINTS:
+    if point not in CRASH_POINTS + SERVICE_CRASH_POINTS:
         raise ValueError(
             f"unknown crash point {point!r} "
-            f"(valid: {', '.join(CRASH_POINTS)})"
+            f"(valid: {', '.join(CRASH_POINTS + SERVICE_CRASH_POINTS)})"
         )
     _handler(point, iteration)

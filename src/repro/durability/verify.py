@@ -19,7 +19,13 @@ from ..telemetry import NULL_TRACER
 from .atomic import find_stale_temps
 from .journal import JournalError, _validate_structure, decode_record
 
-__all__ = ["VerifyReport", "verify_snapshot", "verify_journal", "verify_path"]
+__all__ = [
+    "VerifyReport",
+    "verify_snapshot",
+    "verify_journal",
+    "verify_ledger",
+    "verify_path",
+]
 
 _MANIFEST = "__manifest__"
 _CODEBOOK = "__codebook__"
@@ -194,14 +200,138 @@ def verify_journal(
     return report
 
 
+def _read_ledger_lines(path: str, report: VerifyReport) -> list[dict]:
+    """CRC-check every line of a ledger file (shared tail handling)."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    lines = blob.split(b"\n")
+    tail = lines.pop()
+    if tail:
+        report.notes.append(
+            f"torn tail ({len(tail)} bytes past the last newline); "
+            f"recovery will discard it"
+        )
+    records = []
+    for index, line in enumerate(lines):
+        report.checked += 1
+        try:
+            record = decode_record(line, index + 1)
+        except JournalError as exc:
+            if index == len(lines) - 1:
+                report.notes.append(
+                    f"torn tail (line {index + 1} fails its CRC); "
+                    f"recovery will discard it"
+                )
+            else:
+                report.issues.append(str(exc))
+            continue
+        if record["seq"] != index:
+            report.issues.append(
+                f"ledger line {index + 1}: sequence gap (expected "
+                f"seq {index}, got {record['seq']!r})"
+            )
+        records.append(record)
+    return records
+
+
+def verify_ledger(
+    path: str | os.PathLike, tracer=NULL_TRACER
+) -> VerifyReport:
+    """Scrub one service request ledger: record CRCs, open/close shape.
+
+    The ledger protocol (see :mod:`repro.service.recovery`) is one
+    ``begin`` record followed by interleaved ``open`` / ``close``
+    records; every ``close`` must name a previously opened key and no
+    key may be opened or closed twice.
+    """
+    path = os.fspath(path)
+    report = VerifyReport(path=path, kind="ledger")
+    with tracer.timed("durability.verify", kind="ledger", path=path):
+        try:
+            records = _read_ledger_lines(path, report)
+        except OSError as exc:
+            report.issues.append(f"unreadable: {exc}")
+            return report
+        if not records:
+            report.issues.append(f"ledger {path}: no intact records")
+            return report
+        first = records[0]
+        if first["type"] != "begin" or "ledger_version" not in first["data"]:
+            report.issues.append(
+                f"ledger {path}: first record must be a 'begin' record "
+                f"carrying 'ledger_version', got {first['type']!r}"
+            )
+        opened: set = set()
+        closed: set = set()
+        for record in records[1:]:
+            kind, data = record["type"], record["data"]
+            key = data.get("key")
+            if kind == "open":
+                if not isinstance(key, str) or not key:
+                    report.issues.append(
+                        f"ledger {path} seq {record['seq']}: 'open' "
+                        f"record without a key"
+                    )
+                elif key in opened:
+                    report.issues.append(
+                        f"ledger {path} seq {record['seq']}: key "
+                        f"{key!r} opened twice"
+                    )
+                else:
+                    opened.add(key)
+            elif kind == "close":
+                if key not in opened:
+                    report.issues.append(
+                        f"ledger {path} seq {record['seq']}: 'close' "
+                        f"record for never-opened key {key!r}"
+                    )
+                elif key in closed:
+                    report.issues.append(
+                        f"ledger {path} seq {record['seq']}: key "
+                        f"{key!r} closed twice"
+                    )
+                else:
+                    closed.add(key)
+            else:
+                report.issues.append(
+                    f"ledger {path} seq {record['seq']}: unknown record "
+                    f"type {kind!r}"
+                )
+        incomplete = len(opened) - len(closed)
+        report.notes.append(
+            f"{len(opened)} request(s), {len(closed)} completed, "
+            f"{incomplete} pending replay"
+        )
+        for temp in _stale_temps_near(path):
+            report.notes.append(
+                f"stale temp file from a crashed writer: {temp}"
+            )
+    return report
+
+
+def _sniff_line_format(path) -> str:
+    """``ledger`` vs ``journal`` for a line-record file (best effort)."""
+    try:
+        with open(path, "rb") as fh:
+            first = fh.readline()
+        record = json.loads(first.decode())
+        if isinstance(record, dict) and isinstance(record.get("data"), dict):
+            if "ledger_version" in record["data"]:
+                return "ledger"
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        pass
+    return "journal"
+
+
 def verify_path(
     path: str | os.PathLike, kind: str = "auto", tracer=NULL_TRACER
 ) -> VerifyReport:
-    """Scrub ``path`` as a snapshot or journal (sniffed when ``auto``)."""
-    if kind not in ("auto", "snapshot", "journal"):
+    """Scrub ``path`` as a snapshot, journal, or request ledger
+    (sniffed when ``auto``)."""
+    if kind not in ("auto", "snapshot", "journal", "ledger"):
         raise ValueError(
             f"unknown verify kind {kind!r} "
-            f"(valid: auto, snapshot, journal)"
+            f"(valid: auto, snapshot, journal, ledger)"
         )
     if kind == "auto":
         if os.path.isdir(path):
@@ -209,7 +339,12 @@ def verify_path(
         else:
             with open(path, "rb") as fh:
                 head = fh.read(8)
-            kind = "snapshot" if head.startswith(b"RPIO") else "journal"
+            if head.startswith(b"RPIO"):
+                kind = "snapshot"
+            else:
+                kind = _sniff_line_format(path)
     if kind == "snapshot":
         return verify_snapshot(path, tracer=tracer)
+    if kind == "ledger":
+        return verify_ledger(path, tracer=tracer)
     return verify_journal(path, tracer=tracer)

@@ -10,6 +10,8 @@ filesystem?  It provides
   bandwidth collapse, compression-block failures, and straggler ranks;
 * :class:`RetryPolicy` — exponential backoff + jitter with a per-write
   deadline, applied to simulated and real writes;
+* :class:`CircuitBreaker` — closed/open/half-open failure isolation for
+  the service layer's engine and disk-cache call paths;
 * :class:`ResilienceLog` / :class:`ResilienceReport` — the per-campaign
   tally of injected faults, retries, fallbacks, overrun iterations, and
   deferred bytes, exactly reproducible from ``--faults spec.yaml --seed N``;
@@ -17,6 +19,7 @@ filesystem?  It provides
   at load time with errors naming the bad field.
 """
 
+from .breaker import BreakerOpenError, CircuitBreaker
 from .faults import (
     WORKER_FAULT_KINDS,
     BandwidthFault,
@@ -39,6 +42,8 @@ from .spec import (
 )
 
 __all__ = [
+    "BreakerOpenError",
+    "CircuitBreaker",
     "FaultPlan",
     "FaultInjector",
     "StallFault",

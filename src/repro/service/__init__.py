@@ -16,12 +16,17 @@ Layered, innermost first:
 * :mod:`~repro.service.admission` — per-tenant token-bucket quotas;
 * :mod:`~repro.service.dispatch` — the bounded priority queue and
   batching worker dispatch with per-request deadlines;
+* :mod:`~repro.service.recovery` — the durable request ledger and the
+  chaos crash points of the serving tier;
 * :mod:`~repro.service.service` — :class:`SchedulingService`, the
-  HTTP-free core wiring the above plus per-request telemetry spans;
+  HTTP-free core wiring the above plus circuit breakers, crash
+  recovery, and per-request telemetry spans;
 * :mod:`~repro.service.server` — the stdlib-asyncio JSON-over-HTTP
-  front (``repro serve``);
+  front (``repro serve``), with the watchdog heartbeat;
+* :mod:`~repro.service.watchdog` — parent-process supervision with
+  bounded-backoff restart (``repro serve --supervised``);
 * :mod:`~repro.service.client` — the blocking client
-  (``repro submit``).
+  (``repro submit``), optionally retrying with idempotency keys.
 """
 
 from .admission import AdmissionController, TokenBucket
@@ -30,30 +35,42 @@ from .client import ServiceClient, ServiceUnavailableError
 from .dispatch import DispatchOutcome, SolveDispatcher
 from .protocol import (
     REJECT_DEADLINE,
+    REJECT_DRAINING,
+    REJECT_ENGINE_UNAVAILABLE,
     REJECT_QUEUE_FULL,
     REJECT_QUOTA,
     REJECT_SHUTTING_DOWN,
     BadRequestError,
+    EngineUnavailableError,
     Rejection,
     SolveWork,
+    campaign_request_key,
     parse_solve_payload,
     solution_json_dict,
     solve_request_key,
 )
+from .recovery import LedgerEntry, RequestLedger, ServiceChaos
 from .server import ServiceServer, serve_forever
 from .service import SchedulingService, ServiceConfig
+from .watchdog import Watchdog
 
 __all__ = [
     "AdmissionController",
     "BadRequestError",
     "DispatchOutcome",
+    "EngineUnavailableError",
+    "LedgerEntry",
     "MemoCache",
     "REJECT_DEADLINE",
+    "REJECT_DRAINING",
+    "REJECT_ENGINE_UNAVAILABLE",
     "REJECT_QUEUE_FULL",
     "REJECT_QUOTA",
     "REJECT_SHUTTING_DOWN",
     "Rejection",
+    "RequestLedger",
     "SchedulingService",
+    "ServiceChaos",
     "ServiceClient",
     "ServiceConfig",
     "ServiceServer",
@@ -61,6 +78,8 @@ __all__ = [
     "SolveDispatcher",
     "SolveWork",
     "TokenBucket",
+    "Watchdog",
+    "campaign_request_key",
     "parse_solve_payload",
     "serve_forever",
     "solution_json_dict",

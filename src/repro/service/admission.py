@@ -65,7 +65,9 @@ class TokenBucket:
         missing = cost - self._tokens
         if missing <= 0:
             return 0.0
-        if self.rate <= 0:
+        if self.rate <= 0 or cost > self.burst:
+            # Refill never runs, or the bucket can never hold that
+            # many tokens: an honest hint is "never", not a number.
             return None
         return missing / self.rate
 

@@ -14,6 +14,13 @@ heuristic.  The cache holds JSON-safe solution payloads keyed by
   directory survives restarts, is crash-consistent (a killed writer
   leaves only a stale temp file, never a torn entry), and a corrupt or
   tampered entry is detected and ignored rather than served.
+
+Opening a persistent cache sweeps the directory for stale temp files a
+crashed writer left behind (counted in ``stats()``), and an optional
+:class:`~repro.resilience.CircuitBreaker` guards the disk tier: while
+it is open the cache degrades to memory-only — disk errors stop
+surfacing on the request path — and probes re-enable the tier once the
+filesystem recovers.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ import os
 import threading
 from collections import OrderedDict
 
-from ..durability.atomic import DurableFile
+from ..durability.atomic import DurableFile, find_stale_temps
 from ..durability.fingerprint import fingerprint_json
 
 __all__ = ["MemoCache"]
@@ -38,7 +45,11 @@ class MemoCache:
     """
 
     def __init__(
-        self, capacity: int = 256, cache_dir: str | None = None
+        self,
+        capacity: int = 256,
+        cache_dir: str | None = None,
+        *,
+        breaker=None,
     ) -> None:
         if capacity < 0:
             raise ValueError(
@@ -46,6 +57,7 @@ class MemoCache:
             )
         self.capacity = capacity
         self.cache_dir = cache_dir
+        self._breaker = breaker
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, dict] = OrderedDict()
         self._hits = 0
@@ -54,8 +66,30 @@ class MemoCache:
         self._evictions = 0
         self._stores = 0
         self._disk_rejects = 0
+        self._disk_errors = 0
+        self._disk_skipped = 0
+        self._stale_temps_removed = 0
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
+            self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self) -> None:
+        """Remove temp files a crashed writer left mid-publish.
+
+        Safe by construction: :class:`DurableFile` temps become real
+        entries only through the rename, so at open time any remaining
+        temp belongs to a writer that no longer exists.
+        """
+        try:
+            stale = find_stale_temps(self.cache_dir)
+        except OSError:
+            return
+        for temp in stale:
+            try:
+                os.unlink(temp)
+            except OSError:
+                continue
+            self._stale_temps_removed += 1
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict | None:
@@ -103,25 +137,61 @@ class MemoCache:
     def _disk_path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"{key}.json")
 
+    def _disk_allowed(self) -> bool:
+        """Whether the disk tier may be touched right now."""
+        if self._breaker is None or self._breaker.allow():
+            return True
+        with self._lock:
+            self._disk_skipped += 1
+        return False
+
     def _store_disk(self, key: str, value: dict) -> None:
-        if self.cache_dir is None:
+        if self.cache_dir is None or not self._disk_allowed():
             return
         document = {
             "key": key,
             "solution": value,
             "crc32c": fingerprint_json(value),
         }
-        with DurableFile(self._disk_path(key), "w") as fh:
-            json.dump(document, fh, sort_keys=True)
+        try:
+            with DurableFile(self._disk_path(key), "w") as fh:
+                json.dump(document, fh, sort_keys=True)
+        except OSError:
+            # Degraded mode: the entry stays memory-only, the request
+            # still succeeds, and the breaker tracks the disk's health.
+            with self._lock:
+                self._disk_errors += 1
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            return
+        if self._breaker is not None:
+            self._breaker.record_success()
 
     def _load_disk(self, key: str) -> dict | None:
-        if self.cache_dir is None:
+        if self.cache_dir is None or not self._disk_allowed():
             return None
         try:
             with open(self._disk_path(key), encoding="utf-8") as fh:
                 document = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
+            # An ordinary miss — evidence the disk works, not that it
+            # is broken.
+            if self._breaker is not None:
+                self._breaker.record_success()
             return None
+        except OSError:
+            with self._lock:
+                self._disk_errors += 1
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            return None
+        except json.JSONDecodeError:
+            # Readable but corrupt: a data problem, not a disk outage.
+            if self._breaker is not None:
+                self._breaker.record_success()
+            return None
+        if self._breaker is not None:
+            self._breaker.record_success()
         solution = document.get("solution") if isinstance(document, dict) else None
         if (
             not isinstance(solution, dict)
@@ -142,14 +212,20 @@ class MemoCache:
     def stats(self) -> dict:
         """Counters for the ``/status`` endpoint (a JSON-safe snapshot)."""
         with self._lock:
-            return {
+            snapshot = {
                 "capacity": self.capacity,
                 "size": len(self._entries),
                 "hits": self._hits,
                 "misses": self._misses,
                 "disk_hits": self._disk_hits,
                 "disk_rejects": self._disk_rejects,
+                "disk_errors": self._disk_errors,
+                "disk_skipped": self._disk_skipped,
+                "stale_temps_removed": self._stale_temps_removed,
                 "stores": self._stores,
                 "evictions": self._evictions,
                 "persistent": self.cache_dir is not None,
             }
+        if self._breaker is not None:
+            snapshot["disk_breaker"] = self._breaker.state
+        return snapshot

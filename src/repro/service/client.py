@@ -13,6 +13,16 @@ Every call returns the decoded ``(http_status, body)`` pair — including
 rejections, which arrive as structured bodies, not exceptions.  Only
 transport-level failures (connection refused, timeouts, non-JSON
 responses) raise :class:`ServiceUnavailableError`.
+
+Retries are opt-in: construct with a
+:class:`~repro.resilience.RetryPolicy` and ``solve`` / ``campaign``
+calls survive connection-refused windows (a supervised server
+restarting) and 500/503 replies with exponential backoff + jitter,
+bounded by the policy's attempt budget and per-request deadline.  Every
+attempt of one logical request carries the same ``X-Idempotency-Key``
+header — the canonical fingerprint of the call — so a server that
+already answered (or is mid-flight on) the first attempt serves the
+recorded result instead of executing twice.
 """
 
 from __future__ import annotations
@@ -21,7 +31,19 @@ import http.client
 import json
 import time
 
+import numpy as np
+
+from ..durability.fingerprint import fingerprint_json
+from ..resilience.retry import RetryPolicy
+
 __all__ = ["ServiceClient", "ServiceUnavailableError"]
+
+def _retryable_status(status: int) -> bool:
+    """Server-side (5xx) failures are retryable: a restarting supervised
+    server, a draining predecessor, an open breaker mid-cooldown.  4xx
+    replies (quota pressure, bad requests) are the caller's to handle —
+    resubmitting them verbatim cannot succeed."""
+    return 500 <= status < 600
 
 
 class ServiceUnavailableError(ConnectionError):
@@ -36,27 +58,34 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 8742,
         timeout: float = 60.0,
+        *,
+        retry: RetryPolicy | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self._rng = rng if rng is not None else np.random.default_rng()
 
     # ------------------------------------------------------------------
-    def _request(
-        self, method: str, path: str, payload: dict | None = None
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
     ) -> tuple[int, dict]:
         body = None if payload is None else json.dumps(payload)
+        all_headers = {"Content-Type": "application/json"}
+        if headers:
+            all_headers.update(headers)
         try:
             conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout
             )
             try:
-                conn.request(
-                    method,
-                    path,
-                    body=body,
-                    headers={"Content-Type": "application/json"},
-                )
+                conn.request(method, path, body=body, headers=all_headers)
                 response = conn.getresponse()
                 raw = response.read()
                 status = response.status
@@ -76,9 +105,55 @@ class ServiceClient:
             ) from exc
         return status, decoded
 
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        retryable: bool = False,
+    ) -> tuple[int, dict]:
+        policy = self.retry if retryable else None
+        if policy is None:
+            return self._request_once(method, path, payload)
+
+        # One idempotency key for the whole retry loop: resubmissions
+        # of this logical request coalesce server-side onto one
+        # execution (or are answered from the request ledger).
+        headers = {
+            "X-Idempotency-Key": fingerprint_json(
+                {"path": path, "payload": payload}
+            )
+        }
+        started = time.monotonic()
+        last_error: ServiceUnavailableError | None = None
+        last_reply: tuple[int, dict] | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                status, body = self._request_once(
+                    method, path, payload, headers
+                )
+            except ServiceUnavailableError as exc:
+                last_error, last_reply = exc, None
+            else:
+                if not _retryable_status(status):
+                    return status, body
+                last_error, last_reply = None, (status, body)
+            if attempt >= policy.max_attempts:
+                break
+            backoff = policy.backoff_s(attempt, self._rng)
+            elapsed = time.monotonic() - started
+            if policy.past_deadline(elapsed + backoff):
+                break
+            time.sleep(backoff)
+        if last_reply is not None:
+            return last_reply
+        assert last_error is not None
+        raise last_error
+
     # ------------------------------------------------------------------
     def health(self) -> tuple[int, dict]:
-        """``GET /health`` — liveness and drain state."""
+        """``GET /health`` — liveness, drain state, breaker states."""
         return self._request("GET", "/health")
 
     def status(self) -> tuple[int, dict]:
@@ -86,15 +161,19 @@ class ServiceClient:
         return self._request("GET", "/status")
 
     def solve(self, payload: dict) -> tuple[int, dict]:
-        """``POST /solve`` — one scheduling request."""
-        return self._request("POST", "/solve", payload)
+        """``POST /solve`` — one scheduling request (retried if armed)."""
+        return self._request("POST", "/solve", payload, retryable=True)
 
     def campaign(self, payload: dict) -> tuple[int, dict]:
-        """``POST /campaign`` — one campaign request."""
-        return self._request("POST", "/campaign", payload)
+        """``POST /campaign`` — one campaign request (retried if armed)."""
+        return self._request("POST", "/campaign", payload, retryable=True)
 
     def shutdown(self) -> tuple[int, dict]:
-        """``POST /shutdown`` — ask the server to drain and exit."""
+        """``POST /shutdown`` — ask the server to drain and exit.
+
+        Never retried: resubmitting a shutdown to a freshly restarted
+        server would re-kill it.
+        """
         return self._request("POST", "/shutdown")
 
     def wait_healthy(self, timeout: float = 10.0) -> dict:

@@ -30,7 +30,13 @@ from dataclasses import dataclass, field
 
 from ..resilience.retry import RetryPolicy
 from ..telemetry import NULL_TRACER, NullTracer
-from .protocol import REJECT_DEADLINE, Rejection, SolveWork
+from .protocol import (
+    REJECT_DEADLINE,
+    REJECT_DRAINING,
+    REJECT_SHUTTING_DOWN,
+    Rejection,
+    SolveWork,
+)
 
 __all__ = ["DispatchOutcome", "SolveDispatcher"]
 
@@ -113,6 +119,7 @@ class SolveDispatcher:
         self._seq = 0
         self._closed = False
         self._drain = True
+        self._drain_deadline: float | None = None
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-solve"
         )
@@ -122,6 +129,7 @@ class SolveDispatcher:
         self._coalesced = 0
         self._largest_batch = 0
         self._expired = 0
+        self._drain_rejected = 0
         self._batcher = threading.Thread(
             target=self._batcher_loop, name="repro-batcher", daemon=True
         )
@@ -185,13 +193,43 @@ class SolveDispatcher:
                 taken.append(entry)
         return taken
 
+    def _drain_expired(self) -> bool:
+        """Whether the hard drain deadline has passed (lock-free read:
+        the deadline is written once, under the condition lock)."""
+        deadline = self._drain_deadline
+        return deadline is not None and self._clock() >= deadline
+
     def _acquire_slot(self) -> bool:
-        """Block until a worker is free; False on non-drain shutdown."""
+        """Block until a worker is free; False when the shutdown mode
+        (no drain, or a drain whose deadline expired) says stop waiting."""
         while not self._slots.acquire(timeout=0.05):
             with self._cv:
-                if self._closed and not self._drain:
+                if self._closed and (not self._drain or self._drain_expired()):
                     return False
         return True
+
+    def _flush_queue_on_shutdown(self) -> None:
+        """Reject everything still queued (called with no locks held)."""
+        with self._cv:
+            stranded = list(self._queue)
+            self._queue.clear()
+            expired = self._drain and self._drain_expired()
+        for entry in stranded:
+            with self._stats_lock:
+                self._drain_rejected += 1
+            self._reject(
+                entry,
+                Rejection(
+                    code=REJECT_DRAINING if expired else REJECT_SHUTTING_DOWN,
+                    message=(
+                        "drain deadline expired before dispatch"
+                        if expired
+                        else "service shut down before dispatch"
+                    ),
+                    http_status=503,
+                ),
+                queue_wait_s=self._clock() - entry.enqueued_at,
+            )
 
     def _batcher_loop(self) -> None:
         while True:
@@ -200,20 +238,12 @@ class SolveDispatcher:
                     self._cv.wait()
                 if not self._queue:
                     return  # closed and drained (or drain disabled)
-                if self._closed and not self._drain:
-                    for entry in self._queue:
-                        self._reject(
-                            entry,
-                            Rejection(
-                                code="shutting_down",
-                                message="service shut down before dispatch",
-                                http_status=503,
-                            ),
-                        )
-                    self._queue.clear()
-                    return
-            if not self._acquire_slot():
-                continue  # shutdown flipped: re-check at the loop top
+                flush = self._closed and (
+                    not self._drain or self._drain_expired()
+                )
+            if flush or not self._acquire_slot():
+                self._flush_queue_on_shutdown()
+                return
             with self._cv:
                 head = self._pop_head()
             if head is None:
@@ -324,16 +354,28 @@ class SolveDispatcher:
         """Stop the dispatcher.
 
         ``drain=True`` (graceful): already-queued requests still run to
-        completion, then the batcher and pool exit.  ``drain=False``:
-        queued requests resolve with a shutting-down rejection and the
-        pool stops after in-flight batches.  Idempotent.
+        completion — but only until ``timeout`` (the hard drain
+        deadline); whatever is still queued then resolves with a 503
+        ``draining`` rejection rather than waiting on a stalled batch
+        forever.  ``drain=False``: queued requests resolve with a
+        shutting-down rejection and the pool stops after in-flight
+        batches.  Returns once the batcher has exited (or the deadline
+        passed); a batch already on a worker may still be finishing in
+        the background.  Idempotent.
         """
         with self._cv:
             self._closed = True
             self._drain = drain
+            if drain and timeout is not None:
+                self._drain_deadline = self._clock() + timeout
             self._cv.notify_all()
         self._batcher.join(timeout=timeout)
-        self._pool.shutdown(wait=True)
+        if self._batcher.is_alive() or self._drain_expired():
+            # Past the deadline with work still in flight: do not block
+            # on it.  cancel_futures clears any not-yet-started batch.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            self._pool.shutdown(wait=True)
 
     def stats(self) -> dict:
         """Queue/batching counters for the ``/status`` endpoint."""
@@ -349,4 +391,5 @@ class SolveDispatcher:
                 "coalesced": self._coalesced,
                 "largest_batch": self._largest_batch,
                 "expired": self._expired,
+                "drain_rejected": self._drain_rejected,
             }

@@ -35,14 +35,18 @@ from ..durability.fingerprint import fingerprint_json
 
 __all__ = [
     "BadRequestError",
+    "EngineUnavailableError",
     "Rejection",
     "SolveWork",
     "REJECT_QUOTA",
     "REJECT_QUEUE_FULL",
     "REJECT_DEADLINE",
     "REJECT_SHUTTING_DOWN",
+    "REJECT_DRAINING",
+    "REJECT_ENGINE_UNAVAILABLE",
     "parse_solve_payload",
     "solve_request_key",
+    "campaign_request_key",
     "solution_json_dict",
 ]
 
@@ -54,10 +58,26 @@ REJECT_QUEUE_FULL = "queue_full"
 REJECT_DEADLINE = "deadline_exceeded"
 #: The service is draining for shutdown and admits nothing new.
 REJECT_SHUTTING_DOWN = "shutting_down"
+#: The drain deadline expired before this queued request could run.
+REJECT_DRAINING = "draining"
+#: The engine circuit breaker is open and no memoized result exists.
+REJECT_ENGINE_UNAVAILABLE = "engine_unavailable"
 
 
 class BadRequestError(ValueError):
     """A malformed request body; the message names the bad field."""
+
+
+class EngineUnavailableError(RuntimeError):
+    """The engine circuit breaker refused the call (degraded mode).
+
+    Raised on the worker path, mapped by the service to a structured
+    503 ``engine_unavailable`` rejection with a retry hint.
+    """
+
+    def __init__(self, retry_after_s: float | None = None) -> None:
+        super().__init__("engine circuit breaker is open")
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -126,6 +146,44 @@ def solve_request_key(
             "algorithm": algorithm,
             "engine": engine,
             "time_limit": time_limit,
+        }
+    )
+
+
+#: Campaign request fields that determine the executed campaign — the
+#: idempotency fingerprint is defined over exactly these (plus the
+#: server-side journal path, which changes what a replay resumes).
+CAMPAIGN_KEY_FIELDS = (
+    "app",
+    "nodes",
+    "ppn",
+    "iterations",
+    "solution",
+    "seed",
+    "engine",
+    "faults",
+    "data_dir",
+    "data_edge",
+    "workers",
+    "journal",
+)
+
+
+def campaign_request_key(payload: dict) -> str:
+    """The idempotency key of a campaign request.
+
+    Same canonical-JSON + CRC32C definition as
+    :func:`solve_request_key`, over every field that can change the
+    campaign's outcome.  ``tenant`` is deliberately excluded: two
+    tenants submitting the same campaign are still the same work.
+    """
+    return fingerprint_json(
+        {
+            "campaign": {
+                name: payload.get(name)
+                for name in CAMPAIGN_KEY_FIELDS
+                if payload.get(name) is not None
+            }
         }
     )
 

@@ -1,0 +1,295 @@
+"""Durable request ledger + chaos hooks: crash-recoverable serving.
+
+A SIGKILL between "request admitted" and "response recorded" must not
+lose the request — that is the same guarantee the campaign journal
+gives iterations, applied to the serving tier.  This module provides
+
+* :class:`RequestLedger` — a write-ahead log of admitted ``/solve`` and
+  ``/campaign`` requests in the journal's line format (canonical JSON,
+  per-line CRC32C, torn-tail truncation on open).  Every admitted
+  request appends an *open* record keyed by its idempotency key (the
+  canonical request fingerprint); its terminal response appends a
+  *close* record carrying the status and body.  On restart
+  :meth:`RequestLedger.incomplete` yields exactly the requests that
+  were admitted but never answered, in admission order, for the
+  service to replay.
+* :class:`ServiceChaos` — environment-armed crash points for the
+  serving tier (``REPRO_SERVICE_CRASH=point[:N]``), reusing the
+  durability layer's crash-handler machinery so tests can kill the
+  server at the three instants whose recovery behaviour differs:
+  ``post-admission`` (open record durable, nothing ran),
+  ``mid-dispatch`` (work executing), and ``pre-completion`` (result
+  durable in the memo cache, close record missing).  An optional
+  one-shot token file (``REPRO_SERVICE_CRASH_TOKEN``) makes a crash
+  fire exactly once across watchdog restarts instead of looping.
+
+``repro verify`` scrubs ledger files through
+:func:`repro.durability.verify_ledger` (kind ``ledger``, sniffed from
+the ``begin`` record's ``ledger_version`` stamp).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+from ..durability.crashpoints import SERVICE_CRASH_POINTS, trigger_crash
+from ..durability.journal import (
+    JournalError,
+    decode_record,
+    encode_record,
+    read_journal,
+)
+
+__all__ = ["LedgerEntry", "RequestLedger", "ServiceChaos"]
+
+LEDGER_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One admitted-but-unanswered request awaiting replay."""
+
+    key: str
+    kind: str  # "solve" | "campaign"
+    payload: dict
+
+
+class RequestLedger:
+    """Append-only write-ahead log of admitted service requests.
+
+    Record protocol (seq-numbered lines in the campaign-journal wire
+    format):
+
+    ``begin``
+        seq 0, ``{"ledger_version": 1}`` — identifies the file;
+    ``open``
+        ``{"key", "kind", "payload"}`` — appended after admission,
+        before execution; fsynced before the request proceeds;
+    ``close``
+        ``{"key", "status", "body"}`` — the request's terminal
+        response.  Only a 200 body is served verbatim to duplicate
+        submissions; non-200 closes just mark the entry settled so a
+        restart does not replay a request that was already answered.
+
+    Opening an existing ledger truncates a torn tail line (expected
+    crash damage) and raises :class:`~repro.durability.JournalError`
+    on damage anywhere earlier.  All methods are thread-safe.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, fsync: bool = True) -> None:
+        self.path = os.fspath(path)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._open: dict[str, LedgerEntry] = {}
+        self._closed: dict[str, tuple[int, dict]] = {}
+        self._order: list[str] = []  # open order, for deterministic replay
+        self._seq = 0
+        self._recovered_torn = False
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if os.path.exists(self.path):
+            self._load()
+        else:
+            self._fh = open(self.path, "ab")
+            self._append("begin", {"ledger_version": LEDGER_VERSION})
+
+    def _load(self) -> None:
+        records, good_bytes, torn = read_journal(self.path)
+        if not records:
+            raise JournalError(
+                f"ledger {self.path}: no intact records "
+                f"(delete the file to start fresh)"
+            )
+        first = records[0]
+        if (
+            first["type"] != "begin"
+            or first["data"].get("ledger_version") != LEDGER_VERSION
+        ):
+            raise JournalError(
+                f"ledger {self.path}: not a version-{LEDGER_VERSION} "
+                f"request ledger (first record: {first['type']!r})"
+            )
+        for record in records[1:]:
+            kind, data = record["type"], record["data"]
+            key = data.get("key")
+            if kind == "open" and isinstance(key, str):
+                self._open[key] = LedgerEntry(
+                    key=key,
+                    kind=data.get("kind", "solve"),
+                    payload=data.get("payload") or {},
+                )
+                self._order.append(key)
+            elif kind == "close" and isinstance(key, str):
+                self._closed[key] = (data.get("status", 200), data.get("body"))
+                self._open.pop(key, None)
+            else:
+                raise JournalError(
+                    f"ledger {self.path} seq {record['seq']}: unexpected "
+                    f"record type {kind!r}"
+                )
+        self._seq = len(records)
+        self._recovered_torn = torn
+        if torn:
+            # Same recovery move as journal resume: a torn tail is
+            # expected crash damage — cut it so appends stay aligned.
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_bytes)
+        self._fh = open(self.path, "ab")
+
+    # ------------------------------------------------------------------
+    def _append(self, type: str, data: dict) -> None:
+        """Append one record durably (caller need not hold the lock
+        for the encode — the write itself is serialized)."""
+        line = encode_record(self._seq, type, data)
+        self._seq += 1
+        self._fh.write(line)
+        self._fh.flush()
+        if self._fsync:
+            os.fsync(self._fh.fileno())
+
+    def record_open(self, key: str, kind: str, payload: dict) -> bool:
+        """Admit ``key`` into the ledger; False if it is already known
+        (open or settled) — the caller coalesces instead of re-logging."""
+        with self._lock:
+            if self._fh is None or key in self._open or key in self._closed:
+                return False
+            entry = LedgerEntry(key=key, kind=kind, payload=payload)
+            self._append(
+                "open", {"key": key, "kind": kind, "payload": payload}
+            )
+            self._open[key] = entry
+            self._order.append(key)
+            return True
+
+    def record_close(self, key: str, status: int, body: dict) -> bool:
+        """Settle ``key`` with its terminal response; False when the
+        key has no open entry (nothing to settle)."""
+        with self._lock:
+            if self._fh is None or key not in self._open or key in self._closed:
+                return False
+            self._append(
+                "close", {"key": key, "status": status, "body": body}
+            )
+            self._closed[key] = (status, body)
+            del self._open[key]
+            return True
+
+    def is_open(self, key: str) -> bool:
+        with self._lock:
+            return key in self._open
+
+    def closed_body(self, key: str) -> tuple[int, dict] | None:
+        """The recorded ``(status, body)`` of a settled key, or None."""
+        with self._lock:
+            return self._closed.get(key)
+
+    def incomplete(self) -> list[LedgerEntry]:
+        """Admitted-but-unanswered entries, in admission order."""
+        with self._lock:
+            return [
+                self._open[key] for key in self._order if key in self._open
+            ]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """A JSON-safe snapshot for the ``/status`` endpoint."""
+        with self._lock:
+            return {
+                "path": self.path,
+                "open": len(self._open),
+                "closed": len(self._closed),
+                "records": self._seq,
+                "recovered_torn_tail": self._recovered_torn,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "RequestLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _read_ledger(path: str | os.PathLike):
+    """(records, torn) of a ledger file — test/tooling convenience."""
+    records, _, torn = read_journal(path)
+    return records, torn
+
+
+class ServiceChaos:
+    """Environment-armed crash points on the service request path.
+
+    ``REPRO_SERVICE_CRASH=mid-dispatch`` crashes the process (hard, via
+    the durability crash handler: ``os._exit(137)``) the first time the
+    named point is hit; ``mid-dispatch:3`` the third time.  With
+    ``REPRO_SERVICE_CRASH_TOKEN=/path/to/token`` the crash additionally
+    requires the token file to exist and consumes (unlinks) it first —
+    so a supervised restart of the same environment does not crash
+    again, which is exactly what the watchdog end-to-end test needs.
+
+    Unarmed (the default), :meth:`hit` only counts, adding zero
+    branches beyond a dict lookup to the hot path.
+    """
+
+    def __init__(
+        self,
+        point: str | None = None,
+        at_hit: int = 1,
+        token_path: str | None = None,
+    ) -> None:
+        if point is not None and point not in SERVICE_CRASH_POINTS:
+            raise ValueError(
+                f"unknown service crash point {point!r} "
+                f"(valid: {', '.join(SERVICE_CRASH_POINTS)})"
+            )
+        if at_hit < 1:
+            raise ValueError(f"crash hit count must be >= 1, got {at_hit!r}")
+        self.point = point
+        self.at_hit = at_hit
+        self.token_path = token_path
+        self._lock = threading.Lock()
+        self._hits: dict[str, int] = {p: 0 for p in SERVICE_CRASH_POINTS}
+
+    @classmethod
+    def from_env(cls, environ=None) -> "ServiceChaos":
+        environ = os.environ if environ is None else environ
+        spec = environ.get("REPRO_SERVICE_CRASH")
+        token = environ.get("REPRO_SERVICE_CRASH_TOKEN")
+        if not spec:
+            return cls(None)
+        point, _, count = spec.partition(":")
+        return cls(
+            point.strip(),
+            at_hit=int(count) if count else 1,
+            token_path=token or None,
+        )
+
+    @property
+    def armed(self) -> bool:
+        return self.point is not None
+
+    def hit(self, point: str) -> None:
+        """Mark one pass through ``point``; crashes when armed for it."""
+        with self._lock:
+            self._hits[point] = self._hits.get(point, 0) + 1
+            count = self._hits[point]
+        if self.point != point or count != self.at_hit:
+            return
+        if self.token_path is not None:
+            try:
+                os.unlink(self.token_path)
+            except FileNotFoundError:
+                return  # token already consumed: crash exactly once
+        trigger_crash(point, count)
+
+    def hits(self, point: str) -> int:
+        with self._lock:
+            return self._hits.get(point, 0)

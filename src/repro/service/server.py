@@ -33,6 +33,7 @@ import contextlib
 import json
 from concurrent.futures import Future
 
+from ..durability.atomic import atomic_write_text
 from .protocol import BadRequestError
 from .service import SchedulingService
 
@@ -68,10 +69,19 @@ class ServiceServer:
         service: SchedulingService,
         host: str = "127.0.0.1",
         port: int = 8742,
+        *,
+        heartbeat_path: str | None = None,
+        heartbeat_interval_s: float = 1.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: While serving, refreshed every ``heartbeat_interval_s`` from
+        #: the event loop — so a wedged loop (livelock) stops the file
+        #: from advancing and the watchdog notices, even though the
+        #: process is alive and the socket still accepts connections.
+        self.heartbeat_path = heartbeat_path
+        self.heartbeat_interval_s = heartbeat_interval_s
         #: Set once the listening socket is bound; carries the actual
         #: (host, port) — useful with ``port=0``.
         self.bound: tuple[str, int] | None = None
@@ -96,13 +106,34 @@ class ServiceServer:
         self.bound = (sock[0], sock[1])
         for callback in self._on_bound:
             callback(*self.bound)
-        async with server:
-            await self._shutdown_requested.wait()
+        heartbeat = (
+            asyncio.ensure_future(self._heartbeat_loop())
+            if self.heartbeat_path is not None
+            else None
+        )
+        try:
+            async with server:
+                await self._shutdown_requested.wait()
+        finally:
+            if heartbeat is not None:
+                heartbeat.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await heartbeat
         # Socket closed: drain the core off the event loop so queued
         # solves and in-flight campaigns finish (journals flush).
         await asyncio.get_running_loop().run_in_executor(
             None, self.service.shutdown
         )
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            with contextlib.suppress(OSError):
+                # No fsync: the heartbeat only needs a fresh mtime, and
+                # an fsync per beat would thrash the disk for nothing.
+                atomic_write_text(
+                    self.heartbeat_path, f"{self.bound}\n", fsync=False
+                )
+            await asyncio.sleep(self.heartbeat_interval_s)
 
     # ------------------------------------------------------------------
     async def _handle_connection(
@@ -127,8 +158,10 @@ class ServiceServer:
                     return
                 if request is None:
                     return  # client closed the connection
-                method, path, body = request
-                status, payload = await self._route(method, path, body)
+                method, path, body, headers = request
+                status, payload = await self._route(
+                    method, path, body, headers
+                )
                 await self._respond(writer, status, payload)
                 if self._shutdown_requested.is_set():
                     return
@@ -183,9 +216,12 @@ class ServiceServer:
                 f"{MAX_BODY_BYTES} limit",
             )
         body = await reader.readexactly(length) if length else b""
-        return method, path, body
+        return method, path, body, headers
 
-    async def _route(self, method: str, path: str, body: bytes):
+    async def _route(
+        self, method: str, path: str, body: bytes, headers: dict | None = None
+    ):
+        headers = headers or {}
         path = path.split("?", 1)[0]
         if method == "GET" and path == "/health":
             return 200, self.service.health_payload()
@@ -205,6 +241,12 @@ class ServiceServer:
                         "message": f"request body is not valid JSON: {exc}",
                     },
                 }
+            idem_key = headers.get("x-idempotency-key")
+            if idem_key and isinstance(payload, dict):
+                # The retry header wins over any body-level key: the
+                # client keeps it stable across resubmissions, which is
+                # what makes retried requests exactly-once.
+                payload["idempotency_key"] = idem_key
             begin = (
                 self.service.begin_solve
                 if path == "/solve"
@@ -262,15 +304,24 @@ def serve_forever(
     *,
     on_bound=None,
     install_signal_handlers: bool = False,
+    heartbeat_path: str | None = None,
+    heartbeat_interval_s: float = 1.0,
 ) -> None:
     """Blocking entry point: serve until a shutdown request, then drain.
 
     ``on_bound(host, port)`` fires once the socket listens (the CLI
     prints the listening line from it; tests grab the ephemeral port).
     With ``install_signal_handlers`` SIGINT/SIGTERM trigger the same
-    graceful drain as ``POST /shutdown``.
+    graceful drain as ``POST /shutdown``.  ``heartbeat_path`` arms the
+    liveness file the watchdog (``repro serve --supervised``) watches.
     """
-    server = ServiceServer(service, host=host, port=port)
+    server = ServiceServer(
+        service,
+        host=host,
+        port=port,
+        heartbeat_path=heartbeat_path,
+        heartbeat_interval_s=heartbeat_interval_s,
+    )
     if on_bound is not None:
         server.add_bound_callback(on_bound)
 

@@ -27,25 +27,31 @@ log.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..core.solve import solve
+from ..resilience.breaker import CircuitBreaker
 from ..telemetry import NULL_TRACER, NullTracer
 from .admission import AdmissionController
 from .cache import MemoCache
 from .dispatch import DispatchOutcome, SolveDispatcher
 from .protocol import (
+    REJECT_ENGINE_UNAVAILABLE,
     REJECT_QUEUE_FULL,
     REJECT_SHUTTING_DOWN,
     BadRequestError,
+    EngineUnavailableError,
     Rejection,
     SolveWork,
+    campaign_request_key,
     parse_solve_payload,
     solution_json_dict,
 )
+from .recovery import RequestLedger, ServiceChaos
 
 __all__ = ["ServiceConfig", "SchedulingService"]
 
@@ -70,6 +76,16 @@ class ServiceConfig:
         campaign_workers: threads for campaign requests (they bypass
             the solve batcher — campaigns do not batch).
         campaign_cost: admission tokens one campaign request costs.
+        ledger_path: optional write-ahead request ledger; admitted
+            requests are journaled and replayed after a crash (see
+            :mod:`repro.service.recovery`).
+        drain_deadline_s: hard cap on graceful-drain time; queued
+            requests past it get a 503 ``draining`` rejection.
+        breaker_threshold: circuit-breaker failure-rate threshold for
+            the engine and disk-cache breakers.
+        breaker_window: sliding outcome window of those breakers.
+        breaker_min_calls: samples required before a breaker may open.
+        breaker_cooldown_s: open-state cooldown before a probe call.
     """
 
     workers: int = 2
@@ -83,6 +99,12 @@ class ServiceConfig:
     tenant_quotas: dict = field(default_factory=dict)
     campaign_workers: int = 1
     campaign_cost: float = 4.0
+    ledger_path: str | None = None
+    drain_deadline_s: float = 30.0
+    breaker_threshold: float = 0.5
+    breaker_window: int = 8
+    breaker_min_calls: int = 4
+    breaker_cooldown_s: float = 5.0
 
     def __post_init__(self) -> None:
         def bad(name: str, requirement: str) -> ValueError:
@@ -109,6 +131,16 @@ class ServiceConfig:
             raise bad("campaign_workers", "must be >= 1")
         if self.campaign_cost <= 0:
             raise bad("campaign_cost", "must be > 0")
+        if self.drain_deadline_s <= 0:
+            raise bad("drain_deadline_s", "must be > 0")
+        if not 0.0 < self.breaker_threshold <= 1.0:
+            raise bad("breaker_threshold", "must be in (0, 1]")
+        if self.breaker_window < 1:
+            raise bad("breaker_window", "must be >= 1")
+        if self.breaker_min_calls < 1:
+            raise bad("breaker_min_calls", "must be >= 1")
+        if self.breaker_cooldown_s <= 0:
+            raise bad("breaker_cooldown_s", "must be > 0")
 
 
 class SchedulingService:
@@ -131,9 +163,16 @@ class SchedulingService:
         self.config = config or ServiceConfig()
         self.tracer = tracer
         self._clock = clock
+        self.engine_breaker = self._make_breaker("engine", clock)
+        self.disk_breaker = self._make_breaker("disk_cache", clock)
         self.cache = MemoCache(
             capacity=self.config.cache_size,
             cache_dir=self.config.cache_dir,
+            breaker=(
+                self.disk_breaker
+                if self.config.cache_dir is not None
+                else None
+            ),
         )
         self.admission = AdmissionController(
             rate=self.config.quota_rate,
@@ -162,32 +201,72 @@ class SchedulingService:
             "cache_hits": 0,
             "rejected": 0,
             "errors": 0,
+            "coalesced": 0,
+            "ledger_hits": 0,
+            "replayed": 0,
         }
+        self._inflight: dict[str, Future] = {}
+        self.ledger = (
+            RequestLedger(self.config.ledger_path)
+            if self.config.ledger_path is not None
+            else None
+        )
+        self.chaos = ServiceChaos.from_env()
         self._draining = False
         self._started_at = clock()
+
+    def _make_breaker(self, name: str, clock) -> CircuitBreaker:
+        def emit(old: str, new: str) -> None:
+            if self.tracer.enabled:
+                self.tracer.counter(f"service.breaker.{name}.{new}").inc()
+
+        return CircuitBreaker(
+            name,
+            failure_threshold=self.config.breaker_threshold,
+            window=self.config.breaker_window,
+            min_calls=self.config.breaker_min_calls,
+            cooldown_s=self.config.breaker_cooldown_s,
+            clock=clock,
+            on_transition=emit,
+        )
 
     # ------------------------------------------------------------------
     # solve path
     # ------------------------------------------------------------------
     def _solve_work(self, work: SolveWork) -> dict:
         """Run one solver call on a dispatcher worker (thread-safe)."""
-        result = solve(
-            work.instance,
-            work.algorithm,
-            tracer=self.tracer,
-            time_limit=work.time_limit,
-            engine=work.engine,
-        )
+        self.chaos.hit("mid-dispatch")
+        if not self.engine_breaker.allow():
+            raise EngineUnavailableError(self.engine_breaker.retry_after_s())
+        try:
+            result = solve(
+                work.instance,
+                work.algorithm,
+                tracer=self.tracer,
+                time_limit=work.time_limit,
+                engine=work.engine,
+            )
+        except Exception:
+            self.engine_breaker.record_failure()
+            raise
+        self.engine_breaker.record_success()
         return solution_json_dict(result)
 
-    def begin_solve(self, payload: dict):
-        """Handle a solve request; immediate pair or pending future."""
+    def begin_solve(self, payload: dict, *, _replay: bool = False):
+        """Handle a solve request; immediate pair or pending future.
+
+        ``_replay`` marks a ledger-recovery re-submission: the request
+        already paid admission before the crash, so the token-bucket
+        charge is skipped and its existing ``open`` record is reused.
+        """
         t0 = time.perf_counter()
         request_id = self._next_request_id("solve")
         try:
             work = parse_solve_payload(payload)
         except BadRequestError as exc:
             return self._bad_request(request_id, t0, str(exc))
+
+        idem_key = self._idempotency_key(payload, work.key)
 
         if work.use_cache:
             cached = self.cache.get(work.key)
@@ -203,13 +282,51 @@ class SchedulingService:
                     status=200,
                     key=work.key,
                 )
-                return 200, self._solve_body(
-                    request_id, work, cached, cache="hit"
-                )
+                body = self._solve_body(request_id, work, cached, cache="hit")
+                # A crash may have lost the close record while the
+                # result survived in the durable cache tier — settle
+                # the ledger entry now (no-op when none is open).
+                self._ledger_close(idem_key, 200, body)
+                return 200, body
+
+        recorded = self._ledger_replayable(idem_key)
+        if recorded is not None:
+            with self._lock:
+                self._counts["ledger_hits"] += 1
+            self._request_span(
+                t0,
+                endpoint="solve",
+                request_id=request_id,
+                tenant=work.tenant,
+                cache="ledger",
+                status=recorded[0],
+                key=work.key,
+            )
+            return recorded
+
         cache_outcome = "miss" if work.use_cache else "bypass"
 
-        rejection = self._admit(work.tenant, cost=1.0)
+        # Duplicate in-flight submissions with the same idempotency key
+        # coalesce onto the one pending future — one execution, many
+        # waiters.
+        with self._lock:
+            existing = self._inflight.get(idem_key)
+            if existing is not None:
+                self._counts["coalesced"] += 1
+                return existing
+
+        rejection = None if _replay else self._admit(work.tenant, cost=1.0)
+        if rejection is None and self.engine_breaker.state == "open":
+            # Degraded mode: the engine is known-broken and nothing is
+            # memoized for this request — refuse fast with an honest
+            # retry hint instead of queueing doomed work.
+            rejection = self._engine_unavailable_rejection()
         if rejection is None:
+            # Write-ahead: the open record lands *before* the work is
+            # queued, so no admitted request can crash into the gap
+            # between enqueue and journal.
+            self._ledger_open(idem_key, "solve", payload)
+            self.chaos.hit("post-admission")
             try:
                 future = self.dispatcher.try_submit(work)
             except RuntimeError:
@@ -226,16 +343,33 @@ class SchedulingService:
                         retry_after_s=0.05,
                     )
         if rejection is not None:
-            return self._rejected(
+            result = self._rejected(
                 request_id, t0, work.tenant, cache_outcome, rejection
             )
+            # Settle any open record (a no-op when the rejection came
+            # before the ledger write): a refused request must not be
+            # replayed as if it were admitted.
+            self._ledger_close(idem_key, result[0], result[1])
+            return result
 
         # Pending: translate the dispatch outcome into a response once
         # the worker completes it.
         response: Future = Future()
+        self._register_inflight(idem_key, response)
 
         def _complete(done: Future) -> None:
             exc = done.exception()
+            if isinstance(exc, EngineUnavailableError):
+                result = self._rejected(
+                    request_id,
+                    t0,
+                    work.tenant,
+                    cache_outcome,
+                    self._engine_unavailable_rejection(exc.retry_after_s),
+                )
+                self._ledger_close(idem_key, result[0], result[1])
+                response.set_result(result)
+                return
             if exc is not None:
                 with self._lock:
                     self._counts["errors"] += 1
@@ -248,36 +382,34 @@ class SchedulingService:
                     status=500,
                     key=work.key,
                 )
-                response.set_result(
-                    (
-                        500,
-                        {
-                            "ok": False,
-                            "request_id": request_id,
-                            "tenant": work.tenant,
-                            "error": {
-                                "code": "internal_error",
-                                "message": f"{type(exc).__name__}: {exc}",
-                            },
-                        },
-                    )
-                )
+                body = {
+                    "ok": False,
+                    "request_id": request_id,
+                    "tenant": work.tenant,
+                    "error": {
+                        "code": "internal_error",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    },
+                }
+                self._ledger_close(idem_key, 500, body)
+                response.set_result((500, body))
                 return
             outcome: DispatchOutcome = done.result()
             if outcome.rejection is not None:
-                response.set_result(
-                    self._rejected(
-                        request_id,
-                        t0,
-                        work.tenant,
-                        cache_outcome,
-                        outcome.rejection,
-                        queue_wait_s=outcome.queue_wait_s,
-                    )
+                result = self._rejected(
+                    request_id,
+                    t0,
+                    work.tenant,
+                    cache_outcome,
+                    outcome.rejection,
+                    queue_wait_s=outcome.queue_wait_s,
                 )
+                self._ledger_close(idem_key, result[0], result[1])
+                response.set_result(result)
                 return
             if work.use_cache:
                 self.cache.put(work.key, outcome.solution)
+            self.chaos.hit("pre-completion")
             self._request_span(
                 t0,
                 endpoint="solve",
@@ -290,22 +422,23 @@ class SchedulingService:
                 solve_s=outcome.solve_s,
                 batch_size=outcome.batch_size,
             )
-            response.set_result(
-                (
-                    200,
-                    self._solve_body(
-                        request_id,
-                        work,
-                        outcome.solution,
-                        cache=cache_outcome,
-                        timing={
-                            "queue_wait_s": round(outcome.queue_wait_s, 6),
-                            "solve_s": round(outcome.solve_s, 6),
-                            "batch_size": outcome.batch_size,
-                        },
-                    ),
-                )
+            body = self._solve_body(
+                request_id,
+                work,
+                outcome.solution,
+                cache=cache_outcome,
+                timing={
+                    "queue_wait_s": round(outcome.queue_wait_s, 6),
+                    "solve_s": round(outcome.solve_s, 6),
+                    "batch_size": outcome.batch_size,
+                },
             )
+            # Close record *after* the durable cache store: whatever
+            # instant a crash lands, replay either finds the memoized
+            # result (no re-execution) or safely re-runs an
+            # unfinished solve.
+            self._ledger_close(idem_key, 200, body)
+            response.set_result((200, body))
 
         future.add_done_callback(_complete)
         return response
@@ -340,8 +473,14 @@ class SchedulingService:
     # ------------------------------------------------------------------
     # campaign path
     # ------------------------------------------------------------------
-    def begin_campaign(self, payload: dict):
-        """Handle a campaign request; immediate pair or pending future."""
+    def begin_campaign(self, payload: dict, *, _replay: bool = False):
+        """Handle a campaign request; immediate pair or pending future.
+
+        ``_replay`` marks a ledger-recovery re-submission: admission is
+        skipped, and a journaled campaign resumes its existing journal
+        via the ``--resume`` machinery instead of restarting from
+        iteration zero.
+        """
         t0 = time.perf_counter()
         request_id = self._next_request_id("campaign")
         if not isinstance(payload, dict):
@@ -358,24 +497,67 @@ class SchedulingService:
         except (TypeError, ValueError) as exc:
             return self._bad_request(request_id, t0, str(exc))
 
+        idem_key = self._idempotency_key(
+            payload, campaign_request_key(payload)
+        )
+        recorded = self._ledger_replayable(idem_key)
+        if recorded is not None:
+            with self._lock:
+                self._counts["ledger_hits"] += 1
+            self._request_span(
+                t0,
+                endpoint="campaign",
+                request_id=request_id,
+                tenant=tenant,
+                cache="ledger",
+                status=recorded[0],
+            )
+            return recorded
+
+        with self._lock:
+            existing = self._inflight.get(idem_key)
+            if existing is not None:
+                self._counts["coalesced"] += 1
+                return existing
+
         if self._draining:
             return self._rejected(
                 request_id, t0, tenant, "bypass", self._draining_rejection()
             )
-        rejection = self._admit(tenant, cost=self.config.campaign_cost)
-        if rejection is not None:
-            return self._rejected(request_id, t0, tenant, "bypass", rejection)
+        if not _replay:
+            rejection = self._admit(tenant, cost=self.config.campaign_cost)
+            if rejection is not None:
+                return self._rejected(
+                    request_id, t0, tenant, "bypass", rejection
+                )
+
+        self._ledger_open(idem_key, "campaign", payload)
+        self.chaos.hit("post-admission")
 
         response: Future = Future()
+        self._register_inflight(idem_key, response)
 
         def _run() -> None:
             from ..engines import run_campaign
 
+            self.chaos.hit("mid-dispatch")
+            if not self.engine_breaker.allow():
+                result = self._rejected(
+                    request_id,
+                    t0,
+                    tenant,
+                    "bypass",
+                    self._engine_unavailable_rejection(),
+                )
+                self._ledger_close(idem_key, result[0], result[1])
+                response.set_result(result)
+                return
             try:
-                report = run_campaign(
-                    spec, journal_path=journal_path, tracer=self.tracer
+                report = self._run_campaign_or_resume(
+                    run_campaign, spec, journal_path, replay=_replay
                 )
             except BaseException as exc:
+                self.engine_breaker.record_failure()
                 with self._lock:
                     self._counts["errors"] += 1
                 self._request_span(
@@ -386,25 +568,24 @@ class SchedulingService:
                     cache="bypass",
                     status=500,
                 )
-                response.set_result(
-                    (
-                        500,
-                        {
-                            "ok": False,
-                            "request_id": request_id,
-                            "tenant": tenant,
-                            "error": {
-                                "code": "campaign_failed",
-                                "message": f"{type(exc).__name__}: {exc}",
-                            },
-                        },
-                    )
-                )
+                body = {
+                    "ok": False,
+                    "request_id": request_id,
+                    "tenant": tenant,
+                    "error": {
+                        "code": "campaign_failed",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    },
+                }
+                self._ledger_close(idem_key, 500, body)
+                response.set_result((500, body))
                 return
+            self.engine_breaker.record_success()
             summary = self._campaign_summary(report, journal_path)
             # Flushes and closes the write-ahead journal: after this,
             # every record is durable on disk.
             report.close()
+            self.chaos.hit("pre-completion")
             self._request_span(
                 t0,
                 endpoint="campaign",
@@ -414,20 +595,47 @@ class SchedulingService:
                 status=200,
                 solve_s=report.wall_time_s,
             )
-            response.set_result(
-                (
-                    200,
-                    {
-                        "ok": True,
-                        "request_id": request_id,
-                        "tenant": tenant,
-                        "campaign": summary,
-                    },
-                )
-            )
+            body = {
+                "ok": True,
+                "request_id": request_id,
+                "tenant": tenant,
+                "campaign": summary,
+            }
+            # Close record after the campaign journal is durable: a
+            # crash landing between the two replays the campaign, and
+            # the journal resume skips all committed iterations.
+            self._ledger_close(idem_key, 200, body)
+            response.set_result((200, body))
 
         self._campaign_pool.submit(_run)
         return response
+
+    def _run_campaign_or_resume(
+        self, run_campaign, spec, journal_path, *, replay: bool
+    ):
+        """Run a campaign, resuming its journal on ledger replay.
+
+        A replayed journaled campaign picks up the committed prefix via
+        the standard ``--resume`` machinery; a journal that is missing
+        (crash before creation) or unusable (torn beyond the tail,
+        already complete with its report withheld) falls back to a
+        fresh run — both paths converge to the same deterministic
+        result.
+        """
+        from ..durability import JournalError
+
+        if replay and journal_path is not None and os.path.exists(journal_path):
+            try:
+                return run_campaign(
+                    resume_path=journal_path, tracer=self.tracer
+                )
+            except JournalError:
+                # Unusable journal: rerun from scratch under a fresh
+                # journal file (determinism makes that equivalent).
+                os.unlink(journal_path)
+        return run_campaign(
+            spec, journal_path=journal_path, tracer=self.tracer
+        )
 
     def campaign(self, payload: dict, timeout: float | None = 300.0):
         """Blocking convenience around :meth:`begin_campaign`."""
@@ -458,7 +666,7 @@ class SchedulingService:
             if k in known and v is not None
         }
         unknown = (
-            set(payload) - known - {"tenant", "journal"}
+            set(payload) - known - {"tenant", "journal", "idempotency_key"}
         )
         if unknown:
             raise ValueError(
@@ -494,6 +702,100 @@ class SchedulingService:
                 "compressed_bytes": data.compressed_bytes,
                 "workers": data.workers,
             }
+        return summary
+
+    # ------------------------------------------------------------------
+    # ledger / recovery plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _idempotency_key(payload: dict, default: str) -> str:
+        """The request's ledger key: an explicit ``idempotency_key``
+        field (the client's retry header) or the canonical fingerprint."""
+        raw = payload.get("idempotency_key") if isinstance(payload, dict) else None
+        return raw if isinstance(raw, str) and raw else default
+
+    def _ledger_open(self, key: str, kind: str, payload: dict) -> None:
+        if self.ledger is not None:
+            payload = {
+                k: v for k, v in payload.items() if k != "idempotency_key"
+            }
+            self.ledger.record_open(key, kind, payload)
+
+    def _ledger_close(self, key: str, status: int, body) -> None:
+        if self.ledger is not None:
+            self.ledger.record_close(key, status, body)
+
+    def _ledger_replayable(self, key: str) -> tuple[int, dict] | None:
+        """A recorded 200 response for ``key``, served verbatim to a
+        duplicate submission (exactly-once for retried requests)."""
+        if self.ledger is None:
+            return None
+        recorded = self.ledger.closed_body(key)
+        if (
+            recorded is not None
+            and recorded[0] == 200
+            and isinstance(recorded[1], dict)
+        ):
+            return recorded[0], recorded[1]
+        return None
+
+    def _register_inflight(self, key: str, response: Future) -> None:
+        with self._lock:
+            self._inflight[key] = response
+
+        def _unregister(done: Future) -> None:
+            with self._lock:
+                if self._inflight.get(key) is done:
+                    del self._inflight[key]
+
+        response.add_done_callback(_unregister)
+
+    def _engine_unavailable_rejection(
+        self, retry_after_s: float | None = None
+    ) -> Rejection:
+        if retry_after_s is None:
+            retry_after_s = self.engine_breaker.retry_after_s()
+        return Rejection(
+            code=REJECT_ENGINE_UNAVAILABLE,
+            message=(
+                "engine circuit breaker is open; only memoized "
+                "results are served"
+            ),
+            http_status=503,
+            retry_after_s=retry_after_s,
+        )
+
+    def recover(self, timeout: float | None = 300.0) -> dict:
+        """Replay every admitted-but-unanswered ledger entry.
+
+        Called once at startup, before the server accepts traffic.
+        Each incomplete entry re-enters the normal request path with
+        admission skipped (it was already paid before the crash);
+        solves converge through the memo cache, journaled campaigns
+        resume their journal.  Returns a JSON-safe summary.
+        """
+        summary = {"replayed": 0, "solve": 0, "campaign": 0, "failed": 0}
+        if self.ledger is None:
+            return summary
+        for entry in self.ledger.incomplete():
+            payload = dict(entry.payload)
+            payload["idempotency_key"] = entry.key
+            begin = (
+                self.begin_campaign
+                if entry.kind == "campaign"
+                else self.begin_solve
+            )
+            with self._lock:
+                self._counts["replayed"] += 1
+            summary["replayed"] += 1
+            summary[entry.kind] = summary.get(entry.kind, 0) + 1
+            pending = begin(payload, _replay=True)
+            if isinstance(pending, Future):
+                status, _ = pending.result(timeout=timeout)
+            else:
+                status, _ = pending
+            if status != 200:
+                summary["failed"] += 1
         return summary
 
     # ------------------------------------------------------------------
@@ -568,32 +870,54 @@ class SchedulingService:
     # status / lifecycle
     # ------------------------------------------------------------------
     def health_payload(self) -> dict:
-        """The ``/health`` body: liveness plus drain state."""
-        return {"ok": True, "draining": self._draining}
+        """The ``/health`` body: liveness, drain state, breaker states."""
+        return {
+            "ok": True,
+            "draining": self._draining,
+            "breakers": {
+                "engine": self.engine_breaker.state,
+                "disk_cache": self.disk_breaker.state,
+            },
+        }
 
     def status_payload(self) -> dict:
         """The ``/status`` body: every counter the service keeps."""
         with self._lock:
             counts = dict(self._counts)
             requests = self._requests
+            inflight = len(self._inflight)
         return {
             "ok": True,
             "uptime_s": round(self._clock() - self._started_at, 3),
             "draining": self._draining,
             "requests": dict(counts, total=requests),
+            "inflight": inflight,
             "cache": self.cache.stats(),
             "admission": self.admission.stats(),
             "queue": self.dispatcher.stats(),
+            "breakers": {
+                "engine": self.engine_breaker.stats(),
+                "disk_cache": self.disk_breaker.stats(),
+            },
+            "ledger": (
+                self.ledger.stats() if self.ledger is not None else None
+            ),
         }
 
     def shutdown(self, drain: bool = True) -> None:
         """Stop the service; with ``drain`` the queue empties first.
 
         Graceful shutdown admits nothing new (503 ``shutting_down``),
-        lets queued solves and in-flight campaigns finish, and — because
-        campaign completion closes each write-ahead journal — leaves
+        lets queued solves and in-flight campaigns finish — up to the
+        configured hard drain deadline, past which still-queued solves
+        resolve with a 503 ``draining`` rejection — and, because
+        campaign completion closes each write-ahead journal, leaves
         every journal flushed and durable.  Idempotent.
         """
         self._draining = True
-        self.dispatcher.shutdown(drain=drain)
+        self.dispatcher.shutdown(
+            drain=drain, timeout=self.config.drain_deadline_s
+        )
         self._campaign_pool.shutdown(wait=drain)
+        if self.ledger is not None:
+            self.ledger.close()

@@ -127,3 +127,68 @@ class TestAdmissionController:
         assert stats["tenants"]["alice"]["admitted"] == 1
         assert stats["tenants"]["alice"]["rejected"] == 1
         assert stats["tenants"]["alice"]["tokens"] == 0.0
+
+
+class TestTokenBucketEdges:
+    """Clock-jump and boundary behaviour, all under the fake clock."""
+
+    def test_large_clock_jump_caps_refill_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        assert bucket.try_take(5.0)  # empty it
+        clock.advance(1e9)  # a month of suspend, an NTP step...
+        assert bucket.tokens == pytest.approx(5.0)  # not 1e10
+        assert bucket.try_take(5.0)
+        assert not bucket.try_take()
+
+    def test_backwards_clock_does_not_refund_or_crash(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_take(2.0)
+        clock.now -= 50.0  # monotonic clocks should not do this, but
+        assert not bucket.try_take()  # no phantom tokens appear
+        clock.now += 51.0  # net +1s from the take
+        assert bucket.try_take()
+
+    def test_burst_exactly_exhausted(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=3.0, clock=clock)
+        assert bucket.try_take(3.0)  # cost == burst admits
+        assert bucket.tokens == pytest.approx(0.0)
+        assert not bucket.try_take(1e-6)
+
+    def test_cost_a_hair_over_burst_never_admits(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.advance(1000.0)
+        assert not bucket.try_take(3.001)
+        assert bucket.retry_after_s(3.001) is None  # unreachable forever
+
+    def test_zero_rate_tenant_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=2.0, clock=clock)
+        assert bucket.try_take(2.0)
+        clock.advance(1e6)
+        assert not bucket.try_take()
+        assert bucket.retry_after_s() is None
+
+    def test_retry_after_is_exact_under_fake_clock(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=2.0, clock=clock)
+        assert bucket.try_take(2.0)
+        assert bucket.retry_after_s(2.0) == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert bucket.retry_after_s(2.0) == pytest.approx(0.25)
+        clock.advance(0.25)
+        assert bucket.retry_after_s(2.0) == pytest.approx(0.0)
+        assert bucket.try_take(2.0)
+
+    def test_fractional_refill_accumulates(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.1, burst=1.0, clock=clock)
+        assert bucket.try_take()
+        for _ in range(9):
+            clock.advance(1.0)
+            assert not bucket.try_take()
+        clock.advance(1.0)  # 10s x 0.1/s = 1 token
+        assert bucket.try_take()

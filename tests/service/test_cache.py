@@ -100,3 +100,110 @@ class TestDiskTier:
         for i in range(5):
             cache.put(f"k{i}", SOLUTION_A)
         assert find_stale_temps(tmp_path) == []
+
+
+class TestStaleTempSweep:
+    def test_open_removes_crashed_writer_temps(self, tmp_path):
+        from repro.durability import temp_path_for
+
+        # What a SIGKILL'd DurableFile writer leaves behind.
+        for i in range(3):
+            with open(temp_path_for(tmp_path / f"k{i}.json"), "w") as fh:
+                fh.write("partial")
+        (tmp_path / "keep.json").write_text("{}")
+        cache = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        from repro.durability import find_stale_temps
+
+        assert find_stale_temps(tmp_path) == []
+        assert (tmp_path / "keep.json").exists()  # real entries untouched
+        assert cache.stats()["stale_temps_removed"] == 3
+
+    def test_clean_directory_sweeps_nothing(self, tmp_path):
+        cache = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        cache.put("k1", SOLUTION_A)
+        fresh = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        assert fresh.stats()["stale_temps_removed"] == 0
+        assert fresh.get("k1") == SOLUTION_A
+
+
+class TestDiskBreaker:
+    class FakeClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    def make_breaker(self, clock):
+        from repro.resilience import CircuitBreaker
+
+        return CircuitBreaker(
+            "disk",
+            failure_threshold=0.5,
+            window=4,
+            min_calls=2,
+            cooldown_s=60.0,
+            clock=clock,
+        )
+
+    def test_disk_errors_open_the_breaker_and_degrade_to_memory(
+        self, tmp_path, monkeypatch
+    ):
+        clock = self.FakeClock()
+        breaker = self.make_breaker(clock)
+        cache = MemoCache(
+            capacity=4, cache_dir=str(tmp_path), breaker=breaker
+        )
+
+        def broken_path(key):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(cache, "_disk_path", broken_path)
+        # Failures accumulate until the breaker opens...
+        cache.put("k1", SOLUTION_A)
+        cache.put("k2", SOLUTION_B)
+        assert breaker.state == "open"
+        stats = cache.stats()
+        assert stats["disk_errors"] == 2
+        assert stats["disk_breaker"] == "open"
+        # ...after which the disk tier is skipped, not retried, and the
+        # memory tier still serves both entries.
+        cache.put("k3", SOLUTION_A)
+        assert cache.stats()["disk_skipped"] == 1
+        assert cache.get("k1") == SOLUTION_A
+        assert cache.get("k2") == SOLUTION_B
+
+    def test_probe_reenables_the_disk_tier(self, tmp_path, monkeypatch):
+        clock = self.FakeClock()
+        breaker = self.make_breaker(clock)
+        cache = MemoCache(
+            capacity=4, cache_dir=str(tmp_path), breaker=breaker
+        )
+        original = cache._disk_path
+
+        def broken_path(key):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(cache, "_disk_path", broken_path)
+        cache.put("k1", SOLUTION_A)
+        cache.put("k2", SOLUTION_B)
+        assert breaker.state == "open"
+        # The disk heals and the cooldown elapses: the next call is the
+        # half-open probe; its success closes the breaker.
+        monkeypatch.setattr(cache, "_disk_path", original)
+        clock.now += 60.0
+        cache.put("k3", SOLUTION_A)
+        assert breaker.state == "closed"
+        fresh = MemoCache(capacity=4, cache_dir=str(tmp_path))
+        assert fresh.get("k3") == SOLUTION_A  # the probe store landed
+
+    def test_ordinary_misses_are_not_disk_failures(self, tmp_path):
+        clock = self.FakeClock()
+        breaker = self.make_breaker(clock)
+        cache = MemoCache(
+            capacity=4, cache_dir=str(tmp_path), breaker=breaker
+        )
+        for i in range(10):
+            assert cache.get(f"absent-{i}") is None
+        assert breaker.state == "closed"
+        assert cache.stats()["disk_errors"] == 0

@@ -194,3 +194,242 @@ def test_sigkill_with_persistent_cache_leaves_no_torn_entries(tmp_path):
 
     cache = MemoCache(capacity=8, cache_dir=str(cache_dir))
     assert cache.get(body["key"]) == body["solution"]
+
+
+# ----------------------------------------------------------------------
+# Ledger crash points: SIGKILL-equivalent crashes at the three instants
+# whose recovery behaviour differs, then restart and prove convergence.
+# ----------------------------------------------------------------------
+
+from repro.durability import CRASH_EXIT_CODE, SERVICE_CRASH_POINTS
+from repro.durability.journal import read_journal as _read_records
+from repro.resilience import RetryPolicy
+
+
+def _spawn_ledger_server(tmp_path, extra_env=None):
+    """``repro serve`` with a ledger and persistent cache; returns
+    (proc, port, banner_lines)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    env.pop("REPRO_SERVICE_CRASH", None)
+    env.pop("REPRO_SERVICE_CRASH_TOKEN", None)
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--ledger",
+            str(tmp_path / "requests.jsonl"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ],
+        cwd=tmp_path,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    port, banner = None, []
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        banner.append(line)
+        if "listening on http://" in line:
+            port = int(line.rsplit(":", 1)[1])
+            break
+    if port is None:
+        proc.kill()
+        pytest.fail(f"serve never bound; output: {''.join(banner)}")
+    return proc, port, banner
+
+
+def _solve_payload():
+    from repro.core import instance_json_dict
+    from tests.conftest import figure1_instance
+
+    return {"instance": instance_json_dict(figure1_instance())}
+
+
+def _baseline_solution():
+    """The uninterrupted result the recovered service must reproduce."""
+    from repro.service import SchedulingService, ServiceConfig
+
+    service = SchedulingService(ServiceConfig(workers=1))
+    try:
+        status, body = service.solve(_solve_payload())
+        assert status == 200
+        return body["solution"]
+    finally:
+        service.shutdown()
+
+
+@pytest.mark.parametrize("point", SERVICE_CRASH_POINTS)
+def test_crash_point_recovers_without_loss_or_rerun(tmp_path, point):
+    ledger = tmp_path / "requests.jsonl"
+    baseline = _baseline_solution()
+
+    # 1. A server armed to crash at the point under test.
+    proc, port, _ = _spawn_ledger_server(
+        tmp_path, extra_env={"REPRO_SERVICE_CRASH": point}
+    )
+    try:
+        client = ServiceClient("127.0.0.1", port, timeout=60.0)
+        client.wait_healthy()
+        with pytest.raises(ServiceUnavailableError):
+            client.solve(_solve_payload())
+        proc.wait(timeout=30.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=20.0)
+    assert proc.returncode == CRASH_EXIT_CODE
+
+    # 2. The crash left a durable open record and no close.
+    records, _, _ = _read_records(ledger)
+    opens = [r for r in records if r["type"] == "open"]
+    closes = [r for r in records if r["type"] == "close"]
+    assert len(opens) == 1
+    assert closes == []
+
+    # 3. Restart without chaos: startup replay settles the request.
+    proc, port, banner = _spawn_ledger_server(tmp_path)
+    try:
+        assert any("recovered 1 request(s)" in line for line in banner)
+        client = ServiceClient("127.0.0.1", port, timeout=60.0)
+        client.wait_healthy()
+        status, status_body = client.status()
+        assert status == 200
+        assert status_body["requests"]["replayed"] == 1
+        assert status_body["ledger"]["open"] == 0
+        if point == "pre-completion":
+            # The result had already reached the durable cache tier:
+            # replay converged through it instead of re-executing.
+            assert status_body["cache"]["disk_hits"] >= 1
+
+        # 4. The same request now returns the baseline, byte-equal.
+        status, body = client.solve(_solve_payload())
+        assert status == 200
+        assert body["solution"] == baseline
+        assert client.shutdown()[0] == 200
+        proc.wait(timeout=30.0)
+        assert proc.returncode == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=20.0)
+
+    # 5. The replay's close record holds the baseline too — the ledger
+    # is the audit trail that nothing ran twice or diverged.
+    records, _, torn = _read_records(ledger)
+    assert not torn
+    closes = [r for r in records if r["type"] == "close"]
+    assert len(closes) == 1
+    assert closes[0]["data"]["status"] == 200
+    assert closes[0]["data"]["body"]["solution"] == baseline
+    if point == "pre-completion":
+        assert closes[0]["data"]["body"]["cache"] == "hit"
+
+    # 6. ``repro verify`` scrubs the ledger clean.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    scrub = subprocess.run(
+        [sys.executable, "-m", "repro", "verify", str(ledger)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert scrub.returncode == 0, scrub.stdout + scrub.stderr
+    assert "ledger" in scrub.stdout
+
+
+def test_supervised_crash_is_a_latency_blip_for_a_retrying_client(
+    tmp_path,
+):
+    """The whole self-healing loop: watchdog + ledger + client retries.
+
+    A supervised server crashes mid-dispatch (once, token-armed); the
+    watchdog restarts it, startup replay settles the request, and the
+    retrying client's idempotent resubmission gets the baseline answer
+    — no error ever surfaces to the caller.
+    """
+    import socket
+
+    baseline = _baseline_solution()
+    token = tmp_path / "crash-token"
+    token.write_text("")
+
+    # A fixed port keeps the client's address stable across restarts.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR
+    env["REPRO_SERVICE_CRASH"] = "mid-dispatch"
+    env["REPRO_SERVICE_CRASH_TOKEN"] = str(token)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--supervised",
+            "--port",
+            str(port),
+            "--ledger",
+            str(tmp_path / "requests.jsonl"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--heartbeat-file",
+            str(tmp_path / "heartbeat"),
+            "--max-restarts",
+            "3",
+            "--restart-backoff",
+            "0.1",
+        ],
+        cwd=tmp_path,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        client = ServiceClient(
+            "127.0.0.1",
+            port,
+            timeout=60.0,
+            retry=RetryPolicy(
+                max_attempts=10,
+                base_backoff_s=0.5,
+                backoff_multiplier=1.5,
+            ),
+        )
+        client.wait_healthy(timeout=60.0)
+        status, body = client.solve(_solve_payload())
+        assert status == 200
+        assert body["solution"] == baseline
+        assert not token.exists()  # the crash really fired
+
+        status, _ = client.shutdown()
+        assert status == 200
+        proc.wait(timeout=60.0)
+        output = proc.stdout.read()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=20.0)
+    assert proc.returncode == 0, output
+    # The watchdog really restarted the child: two spawn events, and a
+    # second listening banner after the recovery replay.
+    assert output.count("listening on http://") >= 2, output
+    assert "child_died" in output
+    assert "recovered 1 request(s)" in output

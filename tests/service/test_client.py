@@ -1,0 +1,154 @@
+"""Client retry behaviour, isolated from any real server.
+
+``_request_once`` is stubbed so every retry decision — what is
+retried, what is not, which headers ride along — is asserted without
+sockets or sleep-heavy backoff (the policies here use microscopic
+backoff with zero jitter).
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience import RetryPolicy
+from repro.service import ServiceClient, ServiceUnavailableError
+
+FAST = RetryPolicy(
+    max_attempts=4,
+    base_backoff_s=0.001,
+    backoff_multiplier=1.0,
+    jitter_frac=0.0,
+)
+
+
+class StubTransport:
+    """Record every attempt; pop scripted outcomes in order."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.attempts = []
+
+    def __call__(self, method, path, payload=None, headers=None):
+        self.attempts.append(
+            {"method": method, "path": path, "headers": dict(headers or {})}
+        )
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def make_client(outcomes, retry=FAST):
+    client = ServiceClient(
+        "127.0.0.1", 1, retry=retry, rng=np.random.default_rng(0)
+    )
+    transport = StubTransport(outcomes)
+    client._request_once = transport
+    return client, transport
+
+
+def refused():
+    return ServiceUnavailableError("connection refused")
+
+
+class TestRetryLoop:
+    def test_connection_refused_retried_until_success(self):
+        client, transport = make_client(
+            [refused(), refused(), (200, {"ok": True})]
+        )
+        assert client.solve({"x": 1}) == (200, {"ok": True})
+        assert len(transport.attempts) == 3
+
+    def test_5xx_replies_retried(self):
+        client, transport = make_client(
+            [
+                (503, {"error": {"code": "draining"}}),
+                (500, {"error": {"code": "internal_error"}}),
+                (200, {"ok": True}),
+            ]
+        )
+        assert client.solve({"x": 1}) == (200, {"ok": True})
+        assert len(transport.attempts) == 3
+
+    def test_4xx_replies_returned_immediately(self):
+        client, transport = make_client(
+            [(429, {"error": {"code": "quota_exhausted"}})]
+        )
+        status, body = client.solve({"x": 1})
+        assert status == 429
+        assert len(transport.attempts) == 1
+
+    def test_budget_exhausted_returns_last_5xx(self):
+        client, transport = make_client([(503, {"n": i}) for i in range(4)])
+        status, body = client.solve({"x": 1})
+        assert (status, body) == (503, {"n": 3})
+        assert len(transport.attempts) == 4
+
+    def test_budget_exhausted_reraises_transport_error(self):
+        client, transport = make_client([refused()] * 4)
+        with pytest.raises(ServiceUnavailableError, match="refused"):
+            client.solve({"x": 1})
+        assert len(transport.attempts) == 4
+
+    def test_deadline_stops_before_budget(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_backoff_s=5.0,  # the first backoff already busts it
+            backoff_multiplier=1.0,
+            jitter_frac=0.0,
+            deadline_s=1.0,
+        )
+        client, transport = make_client([refused()] * 10, retry=policy)
+        with pytest.raises(ServiceUnavailableError):
+            client.solve({"x": 1})
+        assert len(transport.attempts) == 1
+
+
+class TestIdempotencyKey:
+    def test_same_key_on_every_attempt(self):
+        client, transport = make_client(
+            [refused(), (503, {}), (200, {"ok": True})]
+        )
+        client.solve({"x": 1})
+        keys = [
+            a["headers"]["X-Idempotency-Key"] for a in transport.attempts
+        ]
+        assert len(set(keys)) == 1
+
+    def test_key_distinguishes_payload_and_route(self):
+        def key_of(path_payloads):
+            client, transport = make_client([(200, {})])
+            if path_payloads[0] == "solve":
+                client.solve(path_payloads[1])
+            else:
+                client.campaign(path_payloads[1])
+            return transport.attempts[0]["headers"]["X-Idempotency-Key"]
+
+        assert key_of(("solve", {"x": 1})) != key_of(("solve", {"x": 2}))
+        assert key_of(("solve", {"x": 1})) != key_of(("campaign", {"x": 1}))
+        assert key_of(("solve", {"x": 1})) == key_of(("solve", {"x": 1}))
+
+
+class TestOptOut:
+    def test_no_policy_means_single_shot(self):
+        client, transport = make_client([refused()], retry=None)
+        with pytest.raises(ServiceUnavailableError):
+            client.solve({"x": 1})
+        assert len(transport.attempts) == 1
+        assert "X-Idempotency-Key" not in transport.attempts[0]["headers"]
+
+    def test_campaign_retries_like_solve(self):
+        client, transport = make_client([refused(), (200, {"ok": True})])
+        assert client.campaign({"app": "nyx"}) == (200, {"ok": True})
+        assert len(transport.attempts) == 2
+
+    def test_shutdown_never_retried(self):
+        client, transport = make_client([refused()])
+        with pytest.raises(ServiceUnavailableError):
+            client.shutdown()
+        assert len(transport.attempts) == 1
+
+    def test_health_never_retried(self):
+        client, transport = make_client([refused()])
+        with pytest.raises(ServiceUnavailableError):
+            client.health()
+        assert len(transport.attempts) == 1

@@ -313,3 +313,64 @@ class TestShutdown:
                 future.result(timeout=5.0)
         finally:
             dispatcher.shutdown()
+
+
+class TestDrainDeadline:
+    def test_expired_drain_rejects_queued_work_as_draining(self):
+        """Regression: drain=True used to wait unboundedly on queued
+        work.  With a hard deadline, a stalled batch cannot wedge
+        shutdown — queued entries resolve as 503 ``draining``."""
+        from repro.service import REJECT_DRAINING
+
+        release = threading.Event()
+        running = threading.Event()
+
+        def solve_fn(work):
+            running.set()
+            release.wait(10.0)  # the stalled batch
+            return {}
+
+        dispatcher = SolveDispatcher(
+            solve_fn,
+            workers=1,
+            max_queue=8,
+            max_batch=1,
+            batch_window_s=0.0,
+        )
+        try:
+            blocker = dispatcher.try_submit(make_work(algorithm="blocker"))
+            assert running.wait(5.0)
+            queued = [
+                dispatcher.try_submit(make_work(seed=i)) for i in range(3)
+            ]
+            t0 = time.monotonic()
+            dispatcher.shutdown(drain=True, timeout=0.3)
+            elapsed = time.monotonic() - t0
+            assert elapsed < 5.0, f"shutdown took {elapsed:.1f}s"
+            for future in queued:
+                outcome = future.result(timeout=5.0)
+                assert outcome.rejection is not None
+                assert outcome.rejection.code == REJECT_DRAINING
+                assert outcome.rejection.http_status == 503
+            assert dispatcher.stats()["drain_rejected"] == 3
+        finally:
+            release.set()
+
+    def test_generous_deadline_still_drains_everything(self):
+        done = []
+
+        def solve_fn(work):
+            time.sleep(0.01)
+            done.append(work.key)
+            return {}
+
+        dispatcher = SolveDispatcher(
+            solve_fn, workers=1, max_batch=1, batch_window_s=0.0
+        )
+        futures = [
+            dispatcher.try_submit(make_work(seed=i)) for i in range(5)
+        ]
+        dispatcher.shutdown(drain=True, timeout=30.0)
+        assert len(done) == 5
+        assert all(f.result(0.0).rejection is None for f in futures)
+        assert dispatcher.stats()["drain_rejected"] == 0

@@ -1,0 +1,408 @@
+"""The request ledger, crash replay, and chaos hooks — all in-process.
+
+The subprocess SIGKILL proofs live in ``test_chaos.py``; here every
+ledger and recovery behaviour is exercised deterministically: the
+write-ahead wire format, torn-tail repair, duplicate coalescing,
+exactly-once replay through the memo cache, and campaign resume.
+"""
+
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.core import instance_json_dict
+from repro.durability import JournalError, read_journal, verify_ledger, verify_path
+from repro.service import (
+    LedgerEntry,
+    RequestLedger,
+    SchedulingService,
+    ServiceChaos,
+    ServiceConfig,
+)
+from repro.service.recovery import LEDGER_VERSION
+from tests.conftest import figure1_instance
+
+
+def solve_payload(**extra):
+    payload = {"instance": instance_json_dict(figure1_instance())}
+    payload.update(extra)
+    return payload
+
+
+class TestRequestLedger:
+    def test_open_close_roundtrip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RequestLedger(path) as ledger:
+            assert ledger.record_open("k1", "solve", {"a": 1})
+            assert ledger.is_open("k1")
+            assert ledger.incomplete() == [
+                LedgerEntry(key="k1", kind="solve", payload={"a": 1})
+            ]
+            assert ledger.record_close("k1", 200, {"ok": True})
+            assert not ledger.is_open("k1")
+            assert ledger.incomplete() == []
+            assert ledger.closed_body("k1") == (200, {"ok": True})
+
+    def test_reopen_restores_state(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RequestLedger(path) as ledger:
+            ledger.record_open("done", "solve", {"x": 1})
+            ledger.record_close("done", 200, {"ok": True})
+            ledger.record_open("pending", "campaign", {"app": "nyx"})
+        with RequestLedger(path) as reopened:
+            assert reopened.closed_body("done") == (200, {"ok": True})
+            assert [e.key for e in reopened.incomplete()] == ["pending"]
+            assert reopened.incomplete()[0].kind == "campaign"
+
+    def test_replay_preserves_admission_order(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RequestLedger(path) as ledger:
+            for i in range(5):
+                ledger.record_open(f"k{i}", "solve", {})
+            ledger.record_close("k2", 200, {})
+        with RequestLedger(path) as reopened:
+            assert [e.key for e in reopened.incomplete()] == [
+                "k0",
+                "k1",
+                "k3",
+                "k4",
+            ]
+
+    def test_duplicate_open_and_close_refused(self, tmp_path):
+        with RequestLedger(tmp_path / "ledger.jsonl") as ledger:
+            assert ledger.record_open("k1", "solve", {})
+            assert not ledger.record_open("k1", "solve", {})
+            assert ledger.record_close("k1", 200, {})
+            assert not ledger.record_close("k1", 200, {})
+            # Settled keys are never re-opened either.
+            assert not ledger.record_open("k1", "solve", {})
+
+    def test_close_without_open_refused(self, tmp_path):
+        with RequestLedger(tmp_path / "ledger.jsonl") as ledger:
+            assert not ledger.record_close("ghost", 200, {})
+
+    def test_writes_refused_after_close(self, tmp_path):
+        ledger = RequestLedger(tmp_path / "ledger.jsonl")
+        ledger.close()
+        assert not ledger.record_open("k1", "solve", {})
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RequestLedger(path) as ledger:
+            ledger.record_open("k1", "solve", {})
+        intact = path.read_bytes()
+        path.write_bytes(intact + b'{"seq": 2, "type": "close"')  # torn
+        with RequestLedger(path) as recovered:
+            assert recovered.stats()["recovered_torn_tail"] is True
+            assert [e.key for e in recovered.incomplete()] == ["k1"]
+            # The tail was cut, so new appends stay record-aligned.
+            recovered.record_close("k1", 200, {"ok": True})
+        records, _, torn = read_journal(path)
+        assert not torn
+        assert [r["type"] for r in records] == ["begin", "open", "close"]
+
+    def test_corrupt_interior_record_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RequestLedger(path) as ledger:
+            ledger.record_open("k1", "solve", {})
+            ledger.record_close("k1", 200, {})
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1].replace(b'"open"', b'"OPEN"')  # break the CRC
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalError):
+            RequestLedger(path)
+
+    def test_wrong_file_kind_rejected(self, tmp_path):
+        path = tmp_path / "not-a-ledger.jsonl"
+        path.write_text("")
+        with pytest.raises(JournalError, match="no intact records"):
+            RequestLedger(path)
+
+    def test_stats_shape(self, tmp_path):
+        with RequestLedger(tmp_path / "ledger.jsonl") as ledger:
+            ledger.record_open("k1", "solve", {})
+            stats = ledger.stats()
+        assert stats["open"] == 1
+        assert stats["closed"] == 0
+        assert stats["records"] == 2  # begin + open
+        assert stats["recovered_torn_tail"] is False
+
+
+class TestVerifyLedger:
+    def test_clean_ledger_scrubs_clean(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RequestLedger(path) as ledger:
+            ledger.record_open("k1", "solve", {})
+            ledger.record_close("k1", 200, {"ok": True})
+            ledger.record_open("k2", "campaign", {})
+        report = verify_ledger(path)
+        assert report.ok
+        assert report.kind == "ledger"
+        assert any("1 pending replay" in note for note in report.notes)
+
+    def test_verify_path_sniffs_ledger_kind(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RequestLedger(path):
+            pass
+        report = verify_path(path)  # kind="auto"
+        assert report.kind == "ledger"
+        assert report.ok
+
+    def test_double_open_is_an_issue(self, tmp_path):
+        from repro.durability.journal import encode_record
+
+        path = tmp_path / "ledger.jsonl"
+        with open(path, "wb") as fh:
+            fh.write(
+                encode_record(0, "begin", {"ledger_version": LEDGER_VERSION})
+            )
+            fh.write(encode_record(1, "open", {"key": "k1", "kind": "solve"}))
+            fh.write(encode_record(2, "open", {"key": "k1", "kind": "solve"}))
+        report = verify_ledger(path)
+        assert not report.ok
+
+    def test_corrupt_line_is_an_issue(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with RequestLedger(path) as ledger:
+            ledger.record_open("k1", "solve", {})
+            ledger.record_close("k1", 200, {})
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1].replace(b'"open"', b'"OPEN"')
+        path.write_bytes(b"".join(lines))
+        assert not verify_ledger(path).ok
+
+
+class TestServiceChaos:
+    def test_unarmed_by_default(self):
+        chaos = ServiceChaos.from_env(environ={})
+        assert not chaos.armed
+        chaos.hit("mid-dispatch")  # never crashes
+        assert chaos.hits("mid-dispatch") == 1
+
+    def test_env_parsing(self):
+        chaos = ServiceChaos.from_env(
+            environ={"REPRO_SERVICE_CRASH": "pre-completion:3"}
+        )
+        assert (chaos.point, chaos.at_hit) == ("pre-completion", 3)
+        assert chaos.armed
+
+    def test_token_env_parsing(self, tmp_path):
+        token = tmp_path / "token"
+        chaos = ServiceChaos.from_env(
+            environ={
+                "REPRO_SERVICE_CRASH": "mid-dispatch",
+                "REPRO_SERVICE_CRASH_TOKEN": str(token),
+            }
+        )
+        assert chaos.token_path == str(token)
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown service crash point"):
+            ServiceChaos("between-the-ticks")
+
+    def test_missing_token_disarms_the_crash(self, tmp_path):
+        # Armed with a token that does not exist: the hit is a no-op —
+        # this is what keeps a supervised restart from crash-looping.
+        chaos = ServiceChaos(
+            "mid-dispatch", token_path=str(tmp_path / "absent")
+        )
+        chaos.hit("mid-dispatch")  # would os._exit(137) without the token
+        assert chaos.hits("mid-dispatch") == 1
+
+
+class TestServiceLedgerIntegration:
+    def make_service(self, tmp_path, **overrides):
+        kwargs = dict(
+            workers=2,
+            quota_rate=0.0,
+            quota_burst=50.0,
+            ledger_path=str(tmp_path / "ledger.jsonl"),
+        )
+        kwargs.update(overrides)
+        return SchedulingService(ServiceConfig(**kwargs))
+
+    def test_solve_is_journaled_and_settled(self, tmp_path):
+        service = self.make_service(tmp_path)
+        try:
+            status, body = service.solve(solve_payload())
+            assert status == 200
+            stats = service.ledger.stats()
+            assert (stats["open"], stats["closed"]) == (0, 1)
+        finally:
+            service.shutdown()
+
+    def test_duplicate_submission_served_from_ledger(self, tmp_path):
+        service = self.make_service(tmp_path)
+        try:
+            payload = solve_payload(
+                idempotency_key="client-retry-1", cache=False
+            )
+            status1, body1 = service.solve(payload)
+            status2, body2 = service.solve(payload)
+            assert (status1, status2) == (200, 200)
+            # Same response verbatim — not a re-execution.
+            assert body2 == body1
+            assert service.status_payload()["requests"]["ledger_hits"] == 1
+        finally:
+            service.shutdown()
+
+    def test_concurrent_duplicates_coalesce(self, tmp_path):
+        release = threading.Event()
+        service = self.make_service(tmp_path, workers=1)
+        original = service.dispatcher._solve_fn
+
+        def slow_solve(work):
+            release.wait(10.0)
+            return original(work)
+
+        service.dispatcher._solve_fn = slow_solve
+        try:
+            payload = solve_payload(idempotency_key="dup")
+            first = service.begin_solve(payload)
+            second = service.begin_solve(payload)
+            assert isinstance(first, Future)
+            assert second is first  # coalesced onto the same future
+            release.set()
+            status, _ = first.result(timeout=30.0)
+            assert status == 200
+            assert service.status_payload()["requests"]["coalesced"] == 1
+        finally:
+            release.set()
+            service.shutdown()
+
+    def test_recover_replays_open_entries(self, tmp_path):
+        # Simulate the post-admission crash: an open record with no
+        # close, then a fresh service over the same ledger.
+        ledger_path = tmp_path / "ledger.jsonl"
+        payload = solve_payload()
+        with RequestLedger(ledger_path) as ledger:
+            ledger.record_open("crashed-key", "solve", payload)
+
+        service = self.make_service(tmp_path)
+        try:
+            summary = service.recover()
+            assert summary == {
+                "replayed": 1,
+                "solve": 1,
+                "campaign": 0,
+                "failed": 0,
+            }
+            # The entry settled: a duplicate now gets the stored body.
+            assert not service.ledger.is_open("crashed-key")
+            status, body = service.ledger.closed_body("crashed-key")
+            assert status == 200
+            assert body["solution"]["makespan"] == pytest.approx(12.0)
+            assert service.status_payload()["requests"]["replayed"] == 1
+        finally:
+            service.shutdown()
+
+    def test_recover_converges_through_the_memo_cache(self, tmp_path):
+        # Simulate the pre-completion crash: the solution reached the
+        # durable cache tier but the close record was lost.  Replay
+        # must hit the cache, not re-run the solver.
+        cache_dir = tmp_path / "cache"
+        ledger_path = tmp_path / "ledger.jsonl"
+        warm = SchedulingService(
+            ServiceConfig(
+                quota_rate=0.0, quota_burst=50.0, cache_dir=str(cache_dir)
+            )
+        )
+        try:
+            status, baseline = warm.solve(solve_payload())
+            assert status == 200
+        finally:
+            warm.shutdown()
+        with RequestLedger(ledger_path) as ledger:
+            ledger.record_open("lost-close", "solve", solve_payload())
+
+        service = self.make_service(tmp_path, cache_dir=str(cache_dir))
+        try:
+            summary = service.recover()
+            assert summary["replayed"] == 1 and summary["failed"] == 0
+            status, body = service.ledger.closed_body("lost-close")
+            assert status == 200
+            assert body["cache"] == "hit"  # served, not re-executed
+            assert body["solution"] == baseline["solution"]
+            assert service.cache.stats()["disk_hits"] == 1
+        finally:
+            service.shutdown()
+
+    def test_recover_replays_campaigns(self, tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        campaign = {
+            "app": "nyx",
+            "nodes": 2,
+            "ppn": 2,
+            "iterations": 2,
+            "seed": 7,
+        }
+        with RequestLedger(ledger_path) as ledger:
+            ledger.record_open("campaign-key", "campaign", campaign)
+        service = self.make_service(tmp_path)
+        try:
+            summary = service.recover()
+            assert summary["campaign"] == 1 and summary["failed"] == 0
+            status, body = service.ledger.closed_body("campaign-key")
+            assert status == 200
+            assert body["campaign"]["iterations"] == 2
+        finally:
+            service.shutdown()
+
+    def test_recover_resumes_a_journaled_campaign(self, tmp_path):
+        # Run a journaled campaign to completion once, to produce a
+        # committed journal; then hand the same journal to a replayed
+        # campaign: resume finds it complete and replays the report.
+        from repro.engines import CampaignSpec, run_campaign
+
+        journal = tmp_path / "campaign.jsonl"
+        spec = CampaignSpec(
+            app="nyx", nodes=2, ppn=2, iterations=3, seed=11
+        )
+        baseline = run_campaign(spec, journal_path=str(journal))
+        baseline.close()
+
+        payload = {
+            "app": "nyx",
+            "nodes": 2,
+            "ppn": 2,
+            "iterations": 3,
+            "seed": 11,
+            "journal": str(journal),
+        }
+        with RequestLedger(tmp_path / "ledger.jsonl") as ledger:
+            ledger.record_open("resume-key", "campaign", payload)
+        service = self.make_service(tmp_path)
+        try:
+            summary = service.recover()
+            assert summary["failed"] == 0
+            status, body = service.ledger.closed_body("resume-key")
+            assert status == 200
+            assert (
+                body["campaign"]["total_time"]
+                == baseline.result.total_time
+            )
+        finally:
+            service.shutdown()
+
+    def test_recover_without_ledger_is_a_noop(self):
+        service = SchedulingService(
+            ServiceConfig(quota_rate=0.0, quota_burst=50.0)
+        )
+        try:
+            assert service.recover() == {
+                "replayed": 0,
+                "solve": 0,
+                "campaign": 0,
+                "failed": 0,
+            }
+        finally:
+            service.shutdown()
+
+    def test_status_reports_ledger(self, tmp_path):
+        service = self.make_service(tmp_path)
+        try:
+            ledger_stats = service.status_payload()["ledger"]
+            assert ledger_stats["records"] == 1  # the begin record
+        finally:
+            service.shutdown()

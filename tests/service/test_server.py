@@ -57,7 +57,14 @@ class TestRoutes:
     def test_health(self, running_server):
         client, _ = running_server
         status, body = client.health()
-        assert (status, body) == (200, {"ok": True, "draining": False})
+        assert (status, body) == (
+            200,
+            {
+                "ok": True,
+                "draining": False,
+                "breakers": {"engine": "closed", "disk_cache": "closed"},
+            },
+        )
 
     def test_solve_cold_then_cached(self, running_server):
         client, _ = running_server
@@ -157,3 +164,42 @@ class TestShutdown:
                 break
             time.sleep(0.05)
         assert service.health_payload()["draining"] is True
+
+
+class TestIdempotencyHeader:
+    def test_header_reaches_the_service_payload(self, running_server):
+        """``X-Idempotency-Key`` is injected into the payload, so both
+        requests settle under the same ledger/coalescing key — and the
+        injected field never trips request validation."""
+        import http.client
+        import json as json_module
+
+        client, service = running_server
+        recorded = []
+        original = service.begin_solve
+
+        def spy(payload, **kwargs):
+            recorded.append(payload.get("idempotency_key"))
+            return original(payload, **kwargs)
+
+        service.begin_solve = spy
+        try:
+            conn = http.client.HTTPConnection(
+                client.host, client.port, timeout=10.0
+            )
+            try:
+                conn.request(
+                    "POST",
+                    "/solve",
+                    body=json_module.dumps(solve_payload()),
+                    headers={
+                        "Content-Type": "application/json",
+                        "X-Idempotency-Key": "retry-attempt-key",
+                    },
+                )
+                assert conn.getresponse().status == 200
+            finally:
+                conn.close()
+        finally:
+            service.begin_solve = original
+        assert recorded == ["retry-attempt-key"]

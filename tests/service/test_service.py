@@ -416,10 +416,131 @@ class TestShutdown:
 
     def test_health_reports_draining(self):
         svc = SchedulingService(ServiceConfig(workers=1))
-        assert svc.health_payload() == {"ok": True, "draining": False}
+        breakers = {"engine": "closed", "disk_cache": "closed"}
+        assert svc.health_payload() == {
+            "ok": True,
+            "draining": False,
+            "breakers": breakers,
+        }
         svc.shutdown()
-        assert svc.health_payload() == {"ok": True, "draining": True}
+        assert svc.health_payload() == {
+            "ok": True,
+            "draining": True,
+            "breakers": breakers,
+        }
 
     def test_status_payload_is_json_safe(self, service):
         service.solve(solve_payload())
         json.dumps(service.status_payload())
+
+
+class TestEngineBreaker:
+    """Degraded mode: a broken engine trips the breaker; memoized
+    results keep flowing while new work is refused fast."""
+
+    class FakeClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    def make_service(self, **overrides):
+        from repro.resilience import CircuitBreaker
+
+        kwargs = dict(workers=2, quota_rate=0.0, quota_burst=100.0)
+        kwargs.update(overrides)
+        svc = SchedulingService(ServiceConfig(**kwargs))
+        # Only the breaker runs on the fake clock — the dispatcher
+        # keeps real time, so solves still flow.
+        clock = self.FakeClock()
+        svc.engine_breaker = CircuitBreaker(
+            "engine",
+            failure_threshold=0.5,
+            window=4,
+            min_calls=2,
+            cooldown_s=30.0,
+            clock=clock,
+        )
+        return svc, clock
+
+    def test_open_breaker_rejects_with_engine_unavailable(self):
+        svc, clock = self.make_service()
+        try:
+            # Warm the cache before the engine "breaks".
+            status, warm = svc.solve(solve_payload())
+            assert status == 200
+            for _ in range(2):
+                svc.engine_breaker.record_failure()
+            assert svc.engine_breaker.state == "open"
+
+            # New (uncached) work is refused fast with a retry hint...
+            status, body = svc.solve(
+                solve_payload(random_instance(np.random.default_rng(5)))
+            )
+            assert status == 503
+            assert body["error"]["code"] == "engine_unavailable"
+            assert body["error"]["retry_after_s"] == pytest.approx(30.0)
+            # ...while the memoized request is still served.
+            status, body = svc.solve(solve_payload())
+            assert status == 200 and body["cache"] == "hit"
+            assert svc.health_payload()["breakers"]["engine"] == "open"
+        finally:
+            svc.shutdown()
+
+    def test_worker_failures_trip_the_breaker(self):
+        svc, clock = self.make_service()
+        try:
+            svc.dispatcher._solve_fn = _always_failing_solve(svc)
+            for i in range(2):
+                status, body = svc.solve(
+                    solve_payload(
+                        random_instance(np.random.default_rng(10 + i))
+                    )
+                )
+                assert status == 500
+            assert svc.engine_breaker.state == "open"
+            assert svc.status_payload()["breakers"]["engine"]["opens"] == 1
+        finally:
+            svc.shutdown()
+
+    def test_probe_closes_the_breaker_after_cooldown(self):
+        svc, clock = self.make_service()
+        try:
+            for _ in range(2):
+                svc.engine_breaker.record_failure()
+            assert svc.engine_breaker.state == "open"
+            clock.now += 30.0  # cooldown elapses: next call is the probe
+            status, body = svc.solve(
+                solve_payload(random_instance(np.random.default_rng(6)))
+            )
+            assert status == 200
+            assert svc.engine_breaker.state == "closed"
+        finally:
+            svc.shutdown()
+
+    def test_campaign_refused_while_engine_is_open(self):
+        svc, clock = self.make_service()
+        try:
+            for _ in range(2):
+                svc.engine_breaker.record_failure()
+            status, body = svc.campaign(
+                {"app": "nyx", "nodes": 2, "ppn": 2, "iterations": 2}
+            )
+            assert status == 503
+            assert body["error"]["code"] == "engine_unavailable"
+        finally:
+            svc.shutdown()
+
+
+def _always_failing_solve(svc):
+    def failing(work):
+        svc.chaos.hit("mid-dispatch")
+        if not svc.engine_breaker.allow():
+            from repro.service import EngineUnavailableError
+
+            raise EngineUnavailableError(svc.engine_breaker.retry_after_s())
+        svc.engine_breaker.record_failure()
+        raise RuntimeError("engine exploded")
+
+    return failing
